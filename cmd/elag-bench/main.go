@@ -1,0 +1,105 @@
+// elag-bench regenerates the paper's evaluation artifacts — Tables 2, 3
+// and 4 and Figures 5a, 5b and 5c — over the built-in workload suite.
+//
+// Usage:
+//
+//	elag-bench [flags]
+//
+//	-exp name   table2|table3|table4|fig5a|fig5b|fig5c|embedded|all (default all)
+//	-fuel N     per-benchmark dynamic instruction budget (0 = run programs
+//	            to completion, the default used for reported results)
+//	-q          suppress progress logging
+//	-csv dir    write every artifact as CSV into dir (for plotting)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"elag/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "table2|table3|table4|fig5a|fig5b|fig5c|embedded|all")
+	fuel := flag.Int64("fuel", 0, "per-benchmark instruction budget (0 = unlimited)")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	csvDir := flag.String("csv", "", "also write CSVs for every artifact into this directory")
+	flag.Parse()
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	r := &harness.Runner{Fuel: *fuel, Log: logw}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			check(err)
+		}
+		err := r.ExportCSV(func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name))
+		})
+		check(err)
+		fmt.Fprintf(os.Stderr, "CSVs written to %s\n", *csvDir)
+		return
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table2":
+			rows, err := r.Table2()
+			check(err)
+			fmt.Print(harness.FormatTable2(rows))
+		case "table3":
+			rows, err := r.Table3()
+			check(err)
+			fmt.Print(harness.FormatTable3(rows))
+		case "table4":
+			rows, err := r.Table4()
+			check(err)
+			fmt.Print(harness.FormatTable4(rows))
+		case "fig5a":
+			fig, err := r.Figure5a()
+			check(err)
+			fmt.Print(harness.FormatFigure(fig))
+		case "fig5b":
+			fig, err := r.Figure5b()
+			check(err)
+			fmt.Print(harness.FormatFigure(fig))
+		case "fig5c":
+			fig, err := r.Figure5c()
+			check(err)
+			fmt.Print(harness.FormatFigure(fig))
+		case "embedded":
+			rows, err := r.Embedded()
+			check(err)
+			fmt.Print(harness.FormatEmbedded(rows))
+		default:
+			fmt.Fprintf(os.Stderr, "elag-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2", "table3", "fig5a", "fig5b", "fig5c", "table4", "embedded"} {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "== %s ==\n", strings.ToUpper(name))
+			}
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elag-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// elag-cc compiles MC source (a small C subset, see package mcc) to the
+// repository's assembly, running the classical optimizations and the
+// paper's load-classification heuristics.
+//
+// Usage:
+//
+//	elag-cc [flags] file.mc
+//
+//	-o file        write assembly to file (default stdout)
+//	-no-classify   leave every load as ld_n
+//	-no-opt        skip the classical optimizations
+//	-ec-groups N   give N base-register groups ld_e (default 1)
+//	-additive      use the paper's literal additive S_load fixpoint
+//	-describe      print the per-load classification listing
+//	-structure     print the machine-level CFG/loop structure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elag"
+	"elag/internal/asm"
+	"elag/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	obj := flag.String("obj", "", "also write an ELAG object file")
+	noClassify := flag.Bool("no-classify", false, "leave every load as ld_n")
+	noOpt := flag.Bool("no-opt", false, "skip classical optimizations")
+	ecGroups := flag.Int("ec-groups", 1, "base-register groups assigned ld_e")
+	additive := flag.Bool("additive", false, "use the paper's additive S_load fixpoint")
+	describe := flag.Bool("describe", false, "print per-load classification")
+	structure := flag.Bool("structure", false, "print machine CFG/loop structure")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: elag-cc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opts := elag.BuildOptions{
+		DisableClassify: *noClassify,
+		Classify: elag.ClassifyOptions{
+			MaxECGroups:   *ecGroups,
+			AdditiveSLoad: *additive,
+		},
+	}
+	if *noOpt {
+		opts.Opt.DisableInline = true
+		opts.Opt.DisableLICM = true
+		opts.Opt.DisableStrengthReduce = true
+		opts.Opt.DisableRLE = true
+		opts.Opt.Rounds = 1
+	}
+	p, err := elag.Build(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	// Re-render the program so classified flavours appear in the output.
+	text := p.Asm
+	if p.Classes != nil {
+		fmt.Fprintf(os.Stderr, "classification: %s\n", p.Classes)
+	}
+	if *structure {
+		fmt.Fprint(os.Stderr, core.DumpStructure(p.Machine))
+	}
+	if *describe && p.Classes != nil {
+		fmt.Fprint(os.Stderr, core.Describe(p.Machine, p.Classes))
+	}
+	if *obj != "" {
+		buf, err := p.Object()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*obj, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if p.Classes != nil {
+		// Emit re-assemblable source with the classified flavours.
+		fmt.Fprint(w, asm.Render(p.Machine))
+	} else {
+		fmt.Fprint(w, text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elag-cc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// elag-prof runs the paper's address profiler (Section 4.3) over a program
+// and prints per-load prediction rates plus the reclassification the
+// profile would drive (NT loads above the threshold become PD).
+//
+// Usage:
+//
+//	elag-prof [flags] file.{mc,s,bin}
+//
+//	-fuel N        dynamic instruction budget (0 = unlimited)
+//	-threshold F   promotion threshold (default 0.60)
+//	-all           list every load, not just the reclassified ones
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"elag"
+	"elag/internal/core"
+)
+
+func main() {
+	fuel := flag.Int64("fuel", 0, "dynamic instruction budget")
+	threshold := flag.Float64("threshold", 0.60, "NT->PD promotion threshold")
+	all := flag.Bool("all", false, "list every load")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: elag-prof [flags] file.{mc,s,bin}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var p *elag.Program
+	switch {
+	case strings.HasSuffix(flag.Arg(0), ".mc"):
+		p, err = elag.Build(string(src), elag.BuildOptions{})
+	case strings.HasSuffix(flag.Arg(0), ".bin"):
+		p, err = elag.LoadObject(src)
+	default:
+		p, err = elag.BuildAsm(string(src), true, elag.ClassifyOptions{})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	lp, err := p.Profile(*fuel)
+	if err != nil {
+		fatal(err)
+	}
+	before := p.Classes
+	after := core.Reclassify(before, lp.Rates(), *threshold)
+
+	fmt.Printf("heuristics:   %s\n", before)
+	fmt.Printf("with profile: %s\n", after)
+	fmt.Printf("%6s %-4s %-4s %10s %8s  %s\n", "pc", "old", "new", "execs", "rate", "instruction")
+	var pcs []int
+	for pc := range lp.Execs {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		o, n := before.Class(pc), after.Class(pc)
+		if !*all && o == n {
+			continue
+		}
+		rate, _ := lp.Rate(pc)
+		fmt.Printf("%6d %-4s %-4s %10d %7.1f%%  %s\n",
+			pc, o, n, lp.Execs[pc], 100*rate, p.Machine.Insts[pc].String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elag-prof:", err)
+	os.Exit(1)
+}

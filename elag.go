@@ -1,0 +1,283 @@
+// Package elag is a library reproduction of "Compiler-Directed Early
+// Load-Address Generation" (Cheng, Connors, Hwu — MICRO-31, 1998).
+//
+// The paper hides load latency by generating load addresses early in the
+// pipeline through two compiler-selected mechanisms: a PC-indexed
+// stride-prediction table (opcode ld_p), and early address calculation
+// through a single special addressing register R_addr (opcode ld_e), with
+// ld_n marking loads that should use neither. This package wires the whole
+// toolchain together:
+//
+//	MC source (a small C subset)
+//	  │  mcc: lex/parse/lower
+//	  ▼
+//	IR  ── opt: inlining, const/copy propagation, redundant-load
+//	  │        elimination, LICM, induction-variable strength reduction
+//	  ▼
+//	assembly ── codegen: linear-scan allocation, instruction selection
+//	  │
+//	  ▼
+//	machine program ── core: the paper's load-classification heuristics
+//	  │                      (+ optional address-profile reclassification)
+//	  ▼
+//	emu (functional emulation) + pipeline (6-stage in-order timing model
+//	     with both early-address-generation paths)
+//
+// The simplest entry points are Build (compile and classify), Program.Run
+// (architectural execution) and Program.Simulate (timing simulation):
+//
+//	p, err := elag.Build(src, elag.BuildOptions{})
+//	base, _, _ := p.Simulate(elag.BaseConfig(), 0)
+//	fast, _, _ := p.Simulate(elag.CompilerDirectedConfig(), 0)
+//	speedup := fast.SpeedupOver(base)
+package elag
+
+import (
+	"errors"
+	"fmt"
+
+	"elag/internal/addrpred"
+	"elag/internal/asm"
+	"elag/internal/codegen"
+	"elag/internal/core"
+	"elag/internal/earlycalc"
+	"elag/internal/emu"
+	"elag/internal/ir"
+	"elag/internal/isa"
+	"elag/internal/mcc"
+	"elag/internal/opt"
+	"elag/internal/pipeline"
+	"elag/internal/profile"
+)
+
+// Re-exported configuration and result types. The underlying packages stay
+// internal; these aliases are the supported public surface.
+type (
+	// SimConfig parameterizes the timing simulator (see BaseConfig and
+	// CompilerDirectedConfig for the paper's reference points).
+	SimConfig = pipeline.Config
+	// Metrics is a timing-simulation result.
+	Metrics = pipeline.Metrics
+	// RunResult is a functional-emulation result.
+	RunResult = emu.Result
+	// OptOptions tunes the classical optimizer.
+	OptOptions = opt.Options
+	// ClassifyOptions tunes the load classifier.
+	ClassifyOptions = core.Options
+	// Classification is the per-load NT/PD/EC assignment.
+	Classification = core.Classification
+	// LoadProfile holds per-load address-prediction rates.
+	LoadProfile = profile.LoadProfile
+	// LoadClass is a per-load classification (NT, PD or EC).
+	LoadClass = core.Class
+	// Selection steers loads to early-address-generation hardware.
+	Selection = pipeline.Selection
+	// PredictorConfig parameterizes the address-prediction table.
+	PredictorConfig = addrpred.Config
+	// RegCacheConfig parameterizes the addressing-register cache.
+	RegCacheConfig = earlycalc.Config
+)
+
+// Selection policies (see pipeline.Selection).
+const (
+	SelNone       = pipeline.SelNone
+	SelCompiler   = pipeline.SelCompiler
+	SelAllPredict = pipeline.SelAllPredict
+	SelAllEarly   = pipeline.SelAllEarly
+	SelHWDual     = pipeline.SelHWDual
+)
+
+// Load classes, named as in the paper's tables.
+const (
+	// NT — "neither": the load speculates on neither mechanism (ld_n).
+	NT = core.NT
+	// PD — "predict": the load uses the address prediction table (ld_p).
+	PD = core.PD
+	// EC — "early calculate": the load uses R_addr (ld_e).
+	EC = core.EC
+)
+
+// BaseConfig returns the paper's base architecture (Section 5.1) without
+// early address generation: 6-wide in-order issue, 4 integer ALUs, 2 memory
+// ports, 64K I/D caches, 1K-entry BTB.
+func BaseConfig() SimConfig { return pipeline.PaperBase() }
+
+// CompilerDirectedConfig returns the paper's headline configuration: a
+// 256-entry direct-mapped address prediction table plus one
+// compiler-directed addressing register.
+func CompilerDirectedConfig() SimConfig { return pipeline.PaperCompilerDirected() }
+
+// BuildOptions controls compilation.
+type BuildOptions struct {
+	// Opt tunes the classical optimizer.
+	Opt OptOptions
+	// Classify tunes the load-classification heuristics.
+	Classify ClassifyOptions
+	// DisableClassify leaves every load as ld_n (the hardware-only
+	// configurations ignore flavours anyway).
+	DisableClassify bool
+}
+
+// Program is a compiled, classified, executable program.
+type Program struct {
+	// Source is the MC source it was built from (empty for assembly
+	// inputs).
+	Source string
+	// Asm is the generated assembly listing.
+	Asm string
+	// Machine is the assembled machine program.
+	Machine *isa.Program
+	// Module is the optimized IR (nil for assembly inputs).
+	Module *ir.Module
+	// Classes is the load classification applied to Machine (nil when
+	// classification was disabled).
+	Classes *Classification
+}
+
+// Build compiles MC source through the full pipeline: front end, classical
+// optimizations, code generation, assembly, and load classification.
+func Build(src string, o BuildOptions) (*Program, error) {
+	mod, err := mcc.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	opt.Run(mod, o.Opt)
+	text, err := codegen.Generate(mod)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		return nil, fmt.Errorf("internal: generated assembly does not assemble: %w", err)
+	}
+	p := &Program{Source: src, Asm: text, Machine: prog, Module: mod}
+	if !o.DisableClassify {
+		p.Classes = core.ClassifyAndApply(prog, o.Classify)
+	}
+	return p, nil
+}
+
+// BuildAsm assembles a hand-written assembly program and (optionally)
+// classifies its loads.
+func BuildAsm(src string, classify bool, o ClassifyOptions) (*Program, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Asm: src, Machine: prog}
+	if classify {
+		p.Classes = core.ClassifyAndApply(prog, o)
+	}
+	return p, nil
+}
+
+// Object serializes the program (with its current load flavours) to the
+// ELAG object format, loadable with LoadObject.
+func (p *Program) Object() ([]byte, error) {
+	return isa.EncodeProgram(p.Machine)
+}
+
+// LoadObject loads a program previously serialized with Program.Object.
+// The stored classification is embedded in the load flavours; Classes is
+// reconstructed from them.
+func LoadObject(buf []byte) (*Program, error) {
+	mp, err := isa.DecodeProgram(buf)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Machine: mp}
+	c := &core.Classification{ByPC: map[int]core.Class{}}
+	for pc := range mp.Insts {
+		in := &mp.Insts[pc]
+		if !in.IsLoad() {
+			continue
+		}
+		var cl core.Class
+		switch in.Flavor {
+		case isa.LdP:
+			cl = core.PD
+		case isa.LdE:
+			cl = core.EC
+		default:
+			cl = core.NT
+		}
+		c.ByPC[pc] = cl
+		switch cl {
+		case core.NT:
+			c.StaticNT++
+		case core.PD:
+			c.StaticPD++
+		case core.EC:
+			c.StaticEC++
+		}
+	}
+	p.Classes = c
+	return p, nil
+}
+
+// Run executes the program architecturally (no timing) and returns its
+// observable results. fuel bounds the dynamic instruction count (<=0 for
+// the default of 200M).
+func (p *Program) Run(fuel int64) (RunResult, error) {
+	return emu.Run(p.Machine, fuel)
+}
+
+// Simulate runs the timing model under cfg and returns its metrics along
+// with the architectural results.
+func (p *Program) Simulate(cfg SimConfig, fuel int64) (*Metrics, RunResult, error) {
+	return pipeline.Simulate(cfg, p.Machine, fuel)
+}
+
+// Profile runs the address profiler (Section 4.3): every static load gets
+// its own unlimited-table stride machine, and the profile records per-load
+// prediction rates.
+func (p *Program) Profile(fuel int64) (*LoadProfile, error) {
+	lp, _, err := profile.Collect(p.Machine, fuel)
+	return lp, err
+}
+
+// ApplyProfile performs the paper's profile-guided reclassification: NT
+// loads whose profiled prediction rate exceeds threshold (0 means the
+// paper's 60%) become PD. The program's load flavours are rewritten.
+func (p *Program) ApplyProfile(lp *LoadProfile, threshold float64) *Classification {
+	if p.Classes == nil {
+		p.Classes = core.Classify(p.Machine, core.Options{})
+	}
+	p.Classes = core.Reclassify(p.Classes, lp.Rates(), threshold)
+	p.Classes.Apply(p.Machine)
+	return p.Classes
+}
+
+// Speedup is a convenience helper: it simulates prog under both base and
+// cfg and returns base-cycles / cfg-cycles.
+func Speedup(p *Program, cfg SimConfig, fuel int64) (float64, error) {
+	base, _, err := p.Simulate(BaseConfig(), fuel)
+	if err != nil {
+		return 0, err
+	}
+	m, _, err := p.Simulate(cfg, fuel)
+	if err != nil {
+		return 0, err
+	}
+	return m.SpeedupOver(base), nil
+}
+
+// StageView simulates the first n dynamic instructions under cfg and
+// renders their pipeline stage occupancy as a text timeline (F fetch,
+// D decode/stall, X execute, M memory); forwarded loads are marked with
+// their effective latency (0 or 1).
+func (p *Program) StageView(cfg SimConfig, fuel int64, n int) (string, error) {
+	_, trace, err := emu.RunTrace(p.Machine, fuel, true)
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return "", err
+	}
+	if len(trace) > n {
+		trace = trace[:n]
+	}
+	sim := pipeline.New(cfg, p.Machine)
+	sim.EnableStageTrace(n)
+	if _, err := sim.Run(trace); err != nil {
+		return "", err
+	}
+	return pipeline.RenderStageTrace(p.Machine, sim.StageTrace()), nil
+}

@@ -1,0 +1,123 @@
+package elag_test
+
+import (
+	"strings"
+	"testing"
+
+	"elag"
+)
+
+const smokeSrc = `
+int arr[64];
+int ind[64];
+
+int sum_indexed(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s = s + arr[ind[i]];
+	}
+	return s;
+}
+
+struct node { int val; struct node *next; };
+struct node pool[32];
+
+int chase(int n) {
+	struct node *p;
+	int s;
+	for (int i = 0; i < n - 1; i++) {
+		pool[i].val = i;
+		pool[i].next = &pool[i + 1];
+	}
+	pool[n - 1].val = n - 1;
+	pool[n - 1].next = 0;
+	s = 0;
+	p = &pool[0];
+	while (p) {
+		s += p->val;
+		p = p->next;
+	}
+	return s;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 64; i++) {
+		arr[i] = i * 3;
+		ind[i] = 63 - i;
+	}
+	int a = sum_indexed(64);
+	int b = chase(32);
+	print_int(a);
+	print_int(b);
+	return a + b;
+}
+`
+
+func TestBuildAndRunSmoke(t *testing.T) {
+	p, err := elag.Build(smokeSrc, elag.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := p.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v\nasm:\n%s", err, p.Asm)
+	}
+	// sum_indexed: sum of arr[63-i] for i=0..63 = 3 * sum(0..63) = 6048.
+	// chase: sum 0..31 = 496.
+	if len(res.IntOut) != 2 || res.IntOut[0] != 6048 || res.IntOut[1] != 496 {
+		t.Fatalf("wrong output %v (want [6048 496])\nasm:\n%s", res.IntOut, p.Asm)
+	}
+	if res.ExitCode != 6048+496 {
+		t.Fatalf("exit code = %d, want %d", res.ExitCode, 6048+496)
+	}
+	if p.Classes == nil || p.Classes.StaticTotal() == 0 {
+		t.Fatalf("no loads classified")
+	}
+	if p.Classes.StaticPD == 0 {
+		t.Errorf("expected some PD loads; classification: %s", p.Classes)
+	}
+	if p.Classes.StaticEC == 0 {
+		t.Errorf("expected some EC loads (pointer chase); classification: %s", p.Classes)
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	p, err := elag.Build(smokeSrc, elag.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	base, resBase, err := p.Simulate(elag.BaseConfig(), 0)
+	if err != nil {
+		t.Fatalf("Simulate(base): %v", err)
+	}
+	fast, resFast, err := p.Simulate(elag.CompilerDirectedConfig(), 0)
+	if err != nil {
+		t.Fatalf("Simulate(compiler-directed): %v", err)
+	}
+	if resBase.Output() != resFast.Output() {
+		t.Fatalf("architectural results differ across configs:\n%s\n%s",
+			resBase.Output(), resFast.Output())
+	}
+	if base.Cycles <= 0 || fast.Cycles <= 0 {
+		t.Fatalf("non-positive cycle counts: base=%d fast=%d", base.Cycles, fast.Cycles)
+	}
+	if fast.Cycles > base.Cycles {
+		t.Errorf("early address generation slowed the program down: base=%d fast=%d",
+			base.Cycles, fast.Cycles)
+	}
+	if fast.Predict.Forwarded+fast.Early.Forwarded == 0 {
+		t.Errorf("no loads were ever forwarded; predict=%+v early=%+v",
+			fast.Predict, fast.Early)
+	}
+}
+
+func TestGeneratedAsmMentionsFlavors(t *testing.T) {
+	p, err := elag.Build(smokeSrc, elag.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !strings.Contains(p.Asm, "ld8_n") {
+		t.Errorf("generated assembly has no ld8_n loads:\n%s", p.Asm)
+	}
+}

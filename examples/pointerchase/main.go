@@ -1,0 +1,97 @@
+// Pointerchase demonstrates the paper's Figure 1(c)/(d) dichotomy on real
+// hardware models: a strided sweep is served by the address prediction
+// table (ld_p), while a pointer chase through a shuffled list defeats the
+// stride predictor and needs the early-calculation register R_addr (ld_e).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elag"
+)
+
+const src = `
+struct node { int val; int pad; struct node *next; };
+struct node pool[1024];
+int perm[1024];
+int arr[1024];
+
+int seed = 12345;
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 1073741823;
+	return seed;
+}
+
+int main() {
+	/* Shuffle the node order so next-pointers are not sequential. */
+	for (int i = 0; i < 1024; i++) { perm[i] = i; arr[i] = i; }
+	for (int i = 1023; i > 0; i--) {
+		int j = rnd() % (i + 1);
+		int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+	}
+	for (int i = 0; i < 1023; i++) {
+		pool[perm[i]].val = i;
+		pool[perm[i]].next = &pool[perm[i + 1]];
+	}
+	pool[perm[1023]].val = 1023;
+	pool[perm[1023]].next = 0;
+
+	int s = 0;
+	for (int it = 0; it < 40; it++) {
+		/* Strided phase: the stride predictor's home turf. */
+		for (int i = 0; i < 1024; i++) { s += arr[i]; }
+		/* Pointer-chasing phase: addresses are unpredictable. */
+		struct node *p = &pool[perm[0]];
+		while (p) { s += p->val; p = p->next; }
+	}
+	print_int(s & 1048575);
+	return 0;
+}
+`
+
+func main() {
+	p, err := elag.Build(src, elag.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("classification:", p.Classes)
+
+	base, _, err := p.Simulate(elag.BaseConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		name string
+		cfg  elag.SimConfig
+	}{
+		{"prediction only (256)", elag.SimConfig{
+			Select:    elag.SelAllPredict,
+			Predictor: &elag.PredictorConfig{Entries: 256},
+		}},
+		{"early-calc only (16 regs)", elag.SimConfig{
+			Select:   elag.SelAllEarly,
+			RegCache: &elag.RegCacheConfig{Entries: 16},
+		}},
+		{"hw dual (interlock steer)", elag.SimConfig{
+			Select:    elag.SelHWDual,
+			Predictor: &elag.PredictorConfig{Entries: 256},
+			RegCache:  &elag.RegCacheConfig{Entries: 16},
+		}},
+		{"compiler dual (256 + 1)", elag.CompilerDirectedConfig()},
+	}
+	fmt.Printf("%-28s %9s %8s %10s %10s\n", "config", "speedup", "loadlat", "fwd-pred", "fwd-early")
+	for _, c := range configs {
+		m, _, err := p.Simulate(c.cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9.3f %8.2f %10d %10d\n",
+			c.name, m.SpeedupOver(base), m.AvgLoadLatency(),
+			m.Predict.Forwarded, m.Early.Forwarded)
+	}
+	fmt.Println("\nNote how neither single mechanism covers both phases: the table")
+	fmt.Println("forwards the sweep, R_addr forwards the chase, and the compiler-")
+	fmt.Println("directed dual path gets both with 1/16th the register-cache hardware.")
+}

@@ -1,0 +1,60 @@
+// Profiling reproduces the paper's espresso story (Sections 5.2-5.3): the
+// compiler heuristics conservatively classify some loads ld_n even though
+// their addresses are perfectly strided — because the cube pointers happen
+// to point at consecutive storage — and address profiling (Section 4.3)
+// promotes them to ld_p, recovering the lost speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elag"
+	"elag/internal/workload"
+)
+
+func main() {
+	w := workload.Get("008.espresso")
+	fmt.Println("benchmark:", w.Name)
+	fmt.Println(w.About)
+	fmt.Println()
+
+	p, err := elag.Build(w.Source, elag.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("heuristic classification: ", p.Classes)
+
+	base, _, err := p.Simulate(elag.BaseConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heur, _, err := p.Simulate(elag.CompilerDirectedConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Address profiling: every static load gets its own unlimited-table
+	// stride machine; NT loads predicting above 60% become PD.
+	lp, err := p.Profile(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.ApplyProfile(lp, 0.60)
+	fmt.Println("after address profiling:  ", p.Classes)
+
+	prof, _, err := p.Simulate(elag.CompilerDirectedConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-26s %10s %9s\n", "configuration", "cycles", "speedup")
+	fmt.Printf("%-26s %10d %9.3f\n", "base", base.Cycles, 1.0)
+	fmt.Printf("%-26s %10d %9.3f\n", "heuristics only", heur.Cycles, heur.SpeedupOver(base))
+	fmt.Printf("%-26s %10d %9.3f\n", "heuristics + profiling", prof.Cycles, prof.SpeedupOver(base))
+	fmt.Println()
+	fmt.Println("The promoted loads were load-dependent (so the heuristics kept them")
+	fmt.Println("out of the table) but their profiled prediction rates were high —")
+	fmt.Println("exactly the misclassification address profiling exists to repair.")
+}

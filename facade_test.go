@@ -1,0 +1,150 @@
+package elag_test
+
+import (
+	"strings"
+	"testing"
+
+	"elag"
+)
+
+func TestBuildAsmAndClassify(t *testing.T) {
+	p, err := elag.BuildAsm(`
+	main:	li r2, 4096
+	loop:	ld8_n r3, r2(0)
+		ld8_n r2, r2(8)
+		bne r2, 0, loop
+		halt r0
+	`, true, elag.ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Classes == nil || p.Classes.StaticEC != 2 {
+		t.Errorf("chase loads not classified EC: %s", p.Classes)
+	}
+	// Without classification every load stays ld_n.
+	p2, err := elag.BuildAsm("main: ld8_n r1, r2(0)\nhalt r0", false, elag.ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Classes != nil {
+		t.Errorf("classification present although disabled")
+	}
+}
+
+func TestObjectRoundTripPreservesBehaviour(t *testing.T) {
+	p, err := elag.Build(smokeSrc, elag.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.Object()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := elag.LoadObject(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Output() != r2.Output() {
+		t.Errorf("object round trip changed behaviour:\n%s\n%s", r1.Output(), r2.Output())
+	}
+	// Classification is carried in the flavours.
+	if q.Classes.StaticPD != p.Classes.StaticPD || q.Classes.StaticEC != p.Classes.StaticEC {
+		t.Errorf("classification lost: %s vs %s", p.Classes, q.Classes)
+	}
+	// Timing must be identical too (same flavours, same code).
+	m1, _, err := p.Simulate(elag.CompilerDirectedConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := q.Simulate(elag.CompilerDirectedConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cycles != m2.Cycles {
+		t.Errorf("cycles differ after round trip: %d vs %d", m1.Cycles, m2.Cycles)
+	}
+}
+
+func TestLoadObjectRejectsGarbage(t *testing.T) {
+	if _, err := elag.LoadObject([]byte("definitely not an object")); err == nil {
+		t.Errorf("garbage object accepted")
+	}
+}
+
+func TestStageView(t *testing.T) {
+	p, err := elag.Build(`
+int a[32];
+int main() {
+	int s = 0;
+	for (int i = 0; i < 32; i++) { s += a[i]; }
+	return s;
+}`, elag.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := p.StageView(elag.CompilerDirectedConfig(), 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(view, "F") || !strings.Contains(view, "X") {
+		t.Errorf("stage view missing stages:\n%s", view)
+	}
+	if len(strings.Split(strings.TrimSpace(view), "\n")) != 21 { // header + 20 rows
+		t.Errorf("stage view row count wrong:\n%s", view)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	p, err := elag.Build(`
+int a[256];
+int main() {
+	int s = 0;
+	for (int it = 0; it < 30; it++) {
+		for (int i = 0; i < 256; i++) { s += a[i]; }
+	}
+	return s & 255;
+}`, elag.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := elag.Speedup(p, elag.CompilerDirectedConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1.0 {
+		t.Errorf("strided sum did not speed up: %.3f", sp)
+	}
+}
+
+func TestApplyProfileIsIdempotent(t *testing.T) {
+	p, err := elag.Build(smokeSrc, elag.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := p.Profile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := p.ApplyProfile(lp, 0)
+	c2 := p.ApplyProfile(lp, 0)
+	if c1.StaticPD != c2.StaticPD || c1.StaticNT != c2.StaticNT {
+		t.Errorf("reapplying the same profile changed the classification")
+	}
+}
+
+func TestBuildErrorsAreReported(t *testing.T) {
+	if _, err := elag.Build("int main( {", elag.BuildOptions{}); err == nil {
+		t.Errorf("syntax error not reported")
+	}
+	if _, err := elag.BuildAsm("bogus r1, r2", false, elag.ClassifyOptions{}); err == nil {
+		t.Errorf("assembler error not reported")
+	}
+}

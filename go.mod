@@ -1,0 +1,3 @@
+module elag
+
+go 1.22

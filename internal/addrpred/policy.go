@@ -1,0 +1,94 @@
+package addrpred
+
+// Alternative prediction policies for the table, implementing the related
+// work the paper positions itself against (Section 2.2):
+//
+//   - PolicyStride: the paper's Figure 3 machine (the default).
+//   - PolicyLastAddress: Golden & Mudge — predict the most recently used
+//     address for the load (equivalently a stride machine with the stride
+//     pinned to zero). Catches constant-address loads only.
+//   - PolicyStrideCounter: Gonzalez & Gonzalez — stride prediction guarded
+//     by a 2-bit saturating confidence counter instead of the
+//     functioning/learning state machine; repeated mispredictions disable
+//     prediction until confidence is rebuilt.
+//
+// All three share the Table container so the pipeline can swap them via
+// Config.Policy, and BenchmarkAblationPredictorPolicy compares them.
+
+// Policy selects the per-entry prediction algorithm.
+type Policy uint8
+
+// Policies.
+const (
+	// PolicyStride is the paper's functioning/learning stride machine.
+	PolicyStride Policy = iota
+	// PolicyLastAddress predicts the last address seen (Golden & Mudge).
+	PolicyLastAddress
+	// PolicyStrideCounter is stride prediction with a 2-bit saturating
+	// confidence counter (Gonzalez & Gonzalez).
+	PolicyStrideCounter
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStride:
+		return "stride"
+	case PolicyLastAddress:
+		return "last-address"
+	case PolicyStrideCounter:
+		return "stride-counter"
+	}
+	return "?"
+}
+
+// predict evaluates the entry under the policy.
+func (p Policy) predict(e *Entry) (int64, bool) {
+	switch p {
+	case PolicyLastAddress:
+		if !e.seen {
+			return 0, false
+		}
+		return e.PA, true
+	case PolicyStrideCounter:
+		if !e.seen || e.counter < 2 {
+			return 0, false
+		}
+		return e.PA + e.ST, true
+	default:
+		return e.Predict()
+	}
+}
+
+// update trains the entry under the policy and reports whether the
+// prediction it would have made for this execution was correct.
+func (p Policy) update(e *Entry, ca int64) bool {
+	switch p {
+	case PolicyLastAddress:
+		correct := e.seen && e.PA == ca
+		e.PA = ca
+		e.seen = true
+		return correct
+	case PolicyStrideCounter:
+		if !e.seen {
+			e.PA, e.ST, e.counter, e.seen = ca, 0, 1, true
+			return false
+		}
+		pred := e.PA + e.ST
+		correct := e.counter >= 2 && pred == ca
+		if pred == ca {
+			if e.counter < 3 {
+				e.counter++
+			}
+		} else {
+			if e.counter > 0 {
+				e.counter--
+			}
+			e.ST = ca - e.PA
+		}
+		e.PA = ca
+		return correct
+	default:
+		return e.Update(ca)
+	}
+}

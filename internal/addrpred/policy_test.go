@@ -1,0 +1,85 @@
+package addrpred
+
+import "testing"
+
+func feed(t *Table, pc int, addrs []int64) (correct int) {
+	for _, ca := range addrs {
+		if t.Update(pc, ca) {
+			correct++
+		}
+	}
+	return correct
+}
+
+func TestLastAddressPolicy(t *testing.T) {
+	tb := NewTable(Config{Entries: 16, Policy: PolicyLastAddress})
+	// Constant addresses: everything after the first predicts.
+	if got := feed(tb, 1, []int64{100, 100, 100, 100}); got != 3 {
+		t.Errorf("constant-address correct = %d, want 3", got)
+	}
+	// Strided addresses: never predicted by last-address.
+	if got := feed(tb, 2, []int64{0, 8, 16, 24, 32}); got != 0 {
+		t.Errorf("strided correct = %d under last-address, want 0", got)
+	}
+	if addr, ok := tb.Probe(1); !ok || addr != 100 {
+		t.Errorf("probe = %d,%v", addr, ok)
+	}
+}
+
+func TestStrideCounterPolicy(t *testing.T) {
+	tb := NewTable(Config{Entries: 16, Policy: PolicyStrideCounter})
+	// Warm up: allocation (counter=1), first stride sample brings the
+	// counter to 0 or keeps climbing depending on match; feed a clean
+	// stride and expect predictions once confidence >= 2.
+	addrs := []int64{0, 8, 16, 24, 32, 40, 48}
+	got := feed(tb, 3, addrs)
+	if got < 3 {
+		t.Errorf("steady stride correct = %d, want >= 3", got)
+	}
+	// After repeated mispredictions the counter saturates low and the
+	// policy stops predicting (the Gonzalez motivation).
+	chaos := []int64{1000, 3, 77777, 12, 999, 5}
+	tb2 := NewTable(Config{Entries: 16, Policy: PolicyStrideCounter})
+	feed(tb2, 4, chaos)
+	if _, ok := tb2.Probe(4); ok {
+		t.Errorf("low-confidence entry still predicting")
+	}
+}
+
+func TestPolicyStringAndDefault(t *testing.T) {
+	if PolicyStride.String() != "stride" ||
+		PolicyLastAddress.String() != "last-address" ||
+		PolicyStrideCounter.String() != "stride-counter" {
+		t.Errorf("policy names wrong")
+	}
+	// The default policy is the paper's machine: strided loads predict
+	// after two confirmations.
+	tb := NewTable(Config{Entries: 16})
+	if got := feed(tb, 5, []int64{0, 8, 16, 24, 32}); got != 2 {
+		t.Errorf("default policy correct = %d, want 2 (24 and 32)", got)
+	}
+}
+
+// TestPoliciesDisagreeWhereExpected: last-address beats stride on
+// alternating constant addresses? No — on a constant stream all agree; on
+// a strided stream only the stride machines predict; this pins the
+// separation the ablation bench measures.
+func TestPoliciesDisagreeWhereExpected(t *testing.T) {
+	stride := []int64{0, 8, 16, 24, 32, 40}
+	for _, tc := range []struct {
+		policy Policy
+		min    int
+		max    int
+	}{
+		{PolicyStride, 2, 3},
+		{PolicyStrideCounter, 2, 4},
+		{PolicyLastAddress, 0, 0},
+	} {
+		tb := NewTable(Config{Entries: 16, Policy: tc.policy})
+		got := feed(tb, 7, stride)
+		if got < tc.min || got > tc.max {
+			t.Errorf("%v on stride: correct = %d, want [%d,%d]",
+				tc.policy, got, tc.min, tc.max)
+		}
+	}
+}

@@ -1,0 +1,720 @@
+// Package asm implements a two-pass assembler for the textual assembly
+// language of the repository's RISC ISA (package isa).
+//
+// Syntax overview (one statement per line, ';' or '#' starts a comment):
+//
+//	        .data
+//	        .base 0x10000        ; data segment load address (optional)
+//	tbl:    .word 1, 2, 3        ; 8-byte words
+//	buf:    .space 4096          ; zero-filled region
+//	        .align 8
+//	        .text
+//	main:   li   r1, 0
+//	loop:   ld8_p r4, r17(0)     ; predicted load, width 8
+//	        ld8_n r6, r19(r5)    ; normal load, register+register mode
+//	        ld8_e r3, r2(8)      ; early-calculated load
+//	        st8  r4, r18(0)
+//	        add  r17, r17, 8
+//	        blt  r1, 100, loop   ; branch with immediate comparand
+//	        halt r0
+//
+// Loads are written ldW_f where W is the access width in bytes (1, 2, 4, 8)
+// and f is the flavour (n, p, e); an "s" before the underscore requests sign
+// extension (e.g. ld4s_n). Stores are stW. The plain forms ld_n/ld_p/ld_e
+// and st default to width 8. Absolute addressing is written (imm) or as a
+// bare data label, optionally label+imm.
+//
+// Pseudo-instructions: mov rD, rS (= add rD, rS, 0), li rD, imm (= lui),
+// ret (= jr r63), b label (= jmp label).
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"elag/internal/isa"
+)
+
+// DefaultDataBase is the data-segment load address used when the source has
+// no .base directive. It is far from address zero so that nil-pointer style
+// bugs in test programs fault visibly.
+const DefaultDataBase = 0x10000
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	Line int    // 1-based source line
+	Msg  string // description
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type fixup struct {
+	pc   int    // instruction index needing a target
+	sym  string // label name
+	line int
+}
+
+type dataFixup struct {
+	off  int64 // offset within data image of an 8-byte cell
+	sym  string
+	add  int64
+	line int
+}
+
+type assembler struct {
+	prog       *isa.Program
+	data       []byte
+	dataBase   int64
+	inData     bool
+	fixups     []fixup
+	dataFixups []dataFixup
+	immFixups  []fixup // instructions whose Imm refers to a data symbol
+	line       int
+}
+
+// Assemble translates assembly source into an executable program. The entry
+// point is the label "main" if present, otherwise the first instruction.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		prog: &isa.Program{
+			Symbols:     make(map[string]int),
+			DataSymbols: make(map[string]int64),
+		},
+		dataBase: DefaultDataBase,
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.statement(raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.link(); err != nil {
+		return nil, err
+	}
+	a.prog.Data = a.data
+	a.prog.DataBase = a.dataBase
+	if pc, ok := a.prog.Symbols["main"]; ok {
+		a.prog.Entry = pc
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is like Assemble but panics on error. It is intended for
+// tests and package-internal program literals.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) statement(raw string) error {
+	s := raw
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels: one or more "name:" prefixes.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if !isIdent(name) {
+			break
+		}
+		if err := a.defineLabel(name); err != nil {
+			return err
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+	if a.inData {
+		return a.errf("instruction %q inside .data section", s)
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if a.inData {
+		if _, dup := a.prog.DataSymbols[name]; dup {
+			return a.errf("duplicate data label %q", name)
+		}
+		a.prog.DataSymbols[name] = a.dataBase + int64(len(a.data))
+		return nil
+	}
+	if _, dup := a.prog.Symbols[name]; dup {
+		return a.errf("duplicate label %q", name)
+	}
+	a.prog.Symbols[name] = len(a.prog.Insts)
+	return nil
+}
+
+func (a *assembler) directive(s string) error {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".base":
+		v, err := parseInt(rest)
+		if err != nil {
+			return a.errf(".base: %v", err)
+		}
+		if len(a.data) > 0 || len(a.prog.DataSymbols) > 0 {
+			return a.errf(".base must precede all data definitions")
+		}
+		a.dataBase = v
+	case ".space":
+		v, err := parseInt(rest)
+		if err != nil || v < 0 {
+			return a.errf(".space: bad size %q", rest)
+		}
+		a.data = append(a.data, make([]byte, v)...)
+	case ".align":
+		v, err := parseInt(rest)
+		if err != nil || v <= 0 || v&(v-1) != 0 {
+			return a.errf(".align: bad alignment %q", rest)
+		}
+		for int64(len(a.data))%v != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".word", ".word8":
+		return a.dataValues(rest, 8)
+	case ".word4":
+		return a.dataValues(rest, 4)
+	case ".word2":
+		return a.dataValues(rest, 2)
+	case ".byte":
+		return a.dataValues(rest, 1)
+	case ".addr":
+		// 8-byte cells holding the address of a data label (+offset).
+		for _, f := range splitOperands(rest) {
+			sym, add := f, int64(0)
+			if i := strings.IndexAny(f, "+-"); i > 0 {
+				v, err := parseInt(f[i:])
+				if err != nil {
+					return a.errf(".addr: bad offset in %q", f)
+				}
+				sym, add = f[:i], v
+			}
+			a.dataFixups = append(a.dataFixups, dataFixup{
+				off: int64(len(a.data)), sym: sym, add: add, line: a.line,
+			})
+			a.data = append(a.data, make([]byte, 8)...)
+		}
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+func (a *assembler) dataValues(rest string, width int) error {
+	for _, f := range splitOperands(rest) {
+		v, err := parseInt(f)
+		if err != nil {
+			return a.errf("bad data value %q", f)
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		a.data = append(a.data, buf[:width]...)
+	}
+	return nil
+}
+
+var aluOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"rem": isa.OpRem, "and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"slt": isa.OpSlt, "sltu": isa.OpSltu,
+}
+
+var condOps = map[string]isa.Cond{
+	"beq": isa.CondEQ, "bne": isa.CondNE, "blt": isa.CondLT,
+	"bge": isa.CondGE, "ble": isa.CondLE, "bgt": isa.CondGT,
+}
+
+var fpOps = map[string]isa.Op{
+	"fadd": isa.OpFAdd, "fsub": isa.OpFSub, "fmul": isa.OpFMul, "fdiv": isa.OpFDiv,
+}
+
+func (a *assembler) instruction(s string) error {
+	mnem, rest, _ := strings.Cut(s, " ")
+	ops := splitOperands(strings.TrimSpace(rest))
+	emit := func(in isa.Inst) { a.prog.Insts = append(a.prog.Insts, in) }
+
+	if op, ok := aluOps[mnem]; ok {
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rd, err := a.reg(ops[0], 'r')
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1], 'r')
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: op, Rd: rd, Rs1: rs1}
+		if r, err := a.reg(ops[2], 'r'); err == nil {
+			in.Rs2 = r
+		} else {
+			v, verr := parseInt(ops[2])
+			if verr != nil {
+				return a.errf("%s: bad operand %q", mnem, ops[2])
+			}
+			in.SrcImm, in.Imm = true, v
+		}
+		emit(in)
+		return nil
+	}
+
+	if cond, ok := condOps[mnem]; ok {
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rs1, err := a.reg(ops[0], 'r')
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: isa.OpBr, Cond: cond, Rs1: rs1, Sym: ops[2]}
+		if r, err := a.reg(ops[1], 'r'); err == nil {
+			in.Rs2 = r
+		} else {
+			v, verr := parseInt(ops[1])
+			if verr != nil {
+				return a.errf("%s: bad comparand %q", mnem, ops[1])
+			}
+			in.SrcImm, in.Imm = true, v
+		}
+		a.fixups = append(a.fixups, fixup{pc: len(a.prog.Insts), sym: ops[2], line: a.line})
+		emit(in)
+		return nil
+	}
+
+	if op, ok := fpOps[mnem]; ok {
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rd, err := a.reg(ops[0], 'f')
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1], 'f')
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ops[2], 'f')
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+		return nil
+	}
+
+	switch {
+	case mnem == "nop":
+		emit(isa.Inst{Op: isa.OpNop})
+	case mnem == "li" || mnem == "lui":
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
+		rd, err := a.reg(ops[0], 'r')
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: isa.OpLUI, Rd: rd}
+		if v, err := parseInt(ops[1]); err == nil {
+			in.Imm = v
+		} else {
+			sym, add := ops[1], int64(0)
+			if i := strings.LastIndexAny(sym, "+-"); i > 0 {
+				if v, err := parseInt(sym[i:]); err == nil {
+					sym, add = sym[:i], v
+				}
+			}
+			if !isIdent(sym) {
+				return a.errf("li: bad immediate %q", ops[1])
+			}
+			in.Sym, in.Imm = sym, add
+			a.immFixups = append(a.immFixups, fixup{pc: len(a.prog.Insts), sym: sym, line: a.line})
+		}
+		emit(in)
+	case mnem == "mov":
+		if len(ops) != 2 {
+			return a.errf("mov needs 2 operands")
+		}
+		rd, err := a.reg(ops[0], 'r')
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1], 'r')
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: rs, SrcImm: true})
+	case mnem == "fmov":
+		rd, err := a.reg(ops[0], 'f')
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1], 'f')
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.OpFMov, Rd: rd, Rs1: rs})
+	case mnem == "cvtif":
+		rd, err := a.reg(ops[0], 'f')
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1], 'r')
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.OpCvtIF, Rd: rd, Rs1: rs})
+	case mnem == "cvtfi":
+		rd, err := a.reg(ops[0], 'r')
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1], 'f')
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.OpCvtFI, Rd: rd, Rs1: rs})
+	case mnem == "jmp" || mnem == "b":
+		if len(ops) != 1 {
+			return a.errf("jmp needs 1 operand")
+		}
+		a.fixups = append(a.fixups, fixup{pc: len(a.prog.Insts), sym: ops[0], line: a.line})
+		emit(isa.Inst{Op: isa.OpJmp, Sym: ops[0]})
+	case mnem == "call":
+		// call label        (return address in r63)
+		// call rD, label    (explicit link register)
+		in := isa.Inst{Op: isa.OpCall, Rd: isa.RegRA}
+		var tgt string
+		switch len(ops) {
+		case 1:
+			tgt = ops[0]
+		case 2:
+			rd, err := a.reg(ops[0], 'r')
+			if err != nil {
+				return err
+			}
+			in.Rd, tgt = rd, ops[1]
+		default:
+			return a.errf("call needs 1 or 2 operands")
+		}
+		in.Sym = tgt
+		a.fixups = append(a.fixups, fixup{pc: len(a.prog.Insts), sym: tgt, line: a.line})
+		emit(in)
+	case mnem == "jr":
+		rs, err := a.reg(ops[0], 'r')
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.OpJr, Rs1: rs})
+	case mnem == "ret":
+		emit(isa.Inst{Op: isa.OpJr, Rs1: isa.RegRA})
+	case mnem == "halt":
+		in := isa.Inst{Op: isa.OpHalt}
+		if len(ops) == 1 {
+			rs, err := a.reg(ops[0], 'r')
+			if err != nil {
+				return err
+			}
+			in.Rs1 = rs
+		}
+		emit(in)
+	case strings.HasPrefix(mnem, "ld"):
+		return a.load(mnem, ops)
+	case strings.HasPrefix(mnem, "st"):
+		return a.store(mnem, ops)
+	case strings.HasPrefix(mnem, "fld"):
+		in := isa.Inst{Op: isa.OpFLoad, Width: 8}
+		rd, err := a.reg(ops[0], 'f')
+		if err != nil {
+			return err
+		}
+		in.Rd = rd
+		if err := a.memOperand(&in, ops[1]); err != nil {
+			return err
+		}
+		emit(in)
+	case strings.HasPrefix(mnem, "fst"):
+		in := isa.Inst{Op: isa.OpFStore, Width: 8}
+		rs, err := a.reg(ops[0], 'f')
+		if err != nil {
+			return err
+		}
+		in.Rs2 = rs
+		if err := a.memOperand(&in, ops[1]); err != nil {
+			return err
+		}
+		emit(in)
+	default:
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+// load parses ldW[s]_f mnemonics: ld8_p, ld4s_n, ld_e (width 8), ...
+func (a *assembler) load(mnem string, ops []string) error {
+	spec := mnem[2:]
+	width, signed := 8, false
+	flav := isa.LdN
+	body, suffix, hasFlavor := strings.Cut(spec, "_")
+	if !hasFlavor {
+		return a.errf("load %q missing flavour suffix (_n, _p or _e)", mnem)
+	}
+	switch suffix {
+	case "n":
+		flav = isa.LdN
+	case "p":
+		flav = isa.LdP
+	case "e":
+		flav = isa.LdE
+	default:
+		return a.errf("load %q: unknown flavour %q", mnem, suffix)
+	}
+	if strings.HasSuffix(body, "s") {
+		signed = true
+		body = body[:len(body)-1]
+	}
+	if body != "" {
+		w, err := strconv.Atoi(body)
+		if err != nil || (w != 1 && w != 2 && w != 4 && w != 8) {
+			return a.errf("load %q: bad width %q", mnem, body)
+		}
+		width = w
+	}
+	if len(ops) != 2 {
+		return a.errf("%s needs 2 operands", mnem)
+	}
+	rd, err := a.reg(ops[0], 'r')
+	if err != nil {
+		return err
+	}
+	in := isa.Inst{Op: isa.OpLoad, Flavor: flav, Width: uint8(width), Signed: signed, Rd: rd}
+	if err := a.memOperand(&in, ops[1]); err != nil {
+		return err
+	}
+	a.prog.Insts = append(a.prog.Insts, in)
+	return nil
+}
+
+func (a *assembler) store(mnem string, ops []string) error {
+	width := 8
+	if body := mnem[2:]; body != "" {
+		w, err := strconv.Atoi(body)
+		if err != nil || (w != 1 && w != 2 && w != 4 && w != 8) {
+			return a.errf("store %q: bad width", mnem)
+		}
+		width = w
+	}
+	if len(ops) != 2 {
+		return a.errf("%s needs 2 operands", mnem)
+	}
+	rs, err := a.reg(ops[0], 'r')
+	if err != nil {
+		return err
+	}
+	in := isa.Inst{Op: isa.OpStore, Width: uint8(width), Rs2: rs}
+	if err := a.memOperand(&in, ops[1]); err != nil {
+		return err
+	}
+	a.prog.Insts = append(a.prog.Insts, in)
+	return nil
+}
+
+// memOperand parses rB(imm), rB(rX), (imm), label, or label+imm.
+func (a *assembler) memOperand(in *isa.Inst, s string) error {
+	s = strings.TrimSpace(s)
+	if open := strings.Index(s, "("); open >= 0 && strings.HasSuffix(s, ")") {
+		basePart := strings.TrimSpace(s[:open])
+		inner := strings.TrimSpace(s[open+1 : len(s)-1])
+		if basePart == "" {
+			// Absolute: (imm) or (label).
+			in.Mode = isa.AMAbsolute
+			if v, err := parseInt(inner); err == nil {
+				in.Imm = v
+				return nil
+			}
+			if isIdent(inner) {
+				in.Sym = inner
+				a.immFixups = append(a.immFixups, fixup{pc: len(a.prog.Insts), sym: inner, line: a.line})
+				return nil
+			}
+			return a.errf("bad absolute address %q", s)
+		}
+		base, err := a.reg(basePart, 'r')
+		if err != nil {
+			return err
+		}
+		in.Base = base
+		if idx, err := a.reg(inner, 'r'); err == nil {
+			in.Mode, in.Index = isa.AMRegReg, idx
+			return nil
+		}
+		v, err := parseInt(inner)
+		if err != nil {
+			return a.errf("bad memory offset %q", inner)
+		}
+		in.Mode, in.Imm = isa.AMRegOffset, v
+		return nil
+	}
+	// Bare label or label+imm — absolute addressing of a data symbol.
+	sym, add := s, int64(0)
+	if i := strings.LastIndexAny(s, "+-"); i > 0 {
+		v, err := parseInt(s[i:])
+		if err == nil {
+			sym, add = s[:i], v
+		}
+	}
+	if !isIdent(sym) {
+		return a.errf("bad memory operand %q", s)
+	}
+	in.Mode, in.Imm, in.Sym = isa.AMAbsolute, add, sym
+	a.immFixups = append(a.immFixups, fixup{pc: len(a.prog.Insts), sym: sym, line: a.line})
+	return nil
+}
+
+func (a *assembler) link() error {
+	for _, f := range a.fixups {
+		pc, ok := a.prog.Symbols[f.sym]
+		if !ok {
+			return &Error{Line: f.line, Msg: fmt.Sprintf("undefined label %q", f.sym)}
+		}
+		a.prog.Insts[f.pc].Target = pc
+	}
+	for _, f := range a.immFixups {
+		addr, ok := a.prog.DataSymbols[f.sym]
+		if !ok {
+			return &Error{Line: f.line, Msg: fmt.Sprintf("undefined data symbol %q", f.sym)}
+		}
+		a.prog.Insts[f.pc].Imm += addr
+	}
+	for _, f := range a.dataFixups {
+		addr, ok := a.prog.DataSymbols[f.sym]
+		if !ok {
+			return &Error{Line: f.line, Msg: fmt.Sprintf("undefined data symbol %q", f.sym)}
+		}
+		binary.LittleEndian.PutUint64(a.data[f.off:], uint64(addr+f.add))
+	}
+	return nil
+}
+
+func (a *assembler) reg(s string, file byte) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != file {
+		return 0, a.errf("expected %c-register, got %q", file, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return 0, a.errf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// splitOperands splits on commas that are not inside parentheses.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	} else if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Character literals: 'a'
+		if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+			v, err = int64(s[1]), nil
+		} else {
+			return 0, err
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.' || r == '$':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Listing renders the program as annotated assembly with PCs, suitable for
+// debugging compiler output.
+func Listing(p *isa.Program) string {
+	var b strings.Builder
+	rev := make(map[int][]string)
+	for name, pc := range p.Symbols {
+		rev[pc] = append(rev[pc], name)
+	}
+	for pc := range p.Insts {
+		for _, name := range rev[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "%6d    %s\n", pc, p.Insts[pc].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,338 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"elag/internal/isa"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(`
+		; a comment
+	main:	li   r1, 42        # another comment
+		add  r2, r1, 1
+		mov  r3, r2
+		halt r1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(p.Insts))
+	}
+	if p.Entry != 0 || p.Symbols["main"] != 0 {
+		t.Errorf("entry = %d, main = %d", p.Entry, p.Symbols["main"])
+	}
+	if p.Insts[0].Op != isa.OpLUI || p.Insts[0].Imm != 42 {
+		t.Errorf("li mis-assembled: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpAdd || !p.Insts[1].SrcImm || p.Insts[1].Imm != 1 {
+		t.Errorf("add-imm mis-assembled: %+v", p.Insts[1])
+	}
+	// mov expands to add rD, rS, 0.
+	if p.Insts[2].Op != isa.OpAdd || !p.Insts[2].SrcImm || p.Insts[2].Imm != 0 {
+		t.Errorf("mov mis-assembled: %+v", p.Insts[2])
+	}
+}
+
+func TestLoadMnemonics(t *testing.T) {
+	p, err := Assemble(`
+	main:	ld8_n  r1, r2(8)
+		ld8_p  r3, r4(0)
+		ld8_e  r5, r6(16)
+		ld4s_n r7, r8(r9)
+		ld1_n  r10, (4096)
+		ld2_p  r11, r12(-8)
+		halt r0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		flavor isa.LoadFlavor
+		width  uint8
+		signed bool
+		mode   isa.AddrMode
+	}{
+		{isa.LdN, 8, false, isa.AMRegOffset},
+		{isa.LdP, 8, false, isa.AMRegOffset},
+		{isa.LdE, 8, false, isa.AMRegOffset},
+		{isa.LdN, 4, true, isa.AMRegReg},
+		{isa.LdN, 1, false, isa.AMAbsolute},
+		{isa.LdP, 2, false, isa.AMRegOffset},
+	}
+	for i, w := range want {
+		in := p.Insts[i]
+		if in.Op != isa.OpLoad || in.Flavor != w.flavor || in.Width != w.width ||
+			in.Signed != w.signed || in.Mode != w.mode {
+			t.Errorf("inst %d: got %+v, want %+v", i, in, w)
+		}
+	}
+	if p.Insts[5].Imm != -8 {
+		t.Errorf("negative offset lost: %d", p.Insts[5].Imm)
+	}
+}
+
+func TestBranchTargetsResolved(t *testing.T) {
+	p, err := Assemble(`
+	main:	li r1, 0
+	loop:	add r1, r1, 1
+		blt r1, 10, loop
+		beq r1, r2, done
+		jmp loop
+	done:	halt r1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Target != 1 {
+		t.Errorf("blt target = %d, want 1", p.Insts[2].Target)
+	}
+	if p.Insts[3].Target != 5 {
+		t.Errorf("beq target = %d, want 5", p.Insts[3].Target)
+	}
+	if p.Insts[4].Target != 1 {
+		t.Errorf("jmp target = %d, want 1", p.Insts[4].Target)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p, err := Assemble(`
+		.data
+		.base 0x20000
+	tbl:	.word 1, 2, 3
+	buf:	.space 16
+		.align 8
+	ptr:	.addr tbl+8
+	bytes:	.byte 1, 2, 255
+		.text
+	main:	ld8_n r1, (tbl)
+		ld8_n r2, tbl+16
+		li r3, buf
+		halt r0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataBase != 0x20000 {
+		t.Fatalf("data base = %#x", p.DataBase)
+	}
+	if p.DataSymbols["tbl"] != 0x20000 {
+		t.Errorf("tbl addr = %#x", p.DataSymbols["tbl"])
+	}
+	if p.DataSymbols["buf"] != 0x20000+24 {
+		t.Errorf("buf addr = %#x", p.DataSymbols["buf"])
+	}
+	// .word values.
+	if p.Data[0] != 1 || p.Data[8] != 2 || p.Data[16] != 3 {
+		t.Errorf("word data wrong: % x", p.Data[:24])
+	}
+	// .addr cell holds tbl+8.
+	ptrOff := p.DataSymbols["ptr"] - p.DataBase
+	var got int64
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | int64(p.Data[ptrOff+int64(i)])
+	}
+	if got != 0x20000+8 {
+		t.Errorf(".addr cell = %#x, want %#x", got, 0x20000+8)
+	}
+	// Absolute loads resolved to symbol addresses.
+	if p.Insts[0].Mode != isa.AMAbsolute || p.Insts[0].Imm != 0x20000 {
+		t.Errorf("(tbl) load: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Imm != 0x20000+16 {
+		t.Errorf("tbl+16 load: %+v", p.Insts[1])
+	}
+	if p.Insts[2].Imm != p.DataSymbols["buf"] {
+		t.Errorf("li buf: %+v", p.Insts[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"jmp nowhere", "undefined label"},
+		{"ld8_n r1, (tbl)", "undefined data symbol"},
+		{"add r1, r2", "3 operands"},
+		{"ld8_x r1, r2(0)", "unknown flavour"},
+		{"ld3_n r1, r2(0)", "bad width"},
+		{"add r64, r1, r2", "bad register"},
+		{"main: halt r0\nmain: halt r0", "duplicate label"},
+		{".data\nx: .word 1\nx: .word 2", "duplicate data label"},
+		{".bogus 3", "unknown directive"},
+		{".data\nadd r1, r1, r1", "inside .data"},
+		{"ld8 r1, r2(0)", "missing flavour"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q) error %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("main: halt r0\n\nbogus r1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ae *Error
+	if !errorsAs(err, &ae) {
+		t.Fatalf("error is %T, want *Error", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// TestRoundTrip checks that printing every assembled instruction and
+// re-assembling yields the identical encoding — a property linking the
+// assembler and the ISA's String method.
+func TestRoundTrip(t *testing.T) {
+	src := `
+	main:	li r1, 123
+		add r2, r1, r1
+		sub r3, r2, 5
+		mul r4, r3, r2
+		and r5, r4, 255
+		sll r6, r5, 3
+		ld8_p r7, r6(0)
+		ld4s_e r8, r7(12)
+		ld8_n r9, r7(r8)
+		st8 r9, r6(24)
+		slt r10, r9, r8
+		beq r10, 0, main
+		jr r63
+	`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("main:\n")
+	for _, in := range p1.Insts {
+		// Branch targets print symbolically via Sym, which we kept.
+		sb.WriteString(in.String() + "\n")
+	}
+	p2, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatalf("re-assemble: %v\nsource:\n%s", err, sb.String())
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d differs:\n%+v\n%+v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := MustAssemble("main: li r1, 1\nhalt r1")
+	l := Listing(p)
+	if !strings.Contains(l, "main:") || !strings.Contains(l, "lui r1, 1") {
+		t.Errorf("listing missing content:\n%s", l)
+	}
+}
+
+func TestSplitOperands(t *testing.T) {
+	got := splitOperands("r1, r2(r3), 4")
+	if len(got) != 3 || got[0] != "r1" || got[1] != "r2(r3)" || got[2] != "4" {
+		t.Errorf("splitOperands = %q", got)
+	}
+	if splitOperands("") != nil {
+		t.Errorf("splitOperands(\"\") should be nil")
+	}
+}
+
+// TestRenderRoundTrip: Render output must re-assemble to the identical
+// program (instructions, data image, symbol addresses).
+func TestRenderRoundTrip(t *testing.T) {
+	src := `
+		.data
+		.base 0x20000
+	tbl:	.word 1, 2, 3
+	buf:	.space 40
+	msg:	.byte 7, 8, 9
+		.text
+	main:	li r1, 0
+	loop:	ld8_p r2, r3(8)
+		ld4s_e r4, r5(0)
+		st8 r2, (tbl)
+		add r1, r1, 1
+		blt r1, 10, loop
+		call r63, fn
+		halt r1
+	fn:	ret
+	`
+	p1 := MustAssemble(src)
+	// Pretend the classifier rewrote a flavour.
+	p1.Insts[1].Flavor = isa.LdN
+	text := Render(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("re-assemble: %v\n%s", err, text)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("instruction count %d != %d\n%s", len(p2.Insts), len(p1.Insts), text)
+	}
+	for i := range p1.Insts {
+		a, b := p1.Insts[i], p2.Insts[i]
+		a.Sym, b.Sym = "", ""
+		if a != b {
+			t.Errorf("inst %d: %+v != %+v", i, a, b)
+		}
+	}
+	if string(p1.Data) != string(p2.Data) {
+		t.Errorf("data image differs (%d vs %d bytes)", len(p1.Data), len(p2.Data))
+	}
+	for name, addr := range p1.DataSymbols {
+		if p2.DataSymbols[name] != addr {
+			t.Errorf("data symbol %s: %#x != %#x", name, p2.DataSymbols[name], addr)
+		}
+	}
+	if p2.Entry != p1.Entry {
+		t.Errorf("entry %d != %d", p2.Entry, p1.Entry)
+	}
+}
+
+// TestRenderSynthesizesLabels: a program decoded from an object file has no
+// symbolic branch targets; Render must invent labels so the text
+// re-assembles.
+func TestRenderSynthesizesLabels(t *testing.T) {
+	p := &isa.Program{
+		Insts: []isa.Inst{
+			{Op: isa.OpLUI, Rd: 1, Imm: 3},
+			{Op: isa.OpAdd, Rd: 1, Rs1: 1, SrcImm: true, Imm: -1},
+			{Op: isa.OpBr, Cond: isa.CondGT, Rs1: 1, SrcImm: true, Imm: 0, Target: 1},
+			{Op: isa.OpHalt, Rs1: 1},
+		},
+		Symbols:     map[string]int{"main": 0},
+		DataSymbols: map[string]int64{},
+	}
+	text := Render(p)
+	q, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("re-assemble: %v\n%s", err, text)
+	}
+	if q.Insts[2].Target != 1 {
+		t.Errorf("synthesized label target = %d, want 1", q.Insts[2].Target)
+	}
+}

@@ -1,0 +1,107 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elag/internal/isa"
+)
+
+// Render emits a complete, re-assemblable source listing for the program:
+// the text segment with labels and (possibly classifier-rewritten) load
+// flavours, and the data segment reconstructed from the data image and its
+// symbols. Assembling the result reproduces the program (instruction
+// fields, data image, and symbol addresses; symbolic immediates appear as
+// resolved numbers).
+func Render(p *isa.Program) string {
+	var b strings.Builder
+
+	// Text segment. Branch targets need labels; instructions decoded
+	// from object files have no symbolic targets, so synthesize labels
+	// where the symbol table has none.
+	labels := make(map[int][]string)
+	for name, pc := range p.Symbols {
+		labels[pc] = append(labels[pc], name)
+	}
+	insts := append([]isa.Inst(nil), p.Insts...)
+	for i := range insts {
+		in := &insts[i]
+		if !in.IsBranch() || in.Op == isa.OpJr {
+			continue
+		}
+		if names, ok := labels[in.Target]; ok {
+			in.Sym = names[0]
+			continue
+		}
+		syn := fmt.Sprintf("L%d", in.Target)
+		labels[in.Target] = append(labels[in.Target], syn)
+		in.Sym = syn
+	}
+	for pc := range labels {
+		sort.Strings(labels[pc])
+	}
+	b.WriteString("\t.text\n")
+	for pc := range insts {
+		for _, name := range labels[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "\t%s\n", insts[pc].String())
+	}
+
+	// Data segment: labels sorted by address, raw bytes between them.
+	if len(p.Data) > 0 || len(p.DataSymbols) > 0 {
+		b.WriteString("\t.data\n")
+		fmt.Fprintf(&b, "\t.base %d\n", p.DataBase)
+		type dsym struct {
+			name string
+			addr int64
+		}
+		var syms []dsym
+		for name, addr := range p.DataSymbols {
+			syms = append(syms, dsym{name, addr})
+		}
+		sort.Slice(syms, func(i, j int) bool {
+			if syms[i].addr != syms[j].addr {
+				return syms[i].addr < syms[j].addr
+			}
+			return syms[i].name < syms[j].name
+		})
+		off := int64(0)
+		si := 0
+		emitBytes := func(upto int64) {
+			for off < upto {
+				// Trailing zeros compress to .space.
+				runEnd := off
+				for runEnd < upto && p.Data[runEnd] == 0 {
+					runEnd++
+				}
+				if runEnd-off >= 16 {
+					fmt.Fprintf(&b, "\t.space %d\n", runEnd-off)
+					off = runEnd
+					continue
+				}
+				end := off + 16
+				if end > upto {
+					end = upto
+				}
+				vals := make([]string, 0, 16)
+				for ; off < end; off++ {
+					vals = append(vals, fmt.Sprintf("%d", p.Data[off]))
+				}
+				fmt.Fprintf(&b, "\t.byte %s\n", strings.Join(vals, ", "))
+			}
+		}
+		for _, s := range syms {
+			at := s.addr - p.DataBase
+			if at < 0 || at > int64(len(p.Data)) {
+				continue
+			}
+			emitBytes(at)
+			fmt.Fprintf(&b, "%s:\n", s.name)
+			si++
+		}
+		emitBytes(int64(len(p.Data)))
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package bpred
+
+import "testing"
+
+func TestColdPredictNotTaken(t *testing.T) {
+	b := New(Config{})
+	taken, target := b.Predict(100)
+	if taken || target != 101 {
+		t.Errorf("cold predict = %v,%d; want not-taken fallthrough", taken, target)
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	b := New(Config{})
+	pc, tgt := 10, 50
+	// Train taken twice: counter saturates at 3.
+	b.Update(pc, true, tgt)
+	b.Update(pc, true, tgt)
+	if taken, target := b.Predict(pc); !taken || target != tgt {
+		t.Fatalf("not predicting taken after training")
+	}
+	// One not-taken outcome must not flip the prediction (hysteresis).
+	b.Update(pc, false, 0)
+	if taken, _ := b.Predict(pc); !taken {
+		t.Errorf("single not-taken flipped a saturated counter")
+	}
+	// A second one does.
+	b.Update(pc, false, 0)
+	if taken, _ := b.Predict(pc); taken {
+		t.Errorf("two not-taken outcomes did not flip the counter")
+	}
+}
+
+func TestMispredictAccounting(t *testing.T) {
+	b := New(Config{})
+	pc, tgt := 7, 99
+	if mis := b.Update(pc, true, tgt); !mis {
+		t.Errorf("first taken branch on a cold BTB should mispredict")
+	}
+	if mis := b.Update(pc, true, tgt); mis {
+		t.Errorf("trained branch mispredicted")
+	}
+	// Wrong target counts as a mispredict even with right direction.
+	if mis := b.Update(pc, true, tgt+5); !mis {
+		t.Errorf("target change not counted as mispredict")
+	}
+	st := b.Stats()
+	if st.Branches != 3 || st.Mispredicts != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	if acc := st.Accuracy(); acc < 0.33 || acc > 0.34 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestNotTakenBranchesDontAllocate(t *testing.T) {
+	b := New(Config{})
+	b.Update(3, false, 0)
+	if _, ok := b.Lookup(3); ok {
+		t.Errorf("never-taken branch allocated a BTB entry")
+	}
+	if mis := b.Update(3, false, 0); mis {
+		t.Errorf("not-taken branch mispredicted by default not-taken")
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	b := New(Config{Entries: 16})
+	b.Insert(1, 100)
+	b.Insert(1+16, 200) // same entry
+	if tgt, ok := b.Lookup(1); ok && tgt == 100 {
+		t.Errorf("aliased entry survived")
+	}
+	if tgt, ok := b.Lookup(1 + 16); !ok || tgt != 200 {
+		t.Errorf("new entry missing: %d %v", tgt, ok)
+	}
+}
+
+func TestInsertLookupUnconditional(t *testing.T) {
+	b := New(Config{})
+	if _, ok := b.Lookup(42); ok {
+		t.Errorf("cold lookup hit")
+	}
+	b.Insert(42, 1000)
+	if tgt, ok := b.Lookup(42); !ok || tgt != 1000 {
+		t.Errorf("lookup after insert = %d,%v", tgt, ok)
+	}
+}
+
+func TestBadEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for non-power-of-two entries")
+		}
+	}()
+	New(Config{Entries: 3})
+}

@@ -1,0 +1,191 @@
+// Package cache models the paper's memory system: direct-mapped (optionally
+// set-associative) instruction and data caches with 64-byte blocks. The data
+// cache is write-through with no write allocate and non-blocking, with a
+// 12-cycle miss penalty; these are the parameters of Section 5.1.
+//
+// The model is a tag store only — data contents live in the functional
+// emulator — which is exactly what a timing simulator needs.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity. Default 64 KiB.
+	SizeBytes int
+	// BlockBytes is the line size. Default 64.
+	BlockBytes int
+	// Assoc is the set associativity. Default 1 (direct-mapped).
+	Assoc int
+	// MissPenalty is the extra cycles added on a miss. Default 12.
+	MissPenalty int
+}
+
+// DefaultConfig returns the paper's 64K direct-mapped, 64-byte-block,
+// 12-cycle-miss configuration.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 1, MissPenalty: 12}
+}
+
+func (c *Config) fill() {
+	if c.SizeBytes == 0 {
+		c.SizeBytes = 64 << 10
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 64
+	}
+	if c.Assoc == 0 {
+		c.Assoc = 1
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = 12
+	}
+}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses int64
+	Misses   int64
+	// SpecAccesses counts accesses made on behalf of speculative early
+	// loads; they consume bandwidth but are not separately countable as
+	// architectural accesses.
+	SpecAccesses int64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type way struct {
+	valid bool
+	tag   int64
+	lru   int64 // last-use stamp
+}
+
+// Cache is a tag-store cache model. Use New to construct one.
+type Cache struct {
+	cfg      Config
+	sets     []([]way)
+	setShift uint
+	setMask  int64
+	stamp    int64
+	stats    Stats
+}
+
+// New builds a cache from cfg, filling zero fields with defaults. It panics
+// if the geometry is not a power-of-two arrangement, since that indicates a
+// misconfigured experiment rather than a runtime condition.
+func New(cfg Config) *Cache {
+	cfg.fill()
+	nBlocks := cfg.SizeBytes / cfg.BlockBytes
+	if nBlocks <= 0 || cfg.SizeBytes%cfg.BlockBytes != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	nSets := nBlocks / cfg.Assoc
+	if nSets <= 0 || nBlocks%cfg.Assoc != 0 || nSets&(nSets-1) != 0 ||
+		cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: non-power-of-two geometry %+v", cfg))
+	}
+	c := &Cache{cfg: cfg, sets: make([][]way, nSets), setMask: int64(nSets - 1)}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.setShift++
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache's (default-filled) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// MissPenalty returns the configured extra latency of a miss.
+func (c *Cache) MissPenalty() int { return c.cfg.MissPenalty }
+
+// Probe reports whether addr currently hits, without updating any state.
+func (c *Cache) Probe(addr int64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if w := &c.sets[set][i]; w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access at addr: on a miss the block is filled
+// (LRU replacement). It returns true on a hit.
+func (c *Cache) Access(addr int64) bool {
+	c.stats.Accesses++
+	hit := c.touch(addr, true)
+	if !hit {
+		c.stats.Misses++
+	}
+	return hit
+}
+
+// AccessNoAllocate records an access that does not allocate on miss — the
+// write-through, no-write-allocate store path.
+func (c *Cache) AccessNoAllocate(addr int64) bool {
+	c.stats.Accesses++
+	hit := c.touch(addr, false)
+	if !hit {
+		c.stats.Misses++
+	}
+	return hit
+}
+
+// SpecAccess performs a speculative access on behalf of an early load. Like
+// a demand access it fills on miss (the speculative load is a real load
+// issued to the memory system), but it is tallied separately.
+func (c *Cache) SpecAccess(addr int64) bool {
+	c.stats.SpecAccesses++
+	return c.touch(addr, true)
+}
+
+func (c *Cache) touch(addr int64, allocate bool) bool {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.stamp++
+	for i := range ways {
+		if w := &ways[i]; w.valid && w.tag == tag {
+			w.lru = c.stamp
+			return true
+		}
+	}
+	if allocate {
+		victim := 0
+		for i := range ways {
+			w := &ways[i]
+			if !w.valid {
+				victim = i
+				break
+			}
+			if w.lru < ways[victim].lru {
+				victim = i
+			}
+		}
+		ways[victim] = way{valid: true, tag: tag, lru: c.stamp}
+	}
+	return false
+}
+
+func (c *Cache) index(addr int64) (set, tag int64) {
+	block := addr >> c.setShift
+	return block & c.setMask, block >> popcount64(uint64(c.setMask))
+}
+
+func popcount64(v uint64) uint {
+	var n uint
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c := New(Config{})
+	cfg := c.Config()
+	if cfg.SizeBytes != 64<<10 || cfg.BlockBytes != 64 || cfg.Assoc != 1 || cfg.MissPenalty != 12 {
+		t.Errorf("default config %+v does not match the paper's memory system", cfg)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(Config{})
+	if c.Access(0x1000) {
+		t.Errorf("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Errorf("second access missed")
+	}
+	// Same block, different offset.
+	if !c.Access(0x1010) {
+		t.Errorf("same-block access missed")
+	}
+	// Next block misses.
+	if c.Access(0x1040) {
+		t.Errorf("next block hit while cold")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(Config{})
+	a := int64(0x0000)
+	b := a + 64<<10 // same index, different tag
+	c.Access(a)
+	if c.Access(b) {
+		t.Errorf("conflicting address hit")
+	}
+	// b evicted a.
+	if c.Access(a) {
+		t.Errorf("original line survived a direct-mapped conflict")
+	}
+}
+
+func TestAssociativityResolvesConflict(t *testing.T) {
+	c := New(Config{Assoc: 2})
+	a := int64(0x0000)
+	b := a + 32<<10 // same set in a 2-way 64K cache
+	c.Access(a)
+	c.Access(b)
+	if !c.Access(a) || !c.Access(b) {
+		t.Errorf("2-way cache did not keep both conflicting lines")
+	}
+	// Touch order is now a, b — so a is LRU. A third conflicting line
+	// must evict a and keep b.
+	d := a + 64<<10
+	c.Access(d)
+	if !c.Probe(b) {
+		t.Errorf("MRU line evicted instead of LRU")
+	}
+	if c.Probe(a) {
+		t.Errorf("LRU line survived")
+	}
+}
+
+func TestNoAllocateWritePath(t *testing.T) {
+	c := New(Config{})
+	if c.AccessNoAllocate(0x2000) {
+		t.Errorf("cold write hit")
+	}
+	// Write-through no-allocate: the line must still be absent.
+	if c.Probe(0x2000) {
+		t.Errorf("no-allocate access filled the cache")
+	}
+	st := c.Stats()
+	if st.Accesses != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSpecAccessCountsSeparately(t *testing.T) {
+	c := New(Config{})
+	c.SpecAccess(0x3000)
+	st := c.Stats()
+	if st.SpecAccesses != 1 || st.Accesses != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	// The speculative access is a real load: it fills the line.
+	if !c.Probe(0x3000) {
+		t.Errorf("speculative access did not fill")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 10; i++ {
+		c.Access(0x4000)
+	}
+	if r := c.Stats().MissRate(); r != 0.1 {
+		t.Errorf("miss rate = %v, want 0.1", r)
+	}
+	var empty Stats
+	if empty.MissRate() != 0 {
+		t.Errorf("zero-access miss rate should be 0")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for non-power-of-two geometry")
+		}
+	}()
+	New(Config{SizeBytes: 3000, BlockBytes: 64, Assoc: 1})
+}
+
+// Property: a direct-mapped cache hits on an address iff the most recent
+// access to its set had the same block address — checked against a naive
+// model.
+func TestAgainstNaiveModel(t *testing.T) {
+	const blocks = 16
+	f := func(addrs []uint16) bool {
+		c := New(Config{SizeBytes: blocks * 64, BlockBytes: 64, Assoc: 1})
+		model := map[int64]int64{} // set -> block
+		for _, a16 := range addrs {
+			addr := int64(a16)
+			block := addr / 64
+			set := block % blocks
+			wantHit := model[set] == block+1 // +1: distinguish "empty"
+			if got := c.Access(addr); got != wantHit {
+				return false
+			}
+			model[set] = block + 1
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,817 @@
+// Package codegen lowers optimized IR (package ir) to the textual assembly
+// accepted by package asm: linear-scan register allocation onto the
+// machine's 64 integer registers, frame layout, calling convention, and
+// instruction selection (including the folding of IR addressing into the
+// ISA's register+offset, register+register and absolute modes — the modes
+// the paper's load classification distinguishes).
+//
+// Every load is emitted with the ld_n flavour; the paper's compiler
+// heuristics (package core) rewrite flavours on the assembled program.
+//
+// Calling convention: arguments in r1..r6, result in r1, return address in
+// r63 (set by call), stack pointer r62 (grows down). All allocatable
+// registers (r8..r57) are callee-saved: the prologue saves the ones a
+// function uses, so values are preserved across calls.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elag/internal/ir"
+	"elag/internal/isa"
+)
+
+// Register assignments (see package doc). r8..r31 are caller-saved (used
+// for values whose live range crosses no call, so they cost nothing in the
+// prologue); r32..r57 are callee-saved (for values live across calls).
+const (
+	firstArgReg = 1
+	maxArgs     = 6
+	retReg      = 1
+	firstCaller = 8
+	lastCaller  = 31
+	firstCallee = 32
+	lastCallee  = 57
+	scratchA    = 58
+	scratchB    = 59
+	scratchC    = 60
+	spReg       = 62
+	raReg       = 63
+	outIntAddr  = 0x7FFF_F000
+	outCharAddr = 0x7FFF_F008
+	wordSize    = 8
+	frameAlign  = 16
+)
+
+// Generate lowers a whole module to assembly source. The emitted program
+// begins with a startup stub at label "main" that calls the module's main
+// function and halts with its return value.
+func Generate(m *ir.Module) (string, error) {
+	var sb strings.Builder
+	if m.Func("main") == nil {
+		return "", fmt.Errorf("codegen: module has no main function")
+	}
+	sb.WriteString("\t.text\n")
+	sb.WriteString("main:\n")
+	sb.WriteString("\tcall r63, _main\n")
+	sb.WriteString("\thalt r1\n")
+	for _, f := range m.Funcs {
+		g := &funcGen{m: m, f: f, out: &sb}
+		if err := g.gen(); err != nil {
+			return "", err
+		}
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteString("\t.data\n")
+		for _, gl := range m.Globals {
+			emitGlobal(&sb, gl)
+		}
+	}
+	return sb.String(), nil
+}
+
+func emitGlobal(sb *strings.Builder, g *ir.Global) {
+	fmt.Fprintf(sb, "\t.align 8\n%s:\n", g.Name)
+	addrAt := make(map[int64]ir.AddrInit, len(g.Addrs))
+	for _, a := range g.Addrs {
+		addrAt[a.Off] = a
+	}
+	off := int64(0)
+	flushZeros := func(upto int64) {
+		if upto > off {
+			fmt.Fprintf(sb, "\t.space %d\n", upto-off)
+			off = upto
+		}
+	}
+	for off < g.Size {
+		if a, ok := addrAt[off]; ok {
+			if a.Add != 0 {
+				fmt.Fprintf(sb, "\t.addr %s+%d\n", a.Sym, a.Add)
+			} else {
+				fmt.Fprintf(sb, "\t.addr %s\n", a.Sym)
+			}
+			off += 8
+			continue
+		}
+		if off >= int64(len(g.Init)) {
+			// Find the next address cell (if any) and zero-fill.
+			next := g.Size
+			for o := range addrAt {
+				if o >= off && o < next {
+					next = o
+				}
+			}
+			flushZeros(next)
+			continue
+		}
+		// Emit literal bytes up to the next addr cell or init end.
+		end := int64(len(g.Init))
+		if end > g.Size {
+			end = g.Size
+		}
+		for o := range addrAt {
+			if o >= off && o < end {
+				end = o
+			}
+		}
+		var vals []string
+		for ; off < end; off++ {
+			vals = append(vals, fmt.Sprintf("%d", g.Init[off]))
+			if len(vals) == 16 {
+				fmt.Fprintf(sb, "\t.byte %s\n", strings.Join(vals, ", "))
+				vals = vals[:0]
+			}
+		}
+		if len(vals) > 0 {
+			fmt.Fprintf(sb, "\t.byte %s\n", strings.Join(vals, ", "))
+		}
+	}
+}
+
+// interval is a live interval for linear-scan allocation.
+type interval struct {
+	v          ir.VReg
+	start, end int
+	phys       int // assigned physical register, or -1 if spilled
+	spill      int // spill slot index when phys < 0
+}
+
+type funcGen struct {
+	m   *ir.Module
+	f   *ir.Func
+	out *strings.Builder
+
+	order     []*ir.Block
+	pos       map[*ir.Block]int // layout index of block
+	intervals map[ir.VReg]*interval
+	body      []string // emitted body lines (before prologue is known)
+
+	usedPhys  map[int]bool
+	spills    []ir.VReg
+	spillOff  map[ir.VReg]int64
+	slotOff   []int64
+	frameSize int64
+	makesCall bool
+}
+
+func (g *funcGen) gen() error {
+	g.f.ComputeCFG()
+	g.order = g.f.Blocks
+	g.pos = make(map[*ir.Block]int, len(g.order))
+	for i, b := range g.order {
+		g.pos[b] = i
+	}
+	g.buildIntervals()
+	g.allocate()
+	g.layoutFrame()
+	if err := g.emitBody(); err != nil {
+		return err
+	}
+	g.emitFunc()
+	return nil
+}
+
+// buildIntervals computes coarse (hole-free) live intervals over the block
+// layout order, extending intervals across blocks where the register is
+// live-in or live-out so loop-carried values span their whole loop.
+func (g *funcGen) buildIntervals() {
+	lv := ir.ComputeLiveness(g.f)
+	g.intervals = make(map[ir.VReg]*interval)
+	touch := func(v ir.VReg, at int) {
+		iv := g.intervals[v]
+		if iv == nil {
+			iv = &interval{v: v, start: at, end: at, phys: -1}
+			g.intervals[v] = iv
+			return
+		}
+		if at < iv.start {
+			iv.start = at
+		}
+		if at > iv.end {
+			iv.end = at
+		}
+	}
+	idx := 0
+	var scratch []ir.VReg
+	for _, b := range g.order {
+		blockStart := idx
+		for v := range lv.In[b] {
+			touch(v, blockStart)
+		}
+		for _, in := range b.Insts {
+			scratch = in.Uses(scratch[:0])
+			for _, v := range scratch {
+				touch(v, idx)
+			}
+			if in.Dst != ir.NoVReg {
+				touch(in.Dst, idx)
+			}
+			idx++
+		}
+		for v := range lv.Out[b] {
+			touch(v, idx-1)
+		}
+	}
+	for p := 0; p < g.f.NParams; p++ {
+		touch(ir.VReg(p), 0)
+	}
+}
+
+// allocate runs linear scan over the intervals with two register pools:
+// intervals that cross a call site must live in callee-saved registers;
+// call-free intervals prefer caller-saved registers (free of prologue
+// cost) and overflow into the callee-saved pool.
+func (g *funcGen) allocate() {
+	g.usedPhys = make(map[int]bool)
+	g.spillOff = make(map[ir.VReg]int64)
+
+	// Call positions in the same linear numbering buildIntervals used.
+	var callPos []int
+	idx := 0
+	for _, b := range g.order {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpCall {
+				callPos = append(callPos, idx)
+			}
+			idx++
+		}
+	}
+	crossesCall := func(iv *interval) bool {
+		for _, c := range callPos {
+			if c >= iv.start && c <= iv.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	ivs := make([]*interval, 0, len(g.intervals))
+	for _, iv := range g.intervals {
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+
+	// FIFO pools: rotating through the register file instead of always
+	// reusing the lowest free register keeps unrelated values out of
+	// recently-freed registers. This matters to the classifier, which
+	// works on physical registers: immediate reuse of a load's
+	// destination register as an unrelated base would create false
+	// load-dependences in the S_load fixpoint.
+	var freeCaller, freeCallee []int
+	for r := firstCaller; r <= lastCaller; r++ {
+		freeCaller = append(freeCaller, r)
+	}
+	for r := firstCallee; r <= lastCallee; r++ {
+		freeCallee = append(freeCallee, r)
+	}
+	pop := func(pool *[]int) (int, bool) {
+		if len(*pool) == 0 {
+			return 0, false
+		}
+		r := (*pool)[0]
+		*pool = (*pool)[1:]
+		return r, true
+	}
+	release := func(r int) {
+		if r >= firstCallee {
+			freeCallee = append(freeCallee, r)
+		} else {
+			freeCaller = append(freeCaller, r)
+		}
+	}
+
+	var active []*interval // sorted by end
+	insertActive := func(iv *interval) {
+		i := sort.Search(len(active), func(i int) bool { return active[i].end > iv.end })
+		active = append(active, nil)
+		copy(active[i+1:], active[i:])
+		active[i] = iv
+	}
+	for _, iv := range ivs {
+		// Expire finished intervals.
+		n := 0
+		for _, a := range active {
+			if a.end < iv.start {
+				release(a.phys)
+			} else {
+				active[n] = a
+				n++
+			}
+		}
+		active = active[:n]
+
+		crossing := crossesCall(iv)
+		var r int
+		var ok bool
+		if crossing {
+			r, ok = pop(&freeCallee)
+		} else {
+			if r, ok = pop(&freeCaller); !ok {
+				r, ok = pop(&freeCallee)
+			}
+		}
+		if ok {
+			iv.phys = r
+			g.usedPhys[r] = true
+			insertActive(iv)
+			continue
+		}
+		// No register in the allowed pools: spill the latest-ending
+		// active interval the current one may legally replace, or the
+		// current interval itself.
+		spilled := false
+		for i := len(active) - 1; i >= 0; i-- {
+			a := active[i]
+			if a.end <= iv.end {
+				break
+			}
+			if crossing && a.phys < firstCallee {
+				continue // cannot take a caller-saved register
+			}
+			iv.phys = a.phys
+			a.phys = -1
+			g.spills = append(g.spills, a.v)
+			active = append(active[:i], active[i+1:]...)
+			insertActive(iv)
+			spilled = true
+			break
+		}
+		if !spilled {
+			g.spills = append(g.spills, iv.v)
+		}
+	}
+}
+
+// layoutFrame assigns SP-relative offsets: saved registers first, then IR
+// stack slots, then spill slots.
+func (g *funcGen) layoutFrame() {
+	for _, b := range g.f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpCall {
+				g.makesCall = true
+			}
+		}
+	}
+	off := int64(0)
+	if g.makesCall {
+		off += wordSize // ra save slot at sp(0)
+	}
+	off += int64(len(g.savedRegs())) * wordSize
+	g.slotOff = make([]int64, len(g.f.Slots))
+	for i := range g.f.Slots {
+		size := (g.f.Slots[i].Size + 7) &^ 7
+		g.slotOff[i] = off
+		off += size
+	}
+	for _, v := range g.spills {
+		g.spillOff[v] = off
+		off += wordSize
+	}
+	g.frameSize = (off + frameAlign - 1) &^ (frameAlign - 1)
+}
+
+// savedRegs returns the callee-saved registers the function must preserve.
+func (g *funcGen) savedRegs() []int {
+	var saved []int
+	for r := range g.usedPhys {
+		if r >= firstCallee {
+			saved = append(saved, r)
+		}
+	}
+	sort.Ints(saved)
+	return saved
+}
+
+func (g *funcGen) emitFunc() {
+	w := g.out
+	fmt.Fprintf(w, "_%s:\n", g.f.Name)
+	if g.frameSize > 0 {
+		fmt.Fprintf(w, "\tsub r%d, r%d, %d\n", spReg, spReg, g.frameSize)
+	}
+	off := int64(0)
+	if g.makesCall {
+		fmt.Fprintf(w, "\tst8 r%d, r%d(0)\n", raReg, spReg)
+		off += wordSize
+	}
+	for _, r := range g.savedRegs() {
+		fmt.Fprintf(w, "\tst8 r%d, r%d(%d)\n", r, spReg, off)
+		off += wordSize
+	}
+	// Move parameters into their allocated homes.
+	for p := 0; p < g.f.NParams && p < maxArgs; p++ {
+		iv := g.intervals[ir.VReg(p)]
+		if iv == nil {
+			continue // unused parameter
+		}
+		if iv.phys >= 0 {
+			fmt.Fprintf(w, "\tmov r%d, r%d\n", iv.phys, firstArgReg+p)
+		} else {
+			fmt.Fprintf(w, "\tst8 r%d, r%d(%d)\n", firstArgReg+p, spReg, g.spillOff[ir.VReg(p)])
+		}
+	}
+	for _, line := range g.body {
+		w.WriteString(line)
+		w.WriteByte('\n')
+	}
+	// Epilogue.
+	fmt.Fprintf(w, "%s:\n", g.exitLabel())
+	off = 0
+	if g.makesCall {
+		fmt.Fprintf(w, "\tld8_n r%d, r%d(0)\n", raReg, spReg)
+		off += wordSize
+	}
+	for _, r := range g.savedRegs() {
+		fmt.Fprintf(w, "\tld8_n r%d, r%d(%d)\n", r, spReg, off)
+		off += wordSize
+	}
+	if g.frameSize > 0 {
+		fmt.Fprintf(w, "\tadd r%d, r%d, %d\n", spReg, spReg, g.frameSize)
+	}
+	fmt.Fprintf(w, "\tret\n")
+}
+
+func (g *funcGen) exitLabel() string { return fmt.Sprintf("_%s$exit", g.f.Name) }
+
+func (g *funcGen) blockLabel(b *ir.Block) string {
+	return fmt.Sprintf("_%s$B%d", g.f.Name, b.ID)
+}
+
+func (g *funcGen) emit(format string, args ...any) {
+	g.body = append(g.body, fmt.Sprintf("\t"+format, args...))
+}
+
+func (g *funcGen) emitLabel(l string) { g.body = append(g.body, l+":") }
+
+// srcReg materializes operand o into a physical register, using the given
+// scratch register when o is not already register-resident. It returns the
+// register number holding the value.
+func (g *funcGen) srcReg(o ir.Operand, scratch int) (int, error) {
+	switch o.Kind {
+	case ir.OpndReg:
+		iv := g.intervals[o.Reg]
+		if iv == nil {
+			return 0, fmt.Errorf("codegen: %s: use of unallocated v%d", g.f.Name, o.Reg)
+		}
+		if iv.phys >= 0 {
+			return iv.phys, nil
+		}
+		g.emit("ld8_n r%d, r%d(%d)", scratch, spReg, g.spillOff[o.Reg])
+		return scratch, nil
+	case ir.OpndConst:
+		if o.Imm == 0 {
+			return 0, nil // r0 is hardwired zero
+		}
+		g.emit("li r%d, %d", scratch, o.Imm)
+		return scratch, nil
+	case ir.OpndSym:
+		if o.Imm != 0 {
+			g.emit("li r%d, %s+%d", scratch, o.Sym, o.Imm)
+		} else {
+			g.emit("li r%d, %s", scratch, o.Sym)
+		}
+		return scratch, nil
+	case ir.OpndFrame:
+		g.emit("add r%d, r%d, %d", scratch, spReg, g.slotOff[o.Slot]+o.Imm)
+		return scratch, nil
+	}
+	return 0, fmt.Errorf("codegen: %s: bad operand kind %d", g.f.Name, o.Kind)
+}
+
+// dstReg returns the register a result should be computed into, plus a
+// store-back closure for spilled destinations.
+func (g *funcGen) dstReg(v ir.VReg) (int, func()) {
+	iv := g.intervals[v]
+	if iv == nil {
+		// Dead destination (result never used, interval never built —
+		// can happen before DCE); compute into scratch and discard.
+		return scratchC, func() {}
+	}
+	if iv.phys >= 0 {
+		return iv.phys, func() {}
+	}
+	off := g.spillOff[v]
+	return scratchC, func() { g.emit("st8 r%d, r%d(%d)", scratchC, spReg, off) }
+}
+
+var binMnemonic = map[ir.Op]string{
+	ir.OpAdd: "add", ir.OpSub: "sub", ir.OpMul: "mul", ir.OpDiv: "div",
+	ir.OpRem: "rem", ir.OpAnd: "and", ir.OpOr: "or", ir.OpXor: "xor",
+	ir.OpSll: "sll", ir.OpSrl: "srl", ir.OpSra: "sra",
+}
+
+func (g *funcGen) emitBody() error {
+	for bi, b := range g.order {
+		g.emitLabel(g.blockLabel(b))
+		var next *ir.Block
+		if bi+1 < len(g.order) {
+			next = g.order[bi+1]
+		}
+		for _, in := range b.Insts {
+			if err := g.emitInstr(in, next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *funcGen) emitInstr(in *ir.Instr, next *ir.Block) error {
+	switch in.Op {
+	case ir.OpNop:
+		return nil
+
+	case ir.OpCopy:
+		rd, done := g.dstReg(in.Dst)
+		switch in.A.Kind {
+		case ir.OpndReg:
+			ra, err := g.srcReg(in.A, rd)
+			if err != nil {
+				return err
+			}
+			if ra != rd {
+				g.emit("mov r%d, r%d", rd, ra)
+			}
+		case ir.OpndConst:
+			g.emit("li r%d, %d", rd, in.A.Imm)
+		case ir.OpndSym:
+			if in.A.Imm != 0 {
+				g.emit("li r%d, %s+%d", rd, in.A.Sym, in.A.Imm)
+			} else {
+				g.emit("li r%d, %s", rd, in.A.Sym)
+			}
+		case ir.OpndFrame:
+			g.emit("add r%d, r%d, %d", rd, spReg, g.slotOff[in.A.Slot]+in.A.Imm)
+		default:
+			return fmt.Errorf("codegen: copy of bad operand")
+		}
+		done()
+		return nil
+
+	case ir.OpCmp:
+		return g.emitCmp(in)
+
+	case ir.OpLoad:
+		rd, done := g.dstReg(in.Dst)
+		mem, err := g.memOperand(in, scratchA, scratchB)
+		if err != nil {
+			return err
+		}
+		g.emit("ld%d%s_n r%d, %s", in.Width, signSuffix(in), rd, mem)
+		done()
+		return nil
+
+	case ir.OpStore:
+		ra, err := g.srcReg(in.A, scratchC)
+		if err != nil {
+			return err
+		}
+		mem, err := g.memOperand(in, scratchA, scratchB)
+		if err != nil {
+			return err
+		}
+		g.emit("st%d r%d, %s", in.Width, ra, mem)
+		return nil
+
+	case ir.OpCall:
+		return g.emitCall(in)
+
+	case ir.OpRet:
+		if in.A.Kind != ir.OpndNone {
+			ra, err := g.srcReg(in.A, retReg)
+			if err != nil {
+				return err
+			}
+			if ra != retReg {
+				g.emit("mov r%d, r%d", retReg, ra)
+			}
+		}
+		g.emit("jmp %s", g.exitLabel())
+		return nil
+
+	case ir.OpBr:
+		ra, err := g.srcReg(in.A, scratchA)
+		if err != nil {
+			return err
+		}
+		cond := in.Cond
+		thenB, elseB := in.Then, in.Else
+		if thenB == next {
+			cond = cond.Negate()
+			thenB, elseB = elseB, thenB
+		}
+		var operand string
+		if c, ok := in.B.IsConst(); ok {
+			operand = fmt.Sprintf("%d", c)
+		} else {
+			rb, err := g.srcReg(in.B, scratchB)
+			if err != nil {
+				return err
+			}
+			operand = fmt.Sprintf("r%d", rb)
+		}
+		g.emit("b%s r%d, %s, %s", cond, ra, operand, g.blockLabel(thenB))
+		if elseB != next {
+			g.emit("jmp %s", g.blockLabel(elseB))
+		}
+		return nil
+
+	case ir.OpJmp:
+		if in.To != next {
+			g.emit("jmp %s", g.blockLabel(in.To))
+		}
+		return nil
+
+	case ir.OpHalt:
+		ra, err := g.srcReg(in.A, scratchA)
+		if err != nil {
+			return err
+		}
+		g.emit("halt r%d", ra)
+		return nil
+	}
+
+	if m, ok := binMnemonic[in.Op]; ok {
+		rd, done := g.dstReg(in.Dst)
+		ra, err := g.srcReg(in.A, scratchA)
+		if err != nil {
+			return err
+		}
+		if c, ok := in.B.IsConst(); ok {
+			g.emit("%s r%d, r%d, %d", m, rd, ra, c)
+		} else {
+			rb, err := g.srcReg(in.B, scratchB)
+			if err != nil {
+				return err
+			}
+			g.emit("%s r%d, r%d, r%d", m, rd, ra, rb)
+		}
+		done()
+		return nil
+	}
+	return fmt.Errorf("codegen: %s: unhandled IR op %v", g.f.Name, in.Op)
+}
+
+func signSuffix(in *ir.Instr) string {
+	if in.Signed && in.Width < 8 {
+		return "s"
+	}
+	return ""
+}
+
+// memOperand renders the load/store address, folding it into one of the
+// ISA's addressing modes.
+func (g *funcGen) memOperand(in *ir.Instr, sA, sB int) (string, error) {
+	switch in.Base.Kind {
+	case ir.OpndReg:
+		rb, err := g.srcReg(in.Base, sA)
+		if err != nil {
+			return "", err
+		}
+		if in.Index != ir.NoVReg {
+			ri, err := g.srcReg(ir.R(in.Index), sB)
+			if err != nil {
+				return "", err
+			}
+			if in.Off != 0 {
+				g.emit("add r%d, r%d, %d", sA, rb, in.Off)
+				rb = sA
+			}
+			return fmt.Sprintf("r%d(r%d)", rb, ri), nil
+		}
+		return fmt.Sprintf("r%d(%d)", rb, in.Off), nil
+
+	case ir.OpndSym:
+		off := in.Base.Imm + in.Off
+		if in.Index != ir.NoVReg {
+			if off != 0 {
+				g.emit("li r%d, %s+%d", sA, in.Base.Sym, off)
+			} else {
+				g.emit("li r%d, %s", sA, in.Base.Sym)
+			}
+			ri, err := g.srcReg(ir.R(in.Index), sB)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("r%d(r%d)", sA, ri), nil
+		}
+		if off != 0 {
+			return fmt.Sprintf("%s+%d", in.Base.Sym, off), nil
+		}
+		return in.Base.Sym, nil
+
+	case ir.OpndFrame:
+		off := g.slotOff[in.Base.Slot] + in.Base.Imm + in.Off
+		if in.Index != ir.NoVReg {
+			ri, err := g.srcReg(ir.R(in.Index), sB)
+			if err != nil {
+				return "", err
+			}
+			g.emit("add r%d, r%d, %d", sA, spReg, off)
+			return fmt.Sprintf("r%d(r%d)", sA, ri), nil
+		}
+		return fmt.Sprintf("r%d(%d)", spReg, off), nil
+
+	case ir.OpndConst:
+		addr := in.Base.Imm + in.Off
+		if in.Index != ir.NoVReg {
+			g.emit("li r%d, %d", sA, addr)
+			ri, err := g.srcReg(ir.R(in.Index), sB)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("r%d(r%d)", sA, ri), nil
+		}
+		return fmt.Sprintf("(%d)", addr), nil
+	}
+	return "", fmt.Errorf("codegen: bad memory base operand kind %d", in.Base.Kind)
+}
+
+func (g *funcGen) emitCmp(in *ir.Instr) error {
+	rd, done := g.dstReg(in.Dst)
+	ra, err := g.srcReg(in.A, scratchA)
+	if err != nil {
+		return err
+	}
+	rb, err := g.srcReg(in.B, scratchB)
+	if err != nil {
+		return err
+	}
+	switch in.Cond {
+	case isa.CondLT:
+		g.emit("slt r%d, r%d, r%d", rd, ra, rb)
+	case isa.CondGT:
+		g.emit("slt r%d, r%d, r%d", rd, rb, ra)
+	case isa.CondGE:
+		g.emit("slt r%d, r%d, r%d", rd, ra, rb)
+		g.emit("xor r%d, r%d, 1", rd, rd)
+	case isa.CondLE:
+		g.emit("slt r%d, r%d, r%d", rd, rb, ra)
+		g.emit("xor r%d, r%d, 1", rd, rd)
+	case isa.CondEQ:
+		g.emit("sub r%d, r%d, r%d", rd, ra, rb)
+		g.emit("sltu r%d, r0, r%d", rd, rd)
+		g.emit("xor r%d, r%d, 1", rd, rd)
+	case isa.CondNE:
+		g.emit("sub r%d, r%d, r%d", rd, ra, rb)
+		g.emit("sltu r%d, r0, r%d", rd, rd)
+	}
+	done()
+	return nil
+}
+
+func (g *funcGen) emitCall(in *ir.Instr) error {
+	if len(in.Args) > maxArgs {
+		return fmt.Errorf("codegen: call %s: more than %d arguments", in.Callee, maxArgs)
+	}
+	// Built-in output intrinsics.
+	switch in.Callee {
+	case "print_int", "print_char":
+		if len(in.Args) != 1 {
+			return fmt.Errorf("codegen: %s takes one argument", in.Callee)
+		}
+		ra, err := g.srcReg(in.Args[0], scratchA)
+		if err != nil {
+			return err
+		}
+		port := int64(outIntAddr)
+		if in.Callee == "print_char" {
+			port = outCharAddr
+		}
+		g.emit("li r%d, %d", scratchB, port)
+		g.emit("st8 r%d, r%d(0)", ra, scratchB)
+		if in.Dst != ir.NoVReg {
+			rd, done := g.dstReg(in.Dst)
+			g.emit("li r%d, 0", rd)
+			done()
+		}
+		return nil
+	}
+	if g.m.Func(in.Callee) == nil {
+		return fmt.Errorf("codegen: call to undefined function %q", in.Callee)
+	}
+	for i, a := range in.Args {
+		ra, err := g.srcReg(a, firstArgReg+i)
+		if err != nil {
+			return err
+		}
+		if ra != firstArgReg+i {
+			g.emit("mov r%d, r%d", firstArgReg+i, ra)
+		}
+	}
+	g.emit("call r%d, _%s", raReg, in.Callee)
+	if in.Dst != ir.NoVReg {
+		rd, done := g.dstReg(in.Dst)
+		if rd != retReg {
+			g.emit("mov r%d, r%d", rd, retReg)
+		}
+		done()
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"elag/internal/asm"
+	"elag/internal/codegen"
+	"elag/internal/emu"
+	"elag/internal/ir"
+	"elag/internal/mcc"
+)
+
+func generate(t *testing.T, src string) string {
+	t.Helper()
+	mod, err := mcc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	text, err := codegen.Generate(mod)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return text
+}
+
+func runText(t *testing.T, text string) emu.Result {
+	t.Helper()
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble generated code: %v\n%s", err, text)
+	}
+	res, err := emu.Run(prog, 20_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, text)
+	}
+	return res
+}
+
+func TestStartupStub(t *testing.T) {
+	text := generate(t, "int main() { return 7; }")
+	if !strings.Contains(text, "main:\n\tcall r63, _main\n\thalt r1") {
+		t.Errorf("startup stub missing:\n%s", text)
+	}
+	if res := runText(t, text); res.ExitCode != 7 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestAllLoadsEmittedNormal(t *testing.T) {
+	text := generate(t, `
+int g[8];
+int main() {
+	int s = 0;
+	for (int i = 0; i < 8; i++) { s += g[i]; }
+	return s;
+}`)
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "ld") && !strings.Contains(trimmed, "_n ") {
+			t.Errorf("code generator emitted a non-ld_n load: %q", trimmed)
+		}
+	}
+}
+
+// TestSpillPressure forces more live values than allocatable registers and
+// checks correctness through spill slots.
+func TestSpillPressure(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("int main() {\n")
+	// 60 variables, all live until the end: must spill (50 allocatable).
+	for i := 0; i < 60; i++ {
+		b.WriteString("\tint v")
+		b.WriteByte(byte('0' + i/10))
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString(" = ")
+		b.WriteString(itoa(i + 1))
+		b.WriteString(";\n")
+	}
+	b.WriteString("\tint s = 0;\n")
+	for i := 0; i < 60; i++ {
+		b.WriteString("\ts = s + v")
+		b.WriteByte(byte('0' + i/10))
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString(";\n")
+	}
+	b.WriteString("\treturn s;\n}\n")
+
+	mod, err := mcc.Compile(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No optimization: keep all 60 values live simultaneously.
+	text, err := codegen.Generate(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runText(t, text)
+	if res.ExitCode != 60*61/2 {
+		t.Errorf("spilled sum = %d, want %d", res.ExitCode, 60*61/2)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+// TestCalleeSavedAcrossCalls: values in callee-saved registers must survive
+// a nested call that itself uses many registers.
+func TestCalleeSavedAcrossCalls(t *testing.T) {
+	text := generate(t, `
+int clobber(int n) {
+	int a = n + 1;
+	int b = a * 2;
+	int c = b - n;
+	int d = c * c;
+	int e = d + a;
+	return e - d - a;  /* 0 */
+}
+int main() {
+	int keep1 = 11;
+	int keep2 = 22;
+	int keep3 = 33;
+	int z = clobber(100);
+	return keep1 + keep2 + keep3 + z;
+}`)
+	if res := runText(t, text); res.ExitCode != 66 {
+		t.Errorf("callee-saved values lost: exit %d, want 66", res.ExitCode)
+	}
+}
+
+func TestLeafFunctionHasNoSaveRestoreLoads(t *testing.T) {
+	// A small leaf function's values live in caller-saved registers, so
+	// its body must contain no stack loads at all.
+	text := generate(t, `
+int leaf(int a, int b) { return a * b + a - b; }
+int main() { return leaf(6, 7); }`)
+	inLeaf := false
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(line, "_leaf:") {
+			inLeaf = true
+			continue
+		}
+		if inLeaf && strings.HasPrefix(line, "_main:") {
+			break
+		}
+		if inLeaf && strings.HasPrefix(trimmed, "ld") {
+			t.Errorf("leaf function contains a load: %q\n%s", trimmed, text)
+		}
+	}
+}
+
+func TestSixArgumentLimit(t *testing.T) {
+	mod, err := mcc.Compile(`
+int f(int a, int b, int c, int d, int e, int g, int h) { return a; }
+int main() { return f(1, 2, 3, 4, 5, 6, 7); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.Generate(mod); err == nil {
+		t.Errorf("7-argument call generated without error")
+	}
+}
+
+func TestGlobalEmission(t *testing.T) {
+	m := &ir.Module{
+		Globals: []*ir.Global{
+			{Name: "zeros", Size: 32},
+			{Name: "mix", Size: 24, Init: []byte{1, 2, 3},
+				Addrs: []ir.AddrInit{{Off: 8, Sym: "zeros", Add: 16}}},
+		},
+	}
+	f := ir.NewFunc("main", 0)
+	b := f.NewBlock()
+	ret := ir.NewInstr(ir.OpRet)
+	ret.A = ir.C(0)
+	b.Insts = append(b.Insts, ret)
+	f.ComputeCFG()
+	m.Funcs = []*ir.Func{f}
+	text, err := codegen.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, text)
+	}
+	base := prog.DataSymbols["mix"]
+	c := emu.New(prog)
+	if got := c.Mem.Read(base, 1); got != 1 {
+		t.Errorf("init byte 0 = %d", got)
+	}
+	if got := int64(c.Mem.Read(base+8, 8)); got != prog.DataSymbols["zeros"]+16 {
+		t.Errorf("addr cell = %#x, want %#x", got, prog.DataSymbols["zeros"]+16)
+	}
+}
+
+func TestAddressingModeSelection(t *testing.T) {
+	text := generate(t, `
+int g;
+int arr[16];
+int main() {
+	int s = g;                       /* absolute */
+	int *p = arr;
+	s += p[2];                       /* reg+offset */
+	for (int i = 0; i < 4; i++) {
+		s += arr[i * 3];         /* ends up indexed */
+	}
+	return s;
+}`)
+	if !strings.Contains(text, "(g)") && !strings.Contains(text, ", g") {
+		t.Errorf("absolute global access not emitted:\n%s", text)
+	}
+	if !strings.Contains(text, "(16)") {
+		t.Errorf("register+offset p[2] not emitted:\n%s", text)
+	}
+}
+
+func TestMissingMainRejected(t *testing.T) {
+	m := &ir.Module{}
+	if _, err := codegen.Generate(m); err == nil {
+		t.Errorf("module without main generated")
+	}
+}

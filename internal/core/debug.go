@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elag/internal/isa"
+)
+
+// DumpStructure renders the machine-level functions, basic blocks and
+// natural loops the classifier sees — a debugging aid for classification
+// questions (exposed through elag-cc -structure).
+func DumpStructure(p *isa.Program) string {
+	var sb strings.Builder
+	for _, f := range splitFunctions(p) {
+		fmt.Fprintf(&sb, "func %s [%d,%d) blocks=%d\n", f.name, f.start, f.end, len(f.blocks))
+		for _, b := range f.blocks {
+			var succs []int
+			for _, s := range b.succs {
+				succs = append(succs, s.start)
+			}
+			fmt.Fprintf(&sb, "  B%-3d [%4d,%4d) -> %v\n", b.id, b.start, b.end, succs)
+		}
+		for _, l := range findMLoops(f) {
+			var blocks []int
+			for b := range l.blocks {
+				blocks = append(blocks, b.start)
+			}
+			sort.Ints(blocks)
+			fmt.Fprintf(&sb, "  loop depth=%d header=%d blocks=%v\n", l.depth, l.header.start, blocks)
+		}
+	}
+	return sb.String()
+}

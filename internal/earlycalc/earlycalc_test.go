@@ -1,0 +1,125 @@
+package earlycalc
+
+import (
+	"testing"
+
+	"elag/internal/isa"
+)
+
+func TestSingleEntryRAddr(t *testing.T) {
+	c := New(Config{Entries: 1})
+	if c.Size() != 1 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if _, ok := c.Lookup(5); ok {
+		t.Errorf("cold lookup hit")
+	}
+	c.Bind(5, 1000, true)
+	if v, ok := c.Lookup(5); !ok || v != 1000 {
+		t.Errorf("lookup after bind = %d,%v", v, ok)
+	}
+	// Binding a different register replaces the single entry — "the
+	// binding has just been switched by the current load".
+	c.Bind(7, 2000, true)
+	if _, ok := c.Lookup(5); ok {
+		t.Errorf("old binding survived in a one-entry cache")
+	}
+	if v, ok := c.Lookup(7); !ok || v != 2000 {
+		t.Errorf("new binding missing: %d,%v", v, ok)
+	}
+}
+
+func TestBroadcastUpdatesBoundRegister(t *testing.T) {
+	c := New(Config{Entries: 1})
+	c.Bind(5, 0, false) // bound while the producer is in flight
+	if _, ok := c.Lookup(5); ok {
+		t.Errorf("invalid entry returned a value")
+	}
+	c.Broadcast(5, 4242)
+	if v, ok := c.Lookup(5); !ok || v != 4242 {
+		t.Errorf("broadcast did not validate entry: %d,%v", v, ok)
+	}
+	// Broadcasts to unbound registers are ignored.
+	c.Broadcast(9, 1)
+	if v, _ := c.Lookup(5); v != 4242 {
+		t.Errorf("unrelated broadcast corrupted the entry")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{Entries: 1})
+	c.Bind(5, 100, true)
+	c.Invalidate(5)
+	if _, ok := c.Lookup(5); ok {
+		t.Errorf("invalidated entry still hit")
+	}
+	c.Broadcast(5, 200)
+	if v, ok := c.Lookup(5); !ok || v != 200 {
+		t.Errorf("broadcast did not revalidate: %d,%v", v, ok)
+	}
+}
+
+func TestMultiEntryLRU(t *testing.T) {
+	c := New(Config{Entries: 2})
+	c.Bind(1, 10, true)
+	c.Bind(2, 20, true)
+	c.Lookup(1)         // 1 is now MRU
+	c.Bind(3, 30, true) // evicts 2
+	if _, ok := c.Lookup(2); ok {
+		t.Errorf("LRU entry survived")
+	}
+	if _, ok := c.Lookup(1); !ok {
+		t.Errorf("MRU entry evicted")
+	}
+	if _, ok := c.Lookup(3); !ok {
+		t.Errorf("new entry missing")
+	}
+}
+
+func TestRebindSameRegisterUpdatesInPlace(t *testing.T) {
+	c := New(Config{Entries: 2})
+	c.Bind(1, 10, true)
+	c.Bind(2, 20, true)
+	c.Bind(1, 11, true) // must not evict 2
+	if _, ok := c.Lookup(2); !ok {
+		t.Errorf("rebinding an existing register evicted another entry")
+	}
+	if v, _ := c.Lookup(1); v != 11 {
+		t.Errorf("rebind did not update value: %d", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(Config{Entries: 1})
+	c.Bind(4, 1, true)
+	c.Lookup(4)
+	c.Lookup(9)
+	st := c.Stats()
+	if st.Binds != 1 || st.Lookups != 2 || st.Hits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestContainsAndReset(t *testing.T) {
+	c := New(Config{Entries: 2})
+	c.Bind(isa.Reg(8), 0, false)
+	if !c.Contains(8) {
+		t.Errorf("Contains missed an invalid-but-present entry")
+	}
+	c.Reset()
+	if c.Contains(8) {
+		t.Errorf("Reset left entries behind")
+	}
+	if st := c.Stats(); st.Binds != 0 {
+		t.Errorf("Reset left stats behind: %+v", st)
+	}
+}
+
+func TestDefaultSizeIsOne(t *testing.T) {
+	if New(Config{}).Size() != 1 {
+		t.Errorf("default register cache is not the single R_addr")
+	}
+}

@@ -1,0 +1,293 @@
+// Package emu implements the functional (architectural) emulator for the
+// repository's RISC ISA. It is the front half of the paper's
+// "emulation-driven simulator": it executes programs exactly, producing a
+// dynamic instruction trace — PCs, effective addresses, base-register
+// values, and branch outcomes — that the timing model in package pipeline
+// replays cycle by cycle.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"elag/internal/isa"
+)
+
+// Console I/O is memory-mapped: stores to these addresses are intercepted by
+// the emulator instead of writing data memory.
+const (
+	// OutInt appends the stored value to the run's integer output stream.
+	OutInt int64 = 0x7FFF_F000
+	// OutChar appends the low byte of the stored value to the run's
+	// character output stream.
+	OutChar int64 = 0x7FFF_F008
+)
+
+// ErrFuel is returned when a program exceeds its instruction budget,
+// usually indicating an infinite loop in a test program.
+var ErrFuel = errors.New("emu: instruction budget exhausted")
+
+// DefaultStackTop is the initial stack pointer if the runner does not set
+// one. The stack grows downward.
+const DefaultStackTop int64 = 0x4000_0000
+
+// TraceEntry records one dynamic instruction for the timing model. For
+// memory operations it carries the architecturally correct effective
+// address, which the timing model uses to verify speculative addresses.
+type TraceEntry struct {
+	PC      int   // instruction index
+	SeqNum  int64 // dynamic sequence number, 0-based
+	EA      int64 // effective address (memory ops only)
+	BaseVal int64 // value of the base register when executed (reg modes)
+	Taken   bool  // branch outcome (OpBr); true for jmp/call/jr
+	NextPC  int   // PC of the next executed instruction
+}
+
+// Result summarizes an emulation run.
+type Result struct {
+	ExitCode     int64
+	DynamicInsts int64
+	DynamicLoads int64
+	DynamicStore int64
+	IntOut       []int64 // values stored to OutInt, in order
+	CharOut      []byte  // bytes stored to OutChar, in order
+}
+
+// Output returns a compact printable form of the run's observable output,
+// used by tests to compare architectural results across configurations.
+func (r *Result) Output() string {
+	return fmt.Sprintf("exit=%d ints=%v chars=%q", r.ExitCode, r.IntOut, string(r.CharOut))
+}
+
+// CPU is the architectural machine state plus the loaded program.
+type CPU struct {
+	Prog *isa.Program
+	Mem  *Memory
+	R    [isa.NumIntRegs]int64
+	F    [isa.NumFPRegs]float64
+	PC   int
+
+	res    Result
+	halted bool
+}
+
+// New creates a CPU with prog loaded: data image copied in, PC at the entry
+// point, and the stack pointer initialized.
+func New(prog *isa.Program) *CPU {
+	c := &CPU{Prog: prog, Mem: NewMemory(), PC: prog.Entry}
+	c.Mem.LoadImage(prog.DataBase, prog.Data)
+	c.R[isa.RegSP] = DefaultStackTop
+	return c
+}
+
+// Halted reports whether the program has executed OpHalt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Result returns the run summary; valid once Halted is true (or at any point
+// for the counters accumulated so far).
+func (c *CPU) Result() Result { return c.res }
+
+// EA computes the architectural effective address of a memory instruction
+// given the current register state.
+func (c *CPU) EA(in *isa.Inst) int64 {
+	switch in.Mode {
+	case isa.AMRegOffset:
+		return c.R[in.Base] + in.Imm
+	case isa.AMRegReg:
+		return c.R[in.Base] + c.R[in.Index]
+	default:
+		return in.Imm
+	}
+}
+
+// Step executes one instruction and fills te (which may be nil) with its
+// trace record. It returns an error for architectural faults (bad PC,
+// division by zero).
+func (c *CPU) Step(te *TraceEntry) error {
+	if c.halted {
+		return errors.New("emu: step after halt")
+	}
+	if c.PC < 0 || c.PC >= len(c.Prog.Insts) {
+		return fmt.Errorf("emu: PC %d out of range [0,%d)", c.PC, len(c.Prog.Insts))
+	}
+	in := &c.Prog.Insts[c.PC]
+	pc := c.PC
+	next := pc + 1
+	var ea, baseVal int64
+	taken := false
+
+	src2 := func() int64 {
+		if in.SrcImm {
+			return in.Imm
+		}
+		return c.R[in.Rs2]
+	}
+	setR := func(r isa.Reg, v int64) {
+		if r != isa.RegZero {
+			c.R[r] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		setR(in.Rd, c.R[in.Rs1]+src2())
+	case isa.OpSub:
+		setR(in.Rd, c.R[in.Rs1]-src2())
+	case isa.OpMul:
+		setR(in.Rd, c.R[in.Rs1]*src2())
+	case isa.OpDiv:
+		d := src2()
+		if d == 0 {
+			return fmt.Errorf("emu: division by zero at PC %d", pc)
+		}
+		setR(in.Rd, c.R[in.Rs1]/d)
+	case isa.OpRem:
+		d := src2()
+		if d == 0 {
+			return fmt.Errorf("emu: remainder by zero at PC %d", pc)
+		}
+		setR(in.Rd, c.R[in.Rs1]%d)
+	case isa.OpAnd:
+		setR(in.Rd, c.R[in.Rs1]&src2())
+	case isa.OpOr:
+		setR(in.Rd, c.R[in.Rs1]|src2())
+	case isa.OpXor:
+		setR(in.Rd, c.R[in.Rs1]^src2())
+	case isa.OpSll:
+		setR(in.Rd, c.R[in.Rs1]<<(uint64(src2())&63))
+	case isa.OpSrl:
+		setR(in.Rd, int64(uint64(c.R[in.Rs1])>>(uint64(src2())&63)))
+	case isa.OpSra:
+		setR(in.Rd, c.R[in.Rs1]>>(uint64(src2())&63))
+	case isa.OpSlt:
+		if c.R[in.Rs1] < src2() {
+			setR(in.Rd, 1)
+		} else {
+			setR(in.Rd, 0)
+		}
+	case isa.OpSltu:
+		if uint64(c.R[in.Rs1]) < uint64(src2()) {
+			setR(in.Rd, 1)
+		} else {
+			setR(in.Rd, 0)
+		}
+	case isa.OpLUI:
+		setR(in.Rd, in.Imm)
+
+	case isa.OpLoad:
+		ea = c.EA(in)
+		baseVal = c.R[in.Base]
+		var v int64
+		if in.Signed {
+			v = c.Mem.ReadSigned(ea, int(in.Width))
+		} else {
+			v = int64(c.Mem.Read(ea, int(in.Width)))
+		}
+		setR(in.Rd, v)
+		c.res.DynamicLoads++
+	case isa.OpStore:
+		ea = c.EA(in)
+		baseVal = c.R[in.Base]
+		c.res.DynamicStore++
+		switch ea {
+		case OutInt:
+			c.res.IntOut = append(c.res.IntOut, c.R[in.Rs2])
+		case OutChar:
+			c.res.CharOut = append(c.res.CharOut, byte(c.R[in.Rs2]))
+		default:
+			c.Mem.Write(ea, uint64(c.R[in.Rs2]), int(in.Width))
+		}
+	case isa.OpFLoad:
+		ea = c.EA(in)
+		baseVal = c.R[in.Base]
+		c.F[in.Rd] = f64frombits(c.Mem.Read(ea, 8))
+		c.res.DynamicLoads++
+	case isa.OpFStore:
+		ea = c.EA(in)
+		baseVal = c.R[in.Base]
+		c.Mem.Write(ea, f64bits(c.F[in.Rs2]), 8)
+		c.res.DynamicStore++
+
+	case isa.OpBr:
+		if in.Cond.Eval(c.R[in.Rs1], src2()) {
+			next, taken = in.Target, true
+		}
+	case isa.OpJmp:
+		next, taken = in.Target, true
+	case isa.OpCall:
+		setR(in.Rd, int64(pc+1))
+		next, taken = in.Target, true
+	case isa.OpJr:
+		next, taken = int(c.R[in.Rs1]), true
+
+	case isa.OpFAdd:
+		c.F[in.Rd] = c.F[in.Rs1] + c.F[in.Rs2]
+	case isa.OpFSub:
+		c.F[in.Rd] = c.F[in.Rs1] - c.F[in.Rs2]
+	case isa.OpFMul:
+		c.F[in.Rd] = c.F[in.Rs1] * c.F[in.Rs2]
+	case isa.OpFDiv:
+		c.F[in.Rd] = c.F[in.Rs1] / c.F[in.Rs2]
+	case isa.OpFMov:
+		c.F[in.Rd] = c.F[in.Rs1]
+	case isa.OpCvtIF:
+		c.F[in.Rd] = float64(c.R[in.Rs1])
+	case isa.OpCvtFI:
+		setR(in.Rd, int64(c.F[in.Rs1]))
+
+	case isa.OpHalt:
+		c.halted = true
+		c.res.ExitCode = c.R[in.Rs1]
+		next = pc
+	default:
+		return fmt.Errorf("emu: unimplemented opcode %v at PC %d", in.Op, pc)
+	}
+
+	if te != nil {
+		te.PC = pc
+		te.SeqNum = c.res.DynamicInsts
+		te.EA = ea
+		te.BaseVal = baseVal
+		te.Taken = taken
+		te.NextPC = next
+	}
+	c.res.DynamicInsts++
+	c.PC = next
+	return nil
+}
+
+// Run executes prog to completion (or until fuel instructions have retired)
+// and returns the run summary. fuel <= 0 means a generous default.
+func Run(prog *isa.Program, fuel int64) (Result, error) {
+	r, _, err := RunTrace(prog, fuel, false)
+	return r, err
+}
+
+// RunTrace executes prog and, if wantTrace is true, also returns the full
+// dynamic instruction trace for replay by the timing model.
+func RunTrace(prog *isa.Program, fuel int64, wantTrace bool) (Result, []TraceEntry, error) {
+	if fuel <= 0 {
+		fuel = 200_000_000
+	}
+	c := New(prog)
+	var trace []TraceEntry
+	var te TraceEntry
+	for !c.Halted() {
+		if c.res.DynamicInsts >= fuel {
+			return c.res, trace, ErrFuel
+		}
+		if err := c.Step(&te); err != nil {
+			return c.res, trace, err
+		}
+		if wantTrace {
+			trace = append(trace, te)
+		}
+	}
+	return c.res, trace, nil
+}
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

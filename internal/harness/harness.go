@@ -1,0 +1,179 @@
+// Package harness regenerates the paper's evaluation: Tables 2-4 and
+// Figures 5a-5c, over the workload suite of package workload. Each
+// benchmark is compiled once; its dynamic trace is generated once and
+// replayed under every hardware configuration, exactly like the paper's
+// emulation-driven methodology.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"elag"
+	"elag/internal/core"
+	"elag/internal/emu"
+	"elag/internal/pipeline"
+	"elag/internal/profile"
+	"elag/internal/workload"
+)
+
+// Runner executes experiments. The zero value is usable; set Fuel to bound
+// per-benchmark dynamic instructions (0 means run each program to
+// completion) and Log to observe progress.
+type Runner struct {
+	// Fuel caps emulated instructions per benchmark; a truncated trace
+	// is still valid for timing studies. 0 means unlimited.
+	Fuel int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+
+	// Exactly one lab (with its multi-megabyte trace) is kept resident;
+	// experiment loops iterate benchmark-outer so each benchmark is
+	// built and traced once per experiment.
+	last *Lab
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Lab is one benchmark prepared for experiments: compiled, classified,
+// profiled, and traced.
+type Lab struct {
+	W *workload.Workload
+	// Prog is the compiled program; its load flavours are rewritten by
+	// UseHeuristics/UseProfile/ClearFlavors before each simulation.
+	Prog *elag.Program
+	// Heur is the classification from the Section 4 heuristics alone;
+	// Reclass additionally applies the Section 4.3 address profile.
+	Heur    *core.Classification
+	Reclass *core.Classification
+	// Profile holds per-load unlimited-table prediction rates.
+	Profile *profile.LoadProfile
+	// Trace is the architectural dynamic trace replayed by the timing
+	// model; EmuRes summarizes the architectural run.
+	Trace  []emu.TraceEntry
+	EmuRes emu.Result
+
+	baseCycles int64 // memoized base-architecture cycles
+}
+
+// Lab prepares the lab for one workload, reusing the resident one when the
+// same benchmark is requested again.
+func (r *Runner) Lab(w *workload.Workload) (*Lab, error) {
+	if r.last != nil && r.last.W.Name == w.Name {
+		return r.last, nil
+	}
+	r.logf("build %s", w.Name)
+	p, err := elag.Build(w.Source, elag.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	l := &Lab{W: w, Prog: p, Heur: p.Classes}
+
+	lp, _, err := profile.Collect(p.Machine, r.Fuel)
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return nil, fmt.Errorf("%s: profile: %w", w.Name, err)
+	}
+	l.Profile = lp
+	l.Reclass = core.Reclassify(l.Heur, lp.Rates(), 0)
+
+	res, trace, err := emu.RunTrace(p.Machine, r.Fuel, true)
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return nil, fmt.Errorf("%s: trace: %w", w.Name, err)
+	}
+	l.Trace = trace
+	l.EmuRes = res
+	r.last = l
+	return l, nil
+}
+
+// UseHeuristics applies the heuristic-only classification to the program.
+func (l *Lab) UseHeuristics() { l.Heur.Apply(l.Prog.Machine) }
+
+// UseProfile applies the profile-reclassified flavours to the program.
+func (l *Lab) UseProfile() { l.Reclass.Apply(l.Prog.Machine) }
+
+// Simulate replays the cached trace under cfg with the program's current
+// load flavours.
+func (l *Lab) Simulate(cfg pipeline.Config) (*pipeline.Metrics, error) {
+	sim := pipeline.New(cfg, l.Prog.Machine)
+	return sim.Run(l.Trace)
+}
+
+// BaseCycles returns (memoizing) the cycle count of the base architecture,
+// the denominator of every speedup in Section 5.
+func (l *Lab) BaseCycles() (int64, error) {
+	if l.baseCycles == 0 {
+		m, err := l.Simulate(pipeline.PaperBase())
+		if err != nil {
+			return 0, err
+		}
+		l.baseCycles = m.Cycles
+	}
+	return l.baseCycles, nil
+}
+
+// Speedup simulates cfg and returns baseCycles/cycles.
+func (l *Lab) Speedup(cfg pipeline.Config) (float64, error) {
+	base, err := l.BaseCycles()
+	if err != nil {
+		return 0, err
+	}
+	m, err := l.Simulate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if m.Cycles == 0 {
+		return 0, fmt.Errorf("%s: zero cycles", l.W.Name)
+	}
+	return float64(base) / float64(m.Cycles), nil
+}
+
+// Standard hardware configurations of Section 5.
+
+// CompilerDual is the paper's proposal: 256-entry table + 1 R_addr,
+// compiler-selected flavours.
+func CompilerDual() pipeline.Config { return pipeline.PaperCompilerDirected() }
+
+// HWPredict is hardware-only table prediction with the given table size
+// (Figure 5a without compiler support).
+func HWPredict(entries int) pipeline.Config {
+	return pipeline.Config{
+		Select:    pipeline.SelAllPredict,
+		Predictor: &elag.PredictorConfig{Entries: entries},
+	}
+}
+
+// CompilerPredict is table-only hardware with compiler support: only loads
+// the heuristics marked predictable enter the table (Figure 5a "with
+// compiler support").
+func CompilerPredict(entries int) pipeline.Config {
+	return pipeline.Config{
+		Select:    pipeline.SelCompiler,
+		Predictor: &elag.PredictorConfig{Entries: entries},
+		// No register cache: ld_e loads behave like normal loads.
+	}
+}
+
+// HWEarly is hardware-only early calculation with n cached registers
+// (Figure 5b).
+func HWEarly(n int) pipeline.Config {
+	return pipeline.Config{
+		Select:   pipeline.SelAllEarly,
+		RegCache: &elag.RegCacheConfig{Entries: n},
+	}
+}
+
+// HWDual is the hardware-only dual-path scheme steered by the
+// Eickemeyer-Vassiliadis interlock heuristic (Figure 5c "no compiler").
+func HWDual(entries, regs int) pipeline.Config {
+	return pipeline.Config{
+		Select:    pipeline.SelHWDual,
+		Predictor: &elag.PredictorConfig{Entries: entries},
+		RegCache:  &elag.RegCacheConfig{Entries: regs},
+	}
+}

@@ -1,0 +1,262 @@
+package ir
+
+// This file implements the CFG analyses used by the optimizer and the load
+// classifier: dominators (iterative Cooper-Harvey-Kennedy), natural loop
+// detection from back edges, and virtual-register liveness.
+
+// Dominators maps each block to its immediate dominator. The entry block's
+// immediate dominator is itself.
+type Dominators struct {
+	idom map[*Block]*Block
+}
+
+// Idom returns b's immediate dominator (the entry maps to itself).
+func (d *Dominators) Idom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *Dominators) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		i := d.idom[b]
+		if i == nil || i == b {
+			return false
+		}
+		b = i
+	}
+}
+
+// ComputeDominators computes the dominator tree of f. ComputeCFG must have
+// been called first.
+func ComputeDominators(f *Func) *Dominators {
+	if len(f.Blocks) == 0 {
+		return &Dominators{idom: map[*Block]*Block{}}
+	}
+	// Reverse postorder.
+	var rpo []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		rpo = append(rpo, b)
+	}
+	entry := f.Blocks[0]
+	dfs(entry)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	order := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	idom := make(map[*Block]*Block, len(rpo))
+	idom[entry] = entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &Dominators{idom: idom}
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	// Header is the loop's entry block (target of its back edges).
+	Header *Block
+	// Blocks is the loop body, including the header.
+	Blocks []*Block
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Children are the loops immediately nested inside this one.
+	Children []*Loop
+	// Depth is the nesting depth (outermost loops have depth 1).
+	Depth int
+
+	blockSet map[*Block]bool
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *Block) bool { return l.blockSet[b] }
+
+// FindLoops detects the natural loops of f and returns them sorted
+// innermost-first (deepest nesting depth first), the order in which the
+// paper's cyclic heuristics analyze them.
+func FindLoops(f *Func, dom *Dominators) []*Loop {
+	var loops []*Loop
+	byHeader := make(map[*Block]*Loop)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !dom.Dominates(s, b) {
+				continue // not a back edge
+			}
+			header := s
+			l := byHeader[header]
+			if l == nil {
+				l = &Loop{Header: header, blockSet: map[*Block]bool{header: true}}
+				l.Blocks = append(l.Blocks, header)
+				byHeader[header] = l
+				loops = append(loops, l)
+			}
+			// Collect the body: predecessors reachable backwards
+			// from the latch without passing the header.
+			stack := []*Block{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.blockSet[n] {
+					continue
+				}
+				l.blockSet[n] = true
+				l.Blocks = append(l.Blocks, n)
+				stack = append(stack, n.Preds...)
+			}
+		}
+	}
+	// Establish nesting: loop A is nested in B if A's header is in B's
+	// body and A != B; the parent is the smallest such B.
+	for _, a := range loops {
+		for _, b := range loops {
+			if a == b || !b.blockSet[a.Header] {
+				continue
+			}
+			if a.Parent == nil || len(b.Blocks) < len(a.Parent.Blocks) {
+				a.Parent = b
+			}
+		}
+	}
+	for _, l := range loops {
+		if l.Parent != nil {
+			l.Parent.Children = append(l.Parent.Children, l)
+		}
+	}
+	var depth func(l *Loop) int
+	depth = func(l *Loop) int {
+		if l.Parent == nil {
+			return 1
+		}
+		return depth(l.Parent) + 1
+	}
+	for _, l := range loops {
+		l.Depth = depth(l)
+	}
+	// Innermost first.
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0 && loops[j].Depth > loops[j-1].Depth; j-- {
+			loops[j], loops[j-1] = loops[j-1], loops[j]
+		}
+	}
+	return loops
+}
+
+// LoopDepth returns a map from block to its innermost loop nesting depth
+// (0 for blocks outside all loops).
+func LoopDepth(loops []*Loop) map[*Block]int {
+	d := make(map[*Block]int)
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			if l.Depth > d[b] {
+				d[b] = l.Depth
+			}
+		}
+	}
+	return d
+}
+
+// Liveness holds per-block live-in/live-out virtual register sets.
+type Liveness struct {
+	In, Out map[*Block]map[VReg]bool
+}
+
+// ComputeLiveness runs the standard backward iterative dataflow analysis.
+func ComputeLiveness(f *Func) *Liveness {
+	lv := &Liveness{
+		In:  make(map[*Block]map[VReg]bool, len(f.Blocks)),
+		Out: make(map[*Block]map[VReg]bool, len(f.Blocks)),
+	}
+	use := make(map[*Block]map[VReg]bool, len(f.Blocks))
+	def := make(map[*Block]map[VReg]bool, len(f.Blocks))
+	var scratch []VReg
+	for _, b := range f.Blocks {
+		u, d := map[VReg]bool{}, map[VReg]bool{}
+		for _, in := range b.Insts {
+			scratch = in.Uses(scratch[:0])
+			for _, v := range scratch {
+				if !d[v] {
+					u[v] = true
+				}
+			}
+			if in.Dst != NoVReg {
+				d[in.Dst] = true
+			}
+		}
+		use[b], def[b] = u, d
+		lv.In[b] = map[VReg]bool{}
+		lv.Out[b] = map[VReg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[b]
+			for _, s := range b.Succs {
+				for v := range lv.In[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.In[b]
+			for v := range use[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,286 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Binary encoding. Each instruction encodes to a fixed 16-byte record:
+//
+//	word0 (uint32): op[0:6] flavor[6:8] cond[8:11] mode[11:13]
+//	                width[13:17] signed[17] srcimm[18]
+//	word1 (uint32): rd[0:6] rs1[6:12] rs2[12:18] base[18:24] index[24:30]
+//	word2 (uint32): target (instruction index)
+//	word3..4 (int64): immediate
+//
+// (So strictly 20 bytes: three uint32 header words plus an 8-byte
+// immediate.) This is the object-file format, not the microarchitectural
+// fetch granularity — the I-cache models a classic 4-byte instruction
+// (isa.InstBytes), as the paper's PA-RISC-like machine would fetch.
+const EncodedInstBytes = 20
+
+// encodeErr annotates encoding failures with the instruction.
+func encodeErr(in *Inst, msg string) error {
+	return fmt.Errorf("isa: encode %q: %s", in.String(), msg)
+}
+
+// EncodeInst packs one instruction into its 20-byte record.
+func EncodeInst(in *Inst, dst []byte) error {
+	if len(dst) < EncodedInstBytes {
+		return encodeErr(in, "short buffer")
+	}
+	if in.Op >= numOps {
+		return encodeErr(in, "bad opcode")
+	}
+	if in.Width > 8 {
+		return encodeErr(in, "bad width")
+	}
+	if in.Target < 0 || in.Target > 1<<31 {
+		return encodeErr(in, "target out of range")
+	}
+	w0 := uint32(in.Op) |
+		uint32(in.Flavor)<<6 |
+		uint32(in.Cond)<<8 |
+		uint32(in.Mode)<<11 |
+		uint32(in.Width)<<13
+	if in.Signed {
+		w0 |= 1 << 17
+	}
+	if in.SrcImm {
+		w0 |= 1 << 18
+	}
+	w1 := uint32(in.Rd) |
+		uint32(in.Rs1)<<6 |
+		uint32(in.Rs2)<<12 |
+		uint32(in.Base)<<18 |
+		uint32(in.Index)<<24
+	binary.LittleEndian.PutUint32(dst[0:], w0)
+	binary.LittleEndian.PutUint32(dst[4:], w1)
+	binary.LittleEndian.PutUint32(dst[8:], uint32(in.Target))
+	binary.LittleEndian.PutUint64(dst[12:], uint64(in.Imm))
+	return nil
+}
+
+// DecodeInst unpacks one 20-byte record. Symbolic names (Sym) are not part
+// of the encoding; the caller restores them from the symbol table if
+// needed.
+func DecodeInst(src []byte) (Inst, error) {
+	var in Inst
+	if len(src) < EncodedInstBytes {
+		return in, errors.New("isa: decode: short buffer")
+	}
+	w0 := binary.LittleEndian.Uint32(src[0:])
+	w1 := binary.LittleEndian.Uint32(src[4:])
+	in.Op = Op(w0 & 0x3F)
+	if in.Op >= numOps {
+		return in, fmt.Errorf("isa: decode: bad opcode %d", in.Op)
+	}
+	in.Flavor = LoadFlavor(w0 >> 6 & 0x3)
+	in.Cond = Cond(w0 >> 8 & 0x7)
+	in.Mode = AddrMode(w0 >> 11 & 0x3)
+	in.Width = uint8(w0 >> 13 & 0xF)
+	in.Signed = w0>>17&1 != 0
+	in.SrcImm = w0>>18&1 != 0
+	in.Rd = Reg(w1 & 0x3F)
+	in.Rs1 = Reg(w1 >> 6 & 0x3F)
+	in.Rs2 = Reg(w1 >> 12 & 0x3F)
+	in.Base = Reg(w1 >> 18 & 0x3F)
+	in.Index = Reg(w1 >> 24 & 0x3F)
+	in.Target = int(binary.LittleEndian.Uint32(src[8:]))
+	in.Imm = int64(binary.LittleEndian.Uint64(src[12:]))
+	return in, nil
+}
+
+// Object-file format ("ELAG"):
+//
+//	magic "ELAG" | version u32 | entry u32 | ninsts u32 | databse i64 |
+//	ndata u32 | nsyms u32 | ndatasyms u32 |
+//	insts [ninsts * 20]byte | data [ndata]byte |
+//	syms:     { nameLen u32 | name | pc u32 } * nsyms     (name-sorted)
+//	datasyms: { nameLen u32 | name | addr i64 } * ndatasyms
+const objMagic = "ELAG"
+const objVersion = 1
+
+// EncodeProgram serializes a program to the ELAG object format.
+func EncodeProgram(p *Program) ([]byte, error) {
+	var buf []byte
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	i64 := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		buf = append(buf, b[:]...)
+	}
+	str := func(s string) {
+		u32(uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = append(buf, objMagic...)
+	u32(objVersion)
+	u32(uint32(p.Entry))
+	u32(uint32(len(p.Insts)))
+	i64(p.DataBase)
+	u32(uint32(len(p.Data)))
+	u32(uint32(len(p.Symbols)))
+	u32(uint32(len(p.DataSymbols)))
+	var rec [EncodedInstBytes]byte
+	for i := range p.Insts {
+		if err := EncodeInst(&p.Insts[i], rec[:]); err != nil {
+			return nil, fmt.Errorf("inst %d: %w", i, err)
+		}
+		buf = append(buf, rec[:]...)
+	}
+	buf = append(buf, p.Data...)
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		str(name)
+		u32(uint32(p.Symbols[name]))
+	}
+	dnames := make([]string, 0, len(p.DataSymbols))
+	for name := range p.DataSymbols {
+		dnames = append(dnames, name)
+	}
+	sort.Strings(dnames)
+	for _, name := range dnames {
+		str(name)
+		i64(p.DataSymbols[name])
+	}
+	return buf, nil
+}
+
+// DecodeProgram parses the ELAG object format.
+func DecodeProgram(buf []byte) (*Program, error) {
+	pos := 0
+	need := func(n int) error {
+		if pos+n > len(buf) {
+			return fmt.Errorf("isa: object truncated at offset %d", pos)
+		}
+		return nil
+	}
+	u32 := func() (uint32, error) {
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint32(buf[pos:])
+		pos += 4
+		return v, nil
+	}
+	i64 := func() (int64, error) {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		v := int64(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+		return v, nil
+	}
+	str := func() (string, error) {
+		n, err := u32()
+		if err != nil {
+			return "", err
+		}
+		if err := need(int(n)); err != nil {
+			return "", err
+		}
+		s := string(buf[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	if string(buf[:4]) != objMagic {
+		return nil, errors.New("isa: not an ELAG object (bad magic)")
+	}
+	pos = 4
+	ver, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != objVersion {
+		return nil, fmt.Errorf("isa: unsupported object version %d", ver)
+	}
+	entry, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	ninsts, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	dataBase, err := i64()
+	if err != nil {
+		return nil, err
+	}
+	ndata, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	nsyms, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	ndsyms, err := u32()
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Program{
+		Entry:       int(entry),
+		DataBase:    dataBase,
+		Symbols:     make(map[string]int, nsyms),
+		DataSymbols: make(map[string]int64, ndsyms),
+	}
+	p.Insts = make([]Inst, ninsts)
+	for i := range p.Insts {
+		if err := need(EncodedInstBytes); err != nil {
+			return nil, err
+		}
+		in, err := DecodeInst(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("inst %d: %w", i, err)
+		}
+		p.Insts[i] = in
+		pos += EncodedInstBytes
+	}
+	if err := need(int(ndata)); err != nil {
+		return nil, err
+	}
+	p.Data = append([]byte(nil), buf[pos:pos+int(ndata)]...)
+	pos += int(ndata)
+	for i := 0; i < int(nsyms); i++ {
+		name, err := str()
+		if err != nil {
+			return nil, err
+		}
+		pc, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		p.Symbols[name] = int(pc)
+	}
+	for i := 0; i < int(ndsyms); i++ {
+		name, err := str()
+		if err != nil {
+			return nil, err
+		}
+		addr, err := i64()
+		if err != nil {
+			return nil, err
+		}
+		p.DataSymbols[name] = addr
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("isa: %d trailing bytes in object", len(buf)-pos)
+	}
+	return p, nil
+}

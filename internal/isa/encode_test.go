@@ -1,0 +1,130 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeInstRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAdd, Rd: 63, Rs1: 62, SrcImm: true, Imm: -123456789},
+		{Op: OpLUI, Rd: 5, Imm: 1 << 40},
+		{Op: OpLoad, Flavor: LdP, Width: 8, Rd: 4, Mode: AMRegOffset, Base: 17, Imm: -8},
+		{Op: OpLoad, Flavor: LdE, Width: 4, Signed: true, Rd: 3, Mode: AMRegReg, Base: 2, Index: 9},
+		{Op: OpLoad, Flavor: LdN, Width: 1, Rd: 6, Mode: AMAbsolute, Imm: 0x7FFF_F000},
+		{Op: OpStore, Width: 2, Rs2: 9, Mode: AMRegOffset, Base: 62, Imm: 48},
+		{Op: OpBr, Cond: CondLE, Rs1: 7, Rs2: 8, Target: 12345},
+		{Op: OpBr, Cond: CondNE, Rs1: 7, SrcImm: true, Imm: -1, Target: 0},
+		{Op: OpJmp, Target: 99},
+		{Op: OpCall, Rd: RegRA, Target: 7},
+		{Op: OpJr, Rs1: RegRA},
+		{Op: OpFAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpHalt, Rs1: 1},
+	}
+	var rec [EncodedInstBytes]byte
+	for _, in := range cases {
+		in := in
+		if err := EncodeInst(&in, rec[:]); err != nil {
+			t.Fatalf("encode %s: %v", in.String(), err)
+		}
+		out, err := DecodeInst(rec[:])
+		if err != nil {
+			t.Fatalf("decode %s: %v", in.String(), err)
+		}
+		if out != in {
+			t.Errorf("round trip changed instruction:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+// Property: any field combination within encoding ranges round-trips.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(op uint8, flavor, cond, mode uint8, width uint8, signed, srcImm bool,
+		rd, rs1, rs2, base, index uint8, imm int64, target uint32) bool {
+		in := Inst{
+			Op:     Op(op) % numOps,
+			Flavor: LoadFlavor(flavor % 3),
+			Cond:   Cond(cond % 6),
+			Mode:   AddrMode(mode % 3),
+			Width:  width % 9,
+			Signed: signed,
+			SrcImm: srcImm,
+			Rd:     Reg(rd % 64),
+			Rs1:    Reg(rs1 % 64),
+			Rs2:    Reg(rs2 % 64),
+			Base:   Reg(base % 64),
+			Index:  Reg(index % 64),
+			Imm:    imm,
+			Target: int(target % (1 << 30)),
+		}
+		var rec [EncodedInstBytes]byte
+		if err := EncodeInst(&in, rec[:]); err != nil {
+			return false
+		}
+		out, err := DecodeInst(rec[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	p := &Program{
+		Insts: []Inst{
+			{Op: OpLUI, Rd: 1, Imm: 42},
+			{Op: OpLoad, Flavor: LdP, Width: 8, Rd: 2, Mode: AMAbsolute, Imm: 0x10000},
+			{Op: OpBr, Cond: CondLT, Rs1: 1, SrcImm: true, Imm: 10, Target: 0},
+			{Op: OpHalt, Rs1: 2},
+		},
+		Entry:       0,
+		Data:        []byte{1, 2, 3, 4, 5},
+		DataBase:    0x10000,
+		Symbols:     map[string]int{"main": 0, "loop": 2},
+		DataSymbols: map[string]int64{"tbl": 0x10000},
+	}
+	buf, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeProgram(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Insts) != len(p.Insts) || q.Entry != p.Entry || q.DataBase != p.DataBase {
+		t.Fatalf("header fields wrong: %+v", q)
+	}
+	for i := range p.Insts {
+		// Sym is not serialized; compare the rest.
+		a, b := p.Insts[i], q.Insts[i]
+		a.Sym, b.Sym = "", ""
+		if a != b {
+			t.Errorf("inst %d: %+v != %+v", i, a, b)
+		}
+	}
+	if string(q.Data) != string(p.Data) {
+		t.Errorf("data differs")
+	}
+	if q.Symbols["loop"] != 2 || q.DataSymbols["tbl"] != 0x10000 {
+		t.Errorf("symbols lost: %+v %+v", q.Symbols, q.DataSymbols)
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram([]byte("NOPE....")); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	p := &Program{Insts: []Inst{{Op: OpHalt}}, Symbols: map[string]int{}, DataSymbols: map[string]int64{}}
+	buf, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeProgram(buf[:len(buf)-3]); err == nil {
+		t.Errorf("truncated object accepted")
+	}
+	if _, err := DecodeProgram(append(buf, 0)); err == nil {
+		t.Errorf("trailing garbage accepted")
+	}
+}

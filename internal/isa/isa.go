@@ -1,0 +1,472 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a small in-order RISC machine modeled after the HP PA-7100
+// latencies used in the paper "Compiler-Directed Early Load-Address
+// Generation" (Cheng, Connors, Hwu — MICRO-31, 1998).
+//
+// The ISA has 64 integer registers and 64 floating-point registers.
+// Register 0 is hardwired to zero. Loads come in three compiler-selected
+// flavours (the paper's central mechanism):
+//
+//	ld_n — normal load, no speculation
+//	ld_p — table-based address prediction (PC-indexed stride table)
+//	ld_e — early address calculation through the special register R_addr
+//
+// Loads and stores support three addressing modes: register+offset,
+// register+register, and absolute.
+package isa
+
+import "fmt"
+
+// Register file geometry.
+const (
+	// NumIntRegs is the number of architectural integer registers.
+	NumIntRegs = 64
+	// NumFPRegs is the number of architectural floating-point registers.
+	NumFPRegs = 64
+)
+
+// Reg names an integer or floating-point register, 0..63 within its file.
+type Reg uint8
+
+// Conventional register assignments used by the compiler and runtime.
+const (
+	// RegZero is hardwired to zero; writes to it are discarded.
+	RegZero Reg = 0
+	// RegSP is the stack pointer by software convention.
+	RegSP Reg = 62
+	// RegRA receives the return address on Call by software convention.
+	RegRA Reg = 63
+)
+
+// Op is an instruction opcode. Memory operations carry an additional
+// LoadFlavor, and conditional branches carry a Cond.
+type Op uint8
+
+// Opcodes.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// Integer ALU operations. Rd <- Rs1 op (Rs2 | Imm).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll // shift left logical
+	OpSrl // shift right logical
+	OpSra // shift right arithmetic
+	OpSlt // set if less-than (signed): Rd <- (Rs1 < src2) ? 1 : 0
+	OpSltu
+
+	// OpLUI loads Imm into Rd (load "upper"/large immediate; the full
+	// 64-bit immediate is carried in Imm).
+	OpLUI
+
+	// Memory operations. The effective address is formed per Mode.
+	OpLoad  // Rd <- Mem[EA], width per Width, flavour per Flavor
+	OpStore // Mem[EA] <- Rs2 (the stored value register)
+
+	// Control transfer.
+	OpBr   // conditional branch: if Cond(Rs1, Rs2|Imm) goto Target
+	OpJmp  // unconditional jump to Target
+	OpCall // Rd(=RA) <- PC+1; goto Target
+	OpJr   // jump to register: goto Rs1 (function return, indirect calls)
+
+	// Floating point (minimal set; the paper evaluates integer codes).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFLoad
+	OpFStore
+	OpFMov
+	OpCvtIF // fp <- int
+	OpCvtFI // int <- fp
+
+	// OpHalt stops emulation; Rs1 carries the exit value register.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpSll: "sll",
+	OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu", OpLUI: "lui",
+	OpLoad: "ld", OpStore: "st", OpBr: "br", OpJmp: "jmp", OpCall: "call",
+	OpJr: "jr", OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul",
+	OpFDiv: "fdiv", OpFLoad: "fld", OpFStore: "fst", OpFMov: "fmov",
+	OpCvtIF: "cvtif", OpCvtFI: "cvtfi", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// LoadFlavor is the compiler-selected early-address-generation scheme for a
+// load instruction (Table 1 of the paper).
+type LoadFlavor uint8
+
+// Load flavours.
+const (
+	// LdN is a normal load: no early address generation. The paper uses
+	// ld_n to keep unpredictable loads from polluting the prediction
+	// table and R_addr.
+	LdN LoadFlavor = iota
+	// LdP directs the hardware to predict the load's address from the
+	// PC-indexed stride table and access the cache speculatively in ID2.
+	LdP
+	// LdE directs the hardware to calculate the address early from the
+	// cached addressing register R_addr in ID1, and (re)binds R_addr to
+	// the load's base register.
+	LdE
+)
+
+// String returns the opcode-specifier suffix used in assembly ("n", "p", "e").
+func (f LoadFlavor) String() string {
+	switch f {
+	case LdN:
+		return "n"
+	case LdP:
+		return "p"
+	case LdE:
+		return "e"
+	}
+	return "?"
+}
+
+// Cond selects the comparison performed by a conditional branch.
+type Cond uint8
+
+// Branch conditions (signed comparisons).
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondGE
+	CondLE
+	CondGT
+)
+
+// String returns the condition mnemonic suffix.
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	case CondLT:
+		return "lt"
+	case CondGE:
+		return "ge"
+	case CondLE:
+		return "le"
+	case CondGT:
+		return "gt"
+	}
+	return "?"
+}
+
+// Eval reports whether the condition holds for the signed pair (a, b).
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondGE:
+		return a >= b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	}
+	return false
+}
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondGE:
+		return CondLT
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	}
+	return c
+}
+
+// AddrMode is the addressing mode of a memory operation.
+type AddrMode uint8
+
+// Addressing modes.
+const (
+	// AMRegOffset forms EA = R[Base] + Imm. This is the only mode
+	// eligible for the early-calculation (ld_e) path.
+	AMRegOffset AddrMode = iota
+	// AMRegReg forms EA = R[Base] + R[Index].
+	AMRegReg
+	// AMAbsolute forms EA = Imm (loads from absolute locations; the
+	// acyclic heuristic marks these ld_p).
+	AMAbsolute
+)
+
+// String returns a short name for the addressing mode.
+func (m AddrMode) String() string {
+	switch m {
+	case AMRegOffset:
+		return "reg+off"
+	case AMRegReg:
+		return "reg+reg"
+	case AMAbsolute:
+		return "abs"
+	}
+	return "?"
+}
+
+// Inst is one machine instruction. The zero value is a Nop.
+//
+// Field usage by opcode class:
+//
+//	ALU:      Rd <- Rs1 op src2, where src2 = Imm if SrcImm else R[Rs2]
+//	OpLUI:    Rd <- Imm
+//	OpLoad:   Rd <- Mem[EA]; Base/Index/Imm per Mode; Flavor selects path
+//	OpStore:  Mem[EA] <- R[Rs2]; Base/Index/Imm per Mode
+//	OpBr:     if Cond(R[Rs1], src2) goto Target
+//	OpJmp:    goto Target
+//	OpCall:   R[Rd] <- return PC; goto Target
+//	OpJr:     goto R[Rs1]
+//	FP ops:   as ALU but on the FP file; OpFLoad/OpFStore address like
+//	          OpLoad/OpStore with FP data registers
+//	OpHalt:   exit with code R[Rs1]
+type Inst struct {
+	Op     Op
+	Flavor LoadFlavor // loads only
+	Cond   Cond       // OpBr only
+	Mode   AddrMode   // memory ops only
+	Width  uint8      // memory ops: 1, 2, 4 or 8 bytes
+	Signed bool       // memory loads: sign-extend sub-word data
+
+	Rd     Reg   // destination (int or fp file per opcode)
+	Rs1    Reg   // first source / branch LHS / jr target
+	Rs2    Reg   // second source / store data register
+	Base   Reg   // memory base register
+	Index  Reg   // memory index register (AMRegReg)
+	Imm    int64 // immediate / offset / absolute address
+	SrcImm bool  // ALU and branch: second operand is Imm, not Rs2
+
+	Target int    // branch/jump/call target, as an instruction index
+	Sym    string // optional symbolic target label (kept for listings)
+}
+
+// IsLoad reports whether the instruction reads data memory into a register.
+func (i *Inst) IsLoad() bool { return i.Op == OpLoad || i.Op == OpFLoad }
+
+// IsStore reports whether the instruction writes data memory.
+func (i *Inst) IsStore() bool { return i.Op == OpStore || i.Op == OpFStore }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i *Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (i *Inst) IsBranch() bool {
+	switch i.Op {
+	case OpBr, OpJmp, OpCall, OpJr:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i *Inst) IsCondBranch() bool { return i.Op == OpBr }
+
+// IsALU reports whether the instruction is an integer ALU operation.
+func (i *Inst) IsALU() bool {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpSll, OpSrl, OpSra, OpSlt, OpSltu, OpLUI, OpCvtFI:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether the instruction uses a floating-point functional unit.
+func (i *Inst) IsFP() bool {
+	switch i.Op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMov, OpCvtIF:
+		return true
+	}
+	return false
+}
+
+// WritesIntReg returns the integer register written by the instruction and
+// whether it writes one at all. Writes to RegZero are reported as no write.
+func (i *Inst) WritesIntReg() (Reg, bool) {
+	switch {
+	case i.IsALU(), i.Op == OpLoad, i.Op == OpCall:
+		if i.Rd == RegZero {
+			return 0, false
+		}
+		return i.Rd, true
+	}
+	return 0, false
+}
+
+// WritesFPReg returns the FP register written by the instruction, if any.
+func (i *Inst) WritesFPReg() (Reg, bool) {
+	switch i.Op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMov, OpFLoad, OpCvtIF:
+		return i.Rd, true
+	}
+	return 0, false
+}
+
+// IntRegsRead appends the integer registers read by the instruction to dst
+// and returns the extended slice. RegZero reads are included (they are
+// harmless: the register always holds 0 and is never interlocked).
+func (i *Inst) IntRegsRead(dst []Reg) []Reg {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpSll, OpSrl, OpSra, OpSlt, OpSltu:
+		dst = append(dst, i.Rs1)
+		if !i.SrcImm {
+			dst = append(dst, i.Rs2)
+		}
+	case OpLUI, OpNop, OpJmp, OpCall:
+	case OpLoad, OpFLoad:
+		dst = i.appendAddrRegs(dst)
+	case OpStore:
+		dst = i.appendAddrRegs(dst)
+		dst = append(dst, i.Rs2)
+	case OpFStore:
+		dst = i.appendAddrRegs(dst)
+	case OpBr:
+		dst = append(dst, i.Rs1)
+		if !i.SrcImm {
+			dst = append(dst, i.Rs2)
+		}
+	case OpJr, OpHalt, OpCvtIF:
+		dst = append(dst, i.Rs1)
+	}
+	return dst
+}
+
+func (i *Inst) appendAddrRegs(dst []Reg) []Reg {
+	switch i.Mode {
+	case AMRegOffset:
+		dst = append(dst, i.Base)
+	case AMRegReg:
+		dst = append(dst, i.Base, i.Index)
+	}
+	return dst
+}
+
+// String renders the instruction in the textual assembly syntax accepted by
+// package asm.
+func (i *Inst) String() string {
+	tgt := func() string {
+		if i.Sym != "" {
+			return i.Sym
+		}
+		return fmt.Sprintf("@%d", i.Target)
+	}
+	mem := func() string {
+		switch i.Mode {
+		case AMRegOffset:
+			return fmt.Sprintf("r%d(%d)", i.Base, i.Imm)
+		case AMRegReg:
+			return fmt.Sprintf("r%d(r%d)", i.Base, i.Index)
+		default:
+			return fmt.Sprintf("(%d)", i.Imm)
+		}
+	}
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpSll, OpSrl, OpSra, OpSlt, OpSltu:
+		if i.SrcImm {
+			return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case OpLUI:
+		return fmt.Sprintf("lui r%d, %d", i.Rd, i.Imm)
+	case OpLoad:
+		sign := ""
+		if i.Signed && i.Width < 8 {
+			sign = "s"
+		}
+		return fmt.Sprintf("ld%d%s_%s r%d, %s", i.Width, sign, i.Flavor, i.Rd, mem())
+	case OpStore:
+		return fmt.Sprintf("st%d r%d, %s", i.Width, i.Rs2, mem())
+	case OpBr:
+		if i.SrcImm {
+			return fmt.Sprintf("b%s r%d, %d, %s", i.Cond, i.Rs1, i.Imm, tgt())
+		}
+		return fmt.Sprintf("b%s r%d, r%d, %s", i.Cond, i.Rs1, i.Rs2, tgt())
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", tgt())
+	case OpCall:
+		return fmt.Sprintf("call r%d, %s", i.Rd, tgt())
+	case OpJr:
+		return fmt.Sprintf("jr r%d", i.Rs1)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return fmt.Sprintf("%s f%d, f%d, f%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case OpFMov:
+		return fmt.Sprintf("fmov f%d, f%d", i.Rd, i.Rs1)
+	case OpFLoad:
+		return fmt.Sprintf("fld f%d, %s", i.Rd, mem())
+	case OpFStore:
+		return fmt.Sprintf("fst f%d, %s", i.Rs2, mem())
+	case OpCvtIF:
+		return fmt.Sprintf("cvtif f%d, r%d", i.Rd, i.Rs1)
+	case OpCvtFI:
+		return fmt.Sprintf("cvtfi r%d, f%d", i.Rd, i.Rs1)
+	case OpHalt:
+		return fmt.Sprintf("halt r%d", i.Rs1)
+	}
+	return fmt.Sprintf("%s ???", i.Op)
+}
+
+// Program is an assembled executable: a linear instruction sequence plus an
+// initialized data image and symbol table.
+type Program struct {
+	// Insts is the instruction memory; the instruction at index i has
+	// PC i. (Instruction addresses for the I-cache are i*4.)
+	Insts []Inst
+	// Entry is the PC of the first instruction to execute.
+	Entry int
+	// Data is the initial data-memory image, loaded at DataBase.
+	Data []byte
+	// DataBase is the load address of Data.
+	DataBase int64
+	// Symbols maps label names to instruction PCs.
+	Symbols map[string]int
+	// DataSymbols maps data label names to absolute addresses.
+	DataSymbols map[string]int64
+}
+
+// InstBytes is the architectural size of one instruction in bytes; the
+// I-cache indexes instruction addresses as PC*InstBytes.
+const InstBytes = 4
+
+// PCAddr converts an instruction index into an instruction-memory byte
+// address for the I-cache.
+func PCAddr(pc int) int64 { return int64(pc) * InstBytes }

@@ -1,0 +1,173 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b int64
+		want bool
+	}{
+		{CondEQ, 3, 3, true}, {CondEQ, 3, 4, false},
+		{CondNE, 3, 4, true}, {CondNE, 3, 3, false},
+		{CondLT, -1, 0, true}, {CondLT, 0, 0, false},
+		{CondGE, 0, 0, true}, {CondGE, -5, -4, false},
+		{CondLE, 7, 7, true}, {CondLE, 8, 7, false},
+		{CondGT, 8, 7, true}, {CondGT, 7, 7, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v.Eval(%d,%d) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCondNegateIsComplement(t *testing.T) {
+	conds := []Cond{CondEQ, CondNE, CondLT, CondGE, CondLE, CondGT}
+	f := func(a, b int64) bool {
+		for _, c := range conds {
+			if c.Eval(a, b) == c.Negate().Eval(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondNegateInvolution(t *testing.T) {
+	for _, c := range []Cond{CondEQ, CondNE, CondLT, CondGE, CondLE, CondGT} {
+		if c.Negate().Negate() != c {
+			t.Errorf("Negate(Negate(%v)) = %v", c, c.Negate().Negate())
+		}
+	}
+}
+
+func TestInstClassPredicates(t *testing.T) {
+	ld := Inst{Op: OpLoad, Width: 8}
+	st := Inst{Op: OpStore, Width: 8}
+	add := Inst{Op: OpAdd}
+	br := Inst{Op: OpBr}
+	fadd := Inst{Op: OpFAdd}
+
+	if !ld.IsLoad() || !ld.IsMem() || ld.IsStore() || ld.IsALU() || ld.IsBranch() {
+		t.Errorf("load predicates wrong")
+	}
+	if !st.IsStore() || !st.IsMem() || st.IsLoad() {
+		t.Errorf("store predicates wrong")
+	}
+	if !add.IsALU() || add.IsMem() || add.IsBranch() {
+		t.Errorf("add predicates wrong")
+	}
+	if !br.IsBranch() || !br.IsCondBranch() || br.IsALU() {
+		t.Errorf("branch predicates wrong")
+	}
+	if !fadd.IsFP() || fadd.IsALU() {
+		t.Errorf("fp predicates wrong")
+	}
+	jmp := Inst{Op: OpJmp}
+	if !jmp.IsBranch() || jmp.IsCondBranch() {
+		t.Errorf("jmp predicates wrong")
+	}
+}
+
+func TestWritesIntReg(t *testing.T) {
+	if r, ok := (&Inst{Op: OpAdd, Rd: 5}).WritesIntReg(); !ok || r != 5 {
+		t.Errorf("add writes: got %d,%v", r, ok)
+	}
+	// Writes to r0 are discarded.
+	if _, ok := (&Inst{Op: OpAdd, Rd: RegZero}).WritesIntReg(); ok {
+		t.Errorf("write to r0 reported as a write")
+	}
+	if _, ok := (&Inst{Op: OpStore, Rs2: 5}).WritesIntReg(); ok {
+		t.Errorf("store reported as writing a register")
+	}
+	if r, ok := (&Inst{Op: OpCall, Rd: RegRA}).WritesIntReg(); !ok || r != RegRA {
+		t.Errorf("call should write the link register, got %d,%v", r, ok)
+	}
+}
+
+func TestIntRegsRead(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: OpAdd, Rs1: 1, Rs2: 2}, []Reg{1, 2}},
+		{Inst{Op: OpAdd, Rs1: 1, SrcImm: true}, []Reg{1}},
+		{Inst{Op: OpLoad, Mode: AMRegOffset, Base: 3}, []Reg{3}},
+		{Inst{Op: OpLoad, Mode: AMRegReg, Base: 3, Index: 4}, []Reg{3, 4}},
+		{Inst{Op: OpLoad, Mode: AMAbsolute}, nil},
+		{Inst{Op: OpStore, Mode: AMRegOffset, Base: 3, Rs2: 9}, []Reg{3, 9}},
+		{Inst{Op: OpBr, Rs1: 7, Rs2: 8}, []Reg{7, 8}},
+		{Inst{Op: OpBr, Rs1: 7, SrcImm: true}, []Reg{7}},
+		{Inst{Op: OpJr, Rs1: 63}, []Reg{63}},
+		{Inst{Op: OpLUI, Rd: 5}, nil},
+		{Inst{Op: OpJmp}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.IntRegsRead(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%s reads %v, want %v", c.in.String(), got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s reads %v, want %v", c.in.String(), got, c.want)
+			}
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, SrcImm: true, Imm: 7}, "add r1, r2, 7"},
+		{Inst{Op: OpLoad, Flavor: LdP, Width: 8, Rd: 4, Mode: AMRegOffset, Base: 17}, "ld8_p r4, r17(0)"},
+		{Inst{Op: OpLoad, Flavor: LdE, Width: 4, Rd: 3, Mode: AMRegOffset, Base: 2, Imm: 8}, "ld4_e r3, r2(8)"},
+		{Inst{Op: OpLoad, Flavor: LdN, Width: 8, Rd: 6, Mode: AMRegReg, Base: 19, Index: 5}, "ld8_n r6, r19(r5)"},
+		{Inst{Op: OpStore, Width: 8, Rs2: 9, Mode: AMAbsolute, Imm: 64}, "st8 r9, (64)"},
+		{Inst{Op: OpBr, Cond: CondLT, Rs1: 1, SrcImm: true, Imm: 10, Sym: "loop"}, "blt r1, 10, loop"},
+		{Inst{Op: OpJr, Rs1: 63}, "jr r63"},
+		{Inst{Op: OpHalt, Rs1: 1}, "halt r1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLoadFlavorString(t *testing.T) {
+	if LdN.String() != "n" || LdP.String() != "p" || LdE.String() != "e" {
+		t.Errorf("flavor strings wrong: %s %s %s", LdN, LdP, LdE)
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := OpNop; op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %d and %d share mnemonic %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestPCAddr(t *testing.T) {
+	if PCAddr(0) != 0 || PCAddr(10) != 40 {
+		t.Errorf("PCAddr wrong: %d %d", PCAddr(0), PCAddr(10))
+	}
+}

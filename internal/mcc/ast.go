@@ -1,0 +1,298 @@
+package mcc
+
+// Abstract syntax for MC. Every node carries its source line for
+// diagnostics.
+
+// Type kinds.
+type typeKind uint8
+
+const (
+	tyInt typeKind = iota
+	tyChar
+	tyVoid
+	tyPtr
+	tyArray
+	tyStruct
+)
+
+// Type describes an MC type. Types are interned loosely; compare with
+// sameType, not pointer equality.
+type Type struct {
+	kind typeKind
+	elem *Type       // ptr, array
+	n    int64       // array length
+	st   *structType // struct
+}
+
+type structField struct {
+	name string
+	typ  *Type
+	off  int64
+}
+
+type structType struct {
+	name   string
+	fields []structField
+	size   int64
+}
+
+var (
+	intType  = &Type{kind: tyInt}
+	charType = &Type{kind: tyChar}
+	voidType = &Type{kind: tyVoid}
+)
+
+func ptrTo(t *Type) *Type            { return &Type{kind: tyPtr, elem: t} }
+func arrayOf(t *Type, n int64) *Type { return &Type{kind: tyArray, elem: t, n: n} }
+
+// size returns the storage size in bytes.
+func (t *Type) size() int64 {
+	switch t.kind {
+	case tyInt, tyPtr:
+		return 8
+	case tyChar:
+		return 1
+	case tyArray:
+		return t.n * t.elem.size()
+	case tyStruct:
+		return t.st.size
+	}
+	return 0
+}
+
+func (t *Type) isInteger() bool { return t.kind == tyInt || t.kind == tyChar }
+func (t *Type) isPtr() bool     { return t.kind == tyPtr }
+func (t *Type) isArray() bool   { return t.kind == tyArray }
+
+// decayed returns the type after array-to-pointer decay.
+func (t *Type) decayed() *Type {
+	if t.kind == tyArray {
+		return ptrTo(t.elem)
+	}
+	return t
+}
+
+func (t *Type) String() string {
+	switch t.kind {
+	case tyInt:
+		return "int"
+	case tyChar:
+		return "char"
+	case tyVoid:
+		return "void"
+	case tyPtr:
+		return t.elem.String() + "*"
+	case tyArray:
+		return t.elem.String() + "[]"
+	case tyStruct:
+		return "struct " + t.st.name
+	}
+	return "?"
+}
+
+func sameType(a, b *Type) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case tyPtr:
+		return sameType(a.elem, b.elem)
+	case tyArray:
+		return a.n == b.n && sameType(a.elem, b.elem)
+	case tyStruct:
+		return a.st == b.st
+	}
+	return true
+}
+
+// ---- Expressions ----
+
+type expr interface{ exprLine() int }
+
+type numLit struct {
+	line int
+	val  int64
+}
+
+type strLit struct {
+	line int
+	val  string
+}
+
+type identExpr struct {
+	line int
+	name string
+}
+
+type unaryExpr struct {
+	line int
+	op   string // - ! ~ & *
+	x    expr
+}
+
+type binaryExpr struct {
+	line int
+	op   string
+	x, y expr
+}
+
+type assignExpr struct {
+	line int
+	op   string // = += -= *= /= %= &= |= ^= <<= >>=
+	lhs  expr
+	rhs  expr
+}
+
+type condExpr struct {
+	line int
+	cond expr
+	x, y expr
+}
+
+type callExpr struct {
+	line int
+	name string
+	args []expr
+}
+
+type indexExpr struct {
+	line int
+	x    expr
+	idx  expr
+}
+
+type memberExpr struct {
+	line  int
+	x     expr
+	name  string
+	arrow bool
+}
+
+type incDecExpr struct {
+	line int
+	x    expr
+	dec  bool
+	post bool
+}
+
+type sizeofExpr struct {
+	line int
+	typ  *Type
+}
+
+func (e *numLit) exprLine() int     { return e.line }
+func (e *strLit) exprLine() int     { return e.line }
+func (e *identExpr) exprLine() int  { return e.line }
+func (e *unaryExpr) exprLine() int  { return e.line }
+func (e *binaryExpr) exprLine() int { return e.line }
+func (e *assignExpr) exprLine() int { return e.line }
+func (e *condExpr) exprLine() int   { return e.line }
+func (e *callExpr) exprLine() int   { return e.line }
+func (e *indexExpr) exprLine() int  { return e.line }
+func (e *memberExpr) exprLine() int { return e.line }
+func (e *incDecExpr) exprLine() int { return e.line }
+func (e *sizeofExpr) exprLine() int { return e.line }
+
+// ---- Statements ----
+
+type stmt interface{ stmtLine() int }
+
+type blockStmt struct {
+	line  int
+	stmts []stmt
+}
+
+type exprStmt struct {
+	line int
+	x    expr
+}
+
+type declStmt struct {
+	line int
+	d    *varDecl
+}
+
+type ifStmt struct {
+	line      int
+	cond      expr
+	then, els stmt // els may be nil
+}
+
+type whileStmt struct {
+	line int
+	cond expr
+	body stmt
+	post bool // do-while: body runs before the first test
+}
+
+type forStmt struct {
+	line int
+	init stmt // may be nil (exprStmt or declStmt)
+	cond expr // may be nil
+	post expr // may be nil
+	body stmt
+}
+
+// switchStmt is a C switch with fallthrough semantics; case labels must be
+// constant expressions.
+type switchStmt struct {
+	line  int
+	cond  expr
+	cases []switchCase
+	// defIdx is the index into cases of the default arm, or -1.
+	defIdx int
+}
+
+type switchCase struct {
+	line int
+	vals []int64 // empty for default
+	body []stmt
+}
+
+type returnStmt struct {
+	line int
+	x    expr // may be nil
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+func (s *blockStmt) stmtLine() int    { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *declStmt) stmtLine() int     { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *switchStmt) stmtLine() int   { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+
+// ---- Declarations ----
+
+type varDecl struct {
+	line     int
+	name     string
+	typ      *Type
+	init     expr   // scalar initializer, may be nil
+	initList []expr // array initializer list, may be nil
+}
+
+type param struct {
+	name string
+	typ  *Type
+}
+
+type funcDecl struct {
+	line   int
+	name   string
+	ret    *Type
+	params []param
+	body   *blockStmt
+}
+
+type file struct {
+	structs []*structType
+	globals []*varDecl
+	funcs   []*funcDecl
+}

@@ -1,0 +1,593 @@
+package mcc
+
+import (
+	"elag/internal/ir"
+	"elag/internal/isa"
+)
+
+// lval describes an assignable location: either a register-allocated local
+// or a memory address (base operand + constant offset).
+type lval struct {
+	local *local // non-nil for register locals
+	base  ir.Operand
+	off   int64
+	typ   *Type
+}
+
+// addr materializes the lvalue's address as an operand.
+func (lo *lowerer) addr(lv *lval) (ir.Operand, error) {
+	if lv.local != nil {
+		return ir.Operand{}, errAt(0, "cannot take address of register local %s", lv.local.name)
+	}
+	switch lv.base.Kind {
+	case ir.OpndSym, ir.OpndFrame:
+		o := lv.base
+		o.Imm += lv.off
+		return o, nil
+	case ir.OpndReg, ir.OpndConst:
+		if lv.off == 0 {
+			return lv.base, nil
+		}
+		t := lo.f.NewVReg()
+		add := ir.NewInstr(ir.OpAdd)
+		add.Dst = t
+		add.A = lv.base
+		add.B = ir.C(lv.off)
+		lo.emit(add)
+		return ir.R(t), nil
+	}
+	return ir.Operand{}, errAt(0, "bad lvalue base")
+}
+
+// loadLV reads the lvalue. Arrays and structs yield their address (decay).
+func (lo *lowerer) loadLV(lv *lval) (ir.Operand, *Type, error) {
+	if lv.typ.isArray() || lv.typ.kind == tyStruct {
+		o, err := lo.addr(lv)
+		return o, lv.typ.decayed(), err
+	}
+	if lv.local != nil {
+		return ir.R(lv.local.reg), lv.typ, nil
+	}
+	d := lo.f.NewVReg()
+	ld := ir.NewInstr(ir.OpLoad)
+	ld.Dst = d
+	ld.Base = lv.base
+	ld.Off = lv.off
+	ld.Width = uint8(widthOf(lv.typ))
+	ld.Signed = lv.typ.kind == tyChar
+	lo.emit(ld)
+	return ir.R(d), lv.typ, nil
+}
+
+// storeLV writes o to the lvalue.
+func (lo *lowerer) storeLV(lv *lval, o ir.Operand) error {
+	if lv.typ.isArray() || lv.typ.kind == tyStruct {
+		return errAt(0, "cannot assign to aggregate")
+	}
+	if lv.local != nil {
+		cp := ir.NewInstr(ir.OpCopy)
+		cp.Dst = lv.local.reg
+		cp.A = o
+		lo.emit(cp)
+		return nil
+	}
+	st := ir.NewInstr(ir.OpStore)
+	st.A = o
+	st.Base = lv.base
+	st.Off = lv.off
+	st.Width = uint8(widthOf(lv.typ))
+	lo.emit(st)
+	return nil
+}
+
+// lvalue lowers an expression to an assignable location.
+func (lo *lowerer) lvalue(e expr) (*lval, error) {
+	switch x := e.(type) {
+	case *identExpr:
+		if l := lo.lookup(x.name); l != nil {
+			if l.inMem {
+				return &lval{base: ir.F(l.slot, 0), typ: l.typ}, nil
+			}
+			return &lval{local: l, typ: l.typ}, nil
+		}
+		if t, ok := lo.globals[x.name]; ok {
+			return &lval{base: ir.S(x.name, 0), typ: t}, nil
+		}
+		return nil, errAt(x.line, "undefined variable %s", x.name)
+
+	case *unaryExpr:
+		if x.op != "*" {
+			return nil, errAt(x.line, "expression is not assignable")
+		}
+		o, t, err := lo.expr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		if !t.isPtr() {
+			return nil, errAt(x.line, "dereference of non-pointer (%s)", t)
+		}
+		return &lval{base: o, typ: t.elem}, nil
+
+	case *indexExpr:
+		o, t, err := lo.expr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		if !t.isPtr() {
+			return nil, errAt(x.line, "indexing non-pointer (%s)", t)
+		}
+		elem := t.elem
+		if c, isConst := constOf(x.idx); isConst {
+			return &lval{base: o, off: c * elem.size(), typ: elem}, nil
+		}
+		io, it, err := lo.expr(x.idx)
+		if err != nil {
+			return nil, err
+		}
+		if !it.isInteger() {
+			return nil, errAt(x.line, "array index must be integer")
+		}
+		scaled := lo.scale(io, elem.size())
+		t2 := lo.f.NewVReg()
+		add := ir.NewInstr(ir.OpAdd)
+		add.Dst = t2
+		add.A = o
+		add.B = scaled
+		lo.emit(add)
+		return &lval{base: ir.R(t2), typ: elem}, nil
+
+	case *memberExpr:
+		var st *structType
+		var base *lval
+		if x.arrow {
+			o, t, err := lo.expr(x.x)
+			if err != nil {
+				return nil, err
+			}
+			if !t.isPtr() || t.elem.kind != tyStruct {
+				return nil, errAt(x.line, "-> on non-struct-pointer (%s)", t)
+			}
+			st = t.elem.st
+			base = &lval{base: o, typ: t.elem}
+		} else {
+			lv, err := lo.lvalue(x.x)
+			if err != nil {
+				return nil, err
+			}
+			if lv.typ.kind != tyStruct {
+				return nil, errAt(x.line, ". on non-struct (%s)", lv.typ)
+			}
+			st = lv.typ.st
+			base = lv
+		}
+		for _, f := range st.fields {
+			if f.name == x.name {
+				return &lval{base: base.base, off: base.off + f.off, typ: f.typ}, nil
+			}
+		}
+		return nil, errAt(x.line, "struct %s has no field %s", st.name, x.name)
+	}
+	return nil, errAt(e.exprLine(), "expression is not assignable")
+}
+
+// constOf recognizes syntactically constant indices (literals and negated
+// literals) for direct displacement folding.
+func constOf(e expr) (int64, bool) {
+	switch x := e.(type) {
+	case *numLit:
+		return x.val, true
+	case *sizeofExpr:
+		return x.typ.size(), true
+	case *unaryExpr:
+		if x.op == "-" {
+			if v, ok := constOf(x.x); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// scale multiplies o by size (pointer arithmetic), emitting no code when
+// size is 1.
+func (lo *lowerer) scale(o ir.Operand, size int64) ir.Operand {
+	if size == 1 {
+		return o
+	}
+	if c, ok := o.IsConst(); ok {
+		return ir.C(c * size)
+	}
+	t := lo.f.NewVReg()
+	mul := ir.NewInstr(ir.OpMul)
+	mul.Dst = t
+	mul.A = o
+	mul.B = ir.C(size)
+	lo.emit(mul)
+	return ir.R(t)
+}
+
+var cmpConds = map[string]isa.Cond{
+	"==": isa.CondEQ, "!=": isa.CondNE, "<": isa.CondLT,
+	"<=": isa.CondLE, ">": isa.CondGT, ">=": isa.CondGE,
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv,
+	"%": ir.OpRem, "&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor,
+	"<<": ir.OpSll, ">>": ir.OpSra,
+}
+
+// cond lowers e as a branch to thenB (true) or elseB (false).
+func (lo *lowerer) cond(e expr, thenB, elseB *ir.Block) error {
+	switch x := e.(type) {
+	case *binaryExpr:
+		switch x.op {
+		case "&&":
+			mid := lo.f.NewBlock()
+			if err := lo.cond(x.x, mid, elseB); err != nil {
+				return err
+			}
+			lo.setBlock(mid)
+			return lo.cond(x.y, thenB, elseB)
+		case "||":
+			mid := lo.f.NewBlock()
+			if err := lo.cond(x.x, thenB, mid); err != nil {
+				return err
+			}
+			lo.setBlock(mid)
+			return lo.cond(x.y, thenB, elseB)
+		}
+		if c, ok := cmpConds[x.op]; ok {
+			a, _, err := lo.expr(x.x)
+			if err != nil {
+				return err
+			}
+			b, _, err := lo.expr(x.y)
+			if err != nil {
+				return err
+			}
+			br := ir.NewInstr(ir.OpBr)
+			br.Cond = c
+			br.A, br.B = a, b
+			br.Then, br.Else = thenB, elseB
+			lo.emit(br)
+			return nil
+		}
+	case *unaryExpr:
+		if x.op == "!" {
+			return lo.cond(x.x, elseB, thenB)
+		}
+	}
+	o, _, err := lo.expr(e)
+	if err != nil {
+		return err
+	}
+	br := ir.NewInstr(ir.OpBr)
+	br.Cond = isa.CondNE
+	br.A, br.B = o, ir.C(0)
+	br.Then, br.Else = thenB, elseB
+	lo.emit(br)
+	return nil
+}
+
+// boolValue materializes a 0/1 value from a conditional expression via the
+// standard two-block pattern (the IR has no phi nodes; the destination is
+// simply defined on both paths).
+func (lo *lowerer) boolValue(e expr) (ir.Operand, *Type, error) {
+	d := lo.f.NewVReg()
+	tB := lo.f.NewBlock()
+	fB := lo.f.NewBlock()
+	join := lo.f.NewBlock()
+	if err := lo.cond(e, tB, fB); err != nil {
+		return ir.Operand{}, nil, err
+	}
+	lo.setBlock(tB)
+	one := ir.NewInstr(ir.OpCopy)
+	one.Dst = d
+	one.A = ir.C(1)
+	lo.emit(one)
+	lo.jumpTo(join)
+	lo.setBlock(fB)
+	zero := ir.NewInstr(ir.OpCopy)
+	zero.Dst = d
+	zero.A = ir.C(0)
+	lo.emit(zero)
+	lo.jumpTo(join)
+	lo.setBlock(join)
+	return ir.R(d), intType, nil
+}
+
+// expr lowers an expression to an operand and its type.
+func (lo *lowerer) expr(e expr) (ir.Operand, *Type, error) {
+	switch x := e.(type) {
+	case *numLit:
+		return ir.C(x.val), intType, nil
+
+	case *strLit:
+		name := lo.internString(x.val)
+		return ir.S(name, 0), ptrTo(charType), nil
+
+	case *sizeofExpr:
+		return ir.C(x.typ.size()), intType, nil
+
+	case *identExpr:
+		lv, err := lo.lvalue(x)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		return lo.loadLV(lv)
+
+	case *indexExpr, *memberExpr:
+		lv, err := lo.lvalue(x)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		return lo.loadLV(lv)
+
+	case *unaryExpr:
+		switch x.op {
+		case "-":
+			o, t, err := lo.expr(x.x)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			if c, ok := o.IsConst(); ok {
+				return ir.C(-c), t, nil
+			}
+			d := lo.f.NewVReg()
+			sub := ir.NewInstr(ir.OpSub)
+			sub.Dst = d
+			sub.A = ir.C(0)
+			sub.B = o
+			lo.emit(sub)
+			return ir.R(d), intType, nil
+		case "~":
+			o, _, err := lo.expr(x.x)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			d := lo.f.NewVReg()
+			xor := ir.NewInstr(ir.OpXor)
+			xor.Dst = d
+			xor.A = o
+			xor.B = ir.C(-1)
+			lo.emit(xor)
+			return ir.R(d), intType, nil
+		case "!":
+			return lo.boolValue(x)
+		case "&":
+			lv, err := lo.lvalue(x.x)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			if lv.local != nil {
+				return ir.Operand{}, nil, errAt(x.line, "internal: address of register local %s", lv.local.name)
+			}
+			o, err := lo.addr(lv)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			return o, ptrTo(lv.typ), nil
+		case "*":
+			lv, err := lo.lvalue(x)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			return lo.loadLV(lv)
+		}
+		return ir.Operand{}, nil, errAt(x.line, "unhandled unary %q", x.op)
+
+	case *binaryExpr:
+		if x.op == "&&" || x.op == "||" {
+			return lo.boolValue(x)
+		}
+		if _, ok := cmpConds[x.op]; ok {
+			a, _, err := lo.expr(x.x)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			b, _, err := lo.expr(x.y)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			d := lo.f.NewVReg()
+			cmp := ir.NewInstr(ir.OpCmp)
+			cmp.Cond = cmpConds[x.op]
+			cmp.Dst = d
+			cmp.A, cmp.B = a, b
+			lo.emit(cmp)
+			return ir.R(d), intType, nil
+		}
+		op, ok := binOps[x.op]
+		if !ok {
+			return ir.Operand{}, nil, errAt(x.line, "unhandled operator %q", x.op)
+		}
+		a, ta, err := lo.expr(x.x)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		b, tb, err := lo.expr(x.y)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		// Pointer arithmetic.
+		switch {
+		case op == ir.OpAdd && ta.isPtr() && tb.isInteger():
+			b = lo.scale(b, ta.elem.size())
+			return lo.bin(op, a, b), ta, nil
+		case op == ir.OpAdd && tb.isPtr() && ta.isInteger():
+			a = lo.scale(a, tb.elem.size())
+			return lo.bin(op, a, b), tb, nil
+		case op == ir.OpSub && ta.isPtr() && tb.isInteger():
+			b = lo.scale(b, ta.elem.size())
+			return lo.bin(op, a, b), ta, nil
+		case op == ir.OpSub && ta.isPtr() && tb.isPtr():
+			diff := lo.bin(op, a, b)
+			if es := ta.elem.size(); es > 1 {
+				d := lo.f.NewVReg()
+				div := ir.NewInstr(ir.OpDiv)
+				div.Dst = d
+				div.A = diff
+				div.B = ir.C(es)
+				lo.emit(div)
+				return ir.R(d), intType, nil
+			}
+			return diff, intType, nil
+		}
+		return lo.bin(op, a, b), intType, nil
+
+	case *condExpr:
+		d := lo.f.NewVReg()
+		tB := lo.f.NewBlock()
+		fB := lo.f.NewBlock()
+		join := lo.f.NewBlock()
+		if err := lo.cond(x.cond, tB, fB); err != nil {
+			return ir.Operand{}, nil, err
+		}
+		lo.setBlock(tB)
+		a, ta, err := lo.expr(x.x)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		cp := ir.NewInstr(ir.OpCopy)
+		cp.Dst = d
+		cp.A = a
+		lo.emit(cp)
+		lo.jumpTo(join)
+		lo.setBlock(fB)
+		b, _, err := lo.expr(x.y)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		cp2 := ir.NewInstr(ir.OpCopy)
+		cp2.Dst = d
+		cp2.A = b
+		lo.emit(cp2)
+		lo.jumpTo(join)
+		lo.setBlock(join)
+		return ir.R(d), ta, nil
+
+	case *assignExpr:
+		lv, err := lo.lvalue(x.lhs)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		var val ir.Operand
+		if x.op == "=" {
+			val, _, err = lo.expr(x.rhs)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+		} else {
+			// Compound assignment: load, combine, store.
+			cur, ct, err := lo.loadLV(lv)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			rhs, rt, err := lo.expr(x.rhs)
+			if err != nil {
+				return ir.Operand{}, nil, err
+			}
+			op := binOps[x.op[:len(x.op)-1]]
+			if ct.isPtr() && rt.isInteger() && (op == ir.OpAdd || op == ir.OpSub) {
+				rhs = lo.scale(rhs, ct.elem.size())
+			}
+			val = lo.bin(op, cur, rhs)
+		}
+		if err := lo.storeLV(lv, val); err != nil {
+			return ir.Operand{}, nil, err
+		}
+		return val, lv.typ, nil
+
+	case *incDecExpr:
+		lv, err := lo.lvalue(x.x)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		cur, t, err := lo.loadLV(lv)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		step := int64(1)
+		if t.isPtr() {
+			step = t.elem.size()
+		}
+		op := ir.OpAdd
+		if x.dec {
+			op = ir.OpSub
+		}
+		// For the post forms the pre-value must survive the store.
+		old := cur
+		if x.post && cur.Kind == ir.OpndReg {
+			keep := lo.f.NewVReg()
+			cp := ir.NewInstr(ir.OpCopy)
+			cp.Dst = keep
+			cp.A = cur
+			lo.emit(cp)
+			old = ir.R(keep)
+		}
+		next := lo.bin(op, cur, ir.C(step))
+		if err := lo.storeLV(lv, next); err != nil {
+			return ir.Operand{}, nil, err
+		}
+		if x.post {
+			return old, t, nil
+		}
+		return next, t, nil
+
+	case *callExpr:
+		return lo.call(x)
+	}
+	return ir.Operand{}, nil, errAt(e.exprLine(), "unhandled expression")
+}
+
+// bin emits a binary op into a fresh register.
+func (lo *lowerer) bin(op ir.Op, a, b ir.Operand) ir.Operand {
+	d := lo.f.NewVReg()
+	in := ir.NewInstr(op)
+	in.Dst = d
+	in.A, in.B = a, b
+	lo.emit(in)
+	return ir.R(d)
+}
+
+// builtins maps intrinsic names to their arity; they are lowered as calls
+// and recognized by the code generator.
+var builtins = map[string]int{"print_int": 1, "print_char": 1}
+
+func (lo *lowerer) call(x *callExpr) (ir.Operand, *Type, error) {
+	var ret *Type
+	if n, ok := builtins[x.name]; ok {
+		if len(x.args) != n {
+			return ir.Operand{}, nil, errAt(x.line, "%s takes %d argument(s)", x.name, n)
+		}
+		ret = voidType
+	} else {
+		fd := lo.fds[x.name]
+		if fd == nil {
+			return ir.Operand{}, nil, errAt(x.line, "call to undefined function %s", x.name)
+		}
+		if len(x.args) != len(fd.params) {
+			return ir.Operand{}, nil, errAt(x.line, "%s takes %d argument(s), got %d",
+				x.name, len(fd.params), len(x.args))
+		}
+		ret = fd.ret
+	}
+	in := ir.NewInstr(ir.OpCall)
+	in.Callee = x.name
+	for _, a := range x.args {
+		o, _, err := lo.expr(a)
+		if err != nil {
+			return ir.Operand{}, nil, err
+		}
+		in.Args = append(in.Args, o)
+	}
+	if ret.kind != tyVoid {
+		in.Dst = lo.f.NewVReg()
+	}
+	lo.emit(in)
+	if in.Dst == ir.NoVReg {
+		return ir.C(0), voidType, nil
+	}
+	return ir.R(in.Dst), ret, nil
+}

@@ -1,0 +1,248 @@
+// Package mcc is a compiler front end for MC, a small C subset, targeting
+// the repository's IR. It provides the source language in which the
+// SPEC-like and MediaBench-like workloads (package workload) are written,
+// standing in for the C front end of the paper's IMPACT toolchain.
+//
+// MC supports: int (64-bit) and char (8-bit) scalars, pointers, one- and
+// multi-dimensional arrays, structs, global and local variables with
+// initializers, functions, control flow (if/else, while, do-while, for,
+// switch with fallthrough, break, continue, return), the usual C operators including short-circuit && and
+// ||, pointer arithmetic, sizeof, string literals, and the output builtins
+// print_int and print_char.
+package mcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a front-end diagnostic with position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("mcc: line %d: %s", e.Line, e.Msg) }
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tStr
+	tPunct // operators and punctuation; value in text
+	tKw
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "struct": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	"do": true, "switch": true, "case": true, "default": true,
+}
+
+// lexer tokenizes MC source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[text] {
+			return token{kind: tKw, text: text, line: line}, nil
+		}
+		return token{kind: tIdent, text: text, line: line}, nil
+
+	case isDigit(c):
+		base := int64(10)
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.pos += 2
+		}
+		var v int64
+		for l.pos < len(l.src) {
+			d := digitVal(l.src[l.pos])
+			if d < 0 || int64(d) >= base {
+				break
+			}
+			v = v*base + int64(d)
+			l.pos++
+		}
+		return token{kind: tNum, num: v, line: line}, nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated character literal")
+		}
+		var v int64
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			e, err := unescape(l.src[l.pos])
+			if err != nil {
+				return token{}, l.errf("%v", err)
+			}
+			v = int64(e)
+			l.pos++
+		} else {
+			v = int64(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			return token{}, l.errf("unterminated character literal")
+		}
+		l.pos++
+		return token{kind: tNum, num: v, line: line}, nil
+
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			ch := l.src[l.pos]
+			if ch == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			if ch == '\\' {
+				l.pos++
+				if l.pos >= len(l.src) {
+					return token{}, l.errf("unterminated string literal")
+				}
+				e, err := unescape(l.src[l.pos])
+				if err != nil {
+					return token{}, l.errf("%v", err)
+				}
+				sb.WriteByte(e)
+				l.pos++
+				continue
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		l.pos++
+		return token{kind: tStr, text: sb.String(), line: line}, nil
+	}
+
+	// Punctuation, longest match first.
+	for _, p := range [...]string{
+		"<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+		"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+		"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+		"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+	} {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.pos += len(p)
+			return token{kind: tPunct, text: p, line: line}, nil
+		}
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, fmt.Errorf("unknown escape \\%c", c)
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

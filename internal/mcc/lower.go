@@ -1,0 +1,716 @@
+package mcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"elag/internal/ir"
+	"elag/internal/isa"
+)
+
+// lowerer translates a parsed MC file into an ir.Module.
+type lowerer struct {
+	file     *file
+	m        *ir.Module
+	fds      map[string]*funcDecl
+	globals  map[string]*Type
+	strCount int
+
+	// per-function state
+	f         *ir.Func
+	fd        *funcDecl
+	cur       *ir.Block
+	scopes    []map[string]*local
+	breaks    []*ir.Block
+	conts     []*ir.Block
+	addrTaken map[string]bool
+}
+
+type local struct {
+	name  string
+	typ   *Type
+	reg   ir.VReg
+	slot  int
+	inMem bool
+}
+
+// Compile parses and lowers MC source to an IR module.
+func Compile(src string) (*ir.Module, error) {
+	f, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	lo := &lowerer{
+		file:    f,
+		m:       &ir.Module{},
+		fds:     map[string]*funcDecl{},
+		globals: map[string]*Type{},
+	}
+	for _, fd := range f.funcs {
+		if lo.fds[fd.name] != nil {
+			return nil, &Error{Line: fd.line, Msg: fmt.Sprintf("function %s redefined", fd.name)}
+		}
+		lo.fds[fd.name] = fd
+	}
+	if lo.fds["main"] == nil {
+		return nil, &Error{Line: 1, Msg: "no main function"}
+	}
+	for _, g := range f.globals {
+		if err := lo.lowerGlobal(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, fd := range f.funcs {
+		if err := lo.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return lo.m, nil
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---- globals ----
+
+// constInit evaluates a constant initializer expression: a plain constant
+// or the address of a global (+/- constant).
+func (lo *lowerer) constInit(e expr) (val int64, sym string, err error) {
+	switch x := e.(type) {
+	case *numLit:
+		return x.val, "", nil
+	case *sizeofExpr:
+		return x.typ.size(), "", nil
+	case *unaryExpr:
+		if x.op == "-" {
+			v, s, err := lo.constInit(x.x)
+			if err != nil || s != "" {
+				return 0, "", errAt(x.line, "bad constant initializer")
+			}
+			return -v, "", nil
+		}
+		if x.op == "&" {
+			if id, ok := x.x.(*identExpr); ok {
+				if _, ok := lo.globals[id.name]; ok {
+					return 0, id.name, nil
+				}
+			}
+		}
+		return 0, "", errAt(x.line, "bad constant initializer")
+	case *strLit:
+		name := lo.internString(x.val)
+		return 0, name, nil
+	case *identExpr:
+		if t, ok := lo.globals[x.name]; ok && t.isArray() {
+			return 0, x.name, nil
+		}
+		return 0, "", errAt(x.line, "initializer must be constant")
+	case *binaryExpr:
+		a, sa, err := lo.constInit(x.x)
+		if err != nil {
+			return 0, "", err
+		}
+		b, sb, err := lo.constInit(x.y)
+		if err != nil {
+			return 0, "", err
+		}
+		if sa != "" || sb != "" {
+			return 0, "", errAt(x.line, "bad constant address arithmetic")
+		}
+		switch x.op {
+		case "+":
+			return a + b, "", nil
+		case "-":
+			return a - b, "", nil
+		case "*":
+			return a * b, "", nil
+		case "/":
+			if b == 0 {
+				return 0, "", errAt(x.line, "division by zero in initializer")
+			}
+			return a / b, "", nil
+		case "<<":
+			return a << uint64(b), "", nil
+		}
+		return 0, "", errAt(x.line, "bad constant initializer")
+	}
+	return 0, "", errAt(e.exprLine(), "initializer must be constant")
+}
+
+func (lo *lowerer) lowerGlobal(g *varDecl) error {
+	if _, dup := lo.globals[g.name]; dup {
+		return errAt(g.line, "global %s redefined", g.name)
+	}
+	lo.globals[g.name] = g.typ
+	obj := &ir.Global{Name: g.name, Size: g.typ.size()}
+	if obj.Size == 0 {
+		return errAt(g.line, "global %s has zero size", g.name)
+	}
+	put := func(off int64, width int64, v int64, sym string) {
+		if sym != "" {
+			obj.Addrs = append(obj.Addrs, ir.AddrInit{Off: off, Sym: sym, Add: v})
+			return
+		}
+		for int64(len(obj.Init)) < off+width {
+			obj.Init = append(obj.Init, 0)
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		copy(obj.Init[off:off+width], buf[:width])
+	}
+	switch {
+	case g.init != nil:
+		v, sym, err := lo.constInit(g.init)
+		if err != nil {
+			return err
+		}
+		put(0, g.typ.size(), v, sym)
+	case g.initList != nil:
+		if !g.typ.isArray() {
+			return errAt(g.line, "initializer list on non-array")
+		}
+		es := g.typ.elem.size()
+		for i, e := range g.initList {
+			v, sym, err := lo.constInit(e)
+			if err != nil {
+				return err
+			}
+			put(int64(i)*es, es, v, sym)
+		}
+	}
+	lo.m.Globals = append(lo.m.Globals, obj)
+	return nil
+}
+
+func (lo *lowerer) internString(s string) string {
+	name := fmt.Sprintf("str$%d", lo.strCount)
+	lo.strCount++
+	data := append([]byte(s), 0)
+	lo.m.Globals = append(lo.m.Globals, &ir.Global{
+		Name: name, Size: int64(len(data)), Init: data,
+	})
+	lo.globals[name] = arrayOf(charType, int64(len(data)))
+	return name
+}
+
+// ---- functions ----
+
+// markAddrTaken walks the body finding &name on locals, plus array/struct
+// declarations (which always live in memory).
+func markAddrTaken(s stmt, taken map[string]bool) {
+	var walkE func(e expr)
+	walkE = func(e expr) {
+		switch x := e.(type) {
+		case *unaryExpr:
+			if x.op == "&" {
+				if id, ok := x.x.(*identExpr); ok {
+					taken[id.name] = true
+				}
+			}
+			walkE(x.x)
+		case *binaryExpr:
+			walkE(x.x)
+			walkE(x.y)
+		case *assignExpr:
+			walkE(x.lhs)
+			walkE(x.rhs)
+		case *condExpr:
+			walkE(x.cond)
+			walkE(x.x)
+			walkE(x.y)
+		case *callExpr:
+			for _, a := range x.args {
+				walkE(a)
+			}
+		case *indexExpr:
+			walkE(x.x)
+			walkE(x.idx)
+		case *memberExpr:
+			walkE(x.x)
+		case *incDecExpr:
+			walkE(x.x)
+		}
+	}
+	var walkS func(s stmt)
+	walkS = func(s stmt) {
+		switch x := s.(type) {
+		case *blockStmt:
+			for _, c := range x.stmts {
+				walkS(c)
+			}
+		case *exprStmt:
+			walkE(x.x)
+		case *declStmt:
+			if x.d.typ.isArray() || x.d.typ.kind == tyStruct {
+				taken[x.d.name] = true
+			}
+			if x.d.init != nil {
+				walkE(x.d.init)
+			}
+			for _, e := range x.d.initList {
+				walkE(e)
+			}
+		case *ifStmt:
+			walkE(x.cond)
+			walkS(x.then)
+			if x.els != nil {
+				walkS(x.els)
+			}
+		case *whileStmt:
+			walkE(x.cond)
+			walkS(x.body)
+		case *forStmt:
+			if x.init != nil {
+				walkS(x.init)
+			}
+			if x.cond != nil {
+				walkE(x.cond)
+			}
+			if x.post != nil {
+				walkE(x.post)
+			}
+			walkS(x.body)
+		case *switchStmt:
+			walkE(x.cond)
+			for _, c := range x.cases {
+				for _, st := range c.body {
+					walkS(st)
+				}
+			}
+		case *returnStmt:
+			if x.x != nil {
+				walkE(x.x)
+			}
+		}
+	}
+	walkS(s)
+}
+
+func (lo *lowerer) lowerFunc(fd *funcDecl) error {
+	lo.fd = fd
+	lo.f = ir.NewFunc(fd.name, len(fd.params))
+	lo.cur = lo.f.NewBlock()
+	lo.scopes = []map[string]*local{{}}
+	lo.breaks, lo.conts = nil, nil
+	lo.addrTaken = map[string]bool{}
+	markAddrTaken(fd.body, lo.addrTaken)
+
+	for i, p := range fd.params {
+		l := &local{name: p.name, typ: p.typ.decayed(), reg: ir.VReg(i)}
+		if lo.addrTaken[p.name] {
+			// Address-taken parameter: spill to a slot at entry.
+			slot := lo.f.NewSlot(p.name, 8)
+			st := ir.NewInstr(ir.OpStore)
+			st.A = ir.R(ir.VReg(i))
+			st.Base = ir.F(slot, 0)
+			st.Width = 8
+			lo.emit(st)
+			l = &local{name: p.name, typ: p.typ.decayed(), slot: slot, inMem: true}
+		}
+		lo.scopes[0][p.name] = l
+	}
+	if err := lo.stmt(fd.body); err != nil {
+		return err
+	}
+	// Implicit return.
+	if lo.cur.Term() == nil {
+		r := ir.NewInstr(ir.OpRet)
+		if fd.ret.kind != tyVoid {
+			r.A = ir.C(0)
+		}
+		lo.emit(r)
+	}
+	lo.f.ComputeCFG()
+	lo.m.Funcs = append(lo.m.Funcs, lo.f)
+	return nil
+}
+
+func (lo *lowerer) emit(in *ir.Instr) {
+	if t := lo.cur.Term(); t != nil {
+		// Dead code after return/break: collect into an unreachable
+		// block (pruned by ComputeCFG).
+		lo.cur = lo.f.NewBlock()
+	}
+	lo.cur.Insts = append(lo.cur.Insts, in)
+}
+
+func (lo *lowerer) jumpTo(b *ir.Block) {
+	if lo.cur.Term() != nil {
+		return
+	}
+	j := ir.NewInstr(ir.OpJmp)
+	j.To = b
+	lo.cur.Insts = append(lo.cur.Insts, j)
+}
+
+func (lo *lowerer) setBlock(b *ir.Block) { lo.cur = b }
+
+func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]*local{}) }
+func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) lookup(name string) *local {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if l := lo.scopes[i][name]; l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// ---- statements ----
+
+func (lo *lowerer) stmt(s stmt) error {
+	switch x := s.(type) {
+	case *blockStmt:
+		lo.pushScope()
+		defer lo.popScope()
+		for _, c := range x.stmts {
+			if err := lo.stmt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *exprStmt:
+		_, _, err := lo.expr(x.x)
+		return err
+
+	case *declStmt:
+		return lo.localDecl(x.d)
+
+	case *ifStmt:
+		thenB := lo.f.NewBlock()
+		elseB := lo.f.NewBlock()
+		joinB := elseB
+		if x.els != nil {
+			joinB = lo.f.NewBlock()
+		}
+		if err := lo.cond(x.cond, thenB, elseB); err != nil {
+			return err
+		}
+		lo.setBlock(thenB)
+		if err := lo.stmt(x.then); err != nil {
+			return err
+		}
+		lo.jumpTo(joinB)
+		if x.els != nil {
+			lo.setBlock(elseB)
+			if err := lo.stmt(x.els); err != nil {
+				return err
+			}
+			lo.jumpTo(joinB)
+		}
+		lo.setBlock(joinB)
+		return nil
+
+	case *whileStmt:
+		// Loops with pure conditions are rotated (bottom-tested): an
+		// entry guard plus one conditional branch per iteration
+		// instead of a top test plus a back jump — standard loop
+		// inversion, and it halves the branch-unit pressure of every
+		// hot loop. Conditions with side effects keep the top-tested
+		// shape so they evaluate exactly once per iteration.
+		if x.post || exprIsPure(x.cond) {
+			body := lo.f.NewBlock()
+			latch := lo.f.NewBlock()
+			exit := lo.f.NewBlock()
+			if x.post {
+				lo.jumpTo(body) // do-while enters the body first
+			} else if err := lo.cond(x.cond, body, exit); err != nil {
+				return err
+			}
+			lo.breaks = append(lo.breaks, exit)
+			lo.conts = append(lo.conts, latch)
+			lo.setBlock(body)
+			if err := lo.stmt(x.body); err != nil {
+				return err
+			}
+			lo.jumpTo(latch)
+			lo.setBlock(latch)
+			if err := lo.cond(x.cond, body, exit); err != nil {
+				return err
+			}
+			lo.breaks = lo.breaks[:len(lo.breaks)-1]
+			lo.conts = lo.conts[:len(lo.conts)-1]
+			lo.setBlock(exit)
+			return nil
+		}
+		head := lo.f.NewBlock()
+		body := lo.f.NewBlock()
+		exit := lo.f.NewBlock()
+		lo.jumpTo(head)
+		lo.setBlock(head)
+		if err := lo.cond(x.cond, body, exit); err != nil {
+			return err
+		}
+		lo.breaks = append(lo.breaks, exit)
+		lo.conts = append(lo.conts, head)
+		lo.setBlock(body)
+		if err := lo.stmt(x.body); err != nil {
+			return err
+		}
+		lo.jumpTo(head)
+		lo.breaks = lo.breaks[:len(lo.breaks)-1]
+		lo.conts = lo.conts[:len(lo.conts)-1]
+		lo.setBlock(exit)
+		return nil
+
+	case *forStmt:
+		lo.pushScope()
+		defer lo.popScope()
+		if x.init != nil {
+			if err := lo.stmt(x.init); err != nil {
+				return err
+			}
+		}
+		if x.cond == nil || exprIsPure(x.cond) {
+			// Rotated form (see whileStmt above).
+			body := lo.f.NewBlock()
+			post := lo.f.NewBlock()
+			exit := lo.f.NewBlock()
+			if x.cond != nil {
+				if err := lo.cond(x.cond, body, exit); err != nil {
+					return err
+				}
+			} else {
+				lo.jumpTo(body)
+			}
+			lo.breaks = append(lo.breaks, exit)
+			lo.conts = append(lo.conts, post)
+			lo.setBlock(body)
+			if err := lo.stmt(x.body); err != nil {
+				return err
+			}
+			lo.jumpTo(post)
+			lo.setBlock(post)
+			if x.post != nil {
+				if _, _, err := lo.expr(x.post); err != nil {
+					return err
+				}
+			}
+			if x.cond != nil {
+				if err := lo.cond(x.cond, body, exit); err != nil {
+					return err
+				}
+			} else {
+				lo.jumpTo(body)
+			}
+			lo.breaks = lo.breaks[:len(lo.breaks)-1]
+			lo.conts = lo.conts[:len(lo.conts)-1]
+			lo.setBlock(exit)
+			return nil
+		}
+		head := lo.f.NewBlock()
+		body := lo.f.NewBlock()
+		post := lo.f.NewBlock()
+		exit := lo.f.NewBlock()
+		lo.jumpTo(head)
+		lo.setBlock(head)
+		if err := lo.cond(x.cond, body, exit); err != nil {
+			return err
+		}
+		lo.breaks = append(lo.breaks, exit)
+		lo.conts = append(lo.conts, post)
+		lo.setBlock(body)
+		if err := lo.stmt(x.body); err != nil {
+			return err
+		}
+		lo.jumpTo(post)
+		lo.setBlock(post)
+		if x.post != nil {
+			if _, _, err := lo.expr(x.post); err != nil {
+				return err
+			}
+		}
+		lo.jumpTo(head)
+		lo.breaks = lo.breaks[:len(lo.breaks)-1]
+		lo.conts = lo.conts[:len(lo.conts)-1]
+		lo.setBlock(exit)
+		return nil
+
+	case *switchStmt:
+		return lo.switchStmt(x)
+
+	case *returnStmt:
+		r := ir.NewInstr(ir.OpRet)
+		if x.x != nil {
+			o, t, err := lo.expr(x.x)
+			if err != nil {
+				return err
+			}
+			_ = t
+			r.A = o
+		} else if lo.fd.ret.kind != tyVoid {
+			return errAt(x.line, "missing return value")
+		}
+		lo.emit(r)
+		return nil
+
+	case *breakStmt:
+		if len(lo.breaks) == 0 {
+			return errAt(x.line, "break outside loop")
+		}
+		lo.jumpTo(lo.breaks[len(lo.breaks)-1])
+		return nil
+
+	case *continueStmt:
+		if len(lo.conts) == 0 {
+			return errAt(x.line, "continue outside loop")
+		}
+		lo.jumpTo(lo.conts[len(lo.conts)-1])
+		return nil
+	}
+	return errAt(s.stmtLine(), "unhandled statement")
+}
+
+// switchStmt lowers a C switch: the scrutinee is evaluated once, a
+// comparison chain dispatches to the matching arm, and arm bodies fall
+// through to the next arm unless they break.
+func (lo *lowerer) switchStmt(x *switchStmt) error {
+	scrut, st, err := lo.expr(x.cond)
+	if err != nil {
+		return err
+	}
+	if !st.isInteger() {
+		return errAt(x.line, "switch on non-integer (%s)", st)
+	}
+	// Pin the scrutinee in a register so the chain compares a stable value.
+	sv := lo.f.NewVReg()
+	cp := ir.NewInstr(ir.OpCopy)
+	cp.Dst = sv
+	cp.A = scrut
+	lo.emit(cp)
+
+	exit := lo.f.NewBlock()
+	arms := make([]*ir.Block, len(x.cases))
+	for i := range x.cases {
+		arms[i] = lo.f.NewBlock()
+	}
+	// Dispatch chain: one equality branch per case value.
+	for i, c := range x.cases {
+		for _, v := range c.vals {
+			next := lo.f.NewBlock()
+			br := ir.NewInstr(ir.OpBr)
+			br.Cond = isa.CondEQ
+			br.A, br.B = ir.R(sv), ir.C(v)
+			br.Then, br.Else = arms[i], next
+			lo.emit(br)
+			lo.setBlock(next)
+		}
+	}
+	if x.defIdx >= 0 {
+		lo.jumpTo(arms[x.defIdx])
+	} else {
+		lo.jumpTo(exit)
+	}
+	// Arm bodies, falling through to the next arm.
+	lo.breaks = append(lo.breaks, exit)
+	for i, c := range x.cases {
+		lo.setBlock(arms[i])
+		lo.pushScope()
+		for _, st := range c.body {
+			if err := lo.stmt(st); err != nil {
+				lo.popScope()
+				lo.breaks = lo.breaks[:len(lo.breaks)-1]
+				return err
+			}
+		}
+		lo.popScope()
+		if i+1 < len(arms) {
+			lo.jumpTo(arms[i+1])
+		} else {
+			lo.jumpTo(exit)
+		}
+	}
+	lo.breaks = lo.breaks[:len(lo.breaks)-1]
+	lo.setBlock(exit)
+	return nil
+}
+
+func (lo *lowerer) localDecl(d *varDecl) error {
+	if lo.scopes[len(lo.scopes)-1][d.name] != nil {
+		return errAt(d.line, "local %s redefined in this scope", d.name)
+	}
+	var l *local
+	if lo.addrTaken[d.name] || d.typ.isArray() || d.typ.kind == tyStruct {
+		slot := lo.f.NewSlot(d.name, d.typ.size())
+		l = &local{name: d.name, typ: d.typ, slot: slot, inMem: true}
+	} else {
+		l = &local{name: d.name, typ: d.typ, reg: lo.f.NewVReg()}
+	}
+	lo.scopes[len(lo.scopes)-1][d.name] = l
+
+	if d.init != nil {
+		o, _, err := lo.expr(d.init)
+		if err != nil {
+			return err
+		}
+		if l.inMem {
+			st := ir.NewInstr(ir.OpStore)
+			st.A = o
+			st.Base = ir.F(l.slot, 0)
+			st.Width = uint8(widthOf(l.typ))
+			lo.emit(st)
+		} else {
+			cp := ir.NewInstr(ir.OpCopy)
+			cp.Dst = l.reg
+			cp.A = o
+			lo.emit(cp)
+		}
+	} else if !l.inMem {
+		// Registers must be defined before use; zero-initialize to
+		// keep the IR well-formed (C leaves locals undefined).
+		cp := ir.NewInstr(ir.OpCopy)
+		cp.Dst = l.reg
+		cp.A = ir.C(0)
+		lo.emit(cp)
+	}
+	if d.initList != nil {
+		if !l.inMem || !d.typ.isArray() {
+			return errAt(d.line, "initializer list on non-array local")
+		}
+		es := d.typ.elem.size()
+		for i, e := range d.initList {
+			o, _, err := lo.expr(e)
+			if err != nil {
+				return err
+			}
+			st := ir.NewInstr(ir.OpStore)
+			st.A = o
+			st.Base = ir.F(l.slot, int64(i)*es)
+			st.Width = uint8(es)
+			lo.emit(st)
+		}
+	}
+	return nil
+}
+
+func widthOf(t *Type) int64 {
+	if t.kind == tyChar {
+		return 1
+	}
+	return 8
+}
+
+// exprIsPure reports whether evaluating e has no side effects, so it may be
+// duplicated (loop rotation evaluates the condition at two sites).
+func exprIsPure(e expr) bool {
+	switch x := e.(type) {
+	case *numLit, *strLit, *identExpr, *sizeofExpr:
+		return true
+	case *unaryExpr:
+		return exprIsPure(x.x)
+	case *binaryExpr:
+		// Division can fault; duplication would be observable only
+		// through timing, so it is still pure for this purpose.
+		return exprIsPure(x.x) && exprIsPure(x.y)
+	case *condExpr:
+		return exprIsPure(x.cond) && exprIsPure(x.x) && exprIsPure(x.y)
+	case *indexExpr:
+		return exprIsPure(x.x) && exprIsPure(x.idx)
+	case *memberExpr:
+		return exprIsPure(x.x)
+	}
+	return false // assignments, ++/--, calls
+}

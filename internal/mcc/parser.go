@@ -1,0 +1,807 @@
+package mcc
+
+import "fmt"
+
+// parser is a recursive-descent parser for MC.
+type parser struct {
+	toks    []token
+	pos     int
+	structs map[string]*structType
+	f       *file
+}
+
+func parse(src string) (*file, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: map[string]*structType{}, f: &file{}}
+	if err := p.file(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+func (p *parser) tok() token     { return p.toks[p.pos] }
+func (p *parser) line() int      { return p.tok().line }
+func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) at(text string) bool {
+	t := p.tok()
+	return (t.kind == tPunct || t.kind == tKw) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.describe())
+	}
+	return nil
+}
+
+func (p *parser) describe() string {
+	t := p.tok()
+	switch t.kind {
+	case tEOF:
+		return "end of file"
+	case tNum:
+		return fmt.Sprintf("%d", t.num)
+	default:
+		return t.text
+	}
+}
+
+// atType reports whether the current token begins a type.
+func (p *parser) atType() bool {
+	return p.at("int") || p.at("char") || p.at("void") || p.at("struct")
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (*Type, error) {
+	var t *Type
+	switch {
+	case p.accept("int"):
+		t = intType
+	case p.accept("char"):
+		t = charType
+	case p.accept("void"):
+		t = voidType
+	case p.accept("struct"):
+		if p.tok().kind != tIdent {
+			return nil, p.errf("expected struct name")
+		}
+		name := p.advance().text
+		st := p.structs[name]
+		if st == nil {
+			// Forward reference (for self-referential pointers).
+			st = &structType{name: name}
+			p.structs[name] = st
+		}
+		t = &Type{kind: tyStruct, st: st}
+	default:
+		return nil, p.errf("expected type, found %q", p.describe())
+	}
+	for p.accept("*") {
+		t = ptrTo(t)
+	}
+	return t, nil
+}
+
+func (p *parser) file() error {
+	for p.tok().kind != tEOF {
+		if p.at("struct") && p.pos+2 < len(p.toks) && p.toks[p.pos+2].text == "{" {
+			if err := p.structDecl(); err != nil {
+				return err
+			}
+			continue
+		}
+		if !p.atType() {
+			return p.errf("expected declaration, found %q", p.describe())
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if p.tok().kind != tIdent {
+			return p.errf("expected identifier after type")
+		}
+		line := p.line()
+		name := p.advance().text
+		if p.at("(") {
+			fd, err := p.funcDecl(t, name, line)
+			if err != nil {
+				return err
+			}
+			p.f.funcs = append(p.f.funcs, fd)
+			continue
+		}
+		vd, err := p.varDeclTail(t, name, line)
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		p.f.globals = append(p.f.globals, vd)
+	}
+	return nil
+}
+
+func (p *parser) structDecl() error {
+	p.advance() // struct
+	name := p.advance().text
+	st := p.structs[name]
+	if st == nil {
+		st = &structType{name: name}
+		p.structs[name] = st
+	} else if len(st.fields) > 0 {
+		return p.errf("struct %s redefined", name)
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	off := int64(0)
+	for !p.accept("}") {
+		ft, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		for {
+			if p.tok().kind != tIdent {
+				return p.errf("expected field name")
+			}
+			fname := p.advance().text
+			fty := ft
+			if p.accept("[") {
+				if p.tok().kind != tNum {
+					return p.errf("expected array length")
+				}
+				n := p.advance().num
+				if err := p.expect("]"); err != nil {
+					return err
+				}
+				fty = arrayOf(ft, n)
+			}
+			al := align(fty)
+			off = (off + al - 1) &^ (al - 1)
+			st.fields = append(st.fields, structField{name: fname, typ: fty, off: off})
+			off += fty.size()
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	st.size = (off + 7) &^ 7
+	p.f.structs = append(p.f.structs, st)
+	return nil
+}
+
+func align(t *Type) int64 {
+	switch t.kind {
+	case tyChar:
+		return 1
+	case tyArray:
+		return align(t.elem)
+	case tyStruct:
+		return 8
+	}
+	return 8
+}
+
+// varDeclTail parses the rest of a variable declaration after "type name":
+// optional array dimensions and an initializer.
+func (p *parser) varDeclTail(t *Type, name string, line int) (*varDecl, error) {
+	var dims []int64
+	for p.accept("[") {
+		if p.tok().kind != tNum {
+			return nil, p.errf("expected constant array length")
+		}
+		dims = append(dims, p.advance().num)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = arrayOf(t, dims[i])
+	}
+	vd := &varDecl{line: line, name: name, typ: t}
+	if p.accept("=") {
+		if p.accept("{") {
+			for !p.accept("}") {
+				e, err := p.assignExprP()
+				if err != nil {
+					return nil, err
+				}
+				vd.initList = append(vd.initList, e)
+				if !p.accept(",") && !p.at("}") {
+					return nil, p.errf("expected ',' or '}' in initializer")
+				}
+			}
+		} else {
+			e, err := p.assignExprP()
+			if err != nil {
+				return nil, err
+			}
+			vd.init = e
+		}
+	}
+	return vd, nil
+}
+
+func (p *parser) funcDecl(ret *Type, name string, line int) (*funcDecl, error) {
+	fd := &funcDecl{line: line, name: name, ret: ret}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		if p.at("void") && p.toks[p.pos+1].text == ")" {
+			p.advance()
+			p.advance()
+		} else {
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if p.tok().kind != tIdent {
+					return nil, p.errf("expected parameter name")
+				}
+				pname := p.advance().text
+				if p.accept("[") {
+					if err := p.expect("]"); err != nil {
+						return nil, err
+					}
+					pt = ptrTo(pt)
+				}
+				fd.params = append(fd.params, param{name: pname, typ: pt})
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.body = body
+	return fd, nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	line := p.line()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{line: line}
+	for !p.accept("}") {
+		if p.tok().kind == tEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	line := p.line()
+	switch {
+	case p.at("{"):
+		return p.block()
+
+	case p.atType():
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok().kind != tIdent {
+			return nil, p.errf("expected variable name")
+		}
+		name := p.advance().text
+		vd, err := p.varDeclTail(t, name, line)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &declStmt{line: line, d: vd}, nil
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{line: line, cond: cond, then: then}
+		if p.accept("else") {
+			s.els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{line: line, cond: cond, body: body}, nil
+
+	case p.accept("do"):
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &whileStmt{line: line, cond: cond, body: body, post: true}, nil
+
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		s := &forStmt{line: line}
+		if !p.accept(";") {
+			if p.atType() {
+				t, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				name := p.advance().text
+				vd, err := p.varDeclTail(t, name, line)
+				if err != nil {
+					return nil, err
+				}
+				s.init = &declStmt{line: line, d: vd}
+			} else {
+				e, err := p.exprP()
+				if err != nil {
+					return nil, err
+				}
+				s.init = &exprStmt{line: line, x: e}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			var err error
+			s.cond, err = p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(")") {
+			var err error
+			s.post, err = p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.body = body
+		return s, nil
+
+	case p.accept("switch"):
+		return p.switchStmt(line)
+
+	case p.accept("return"):
+		s := &returnStmt{line: line}
+		if !p.accept(";") {
+			var err error
+			s.x, err = p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case p.accept("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{line: line}, nil
+
+	case p.accept("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{line: line}, nil
+
+	case p.accept(";"):
+		return &blockStmt{line: line}, nil
+	}
+
+	e, err := p.exprP()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &exprStmt{line: line, x: e}, nil
+}
+
+// switchStmt parses switch (expr) { case K: ... default: ... } with C
+// fallthrough semantics. Case labels must be integer constant expressions.
+func (p *parser) switchStmt(line int) (stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.exprP()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	s := &switchStmt{line: line, cond: cond, defIdx: -1}
+	for !p.accept("}") {
+		cline := p.line()
+		var c switchCase
+		c.line = cline
+		switch {
+		case p.accept("case"):
+			for {
+				v, err := p.constLabel()
+				if err != nil {
+					return nil, err
+				}
+				c.vals = append(c.vals, v)
+				if err := p.expect(":"); err != nil {
+					return nil, err
+				}
+				// Adjacent labels share one arm: case 1: case 2: ...
+				if !p.accept("case") {
+					break
+				}
+			}
+		case p.accept("default"):
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if s.defIdx >= 0 {
+				return nil, p.errf("multiple default arms")
+			}
+			s.defIdx = len(s.cases)
+		default:
+			return nil, p.errf("expected 'case' or 'default' in switch, found %q", p.describe())
+		}
+		for !p.at("case") && !p.at("default") && !p.at("}") {
+			if p.tok().kind == tEOF {
+				return nil, p.errf("unexpected end of file in switch")
+			}
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			c.body = append(c.body, st)
+		}
+		s.cases = append(s.cases, c)
+	}
+	return s, nil
+}
+
+// constLabel parses an integer constant expression for a case label:
+// literals, character constants, optional unary minus.
+func (p *parser) constLabel() (int64, error) {
+	neg := p.accept("-")
+	t := p.tok()
+	if t.kind != tNum {
+		return 0, p.errf("case label must be an integer constant")
+	}
+	p.advance()
+	if neg {
+		return -t.num, nil
+	}
+	return t.num, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *parser) exprP() (expr, error) { return p.assignExprP() }
+
+func (p *parser) assignExprP() (expr, error) {
+	lhs, err := p.condExprP()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range [...]string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="} {
+		if p.at(op) {
+			line := p.line()
+			p.advance()
+			rhs, err := p.assignExprP()
+			if err != nil {
+				return nil, err
+			}
+			return &assignExpr{line: line, op: op, lhs: lhs, rhs: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExprP() (expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at("?") {
+		line := p.line()
+		p.advance()
+		x, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		y, err := p.condExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &condExpr{line: line, cond: c, x: x, y: y}, nil
+	}
+	return c, nil
+}
+
+var precTable = [...][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (expr, error) {
+	if level >= len(precTable) {
+		return p.unary()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precTable[level] {
+			if p.at(op) {
+				line := p.line()
+				p.advance()
+				rhs, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &binaryExpr{line: line, op: op, x: lhs, y: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	line := p.line()
+	switch {
+	case p.accept("-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{line: line, op: "-", x: x}, nil
+	case p.accept("!"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{line: line, op: "!", x: x}, nil
+	case p.accept("~"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{line: line, op: "~", x: x}, nil
+	case p.accept("&"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{line: line, op: "&", x: x}, nil
+	case p.accept("*"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{line: line, op: "*", x: x}, nil
+	case p.accept("++"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &incDecExpr{line: line, x: x}, nil
+	case p.accept("--"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &incDecExpr{line: line, x: x, dec: true}, nil
+	case p.accept("sizeof"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sizeofExpr{line: line, typ: t}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.line()
+		switch {
+		case p.accept("["):
+			idx, err := p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{line: line, x: x, idx: idx}
+		case p.accept("."):
+			if p.tok().kind != tIdent {
+				return nil, p.errf("expected field name after '.'")
+			}
+			x = &memberExpr{line: line, x: x, name: p.advance().text}
+		case p.accept("->"):
+			if p.tok().kind != tIdent {
+				return nil, p.errf("expected field name after '->'")
+			}
+			x = &memberExpr{line: line, x: x, name: p.advance().text, arrow: true}
+		case p.accept("++"):
+			x = &incDecExpr{line: line, x: x, post: true}
+		case p.accept("--"):
+			x = &incDecExpr{line: line, x: x, dec: true, post: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.tok()
+	switch t.kind {
+	case tNum:
+		p.advance()
+		return &numLit{line: t.line, val: t.num}, nil
+	case tStr:
+		p.advance()
+		return &strLit{line: t.line, val: t.text}, nil
+	case tIdent:
+		p.advance()
+		if p.at("(") {
+			p.advance()
+			c := &callExpr{line: t.line, name: t.text}
+			if !p.accept(")") {
+				for {
+					a, err := p.assignExprP()
+					if err != nil {
+						return nil, err
+					}
+					c.args = append(c.args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return c, nil
+		}
+		return &identExpr{line: t.line, name: t.text}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", p.describe())
+}

@@ -1,0 +1,63 @@
+package opt
+
+import "elag/internal/ir"
+
+// LocalCSE eliminates common subexpressions within basic blocks: a pure
+// binary or compare instruction whose operator and operands match an
+// earlier instruction in the block — with no intervening redefinition of
+// those operands — is rewritten as a copy of the earlier result. Runs
+// before copy propagation so the copies dissolve.
+func LocalCSE(f *ir.Func) bool {
+	changed := false
+	_, single := defCounts(f)
+
+	type exprKey struct {
+		op   ir.Op
+		cond int
+		a, b ir.Operand
+	}
+	for _, b := range f.Blocks {
+		avail := make(map[exprKey]ir.VReg)
+		kill := func(v ir.VReg) {
+			for k, r := range avail {
+				if r == v || k.a.IsReg(v) || k.b.IsReg(v) {
+					delete(avail, k)
+				}
+			}
+		}
+		for _, in := range b.Insts {
+			pure := (in.Op.IsBinary() || in.Op == ir.OpCmp) && !in.HasSideEffects()
+			if pure && in.Dst != ir.NoVReg {
+				k := exprKey{op: in.Op, cond: int(in.Cond), a: in.A, b: in.B}
+				if prev, ok := avail[k]; ok && prev != in.Dst {
+					in.Op = ir.OpCopy
+					in.A = ir.R(prev)
+					in.B = ir.Operand{}
+					changed = true
+					kill(in.Dst)
+					continue
+				}
+				dst := in.Dst
+				kill(dst)
+				// Only single-definition results are safe to reuse
+				// later in the block (another definition elsewhere
+				// could be the one that reaches a removed compute).
+				if single[dst] != nil {
+					avail[k] = dst
+				}
+				continue
+			}
+			if in.Dst != ir.NoVReg {
+				kill(in.Dst)
+			}
+			if in.Op == ir.OpCall {
+				// Calls clobber nothing register-wise beyond Dst,
+				// but be conservative about keeping tables small.
+				for k := range avail {
+					delete(avail, k)
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,217 @@
+package opt
+
+import "elag/internal/ir"
+
+// PruneDeadFuncs removes functions that are unreachable from main via
+// calls — in particular the original bodies of fully inlined functions,
+// which would otherwise pollute the static load-classification statistics
+// with never-executed code.
+func PruneDeadFuncs(m *ir.Module) bool {
+	reach := map[string]bool{"main": true}
+	work := []string{"main"}
+	for len(work) > 0 {
+		f := m.Func(work[len(work)-1])
+		work = work[:len(work)-1]
+		if f == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if in.Op == ir.OpCall && !reach[in.Callee] {
+					reach[in.Callee] = true
+					work = append(work, in.Callee)
+				}
+			}
+		}
+	}
+	kept := m.Funcs[:0]
+	changed := false
+	for _, f := range m.Funcs {
+		if reach[f.Name] {
+			kept = append(kept, f)
+		} else {
+			changed = true
+		}
+	}
+	m.Funcs = kept
+	return changed
+}
+
+// Inline expands calls to small functions in place. The paper applies
+// function inlining before load classification so that loads inside hot
+// callees participate in the caller's loop analysis; a call left in a loop
+// forces conservative classification (Section 6).
+//
+// budget is the maximum callee size in IR instructions. Two sweeps are
+// performed so that small wrappers of small functions flatten completely.
+// Directly recursive functions are never inlined.
+func Inline(m *ir.Module, budget int) bool {
+	changed := false
+	for sweep := 0; sweep < 2; sweep++ {
+		for _, f := range m.Funcs {
+			if inlineInto(m, f, budget) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func funcSize(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+func isRecursive(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpCall && in.Callee == f.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func inlineInto(m *ir.Module, f *ir.Func, budget int) bool {
+	changed := false
+	// Re-scan after every expansion: inlining rewrites the block list.
+	// The expansion cap keeps mutually recursive small functions from
+	// unrolling forever.
+	for n := 0; n < 50; n++ {
+		site := findSite(m, f, budget)
+		if site == nil {
+			break
+		}
+		expand(m, f, site)
+		changed = true
+	}
+	return changed
+}
+
+type callSite struct {
+	blk    *ir.Block
+	idx    int
+	callee *ir.Func
+}
+
+func findSite(m *ir.Module, f *ir.Func, budget int) *callSite {
+	for _, b := range f.Blocks {
+		for i, in := range b.Insts {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			g := m.Func(in.Callee)
+			if g == nil || g == f || funcSize(g) > budget || isRecursive(g) {
+				continue
+			}
+			return &callSite{blk: b, idx: i, callee: g}
+		}
+	}
+	return nil
+}
+
+// expand splices a clone of site.callee in place of the call instruction.
+func expand(m *ir.Module, f *ir.Func, site *callSite) {
+	g := site.callee
+	call := site.blk.Insts[site.idx]
+
+	// Remap tables.
+	vmap := make(map[ir.VReg]ir.VReg, g.NumVRegs())
+	mapV := func(v ir.VReg) ir.VReg {
+		if v == ir.NoVReg {
+			return ir.NoVReg
+		}
+		nv, ok := vmap[v]
+		if !ok {
+			nv = f.NewVReg()
+			vmap[v] = nv
+		}
+		return nv
+	}
+	smap := make(map[int]int, len(g.Slots))
+	for i, s := range g.Slots {
+		smap[i] = f.NewSlot(g.Name+"."+s.Name, s.Size)
+	}
+	bmap := make(map[*ir.Block]*ir.Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		bmap[b] = f.NewBlock()
+	}
+
+	mapOpnd := func(o ir.Operand) ir.Operand {
+		switch o.Kind {
+		case ir.OpndReg:
+			o.Reg = mapV(o.Reg)
+		case ir.OpndFrame:
+			o.Slot = smap[o.Slot]
+		}
+		return o
+	}
+
+	// Split the caller block after the call.
+	tail := f.NewBlock()
+	tail.Insts = append(tail.Insts, site.blk.Insts[site.idx+1:]...)
+	site.blk.Insts = site.blk.Insts[:site.idx]
+
+	// Bind arguments to the callee's parameter registers.
+	for p := 0; p < g.NParams && p < len(call.Args); p++ {
+		cp := ir.NewInstr(ir.OpCopy)
+		cp.Dst = mapV(ir.VReg(p))
+		cp.A = call.Args[p]
+		site.blk.Insts = append(site.blk.Insts, cp)
+	}
+	jmp := ir.NewInstr(ir.OpJmp)
+	jmp.To = bmap[g.Blocks[0]]
+	site.blk.Insts = append(site.blk.Insts, jmp)
+
+	// Clone the callee body.
+	for _, b := range g.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Insts {
+			ni := &ir.Instr{}
+			*ni = *in
+			ni.Dst = mapV(in.Dst)
+			ni.A = mapOpnd(in.A)
+			ni.B = mapOpnd(in.B)
+			ni.Base = mapOpnd(in.Base)
+			ni.Index = mapV(in.Index)
+			if len(in.Args) > 0 {
+				ni.Args = make([]ir.Operand, len(in.Args))
+				for k, a := range in.Args {
+					ni.Args[k] = mapOpnd(a)
+				}
+			}
+			if in.Then != nil {
+				ni.Then = bmap[in.Then]
+			}
+			if in.Else != nil {
+				ni.Else = bmap[in.Else]
+			}
+			if in.To != nil {
+				ni.To = bmap[in.To]
+			}
+			if ni.Op == ir.OpRet {
+				// ret x  =>  (dst = x); jmp tail
+				if call.Dst != ir.NoVReg {
+					cp := ir.NewInstr(ir.OpCopy)
+					cp.Dst = call.Dst
+					if ni.A.Kind != ir.OpndNone {
+						cp.A = ni.A
+					} else {
+						cp.A = ir.C(0)
+					}
+					nb.Insts = append(nb.Insts, cp)
+				}
+				j := ir.NewInstr(ir.OpJmp)
+				j.To = tail
+				nb.Insts = append(nb.Insts, j)
+				continue
+			}
+			nb.Insts = append(nb.Insts, ni)
+		}
+	}
+	f.ComputeCFG()
+}

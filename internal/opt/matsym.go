@@ -1,0 +1,51 @@
+package opt
+
+import "elag/internal/ir"
+
+// MaterializeSyms rewrites global-address (and stack-slot-address) operands
+// of arithmetic instructions and indexed memory operations into explicit
+// register copies, so that LICM can hoist the address materialization out
+// of loops. Without this pass the code generator re-materializes the symbol
+// address (an li instruction) at every use.
+//
+// Memory operations without an index register keep their symbol base: the
+// ISA addresses those in one instruction (absolute mode), and the acyclic
+// classification heuristic specifically looks for absolute-mode loads.
+//
+// Run this after the main optimization rounds and follow it with LICM and
+// DCE only — constant/copy propagation would fold the addresses straight
+// back into the instructions.
+func MaterializeSyms(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		var out []*ir.Instr
+		mat := func(o ir.Operand) ir.Operand {
+			if o.Kind != ir.OpndSym && o.Kind != ir.OpndFrame {
+				return o
+			}
+			t := f.NewVReg()
+			cp := ir.NewInstr(ir.OpCopy)
+			cp.Dst = t
+			cp.A = o
+			out = append(out, cp)
+			changed = true
+			return ir.R(t)
+		}
+		for _, in := range b.Insts {
+			switch {
+			case in.Op.IsBinary() || in.Op == ir.OpCmp:
+				in.A = mat(in.A)
+				in.B = mat(in.B)
+			case (in.Op == ir.OpLoad || in.Op == ir.OpStore) && in.Index != ir.NoVReg:
+				in.Base = mat(in.Base)
+			case in.Op == ir.OpStore:
+				// The stored value (an address constant) is
+				// also worth keeping in a register.
+				in.A = mat(in.A)
+			}
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+	return changed
+}

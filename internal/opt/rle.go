@@ -1,0 +1,88 @@
+package opt
+
+import "elag/internal/ir"
+
+// addrKey identifies a memory location syntactically for redundant-load
+// elimination: same base operand, displacement, index and width.
+type addrKey struct {
+	base  ir.Operand
+	off   int64
+	index ir.VReg
+	width uint8
+	sign  bool
+}
+
+func keyOf(in *ir.Instr) addrKey {
+	return addrKey{base: in.Base, off: in.Off, index: in.Index, width: in.Width, sign: in.Signed}
+}
+
+// RedundantLoadElim removes loads that reload a value already available in
+// a register: a previous load of the same syntactic address, or the value
+// just stored to it, with no intervening store or call (local per block;
+// the global part of the paper's pass is approximated by running after
+// inlining, which merges the hot call-free regions into single blocks'
+// extended traces). Returns whether anything changed.
+func RedundantLoadElim(f *ir.Func) bool {
+	changed := false
+	_, single := defCounts(f)
+	for _, b := range f.Blocks {
+		avail := make(map[addrKey]ir.Operand)
+		killReg := func(v ir.VReg) {
+			for k, o := range avail {
+				if o.IsReg(v) || k.base.IsReg(v) || k.index == v {
+					delete(avail, k)
+				}
+			}
+		}
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpLoad:
+				k := keyOf(in)
+				if o, ok := avail[k]; ok {
+					in.Op = ir.OpCopy
+					in.A = o
+					in.Base, in.Index = ir.Operand{}, ir.NoVReg
+					in.Off, in.Width = 0, 0
+					changed = true
+					if in.Dst != ir.NoVReg {
+						killReg(in.Dst)
+					}
+					continue
+				}
+				if in.Dst != ir.NoVReg {
+					killReg(in.Dst)
+					// Record only if the destination cannot be
+					// clobbered between here and a later use
+					// being folded — conservatively require a
+					// single static definition.
+					if single[in.Dst] == in {
+						avail[k] = ir.R(in.Dst)
+					}
+				}
+			case ir.OpStore:
+				// A store invalidates all remembered loads (no
+				// alias analysis), then makes its own value
+				// available (store-to-load forwarding).
+				avail = map[addrKey]ir.Operand{}
+				if in.Width == 8 {
+					switch in.A.Kind {
+					case ir.OpndConst, ir.OpndSym:
+						avail[keyOf(in)] = in.A
+					case ir.OpndReg:
+						avail[keyOf(in)] = in.A
+					}
+				}
+			case ir.OpCall:
+				avail = map[addrKey]ir.Operand{}
+				if in.Dst != ir.NoVReg {
+					killReg(in.Dst)
+				}
+			default:
+				if in.Dst != ir.NoVReg {
+					killReg(in.Dst)
+				}
+			}
+		}
+	}
+	return changed
+}

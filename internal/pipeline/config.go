@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"elag/internal/addrpred"
+	"elag/internal/bpred"
+	"elag/internal/cache"
+	"elag/internal/earlycalc"
+)
+
+// Selection chooses how loads are steered to the early address generation
+// mechanisms, corresponding to the configurations evaluated in Section 5.
+type Selection uint8
+
+// Selection policies.
+const (
+	// SelNone disables early address generation entirely: the base
+	// architecture all speedups are measured against.
+	SelNone Selection = iota
+	// SelCompiler follows the compiler-assigned load flavours: ld_p
+	// loads use the prediction table, ld_e loads use the addressing
+	// register cache, ld_n loads speculate on neither (the paper's
+	// proposed scheme).
+	SelCompiler
+	// SelAllPredict treats every load as predictable: all loads probe
+	// and allocate prediction-table entries (hardware-only prediction,
+	// Figure 5a "no compiler support").
+	SelAllPredict
+	// SelAllEarly gives every register+offset load the early-calculation
+	// path through the register cache, allocating base registers on use
+	// (hardware-only early calculation, Figure 5b).
+	SelAllEarly
+	// SelHWDual is the hardware-only dual-path run-time heuristic of
+	// Eickemeyer and Vassiliadis used in Figure 5c: a load whose base
+	// register is interlocked at decode is steered to the prediction
+	// table; otherwise it uses the early-calculation register cache.
+	SelHWDual
+)
+
+// String names the selection policy.
+func (s Selection) String() string {
+	switch s {
+	case SelNone:
+		return "none"
+	case SelCompiler:
+		return "compiler"
+	case SelAllPredict:
+		return "hw-predict"
+	case SelAllEarly:
+		return "hw-early"
+	case SelHWDual:
+		return "hw-dual"
+	}
+	return "?"
+}
+
+// Config parameterizes the timing model. The zero value, passed through
+// (*Config).fill, yields the paper's base architecture of Section 5.1:
+// 6-wide in-order issue; 4 integer ALUs, 2 memory ports, 2 FP ALUs, 1
+// branch unit; 64K direct-mapped I and D caches with 64-byte blocks and a
+// 12-cycle miss penalty; a 1K-entry BTB with 2-bit counters; and no early
+// address generation.
+type Config struct {
+	// FetchWidth and IssueWidth bound instructions per cycle. Default 6.
+	FetchWidth int
+	IssueWidth int
+	// Functional units. Defaults: 4 integer ALUs, 2 memory ports
+	// (shared with the data cache), 2 FP ALUs, 1 branch unit.
+	IntALUs     int
+	MemPorts    int
+	FPALUs      int
+	BranchUnits int
+	// Latencies in cycles. Defaults follow the HP PA-7100 model: 1 for
+	// most integer ops (LatInt), 2 for loads (address + access), 3 for
+	// integer multiply, 8 for divide/remainder, 2 for FP.
+	LatMul int
+	LatDiv int
+	LatFP  int
+
+	// ICache and DCache configure the memory system; zero fields take
+	// the paper defaults (see package cache).
+	ICache cache.Config
+	DCache cache.Config
+	// BTB configures the branch predictor (default 1024 entries).
+	BTB bpred.Config
+
+	// Select steers loads to the early-address-generation hardware.
+	Select Selection
+	// Predictor, when non-nil, instantiates the PC-indexed address
+	// prediction table (used by SelCompiler, SelAllPredict, SelHWDual).
+	Predictor *addrpred.Config
+	// RegCache, when non-nil, instantiates the early-calculation
+	// addressing register cache; Entries=1 is the paper's R_addr.
+	RegCache *earlycalc.Config
+}
+
+// PaperBase returns the base architecture configuration without early
+// address generation.
+func PaperBase() Config { return Config{} }
+
+// PaperCompilerDirected returns the paper's headline configuration: a
+// 256-entry direct-mapped prediction table plus a single compiler-directed
+// addressing register, with compiler-selected load flavours.
+func PaperCompilerDirected() Config {
+	return Config{
+		Select:    SelCompiler,
+		Predictor: &addrpred.Config{Entries: 256},
+		RegCache:  &earlycalc.Config{Entries: 1},
+	}
+}
+
+func (c *Config) fill() {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.FetchWidth, 6)
+	def(&c.IssueWidth, 6)
+	def(&c.IntALUs, 4)
+	def(&c.MemPorts, 2)
+	def(&c.FPALUs, 2)
+	def(&c.BranchUnits, 1)
+	def(&c.LatMul, 3)
+	def(&c.LatDiv, 8)
+	def(&c.LatFP, 2)
+}

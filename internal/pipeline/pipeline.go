@@ -1,0 +1,740 @@
+// Package pipeline implements the timing half of the paper's
+// emulation-driven simulator: a six-stage (IF, ID1, ID2, EXE, MEM, WB)
+// in-order superscalar model with both early load-address generation paths
+// of Section 3 — the PC-indexed address prediction table probed in ID1 and
+// accessed speculatively in ID2, and the early address calculation path
+// through the cached addressing register(s) dispatched from ID1.
+//
+// The model replays the architecturally-correct dynamic trace produced by
+// package emu and computes per-instruction stage times subject to in-order
+// issue, functional-unit and cache-port structural hazards, scoreboard
+// (register-ready) interlocks, branch prediction, and cache misses.
+// Speculative early loads consume real data-cache ports and fill the cache
+// (their misses act as prefetches); data is forwarded only when the paper's
+// forwarding formulas hold, so speculation never requires recovery.
+//
+// Timing conventions: an instruction "issues" when it enters EXE. A
+// register's ready time is the earliest cycle a consumer may occupy EXE
+// using the value via full forwarding. A 1-cycle integer op issued at e has
+// ready time e+1; a load hit has e+2 (address in EXE, data at end of MEM);
+// a load forwarded by the prediction path has e+1 (one cycle saved); a load
+// forwarded by the early calculation path has e (zero effective latency —
+// the consumer may issue in the same cycle).
+package pipeline
+
+import (
+	"errors"
+
+	"elag/internal/addrpred"
+	"elag/internal/bpred"
+	"elag/internal/cache"
+	"elag/internal/earlycalc"
+	"elag/internal/emu"
+	"elag/internal/isa"
+)
+
+// frontEndSlots bounds the number of instructions in IF/ID1/ID2 latches;
+// fetch of instruction i waits until instruction i-frontEndSlots has issued.
+const frontEndSlots = 18
+
+// resWindow is the sliding-window size (in cycles) for per-cycle resource
+// counters. It only needs to exceed the distance between the oldest
+// in-flight reservation and the current cycle; misses and divides keep that
+// far below 4096.
+const resWindow = 4096
+
+// resTrack counts per-cycle uses of a resource with a fixed capacity.
+type resTrack struct {
+	stamp [resWindow]int64
+	count [resWindow]uint8
+	cap   uint8
+}
+
+func (r *resTrack) at(cycle int64) *uint8 {
+	i := cycle & (resWindow - 1)
+	if r.stamp[i] != cycle {
+		r.stamp[i] = cycle
+		r.count[i] = 0
+	}
+	return &r.count[i]
+}
+
+// avail reports whether capacity remains at cycle.
+func (r *resTrack) avail(cycle int64) bool { return *r.at(cycle) < r.cap }
+
+// tryUse consumes one unit at cycle if available.
+func (r *resTrack) tryUse(cycle int64) bool {
+	c := r.at(cycle)
+	if *c >= r.cap {
+		return false
+	}
+	*c++
+	return true
+}
+
+// timedCache adds miss timing to the tag-store cache model: outstanding
+// fills are tracked so that a second access to an in-flight block waits
+// only for the remaining fill latency (the non-blocking prefetch effect of
+// failed speculative loads).
+type timedCache struct {
+	c          *cache.Cache
+	fills      map[int64]int64 // block id -> cycle the fill completes
+	blockShift uint
+}
+
+func newTimedCache(c *cache.Cache) *timedCache {
+	shift := uint(0)
+	for b := c.Config().BlockBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	return &timedCache{c: c, fills: make(map[int64]int64), blockShift: shift}
+}
+
+// access performs an access at cycle and returns the cycle at the end of
+// which data is available, plus whether it was a true (same-cycle) hit.
+func (t *timedCache) access(addr, cycle int64, spec, allocate bool) (ready int64, hit bool) {
+	block := addr >> t.blockShift
+	var tagHit bool
+	switch {
+	case spec:
+		tagHit = t.c.SpecAccess(addr)
+	case allocate:
+		tagHit = t.c.Access(addr)
+	default:
+		tagHit = t.c.AccessNoAllocate(addr)
+	}
+	if done, ok := t.fills[block]; ok {
+		if done > cycle {
+			// Fill still in flight from an earlier miss.
+			return done, false
+		}
+		delete(t.fills, block)
+	}
+	if tagHit {
+		return cycle, true
+	}
+	done := cycle + int64(t.c.MissPenalty())
+	if allocate || spec {
+		t.fills[block] = done
+		if len(t.fills) > 256 {
+			for b, d := range t.fills {
+				if d <= cycle {
+					delete(t.fills, b)
+				}
+			}
+		}
+	}
+	return done, false
+}
+
+type storeRec struct {
+	exe, mem int64 // EXE (address known after) and MEM (data written after)
+	ea       int64
+	width    int64
+}
+
+// Sim is one timing-simulation instance over a program trace.
+type Sim struct {
+	cfg  Config
+	prog *isa.Program
+
+	ic, dc   *timedCache
+	btb      *bpred.BTB
+	table    *addrpred.Table
+	regcache *earlycalc.Cache
+
+	m Metrics
+
+	regReady [isa.NumIntRegs]int64
+	fpReady  [isa.NumFPRegs]int64
+
+	issueRes resTrack
+	aluRes   resTrack
+	fpRes    resTrack
+	brRes    resTrack
+	portRes  resTrack
+
+	nextFetch  int64
+	groupCycle int64
+	groupCount int
+	lastIssue  int64
+	maxDone    int64
+
+	icLastBlock int64
+	icLastCycle int64
+	icLastReady int64
+
+	issueHist [frontEndSlots]int64
+	seq       int64
+
+	stores    [64]storeRec
+	storeHead int
+
+	curPredictPath bool
+
+	traceCap   int
+	stageTrace []StageRecord
+
+	scratchRegs []isa.Reg
+}
+
+// New creates a simulation with the given configuration over prog.
+func New(cfg Config, prog *isa.Program) *Sim {
+	cfg.fill()
+	s := &Sim{
+		cfg:         cfg,
+		prog:        prog,
+		ic:          newTimedCache(cache.New(cfg.ICache)),
+		dc:          newTimedCache(cache.New(cfg.DCache)),
+		btb:         bpred.New(cfg.BTB),
+		icLastBlock: -1,
+		icLastCycle: -1,
+	}
+	s.issueRes.cap = uint8(cfg.IssueWidth)
+	s.aluRes.cap = uint8(cfg.IntALUs)
+	s.fpRes.cap = uint8(cfg.FPALUs)
+	s.brRes.cap = uint8(cfg.BranchUnits)
+	s.portRes.cap = uint8(cfg.MemPorts)
+	if cfg.Predictor != nil {
+		s.table = addrpred.NewTable(*cfg.Predictor)
+	}
+	if cfg.RegCache != nil {
+		s.regcache = earlycalc.New(*cfg.RegCache)
+	}
+	// Cycle numbering starts at 1 so that zero-valued ready times never
+	// constrain anything.
+	s.nextFetch = 1
+	s.groupCycle = 1
+	return s
+}
+
+// Metrics returns the metrics accumulated so far; call after Run.
+func (s *Sim) Metrics() *Metrics {
+	s.m.Cycles = s.maxDone
+	if s.table != nil {
+		s.m.TableStats = s.table.Stats()
+	}
+	if s.regcache != nil {
+		s.m.RegCacheStat = s.regcache.Stats()
+	}
+	s.m.ICacheStats = s.ic.c.Stats()
+	s.m.DCacheStats = s.dc.c.Stats()
+	s.m.BTBStats = s.btb.Stats()
+	return &s.m
+}
+
+// Run replays the whole trace and returns the final metrics.
+func (s *Sim) Run(trace []emu.TraceEntry) (*Metrics, error) {
+	for i := range trace {
+		if err := s.StepInst(&trace[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s.Metrics(), nil
+}
+
+// Simulate is the convenience entry point: emulate prog, then replay its
+// trace under cfg. fuel bounds emulated instructions (<=0 for default); a
+// fuel-truncated trace is still replayed — the timing of a prefix is valid
+// timing — so ErrFuel is not an error here.
+func Simulate(cfg Config, prog *isa.Program, fuel int64) (*Metrics, emu.Result, error) {
+	res, trace, err := emu.RunTrace(prog, fuel, true)
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return nil, res, err
+	}
+	sim := New(cfg, prog)
+	m, err := sim.Run(trace)
+	return m, res, err
+}
+
+// StepInst advances the timing model by one dynamic instruction.
+func (s *Sim) StepInst(te *emu.TraceEntry) error {
+	if te.PC < 0 || te.PC >= len(s.prog.Insts) {
+		return errors.New("pipeline: trace PC out of range")
+	}
+	in := &s.prog.Insts[te.PC]
+	s.m.Insts++
+
+	// ---- IF ----
+	f := s.nextFetch
+	// Front-end back-pressure: wait for a decode slot.
+	if h := s.issueHist[s.seq%frontEndSlots]; s.seq >= frontEndSlots && f < h-2 {
+		f = h - 2
+	}
+	if f < s.groupCycle {
+		f = s.groupCycle
+	}
+	if f == s.groupCycle && s.groupCount >= s.cfg.FetchWidth {
+		f++
+	}
+	// Instruction cache (deduplicate same-block accesses within a cycle).
+	iaddr := isa.PCAddr(te.PC)
+	iblock := iaddr >> s.ic.blockShift
+	if iblock == s.icLastBlock && f == s.icLastCycle {
+		if s.icLastReady > f {
+			f = s.icLastReady
+		}
+	} else {
+		ready, _ := s.ic.access(iaddr, f, false, true)
+		s.icLastBlock, s.icLastCycle, s.icLastReady = iblock, f, ready
+		if ready > f {
+			f = ready
+			s.icLastCycle = f
+		}
+	}
+	if f > s.groupCycle {
+		s.groupCycle = f
+		s.groupCount = 0
+	}
+	s.groupCount++
+	s.nextFetch = f
+
+	d1 := f + 1
+	d2 := f + 2
+
+	// ---- operand readiness (scoreboard) ----
+	e := f + 3
+	if e < s.lastIssue {
+		e = s.lastIssue
+	}
+	s.scratchRegs = in.IntRegsRead(s.scratchRegs[:0])
+	for _, r := range s.scratchRegs {
+		if t := s.regReady[r]; t > e {
+			e = t
+		}
+	}
+	switch in.Op {
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+		e = max64(e, s.fpReady[in.Rs1], s.fpReady[in.Rs2])
+	case isa.OpFMov, isa.OpCvtFI:
+		e = max64(e, s.fpReady[in.Rs1], 0)
+	case isa.OpFStore:
+		e = max64(e, s.fpReady[in.Rs2], 0)
+	}
+
+	// ---- early address generation (decided at ID1/ID2, before issue) ----
+	spec := specResult{lat: -1}
+	if in.IsLoad() {
+		s.m.Loads++
+		spec = s.speculate(in, te, d1, d2, e)
+	}
+
+	// ---- issue (enter EXE) ----
+	var fu *resTrack
+	switch {
+	case in.IsALU():
+		fu = &s.aluRes
+	case in.IsFP():
+		fu = &s.fpRes
+	case in.IsBranch():
+		fu = &s.brRes
+	}
+	for {
+		if !s.issueRes.avail(e) {
+			e++
+			continue
+		}
+		if fu != nil && !fu.avail(e) {
+			e++
+			continue
+		}
+		break
+	}
+	s.issueRes.tryUse(e)
+	if fu != nil {
+		fu.tryUse(e)
+	}
+	s.lastIssue = e
+	s.issueHist[s.seq%frontEndSlots] = e
+	s.seq++
+
+	done := e + 1 // completion (end cycle) for bookkeeping
+
+	// ---- EXE/MEM and destination ready times ----
+	switch {
+	case in.IsLoad():
+		var ready int64
+		switch {
+		case spec.lat >= 0:
+			// Forwarded: effective latency spec.lat (0 for the
+			// early-calculation path, 1 for the prediction path).
+			ready = e + spec.lat
+			if spec.lat == 0 {
+				s.m.ZeroCycleLoads++
+			} else {
+				s.m.OneCycleLoads++
+			}
+			done = e + 1
+			s.m.LoadLatencySum += spec.lat
+		case spec.reusable:
+			// The speculative access used the correct address but
+			// its data arrived too late to forward (e.g. a cache
+			// miss). The load is still satisfied by that access —
+			// no second cache access, no extra port — the data
+			// simply arrives when the fill completes (never
+			// earlier than the normal MEM stage).
+			m := e + 1
+			dataEnd := spec.dataEnd
+			if dataEnd < m {
+				dataEnd = m
+			}
+			ready = dataEnd + 1
+			done = dataEnd + 1
+			s.m.LoadLatencySum += ready - e
+		default:
+			m := e + 1
+			for !s.portRes.tryUse(m) {
+				m++
+			}
+			dataEnd, _ := s.dc.access(te.EA, m, false, true)
+			ready = dataEnd + 1
+			done = dataEnd + 1
+			s.m.LoadLatencySum += ready - e
+		}
+		if in.Op == isa.OpFLoad {
+			s.fpReady[in.Rd] = ready
+		} else if in.Rd != isa.RegZero {
+			s.regReady[in.Rd] = ready
+		}
+		// Train the prediction table in MEM regardless of forwarding.
+		s.updatePredictor(in, te, d1)
+
+	case in.IsStore():
+		s.m.Stores++
+		m := e + 1
+		for !s.portRes.tryUse(m) {
+			m++
+		}
+		s.dc.access(te.EA, m, false, false) // write-through, no allocate
+		done = m + 1
+		s.recordStore(e, m, te.EA, int64(in.Width))
+
+	case in.IsBranch():
+		s.resolveBranch(in, te, f, d1, e)
+		done = e + 1
+
+	default:
+		lat := int64(1)
+		switch in.Op {
+		case isa.OpMul:
+			lat = int64(s.cfg.LatMul)
+		case isa.OpDiv, isa.OpRem:
+			lat = int64(s.cfg.LatDiv)
+		case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpFMov, isa.OpCvtIF:
+			lat = int64(s.cfg.LatFP)
+		}
+		done = e + lat
+		if r, ok := in.WritesIntReg(); ok {
+			s.regReady[r] = e + lat
+		}
+		if r, ok := in.WritesFPReg(); ok {
+			s.fpReady[r] = e + lat
+		}
+	}
+
+	if in.Op == isa.OpCall && in.Rd != isa.RegZero {
+		s.regReady[in.Rd] = e + 1
+	}
+	if done > s.maxDone {
+		s.maxDone = done
+	}
+	if s.traceCap > 0 {
+		fwd := int8(-1)
+		if in.IsLoad() && spec.lat >= 0 {
+			fwd = int8(spec.lat)
+		}
+		s.recordStages(te.PC, f, e, done, fwd)
+	}
+	return nil
+}
+
+func max64(a, b, c int64) int64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func (s *Sim) recordStore(exe, mem, ea, width int64) {
+	s.stores[s.storeHead] = storeRec{exe: exe, mem: mem, ea: ea, width: width}
+	s.storeHead = (s.storeHead + 1) % len(s.stores)
+}
+
+// memInterlock reports whether, at the given cycle, an older in-flight
+// store could conflict with a speculative load of [ea, ea+width): either
+// the store's address is not yet computed, or it overlaps and its data has
+// not yet reached memory.
+func (s *Sim) memInterlock(ea, width, cycle int64) bool {
+	for i := range s.stores {
+		st := &s.stores[i]
+		if st.mem == 0 || st.mem < cycle {
+			continue // already written (or empty slot)
+		}
+		if st.exe >= cycle {
+			return true // address unknown at speculation time
+		}
+		if st.ea < ea+width && ea < st.ea+st.width {
+			return true // overlapping, data not yet visible
+		}
+	}
+	return false
+}
+
+// specResult describes the outcome of early address generation for one
+// load execution: lat >= 0 means data was forwarded with that effective
+// latency; otherwise, reusable reports whether a speculative access with
+// the correct address was issued anyway (so the load is satisfied by that
+// access's data, available at the end of cycle dataEnd, without a second
+// cache access).
+type specResult struct {
+	lat      int64
+	dataEnd  int64
+	reusable bool
+}
+
+var noSpec = specResult{lat: -1}
+
+// speculate runs the ID1/ID2 early-address-generation logic for a load. It
+// also records (in curPredictPath) whether this execution was steered to
+// the prediction table, which determines whether the MEM-stage table
+// update applies.
+func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specResult {
+	s.curPredictPath = false
+	switch s.cfg.Select {
+	case SelNone:
+		return noSpec
+	case SelCompiler:
+		switch in.Flavor {
+		case isa.LdP:
+			if s.table == nil {
+				return noSpec
+			}
+			s.curPredictPath = true
+			return s.specPredict(in, te, d2, e)
+		case isa.LdE:
+			if s.regcache == nil {
+				return noSpec
+			}
+			return s.specEarly(in, te, d1, d2, e, true)
+		}
+		return noSpec
+	case SelAllPredict:
+		if s.table == nil {
+			return noSpec
+		}
+		s.curPredictPath = true
+		return s.specPredict(in, te, d2, e)
+	case SelAllEarly:
+		if s.regcache == nil {
+			return noSpec
+		}
+		return s.specEarly(in, te, d1, d2, e, false)
+	case SelHWDual:
+		// Eickemeyer-Vassiliadis run-time selection: interlocked base
+		// register at decode -> prediction table; otherwise early
+		// calculation through the register cache.
+		interlocked := in.Mode != isa.AMAbsolute && s.regReady[in.Base] > d1
+		if interlocked {
+			if s.table == nil {
+				return noSpec
+			}
+			s.curPredictPath = true
+			return s.specPredict(in, te, d2, e)
+		}
+		if s.regcache == nil {
+			return noSpec
+		}
+		return s.specEarly(in, te, d1, d2, e, false)
+	}
+	return noSpec
+}
+
+func (s *Sim) updatePredictor(in *isa.Inst, te *emu.TraceEntry, d1 int64) {
+	if s.table == nil {
+		return
+	}
+	if s.curPredictPath {
+		s.table.Update(te.PC, te.EA)
+	} else if s.cfg.Select == SelHWDual {
+		// Allocation is gated on interlocks, but entries that already
+		// exist keep training on every execution.
+		s.table.UpdateIfPresent(te.PC, te.EA)
+	}
+}
+
+// specPredict implements the ld_p path: ID1 table probe, ID2 speculative
+// access with the predicted address, end-of-EXE verification. Forwarding
+// requires !Mem_Interlock ∧ Table_Hit ∧ Port_Allocated ∧ DCache_Hit ∧
+// CA==PA and yields an effective load latency of 1 cycle.
+func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specResult {
+	ps := &s.m.Predict
+	ps.Eligible++
+	predAddr, ok := s.table.Probe(te.PC)
+	if !ok {
+		ps.NoPrediction++
+		return noSpec
+	}
+	// Like the early-calculation path, the speculative access is issued
+	// on the load's last decode cycle: a load stalled at issue re-probes
+	// while it waits, so its speculation overlaps in-flight stores less.
+	specCycle := d2
+	if e-1 > specCycle {
+		specCycle = e - 1
+	}
+	if !s.portRes.tryUse(specCycle) {
+		ps.NoPort++
+		return noSpec
+	}
+	ps.Speculated++
+	ready, hit := s.dc.access(predAddr, specCycle, true, true)
+	correct := predAddr == te.EA
+	milk := s.memInterlock(te.EA, int64(in.Width), specCycle)
+	fwd := hit && ready <= e-1 && correct && !milk
+	if !correct {
+		ps.AddrMispredict++
+	}
+	if !hit || ready > e-1 {
+		ps.CacheMiss++
+	}
+	if milk {
+		ps.MemInterlock++
+	}
+	if !fwd {
+		// A correct-address access that merely arrived late (or
+		// missed the cache) still satisfies the load when its data
+		// lands; a memory interlock means the data may be stale and
+		// must be re-fetched.
+		return specResult{lat: -1, dataEnd: ready, reusable: correct && !milk}
+	}
+	ps.Forwarded++
+	return specResult{lat: 1}
+}
+
+// specEarly implements the ld_e path: the base register's value is read
+// from the addressing-register cache, the address formed by the dedicated
+// full adder, and a speculative access dispatched from the decode stages.
+// Forwarding requires !R_addr_Interlock ∧ !Mem_Interlock ∧ R_addr_Hit ∧
+// Port_Allocated ∧ DCache_Hit.
+//
+// Dispatch timing: a load may sit in decode for many cycles while older
+// instructions or its own base register hold up issue; the speculative
+// access is (re)issued on its last decode cycle, so it uses the R_addr
+// value as of cycle e-1 (e = the load's EXE cycle). Two outcomes:
+//
+//   - The base value was broadcast to R_addr by cycle e-1: the access
+//     completes before EXE and the data forwards with effective latency 0
+//     (a zero-cycle load — the consumer may issue with the load).
+//   - The base arrives exactly at issue (the load was stalled on it): the
+//     access overlaps the EXE address calculation and saves one cycle
+//     (latency 1), the bound Chen & Wu report when the early path cannot
+//     run ahead of the register file.
+//
+// bindDirected distinguishes the compiler-directed R_addr (bound by the
+// ld_e itself) from the hardware-only allocate-on-use policy; both bind
+// after the lookup, so a load that just switched the binding does not hit.
+func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindDirected bool) specResult {
+	es := &s.m.Early
+	if in.Mode == isa.AMRegReg {
+		// Only register+offset (and absolute) addresses can be formed
+		// by the decode-stage adder.
+		return noSpec
+	}
+	es.Eligible++
+
+	hit := true
+	lat := int64(0)
+	specCycle := d2
+	if e-1 > specCycle {
+		specCycle = e - 1
+	}
+	if in.Mode == isa.AMRegOffset {
+		_, hit = s.regcache.Lookup(in.Base)
+		ready := s.regReady[in.Base]
+		// (Re)bind after the lookup: ld_e binds its base register;
+		// hardware-only policies allocate base registers on use. The
+		// entry is bound valid: coherence with in-flight producers is
+		// checked against the scoreboard at lookup time (the
+		// R_addr_Interlock term), which subsumes the hardware's
+		// broadcast-on-writeback.
+		s.regcache.Bind(in.Base, te.BaseVal, true)
+		if !hit {
+			es.RegMiss++
+			return noSpec
+		}
+		switch {
+		case ready <= specCycle:
+			// Value broadcast in time for a pre-EXE access.
+		case ready <= e:
+			// Base arrives at issue: overlap the access with EXE.
+			lat = 1
+			specCycle = e
+		default:
+			es.RegInterlock++
+			return noSpec
+		}
+	}
+	if !s.portRes.tryUse(specCycle) {
+		es.NoPort++
+		return noSpec
+	}
+	es.Speculated++
+	// Coherent R_addr implies the speculative address equals the
+	// architectural effective address.
+	dataEnd, chit := s.dc.access(te.EA, specCycle, true, true)
+	milk := s.memInterlock(te.EA, int64(in.Width), specCycle)
+	if milk {
+		es.MemInterlock++
+		// Possibly-stale data: the normal access must re-fetch.
+		return noSpec
+	}
+	if !chit || dataEnd > specCycle {
+		es.CacheMiss++
+		// Correct address, late data: the load waits for this
+		// access's fill instead of re-accessing the cache.
+		return specResult{lat: -1, dataEnd: dataEnd, reusable: true}
+	}
+	es.Forwarded++
+	return specResult{lat: lat}
+}
+
+// resolveBranch trains the BTB and computes the fetch redirect.
+func (s *Sim) resolveBranch(in *isa.Inst, te *emu.TraceEntry, f, d1, e int64) {
+	switch in.Op {
+	case isa.OpBr:
+		s.m.Branches++
+		mis := s.btb.Update(te.PC, te.Taken, te.NextPC)
+		switch {
+		case mis:
+			s.m.Mispredicts++
+			s.nextFetch = e + 1
+		case te.Taken:
+			// Correctly predicted taken: the target is fetched in
+			// the next cycle (taken branches end the fetch group).
+			s.nextFetch = f + 1
+		}
+	case isa.OpJmp, isa.OpCall:
+		// Direct target: a BTB hit redirects fetch with no bubble; a
+		// miss is repaired at decode (one-cycle bubble).
+		if tgt, ok := s.btb.Lookup(te.PC); ok && tgt == te.NextPC {
+			s.nextFetch = f + 1
+		} else {
+			s.nextFetch = d1 + 1
+		}
+		s.btb.Insert(te.PC, te.NextPC)
+	case isa.OpJr:
+		// Register-indirect target: resolved in EXE on a BTB miss.
+		if tgt, ok := s.btb.Lookup(te.PC); ok && tgt == te.NextPC {
+			s.nextFetch = f + 1
+		} else {
+			s.nextFetch = e + 1
+		}
+		s.btb.Insert(te.PC, te.NextPC)
+	}
+	if s.nextFetch > s.groupCycle {
+		s.groupCycle = s.nextFetch
+		s.groupCount = 0
+	}
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"elag/internal/isa"
+)
+
+// StageRecord captures the stage timing of one dynamic instruction for the
+// pipeline viewer: the cycles at which it occupied IF, entered EXE, and
+// completed, plus how its load (if any) was satisfied.
+type StageRecord struct {
+	Seq     int64
+	PC      int
+	Fetch   int64 // IF cycle
+	Issue   int64 // EXE cycle (ID1/ID2 span Fetch+1 .. Issue-1)
+	Done    int64 // completion (end of MEM / writeback data ready)
+	Forward int8  // -1: not a load / not forwarded; 0: zero-cycle; 1: one-cycle
+}
+
+// EnableStageTrace makes the simulation record the first n dynamic
+// instructions' stage timings, retrievable with StageTrace.
+func (s *Sim) EnableStageTrace(n int) { s.traceCap = n }
+
+// StageTrace returns the recorded stage timings.
+func (s *Sim) StageTrace() []StageRecord { return s.stageTrace }
+
+func (s *Sim) recordStages(pc int, f, e, done int64, fwd int8) {
+	if len(s.stageTrace) >= s.traceCap {
+		return
+	}
+	s.stageTrace = append(s.stageTrace, StageRecord{
+		Seq: s.m.Insts - 1, PC: pc, Fetch: f, Issue: e, Done: done, Forward: fwd,
+	})
+}
+
+// RenderStageTrace draws the records as a text pipeline diagram, one
+// instruction per row:
+//
+//	seq    pc  instruction              |F DD X M|
+//
+// F = fetch, D = decode (ID1/ID2 and any stall cycles), X = execute,
+// M = memory/completion; * marks a forwarded load (0 = zero-cycle).
+func RenderStageTrace(prog *isa.Program, recs []StageRecord) string {
+	if len(recs) == 0 {
+		return ""
+	}
+	base := recs[0].Fetch
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle origin: %d\n", base)
+	for _, r := range recs {
+		width := int(r.Done - base + 1)
+		if width < 1 || width > 200 {
+			width = 200
+		}
+		lane := []byte(strings.Repeat(" ", width))
+		put := func(cycle int64, ch byte) {
+			i := int(cycle - base)
+			if i >= 0 && i < len(lane) {
+				lane[i] = ch
+			}
+		}
+		put(r.Fetch, 'F')
+		for c := r.Fetch + 1; c < r.Issue; c++ {
+			put(c, 'D')
+		}
+		put(r.Issue, 'X')
+		for c := r.Issue + 1; c <= r.Done; c++ {
+			put(c, 'M')
+		}
+		mark := ' '
+		switch r.Forward {
+		case 0:
+			mark = '0'
+		case 1:
+			mark = '1'
+		}
+		in := ""
+		if r.PC >= 0 && r.PC < len(prog.Insts) {
+			in = prog.Insts[r.PC].String()
+		}
+		fmt.Fprintf(&sb, "%6d %5d %c %-28s |%s|\n", r.Seq, r.PC, mark, in, lane)
+	}
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package profile_test
+
+import (
+	"testing"
+
+	"elag/internal/asm"
+	"elag/internal/core"
+	"elag/internal/profile"
+)
+
+func TestPerLoadRates(t *testing.T) {
+	// Two loads: one strided (predictable), one chasing a shuffled ring
+	// (unpredictable).
+	p := asm.MustAssemble(`
+		.data
+		.base 0x10000
+	ring:	.addr ring+32
+		.space 24
+		.addr ring+96
+		.space 24
+		.addr ring+64
+		.space 24
+		.addr ring
+		.space 24
+	arr:	.space 800
+		.text
+	main:	li r9, 0
+		li r2, 0x10000
+		li r3, arr
+	loop:	ld8_n r1, r3(0)       ; strided
+		add r3, r3, 8
+		ld8_n r2, r2(0)       ; ring chase
+		add r9, r9, 1
+		blt r9, 100, loop
+		halt r0
+	`)
+	lp, res, err := profile.Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d", res.ExitCode)
+	}
+	strided := p.Symbols["loop"]
+	chase := strided + 2
+	if lp.Execs[strided] != 100 || lp.Execs[chase] != 100 {
+		t.Fatalf("exec counts: %d %d", lp.Execs[strided], lp.Execs[chase])
+	}
+	rs, ok := lp.Rate(strided)
+	if !ok || rs < 0.9 {
+		t.Errorf("strided load rate = %.2f, want >= 0.9", rs)
+	}
+	rc, _ := lp.Rate(chase)
+	if rc > 0.3 {
+		t.Errorf("ring-chase load rate = %.2f, want low", rc)
+	}
+	if _, ok := lp.Rate(9999); ok {
+		t.Errorf("rate reported for a PC that never executed")
+	}
+	if lp.TotalLoads != 200 {
+		t.Errorf("total loads = %d", lp.TotalLoads)
+	}
+	rates := lp.Rates()
+	if len(rates) != 2 {
+		t.Errorf("rates map has %d entries", len(rates))
+	}
+}
+
+func TestClassAggregates(t *testing.T) {
+	p := asm.MustAssemble(`
+		.data
+	arr:	.space 1600
+		.text
+	main:	li r9, 0
+		li r3, arr
+	loop:	ld8_n r1, r3(0)
+		add r3, r3, 8
+		add r9, r9, 1
+		blt r9, 200, loop
+		halt r0
+	`)
+	lp, _, err := profile.Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.Classify(p, core.Options{})
+	ld := p.Symbols["loop"]
+	if c.Class(ld) != core.PD {
+		t.Fatalf("strided load classified %v", c.Class(ld))
+	}
+	if share := lp.DynamicShare(c, core.PD); share != 100 {
+		t.Errorf("dynamic PD share = %.1f, want 100", share)
+	}
+	if rate := lp.ClassRate(c, core.PD); rate < 90 {
+		t.Errorf("PD class rate = %.1f, want >= 90", rate)
+	}
+	if rate := lp.ClassRate(c, core.EC); rate != 0 {
+		t.Errorf("empty class rate = %.1f, want 0", rate)
+	}
+}
+
+// TestProfileDrivesReclassification wires profiling into the paper's
+// Section 4.3 flow end to end.
+func TestProfileDrivesReclassification(t *testing.T) {
+	// Two load-dependent groups: both stride, but only the larger gets
+	// ld_e; the smaller is ld_n yet highly predictable — profiling must
+	// promote it to ld_p.
+	p := asm.MustAssemble(`
+		.data
+	ptrs:	.space 8000
+		.text
+	main:	li r9, 0
+		li r2, ptrs
+		li r3, ptrs
+	loop:	ld8_n r4, r2(0)
+		ld8_n r5, r2(8)
+		ld8_n r6, r3(0)
+		add r2, r2, 16
+		add r3, r3, 8
+		add r9, r9, 1
+		blt r9, 100, loop
+		halt r0
+	`)
+	// Loads have arithmetic (IV) bases here, so craft the situation via
+	// classification options instead: treat them as given and check the
+	// reclassification mechanics on the profile.
+	c := core.Classify(p, core.Options{})
+	lp, _, err := profile.Collect(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force one load NT to emulate a losing group, then reclassify.
+	ld := p.Symbols["loop"] + 2
+	c.ByPC[ld] = core.NT
+	n := core.Reclassify(c, lp.Rates(), 0.6)
+	if n.Class(ld) != core.PD {
+		t.Errorf("predictable NT load not promoted by profile (rate %.2f)",
+			lp.Rates()[ld])
+	}
+}

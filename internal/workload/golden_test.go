@@ -1,0 +1,70 @@
+package workload_test
+
+import (
+	"testing"
+
+	"elag"
+	"elag/internal/workload"
+)
+
+// Golden architectural outputs for every workload, captured from the
+// reference build. Any change to a kernel, the compiler, or the emulator
+// that alters observable behaviour must be deliberate and re-recorded here
+// (the timing model, by design, can never affect these).
+var goldenOutputs = map[string]int64{
+	"008.espresso": 466280,
+	"022.li":       707052,
+	"023.eqntott":  98304,
+	"026.compress": 4635,
+	"072.sc":       308404,
+	"085.cc1":      485428,
+	"124.m88ksim":  527419,
+	"129.compress": 8076,
+	"130.li":       833711,
+	"132.ijpeg":    994048,
+	"134.perl":     711040,
+	"147.vortex":   514240,
+	"ADPCM Decode": 823560,
+	"ADPCM Encode": 955716,
+	"EPIC Decode":  320819,
+	"EPIC Encode":  946766,
+	"G.721 Decode": 133905,
+	"G.721 Encode": 867532,
+	"GSM Decode":   358295,
+	"GSM Encode":   603323,
+	"Ghostscript":  69854,
+	"MPEG Decode":  757645,
+	"PGP Decode":   503492,
+	"PGP Encode":   101731,
+	"RASTA":        388477,
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := goldenOutputs[w.Name]
+			if !ok {
+				t.Fatalf("no golden recorded for %q", w.Name)
+			}
+			p, err := elag.Build(w.Source, elag.BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.IntOut) != 1 || res.IntOut[0] != want {
+				t.Errorf("output %v, golden %d", res.IntOut, want)
+			}
+			if res.ExitCode != 0 {
+				t.Errorf("exit code %d", res.ExitCode)
+			}
+		})
+	}
+	if len(goldenOutputs) != len(workload.All()) {
+		t.Errorf("golden table has %d entries for %d workloads",
+			len(goldenOutputs), len(workload.All()))
+	}
+}

@@ -1,0 +1,661 @@
+package workload
+
+import "strings"
+
+// SPEC92/95-integer-like kernels. Each reproduces the load-address
+// character the paper's Table 2 reports for the original program: the
+// static/dynamic NT/PD/EC balance and, crucially, whether each class's
+// addresses are actually predictable by a stride machine.
+
+func init() {
+	register(&Workload{
+		Name:  "008.espresso",
+		Suite: SPEC,
+		About: "Two-level logic minimizer: word-wide cube set operations. " +
+			"Bulk strided sweeps (PD) plus unrolled operations through a " +
+			"cube-pointer array whose pointers happen to be sequential — " +
+			"the compiler classifies those loads NT, but they predict " +
+			"almost perfectly, which is what address profiling rescues.",
+		Source: `
+int storage[4096];
+int *cubes[130];
+
+int sweep(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) {
+		acc = acc + storage[i];
+	}
+	return acc & 1048575;
+}
+
+int combine(int nc) {
+	int acc = 0;
+	for (int i = 0; i + 1 < nc; i++) {
+		int *pa = cubes[i];
+		int *pb = cubes[i + 1];
+		acc = acc + (pa[0] & pb[0]);
+		acc = acc + (pa[1] | pb[1]);
+		acc = acc ^ (pa[2] ^ pb[2]);
+		acc = acc + (pa[3] & pb[3]);
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	int nc = 128;
+	for (int i = 0; i < 4096; i++) {
+		storage[i] = (i * 37) & 4095;
+	}
+	for (int i = 0; i < nc; i++) {
+		cubes[i] = &storage[i * 32];
+	}
+	int acc = 0;
+	for (int pass = 0; pass < 14; pass++) {
+		acc = acc + sweep(4096);
+		acc = acc + combine(nc);
+		acc = acc & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`,
+	})
+
+	liSource := `
+struct cell { int tag; int val; struct cell *car; struct cell *cdr; };
+struct cell heap[HEAPSZ];
+int perm[HEAPSZ];
+int symval[256];
+
+/* The allocator consults its heap mask from memory on every cons (xlisp
+   reads its segment globals in the allocation path). */
+int heapmask = HEAPSZ - 1;
+
+struct cell *mklist(int n, int base) {
+	struct cell *head = 0;
+	for (int i = 0; i < n; i++) {
+		struct cell *c = &heap[perm[(base + i) & heapmask]];
+		c->tag = 1;
+		c->val = (base + i) & 255;
+		c->car = 0;
+		c->cdr = head;
+		head = c;
+	}
+	return head;
+}
+
+int sumlist(struct cell *p) {
+	int s = 0;
+	while (p) {
+		s = s + p->val;
+		s = s + symval[p->val & 255];
+		p = p->cdr;
+	}
+	return s;
+}
+
+int main() {
+	for (int i = 0; i < HEAPSZ; i++) { perm[i] = i; }
+	for (int i = HEAPSZ - 1; i > 0; i--) {
+		int j = rnd() % (i + 1);
+		int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+	}
+	for (int i = 0; i < 256; i++) { symval[i] = i * 3; }
+	int acc = 0;
+	for (int pass = 0; pass < PASSES; pass++) {
+		struct cell *l = mklist(LISTLEN, pass * 17);
+		acc = (acc + sumlist(l)) & 1048575;
+		/* assoc-style scan: walk once more comparing tags */
+		struct cell *p = l;
+		while (p) {
+			if (p->val == 42) { acc = acc + 1; }
+			p = p->cdr;
+		}
+	}
+	print_int(acc);
+	return 0;
+}
+`
+	register(&Workload{
+		Name:  "022.li",
+		Suite: SPEC,
+		About: "XLISP interpreter: cons-cell allocation and list traversal " +
+			"over a shuffled heap — load-dependent car/cdr chains (EC) " +
+			"plus a small strided symbol table (PD).",
+		Source: needRand(replaceAll(liSource,
+			"HEAPSZ", "1024", "PASSES", "40", "LISTLEN", "700")),
+	})
+	register(&Workload{
+		Name:  "130.li",
+		Suite: SPEC,
+		About: "The SPEC95 XLISP variant: a larger shuffled heap and longer " +
+			"lists than 022.li, raising the EC share.",
+		Source: needRand(replaceAll(liSource,
+			"HEAPSZ", "2048", "PASSES", "28", "LISTLEN", "1600")),
+	})
+
+	register(&Workload{
+		Name:  "023.eqntott",
+		Suite: SPEC,
+		About: "Truth-table equivalence checker: dominated by cmppt(), a " +
+			"linear comparison of long bit-vector arrays — almost every " +
+			"load strides (92%+ dynamic PD in the paper).",
+		Source: `
+int pta[4096];
+int ptb[4096];
+
+int cmppt(int n) {
+	int diff = 0;
+	for (int i = 0; i < n; i++) {
+		if (pta[i] != ptb[i]) {
+			diff = diff + 1;
+		}
+	}
+	return diff;
+}
+
+int merge(int n) {
+	int acc = 0;
+	for (int i = 0; i + 1 < n; i = i + 2) {
+		acc = acc + (pta[i] & ptb[i + 1]);
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	for (int i = 0; i < 4096; i++) {
+		pta[i] = (i * 7) & 1023;
+		ptb[i] = (i * 7 + (i & 64)) & 1023;
+	}
+	int acc = 0;
+	for (int pass = 0; pass < 20; pass++) {
+		acc = acc + cmppt(4096);
+		acc = (acc + merge(4096)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`,
+	})
+
+	compressSource := `
+char inbuf[INSZ];
+int htab[4096];
+int codetab[4096];
+/* Hash configuration is read from memory per input byte, as the original
+   consults its globals (hsize, maxcode, ...) in the hot loop. */
+int hmask = 4095;
+int hstep = 211;
+
+int compress(int n) {
+	int out = 0;
+	for (int i = 0; i < 4096; i++) { htab[i] = -1; }
+	int ent = 0;
+	int checksum = 0;
+	for (int i = 0; i < n; i++) {
+		int c = inbuf[i];
+		int hm = hmask;
+		checksum = (checksum + c) & 65535;
+		int key = (ent << 8) | (c & 255);
+		int h = (key * 40503) & hm;
+		int probes = 0;
+		while (htab[h] != key && htab[h] != -1 && probes < 8) {
+			h = (h + hstep) & hm;
+			probes = probes + 1;
+		}
+		if (htab[h] == key) {
+			ent = codetab[h];
+		} else {
+			htab[h] = key;
+			codetab[h] = out & 4095;
+			out = out + 1;
+			ent = c & 255;
+		}
+	}
+	return out + (checksum & 7);
+}
+
+int main() {
+	for (int i = 0; i < INSZ; i++) {
+		inbuf[i] = (rnd() >> 5) & MASK;
+	}
+	int acc = 0;
+	for (int pass = 0; pass < PASSES; pass++) {
+		acc = (acc + compress(INSZ)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`
+	register(&Workload{
+		Name:  "026.compress",
+		Suite: SPEC,
+		About: "LZW compression: sequential input-buffer reads (PD) feed a " +
+			"hash table whose probe addresses derive from loaded data (NT, " +
+			"poorly predictable).",
+		Source: needRand(replaceAll(compressSource,
+			"INSZ", "4096", "MASK", "15", "PASSES", "3")),
+	})
+	register(&Workload{
+		Name:  "129.compress",
+		Suite: SPEC,
+		About: "The SPEC95 compress variant: a larger, noisier input raising " +
+			"hash pressure relative to 026.compress.",
+		Source: needRand(replaceAll(compressSource,
+			"INSZ", "5120", "MASK", "31", "PASSES", "3")),
+	})
+
+	register(&Workload{
+		Name:  "072.sc",
+		Suite: SPEC,
+		About: "Spreadsheet recalculation: strided sweeps over the cell grid " +
+			"(PD) with per-cell dependency chains through shuffled links (EC).",
+		Source: needRand(`
+struct scell { int val; int formula; struct scell *dep; };
+struct scell grid[2048];
+int perm[2048];
+
+int recalc(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) {
+		int v = grid[i].formula;
+		struct scell *d = grid[i].dep;
+		int depth = 0;
+		while (d && depth < 4) {
+			v = v + d->val;
+			d = d->dep;
+			depth = depth + 1;
+		}
+		grid[i].val = v;
+		acc = acc + v;
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	for (int i = 0; i < 2048; i++) { perm[i] = i; }
+	for (int i = 2047; i > 0; i--) {
+		int j = rnd() % (i + 1);
+		int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+	}
+	for (int i = 0; i < 2048; i++) {
+		grid[i].val = i & 63;
+		grid[i].formula = (i * 5) & 255;
+		if (i & 1) {
+			grid[i].dep = &grid[perm[i]];
+		} else {
+			grid[i].dep = 0;
+		}
+	}
+	int acc = 0;
+	for (int pass = 0; pass < 12; pass++) {
+		acc = (acc + recalc(2048)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`),
+	})
+
+	register(&Workload{
+		Name:  "085.cc1",
+		Suite: SPEC,
+		About: "GCC: recursive expression-tree evaluation over a shuffled " +
+			"node pool (EC), a token-stream scan (PD), and symbol-table " +
+			"hash probes (NT).",
+		Source: needRand(`
+struct tnode { int op; int leaf; struct tnode *l; struct tnode *r; };
+struct tnode pool[2048];
+int perm[2048];
+int tokens[4096];
+int symtab[1024];
+int nextnode = 0;
+
+struct tnode *alloc() {
+	struct tnode *n = &pool[perm[nextnode & 2047]];
+	nextnode = nextnode + 1;
+	return n;
+}
+
+struct tnode *build(int depth, int v) {
+	struct tnode *n = alloc();
+	if (depth <= 0) {
+		n->op = 0;
+		n->leaf = v & 255;
+		n->l = 0;
+		n->r = 0;
+		return n;
+	}
+	n->op = 1 + (v & 3);
+	n->leaf = 0;
+	n->l = build(depth - 1, v * 3 + 1);
+	n->r = build(depth - 1, v * 5 + 2);
+	return n;
+}
+
+int eval(struct tnode *n) {
+	if (n->op == 0) {
+		return n->leaf;
+	}
+	int a = eval(n->l);
+	int b = eval(n->r);
+	if (n->op == 1) { return a + b; }
+	if (n->op == 2) { return a - b; }
+	if (n->op == 3) { return a & b; }
+	return a ^ b;
+}
+
+int scan(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) {
+		int t = tokens[i];
+		int h = (t * 2654435) & 1023;
+		if (symtab[h] == t) {
+			acc = acc + 1;
+		} else {
+			symtab[h] = t;
+		}
+		acc = acc + t;
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	for (int i = 0; i < 2048; i++) { perm[i] = i; }
+	for (int i = 2047; i > 0; i--) {
+		int j = rnd() % (i + 1);
+		int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+	}
+	for (int i = 0; i < 4096; i++) { tokens[i] = (rnd() >> 3) & 8191; }
+	for (int i = 0; i < 1024; i++) { symtab[i] = -1; }
+	int acc = 0;
+	for (int pass = 0; pass < 12; pass++) {
+		nextnode = 0;
+		struct tnode *t = build(9, pass);
+		acc = (acc + eval(t)) & 1048575;
+		acc = (acc + scan(4096)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`),
+	})
+
+	register(&Workload{
+		Name:  "124.m88ksim",
+		Suite: SPEC,
+		About: "Motorola 88K simulator: the fetch-decode-execute loop reads " +
+			"instruction memory sequentially (PD) and accesses the register " +
+			"file and data memory through decoded fields (EC/NT).",
+		Source: needRand(`
+int imem[4096];
+int regs[32];
+int dmem[4096];
+/* Simulated-CPU configuration lives in memory and is consulted on every
+   dispatch (read-mostly, like the real simulator's CPU-state structure);
+   bulk counters are flushed only at trap checks. */
+int pcg = 0;
+int memmask = 4095;
+int regmask = 15;
+int trapevery = 1024;
+
+int simulate(int n) {
+	int count = 0;
+	int psw = 0;
+	while (count < n) {
+		int mm = memmask;
+		int rm = regmask;
+		int inst = imem[pcg & mm];
+		psw = psw | (inst & 3);
+		int op = (inst >> 12) & 7;
+		int rd = (inst >> 8) & rm;
+		int rs = (inst >> 4) & rm;
+		int rt = inst & rm;
+		if (op == 0) {
+			regs[rd] = regs[rs] + regs[rt];
+		} else { if (op == 1) {
+			regs[rd] = regs[rs] - regs[rt];
+		} else { if (op == 2) {
+			regs[rd] = dmem[regs[rs] & mm];
+		} else { if (op == 3) {
+			dmem[regs[rd] & mm] = regs[rs];
+		} else { if (op == 4) {
+			regs[rd] = regs[rs] & regs[rt];
+		} else {
+			regs[rd] = regs[rs] ^ inst;
+		} } } } }
+		pcg = pcg + 1;
+		count = count + 1;
+		if (count == trapevery) { psw = psw & 255; }
+	}
+	return regs[7] + (psw & 3);
+}
+
+int main() {
+	/* A realistic simulated program is highly repetitive: fill
+	   instruction memory with a looping 16-instruction kernel so the
+	   host's dispatch branches behave as they do on real traces. */
+	for (int i = 0; i < 4096; i++) {
+		int slot = i & 15;
+		int op = 0;
+		if (slot == 3 || slot == 9) { op = 2; }
+		if (slot == 6) { op = 3; }
+		if (slot == 12) { op = 4; }
+		if (slot == 15) { op = 5; }
+		imem[i] = (op << 12) | (rnd() & 4095);
+	}
+	for (int i = 0; i < 4096; i++) { dmem[i] = i * 3; }
+	for (int i = 0; i < 32; i++) { regs[i] = i; }
+	int acc = 0;
+	for (int pass = 0; pass < 5; pass++) {
+		pcg = 0;
+		acc = (acc + simulate(8192)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`),
+	})
+
+	register(&Workload{
+		Name:  "132.ijpeg",
+		Suite: SPEC,
+		About: "JPEG codec: blocked DCT-like transforms and quantization " +
+			"sweeps (PD) plus value-dependent quantization-table lookups " +
+			"whose indices come from pixel data (NT, poorly predictable).",
+		Source: needRand(`
+int image[4096];
+int block[64];
+int qtab[256];
+/* Quantizer scale, consulted from memory per coefficient. */
+int qscale = 3;
+
+int transform(int base) {
+	for (int i = 0; i < 64; i++) {
+		block[i] = image[(base + i) & 4095];
+	}
+	/* butterfly-ish row pass */
+	for (int r = 0; r < 8; r++) {
+		int s = 0;
+		for (int c = 0; c < 8; c++) {
+			s = s + block[r * 8 + c];
+		}
+		block[r * 8] = s;
+	}
+	int acc = 0;
+	for (int i = 0; i < 64; i++) {
+		int v = (block[i] >> qscale) & 255;
+		acc = acc + qtab[v];
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	for (int i = 0; i < 4096; i++) { image[i] = (rnd() >> 4) & 1023; }
+	for (int i = 0; i < 256; i++) { qtab[i] = (i * 13) & 255; }
+	int acc = 0;
+	for (int pass = 0; pass < 6; pass++) {
+		for (int b = 0; b < 64; b++) {
+			acc = (acc + transform(b * 64)) & 1048575;
+		}
+	}
+	print_int(acc);
+	return 0;
+}
+`),
+	})
+
+	register(&Workload{
+		Name:  "134.perl",
+		Suite: SPEC,
+		About: "Perl interpreter: a bytecode dispatch loop reading the " +
+			"program array (PD), an operand stack through a moving pointer " +
+			"(EC), and variable-hash probes (NT).",
+		Source: needRand(`
+int code[4096];
+int stack[256];
+int vars[512];
+/* Interpreter configuration is consulted from memory on every dispatch
+   (read-mostly), as perl's interpreter reads its globals and tables. */
+int stkmask = 255;
+int varmask = 511;
+
+int interp(int n) {
+	int acc = 0;
+	int sp = 0;
+	for (int pc = 0; pc < n; pc++) {
+		int inst = code[pc];
+		int sm = stkmask;
+		int vm = varmask;
+		int op = inst & 7;
+		int arg = (inst >> 3) & vm;
+		if (op == 0) {
+			stack[sp & sm] = arg;
+			sp = sp + 1;
+		} else { if (op == 1) {
+			if (sp > 1) {
+				int a = stack[(sp - 1) & sm];
+				int b = stack[(sp - 2) & sm];
+				stack[(sp - 2) & sm] = a + b;
+				sp = sp - 1;
+			}
+		} else { if (op == 2) {
+			vars[arg] = stack[(sp - 1) & sm];
+		} else { if (op == 3) {
+			stack[sp & sm] = vars[arg];
+			sp = sp + 1;
+		} else {
+			acc = acc + stack[(sp - 1) & sm];
+		} } } }
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	/* Real bytecode is dominated by short repeating idioms (push,
+	   load, add, store); emit such idioms with varying operands. */
+	for (int i = 0; i < 4096; i = i + 4) {
+		int v1 = (rnd() & 511) << 3;
+		int v2 = (rnd() & 511) << 3;
+		code[i] = 0 | v1;      /* push */
+		code[i + 1] = 3 | v2;  /* load var */
+		code[i + 2] = 1;       /* add  */
+		code[i + 3] = 2 | v1;  /* store var */
+		if ((i & 31) == 28) {
+			code[i + 3] = 4;   /* accumulate result */
+		}
+	}
+	for (int i = 0; i < 512; i++) { vars[i] = i; }
+	stack[0] = 1;
+	int acc = 0;
+	for (int pass = 0; pass < 11; pass++) {
+		acc = (acc + interp(4096)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`),
+	})
+
+	register(&Workload{
+		Name:  "147.vortex",
+		Suite: SPEC,
+		About: "Object-oriented database: traversals over a shuffled object " +
+			"graph reading several fields per object (the largest EC share " +
+			"in the suite) plus ordered index-array walks (PD).",
+		Source: needRand(`
+struct obj {
+	int key;
+	int kind;
+	int attr1;
+	int attr2;
+	struct obj *next;
+	struct obj *owner;
+};
+struct obj db[2048];
+int perm[2048];
+int index_[2048];
+
+int traverse(struct obj *p, int limit) {
+	int acc = 0;
+	int n = 0;
+	while (p && n < limit) {
+		acc = acc + p->key;
+		acc = acc + p->attr1;
+		acc = acc ^ p->attr2;
+		if (p->owner) {
+			acc = acc + p->owner->kind;
+		}
+		p = p->next;
+		n = n + 1;
+	}
+	return acc & 1048575;
+}
+
+int scan_index(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) {
+		acc = acc + index_[i];
+	}
+	return acc & 1048575;
+}
+
+int main() {
+	for (int i = 0; i < 2048; i++) { perm[i] = i; }
+	for (int i = 2047; i > 0; i--) {
+		int j = rnd() % (i + 1);
+		int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+	}
+	for (int i = 0; i < 2048; i++) {
+		struct obj *o = &db[perm[i]];
+		o->key = i;
+		o->kind = i & 15;
+		o->attr1 = (i * 11) & 255;
+		o->attr2 = (i * 29) & 255;
+		if (i + 1 < 2048) {
+			o->next = &db[perm[i + 1]];
+		} else {
+			o->next = 0;
+		}
+		o->owner = &db[perm[(i * 7) & 2047]];
+		index_[i] = perm[i];
+	}
+	int acc = 0;
+	for (int pass = 0; pass < 20; pass++) {
+		acc = (acc + traverse(&db[perm[0]], 1500)) & 1048575;
+		acc = (acc + scan_index(2048)) & 1048575;
+	}
+	print_int(acc);
+	return 0;
+}
+`),
+	})
+}
+
+// replaceAll substitutes NAME/value parameter pairs in a source template.
+func replaceAll(src string, pairs ...string) string {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		src = strings.ReplaceAll(src, pairs[i], pairs[i+1])
+	}
+	return src
+}

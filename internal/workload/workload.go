@@ -1,0 +1,99 @@
+// Package workload provides the benchmark suite: 12 SPEC92/95-integer-like
+// kernels and 13 MediaBench-like kernels written in MC (package mcc), each
+// engineered to reproduce the load-address character of the corresponding
+// program in the paper's Tables 2 and 4 — the split between strided
+// arithmetic-dependent loads (PD), pointer-chasing load-dependent loads
+// (EC), and irregular loads (NT), and the approximate load density.
+//
+// The original benchmarks and their inputs are proprietary; what the
+// paper's technique responds to is only the dynamic load-address streams
+// and the dependence shape of the surrounding code, which these kernels
+// recreate (see DESIGN.md, "Substitutions"). Pointer structures are
+// shuffled with a deterministic LCG so that pointer chases are genuinely
+// stride-unpredictable, as malloc-ed heaps are.
+package workload
+
+import "sort"
+
+// Suite labels a benchmark family.
+type Suite uint8
+
+// Suites.
+const (
+	// SPEC marks the SPEC92/95-integer-like programs of Tables 2 and 3.
+	SPEC Suite = iota
+	// Media marks the MediaBench-like programs of Table 4.
+	Media
+)
+
+func (s Suite) String() string {
+	if s == Media {
+		return "MediaBench"
+	}
+	return "SPEC"
+}
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the paper's benchmark naming.
+	Name string
+	// Suite is the family the program belongs to.
+	Suite Suite
+	// Source is the MC program text.
+	Source string
+	// About describes which behaviour of the original program the
+	// kernel reproduces.
+	About string
+}
+
+var registry []*Workload
+
+func register(w *Workload) {
+	registry = append(registry, w)
+}
+
+// All returns every workload, SPEC first, in stable order.
+func All() []*Workload {
+	out := make([]*Workload, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySuite returns the workloads of one suite in stable order.
+func BySuite(s Suite) []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.Suite == s {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Get returns the workload with the given name, or nil.
+func Get(name string) *Workload {
+	for _, w := range registry {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// lcg is the deterministic pseudo-random helper shared by the sources; it
+// is prepended to every program that requests it with needRand.
+const lcg = `
+int seed_ = 12345;
+int rnd() {
+	seed_ = (seed_ * 1103515245 + 12345) & 1073741823;
+	return seed_;
+}
+`
+
+func needRand(src string) string { return lcg + src }
