@@ -38,12 +38,12 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			check(err)
+			check("csv", fmt.Errorf("create %s: %w", *csvDir, err))
 		}
 		err := r.ExportCSV(func(name string) (io.WriteCloser, error) {
 			return os.Create(filepath.Join(*csvDir, name))
 		})
-		check(err)
+		check("csv", err)
 		fmt.Fprintf(os.Stderr, "CSVs written to %s\n", *csvDir)
 		return
 	}
@@ -52,31 +52,31 @@ func main() {
 		switch name {
 		case "table2":
 			rows, err := r.Table2()
-			check(err)
+			check("table2", err)
 			fmt.Print(harness.FormatTable2(rows))
 		case "table3":
 			rows, err := r.Table3()
-			check(err)
+			check("table3", err)
 			fmt.Print(harness.FormatTable3(rows))
 		case "table4":
 			rows, err := r.Table4()
-			check(err)
+			check("table4", err)
 			fmt.Print(harness.FormatTable4(rows))
 		case "fig5a":
 			fig, err := r.Figure5a()
-			check(err)
+			check("fig5a", err)
 			fmt.Print(harness.FormatFigure(fig))
 		case "fig5b":
 			fig, err := r.Figure5b()
-			check(err)
+			check("fig5b", err)
 			fmt.Print(harness.FormatFigure(fig))
 		case "fig5c":
 			fig, err := r.Figure5c()
-			check(err)
+			check("fig5c", err)
 			fmt.Print(harness.FormatFigure(fig))
 		case "embedded":
 			rows, err := r.Embedded()
-			check(err)
+			check("embedded", err)
 			fmt.Print(harness.FormatEmbedded(rows))
 		default:
 			fmt.Fprintf(os.Stderr, "elag-bench: unknown experiment %q\n", name)
@@ -97,9 +97,9 @@ func main() {
 	run(*exp)
 }
 
-func check(err error) {
+func check(what string, err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "elag-bench:", err)
+		fmt.Fprintf(os.Stderr, "elag-bench: %s: %v\n", what, err)
 		os.Exit(1)
 	}
 }

@@ -43,7 +43,7 @@ func main() {
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("read input: %w", err))
 	}
 	opts := elag.BuildOptions{
 		DisableClassify: *noClassify,
@@ -61,7 +61,7 @@ func main() {
 	}
 	p, err := elag.Build(string(src), opts)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("compile %s: %w", flag.Arg(0), err))
 	}
 	// Re-render the program so classified flavours appear in the output.
 	text := p.Asm
@@ -77,17 +77,17 @@ func main() {
 	if *obj != "" {
 		buf, err := p.Object()
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("encode object: %w", err))
 		}
 		if err := os.WriteFile(*obj, buf, 0o644); err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("write object: %w", err))
 		}
 	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("create output: %w", err))
 		}
 		defer f.Close()
 		w = f

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,7 @@ func main() {
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("read input: %w", err))
 	}
 	var p *elag.Program
 	switch {
@@ -47,11 +48,11 @@ func main() {
 		p, err = elag.BuildAsm(string(src), true, elag.ClassifyOptions{})
 	}
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("build %s: %w", flag.Arg(0), err))
 	}
 	lp, err := p.Profile(*fuel)
-	if err != nil {
-		fatal(err)
+	if err != nil && !errors.Is(err, elag.ErrFuel) {
+		fatal(fmt.Errorf("profile: %w", err))
 	}
 	before := p.Classes
 	after := core.Reclassify(before, lp.Rates(), *threshold)
@@ -76,6 +77,11 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "elag-prof:", err)
+	var f *elag.Fault
+	if errors.As(err, &f) {
+		fmt.Fprintln(os.Stderr, "elag-prof: architectural fault:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "elag-prof:", err)
+	}
 	os.Exit(1)
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,7 @@ func main() {
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("read input: %w", err))
 	}
 	var p *elag.Program
 	switch {
@@ -55,19 +56,19 @@ func main() {
 		p, err = elag.BuildAsm(string(src), true, elag.ClassifyOptions{})
 	}
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("build %s: %w", flag.Arg(0), err))
 	}
 	if *useProfile {
 		lp, err := p.Profile(*fuel)
-		if err != nil {
-			fatal(err)
+		if err != nil && !errors.Is(err, elag.ErrFuel) {
+			fatal(fmt.Errorf("profile: %w", err))
 		}
 		p.ApplyProfile(lp, 0)
 	}
 
 	base, res, err := p.Simulate(elag.BaseConfig(), *fuel)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("simulate base: %w", err))
 	}
 	if *all {
 		fmt.Printf("program: %s\n", flag.Arg(0))
@@ -83,7 +84,7 @@ func main() {
 			}
 			m, _, err := p.Simulate(c, *fuel)
 			if err != nil {
-				fatal(err)
+				fatal(fmt.Errorf("simulate %s: %w", name, err))
 			}
 			fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n",
 				name, m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
@@ -96,12 +97,12 @@ func main() {
 	}
 	m, _, err := p.Simulate(cfg, *fuel)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("simulate %s: %w", *config, err))
 	}
 	if *pipeview > 0 {
 		view, err := p.StageView(cfg, *fuel, *pipeview)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("stage view: %w", err))
 		}
 		fmt.Print(view)
 	}
@@ -162,6 +163,11 @@ func configFor(name string, table, regs int) (elag.SimConfig, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "elag-sim:", err)
+	var f *elag.Fault
+	if errors.As(err, &f) {
+		fmt.Fprintln(os.Stderr, "elag-sim: architectural fault:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "elag-sim:", err)
+	}
 	os.Exit(1)
 }

@@ -76,6 +76,13 @@ type (
 	PredictorConfig = addrpred.Config
 	// RegCacheConfig parameterizes the addressing-register cache.
 	RegCacheConfig = earlycalc.Config
+	// Fault is a typed architectural fault. Every error the emulator or
+	// the trace replayer produces for a misbehaving *program* (as
+	// opposed to a misconfigured simulator) is a *Fault; match kinds
+	// with errors.Is against &Fault{Kind: ...} or inspect via errors.As.
+	Fault = isa.Fault
+	// FaultKind discriminates architectural fault classes.
+	FaultKind = isa.FaultKind
 )
 
 // Selection policies (see pipeline.Selection).
@@ -96,6 +103,26 @@ const (
 	// EC — "early calculate": the load uses R_addr (ld_e).
 	EC = core.EC
 )
+
+// Architectural fault kinds (see Fault).
+const (
+	// FaultBadPC — control transfer outside the program text.
+	FaultBadPC = isa.FaultBadPC
+	// FaultMisaligned — memory access not naturally aligned.
+	FaultMisaligned = isa.FaultMisaligned
+	// FaultOutOfBounds — memory access outside the address space.
+	FaultOutOfBounds = isa.FaultOutOfBounds
+	// FaultIllegalOp — undefined opcode.
+	FaultIllegalOp = isa.FaultIllegalOp
+	// FaultDivZero — integer division or remainder by zero.
+	FaultDivZero = isa.FaultDivZero
+	// FaultFuel — the dynamic instruction budget ran out.
+	FaultFuel = isa.FaultFuel
+)
+
+// ErrFuel matches (via errors.Is) the fault returned when a run exhausts
+// its fuel before halting.
+var ErrFuel = emu.ErrFuel
 
 // BaseConfig returns the paper's base architecture (Section 5.1) without
 // early address generation: 6-wide in-order issue, 4 integer ALUs, 2 memory
@@ -274,7 +301,10 @@ func (p *Program) StageView(cfg SimConfig, fuel int64, n int) (string, error) {
 	if len(trace) > n {
 		trace = trace[:n]
 	}
-	sim := pipeline.New(cfg, p.Machine)
+	sim, err := pipeline.New(cfg, p.Machine)
+	if err != nil {
+		return "", err
+	}
 	sim.EnableStageTrace(n)
 	if _, err := sim.Run(trace); err != nil {
 		return "", err

@@ -8,6 +8,8 @@
 // methodology of Table 2 can reuse it without a tag store.
 package addrpred
 
+import "fmt"
+
 // State is the entry state of Figure 3a.
 type State uint8
 
@@ -155,8 +157,36 @@ type Table struct {
 	policy Policy
 }
 
-// NewTable builds a prediction table. Zero config fields take defaults.
-func NewTable(cfg Config) *Table {
+// Validate reports whether the configuration (with zero fields defaulted)
+// describes a realizable table: a positive power-of-two entry count
+// divisible into power-of-two sets by the associativity.
+func (c Config) Validate() error {
+	n := c.Entries
+	if n == 0 {
+		n = 256
+	}
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = 1
+	}
+	if n <= 0 || assoc <= 0 {
+		return fmt.Errorf("addrpred: non-positive geometry %+v", c)
+	}
+	if n&(n-1) != 0 || n%assoc != 0 {
+		return fmt.Errorf("addrpred: entries (%d) must be a power of two and divisible by assoc (%d)", n, assoc)
+	}
+	if nSets := n / assoc; nSets&(nSets-1) != 0 {
+		return fmt.Errorf("addrpred: sets (%d) must be a power of two", n/assoc)
+	}
+	return nil
+}
+
+// NewTable builds a prediction table. Zero config fields take defaults; a
+// geometry that fails Validate is returned as an error.
+func NewTable(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	n := cfg.Entries
 	if n == 0 {
 		n = 256
@@ -165,18 +195,12 @@ func NewTable(cfg Config) *Table {
 	if assoc == 0 {
 		assoc = 1
 	}
-	if n&(n-1) != 0 || n%assoc != 0 {
-		panic("addrpred: entries must be a power of two and divisible by assoc")
-	}
 	nSets := n / assoc
-	if nSets&(nSets-1) != 0 {
-		panic("addrpred: sets must be a power of two")
-	}
 	t := &Table{sets: make([][]taggedEntry, nSets), mask: int64(nSets - 1), policy: cfg.Policy}
 	for i := range t.sets {
 		t.sets[i] = make([]taggedEntry, assoc)
 	}
-	return t
+	return t, nil
 }
 
 // Stats returns accumulated statistics.

@@ -5,6 +5,27 @@ import (
 	"testing/quick"
 )
 
+func mustNewTable(tb testing.TB, cfg Config) *Table {
+	tb.Helper()
+	t, err := NewTable(cfg)
+	if err != nil {
+		tb.Fatalf("NewTable(%+v): %v", cfg, err)
+	}
+	return t
+}
+
+func TestBadGeometryErrors(t *testing.T) {
+	bad := []Config{{Entries: 3}, {Entries: -16}, {Entries: 16, Assoc: 3}, {Entries: 16, Assoc: -1}}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+		if tb, err := NewTable(cfg); err == nil || tb != nil {
+			t.Errorf("NewTable(%+v) = %v, %v; want nil, error", cfg, tb, err)
+		}
+	}
+}
+
 // TestEntryLearnsStride walks the Figure 3 state machine through the
 // paper's canonical sequence: allocate at A, observe A+8, verify at A+16,
 // then predict correctly from A+24 on.
@@ -107,7 +128,7 @@ func TestEntryConvergesAfterTwoStrides(t *testing.T) {
 }
 
 func TestTableProbeUpdateAllocate(t *testing.T) {
-	tb := NewTable(Config{Entries: 16})
+	tb := mustNewTable(t, Config{Entries: 16})
 	if _, ok := tb.Probe(5); ok {
 		t.Errorf("cold probe predicted")
 	}
@@ -122,7 +143,7 @@ func TestTableProbeUpdateAllocate(t *testing.T) {
 }
 
 func TestTableConflictEviction(t *testing.T) {
-	tb := NewTable(Config{Entries: 16})
+	tb := mustNewTable(t, Config{Entries: 16})
 	tb.Update(3, 100)
 	tb.Update(3+16, 200) // same direct-mapped set
 	if _, ok := tb.Probe(3); ok {
@@ -134,7 +155,7 @@ func TestTableConflictEviction(t *testing.T) {
 }
 
 func TestTableAssociativityKeepsBoth(t *testing.T) {
-	tb := NewTable(Config{Entries: 32, Assoc: 2})
+	tb := mustNewTable(t, Config{Entries: 32, Assoc: 2})
 	tb.Update(3, 100)
 	tb.Update(3+16, 200)
 	if _, ok := tb.Probe(3); !ok {
@@ -146,7 +167,7 @@ func TestTableAssociativityKeepsBoth(t *testing.T) {
 }
 
 func TestTableAccuracyStats(t *testing.T) {
-	tb := NewTable(Config{Entries: 16})
+	tb := mustNewTable(t, Config{Entries: 16})
 	for i, ca := range []int64{0, 8, 16, 24, 32} {
 		if _, ok := tb.Probe(7); ok {
 			tb.Update(7, ca)
@@ -165,7 +186,7 @@ func TestTableAccuracyStats(t *testing.T) {
 }
 
 func TestUpdateIfPresent(t *testing.T) {
-	tb := NewTable(Config{Entries: 16})
+	tb := mustNewTable(t, Config{Entries: 16})
 	tb.UpdateIfPresent(9, 100)
 	if _, ok := tb.Probe(9); ok {
 		t.Errorf("UpdateIfPresent allocated an entry")
@@ -182,7 +203,7 @@ func TestUpdateIfPresent(t *testing.T) {
 // would not have made (wasCorrect implies the pre-update Predict matched).
 func TestTableCorrectnessConsistency(t *testing.T) {
 	f := func(pcs []uint8, addrs []int64) bool {
-		tb := NewTable(Config{Entries: 8})
+		tb := mustNewTable(t, Config{Entries: 8})
 		n := len(pcs)
 		if len(addrs) < n {
 			n = len(addrs)

@@ -12,7 +12,7 @@ func feed(t *Table, pc int, addrs []int64) (correct int) {
 }
 
 func TestLastAddressPolicy(t *testing.T) {
-	tb := NewTable(Config{Entries: 16, Policy: PolicyLastAddress})
+	tb := mustNewTable(t, Config{Entries: 16, Policy: PolicyLastAddress})
 	// Constant addresses: everything after the first predicts.
 	if got := feed(tb, 1, []int64{100, 100, 100, 100}); got != 3 {
 		t.Errorf("constant-address correct = %d, want 3", got)
@@ -27,7 +27,7 @@ func TestLastAddressPolicy(t *testing.T) {
 }
 
 func TestStrideCounterPolicy(t *testing.T) {
-	tb := NewTable(Config{Entries: 16, Policy: PolicyStrideCounter})
+	tb := mustNewTable(t, Config{Entries: 16, Policy: PolicyStrideCounter})
 	// Warm up: allocation (counter=1), first stride sample brings the
 	// counter to 0 or keeps climbing depending on match; feed a clean
 	// stride and expect predictions once confidence >= 2.
@@ -39,7 +39,7 @@ func TestStrideCounterPolicy(t *testing.T) {
 	// After repeated mispredictions the counter saturates low and the
 	// policy stops predicting (the Gonzalez motivation).
 	chaos := []int64{1000, 3, 77777, 12, 999, 5}
-	tb2 := NewTable(Config{Entries: 16, Policy: PolicyStrideCounter})
+	tb2 := mustNewTable(t, Config{Entries: 16, Policy: PolicyStrideCounter})
 	feed(tb2, 4, chaos)
 	if _, ok := tb2.Probe(4); ok {
 		t.Errorf("low-confidence entry still predicting")
@@ -54,7 +54,7 @@ func TestPolicyStringAndDefault(t *testing.T) {
 	}
 	// The default policy is the paper's machine: strided loads predict
 	// after two confirmations.
-	tb := NewTable(Config{Entries: 16})
+	tb := mustNewTable(t, Config{Entries: 16})
 	if got := feed(tb, 5, []int64{0, 8, 16, 24, 32}); got != 2 {
 		t.Errorf("default policy correct = %d, want 2 (24 and 32)", got)
 	}
@@ -75,7 +75,7 @@ func TestPoliciesDisagreeWhereExpected(t *testing.T) {
 		{PolicyStrideCounter, 2, 4},
 		{PolicyLastAddress, 0, 0},
 	} {
-		tb := NewTable(Config{Entries: 16, Policy: tc.policy})
+		tb := mustNewTable(t, Config{Entries: 16, Policy: tc.policy})
 		got := feed(tb, 7, stride)
 		if got < tc.min || got > tc.max {
 			t.Errorf("%v on stride: correct = %d, want [%d,%d]",

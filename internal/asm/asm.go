@@ -101,16 +101,6 @@ func Assemble(src string) (*isa.Program, error) {
 	return a.prog, nil
 }
 
-// MustAssemble is like Assemble but panics on error. It is intended for
-// tests and package-internal program literals.
-func MustAssemble(src string) *isa.Program {
-	p, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func (a *assembler) errf(format string, args ...any) error {
 	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
 }
@@ -372,6 +362,9 @@ func (a *assembler) instruction(s string) error {
 		}
 		emit(isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: rs, SrcImm: true})
 	case mnem == "fmov":
+		if len(ops) != 2 {
+			return a.errf("fmov needs 2 operands")
+		}
 		rd, err := a.reg(ops[0], 'f')
 		if err != nil {
 			return err
@@ -382,6 +375,9 @@ func (a *assembler) instruction(s string) error {
 		}
 		emit(isa.Inst{Op: isa.OpFMov, Rd: rd, Rs1: rs})
 	case mnem == "cvtif":
+		if len(ops) != 2 {
+			return a.errf("cvtif needs 2 operands")
+		}
 		rd, err := a.reg(ops[0], 'f')
 		if err != nil {
 			return err
@@ -392,6 +388,9 @@ func (a *assembler) instruction(s string) error {
 		}
 		emit(isa.Inst{Op: isa.OpCvtIF, Rd: rd, Rs1: rs})
 	case mnem == "cvtfi":
+		if len(ops) != 2 {
+			return a.errf("cvtfi needs 2 operands")
+		}
 		rd, err := a.reg(ops[0], 'r')
 		if err != nil {
 			return err
@@ -428,6 +427,9 @@ func (a *assembler) instruction(s string) error {
 		a.fixups = append(a.fixups, fixup{pc: len(a.prog.Insts), sym: tgt, line: a.line})
 		emit(in)
 	case mnem == "jr":
+		if len(ops) != 1 {
+			return a.errf("jr needs 1 operand")
+		}
 		rs, err := a.reg(ops[0], 'r')
 		if err != nil {
 			return err
@@ -450,6 +452,9 @@ func (a *assembler) instruction(s string) error {
 	case strings.HasPrefix(mnem, "st"):
 		return a.store(mnem, ops)
 	case strings.HasPrefix(mnem, "fld"):
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
 		in := isa.Inst{Op: isa.OpFLoad, Width: 8}
 		rd, err := a.reg(ops[0], 'f')
 		if err != nil {
@@ -461,6 +466,9 @@ func (a *assembler) instruction(s string) error {
 		}
 		emit(in)
 	case strings.HasPrefix(mnem, "fst"):
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
 		in := isa.Inst{Op: isa.OpFStore, Width: 8}
 		rs, err := a.reg(ops[0], 'f')
 		if err != nil {

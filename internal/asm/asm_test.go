@@ -7,6 +7,15 @@ import (
 	"elag/internal/isa"
 )
 
+func mustAssemble(tb testing.TB, src string) *isa.Program {
+	tb.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		tb.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
 func TestAssembleBasics(t *testing.T) {
 	p, err := Assemble(`
 		; a comment
@@ -245,7 +254,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestListing(t *testing.T) {
-	p := MustAssemble("main: li r1, 1\nhalt r1")
+	p := mustAssemble(t, "main: li r1, 1\nhalt r1")
 	l := Listing(p)
 	if !strings.Contains(l, "main:") || !strings.Contains(l, "lui r1, 1") {
 		t.Errorf("listing missing content:\n%s", l)
@@ -282,7 +291,7 @@ func TestRenderRoundTrip(t *testing.T) {
 		halt r1
 	fn:	ret
 	`
-	p1 := MustAssemble(src)
+	p1 := mustAssemble(t, src)
 	// Pretend the classifier rewrote a flavour.
 	p1.Insts[1].Flavor = isa.LdN
 	text := Render(p1)

@@ -1,0 +1,24 @@
+// Package asmtest provides test helpers around the assembler. It exists so
+// that test fixtures can assemble program literals without the library
+// itself carrying a panicking entry point: assembly source is user input,
+// and user input must surface as errors, never panics.
+package asmtest
+
+import (
+	"testing"
+
+	"elag/internal/asm"
+	"elag/internal/isa"
+)
+
+// MustAssemble assembles src or fails the test. It replaces the former
+// asm.MustAssemble, whose panic-on-error contract is now confined to test
+// binaries.
+func MustAssemble(tb testing.TB, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		tb.Fatalf("assemble: %v\n%s", err, src)
+	}
+	return p
+}

@@ -1,0 +1,40 @@
+package asm
+
+import (
+	"errors"
+	"testing"
+
+	"elag/internal/emu"
+	"elag/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler and, when it
+// assembles, executes the result under a short fuel. The contract:
+//
+//   - The assembler never panics; bad input yields an *Error.
+//   - Any program the assembler accepts executes without untyped
+//     errors: the emulator either finishes, runs out of fuel, or stops
+//     with a typed architectural fault. Hand-written (or fuzzed)
+//     assembly can do anything — jump into data, divide by zero, read
+//     unaligned — and every one of those must surface as an *isa.Fault,
+//     never a crash.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\tli r1, 42\n\thalt r1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			var ae *Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("assembler error is %T, not *Error: %v", err, err)
+			}
+			return
+		}
+		if _, err := emu.Run(p, 10_000); err != nil {
+			var fault *isa.Fault
+			if !errors.As(err, &fault) {
+				t.Fatalf("emulator returned untyped error %T: %v\nsource: %q",
+					err, err, src)
+			}
+		}
+	})
+}

@@ -3,10 +3,25 @@
 // counters (Section 5.1).
 package bpred
 
+import "fmt"
+
 // Config describes the BTB geometry.
 type Config struct {
 	// Entries is the number of direct-mapped BTB entries. Default 1024.
 	Entries int
+}
+
+// Validate reports whether the configuration (with zero fields defaulted)
+// describes a realizable BTB: a positive power-of-two entry count.
+func (c Config) Validate() error {
+	n := c.Entries
+	if n == 0 {
+		n = 1024
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("bpred: entries (%d) must be a positive power of two", c.Entries)
+	}
+	return nil
 }
 
 // Stats accumulates prediction outcomes for conditional branches.
@@ -37,16 +52,17 @@ type BTB struct {
 	stats   Stats
 }
 
-// New builds a BTB; cfg.Entries must be a power of two (0 means 1024).
-func New(cfg Config) *BTB {
+// New builds a BTB; cfg.Entries must be a power of two (0 means 1024). A
+// geometry that fails Validate is returned as an error.
+func New(cfg Config) (*BTB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	n := cfg.Entries
 	if n == 0 {
 		n = 1024
 	}
-	if n&(n-1) != 0 {
-		panic("bpred: entries must be a power of two")
-	}
-	return &BTB{entries: make([]entry, n), mask: int64(n - 1)}
+	return &BTB{entries: make([]entry, n), mask: int64(n - 1)}, nil
 }
 
 // Stats returns accumulated outcome counts.

@@ -2,8 +2,17 @@ package bpred
 
 import "testing"
 
+func mustNew(tb testing.TB, cfg Config) *BTB {
+	tb.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return b
+}
+
 func TestColdPredictNotTaken(t *testing.T) {
-	b := New(Config{})
+	b := mustNew(t, Config{})
 	taken, target := b.Predict(100)
 	if taken || target != 101 {
 		t.Errorf("cold predict = %v,%d; want not-taken fallthrough", taken, target)
@@ -11,7 +20,7 @@ func TestColdPredictNotTaken(t *testing.T) {
 }
 
 func TestTwoBitHysteresis(t *testing.T) {
-	b := New(Config{})
+	b := mustNew(t, Config{})
 	pc, tgt := 10, 50
 	// Train taken twice: counter saturates at 3.
 	b.Update(pc, true, tgt)
@@ -32,7 +41,7 @@ func TestTwoBitHysteresis(t *testing.T) {
 }
 
 func TestMispredictAccounting(t *testing.T) {
-	b := New(Config{})
+	b := mustNew(t, Config{})
 	pc, tgt := 7, 99
 	if mis := b.Update(pc, true, tgt); !mis {
 		t.Errorf("first taken branch on a cold BTB should mispredict")
@@ -54,7 +63,7 @@ func TestMispredictAccounting(t *testing.T) {
 }
 
 func TestNotTakenBranchesDontAllocate(t *testing.T) {
-	b := New(Config{})
+	b := mustNew(t, Config{})
 	b.Update(3, false, 0)
 	if _, ok := b.Lookup(3); ok {
 		t.Errorf("never-taken branch allocated a BTB entry")
@@ -65,7 +74,7 @@ func TestNotTakenBranchesDontAllocate(t *testing.T) {
 }
 
 func TestAliasing(t *testing.T) {
-	b := New(Config{Entries: 16})
+	b := mustNew(t, Config{Entries: 16})
 	b.Insert(1, 100)
 	b.Insert(1+16, 200) // same entry
 	if tgt, ok := b.Lookup(1); ok && tgt == 100 {
@@ -77,7 +86,7 @@ func TestAliasing(t *testing.T) {
 }
 
 func TestInsertLookupUnconditional(t *testing.T) {
-	b := New(Config{})
+	b := mustNew(t, Config{})
 	if _, ok := b.Lookup(42); ok {
 		t.Errorf("cold lookup hit")
 	}
@@ -87,11 +96,13 @@ func TestInsertLookupUnconditional(t *testing.T) {
 	}
 }
 
-func TestBadEntriesPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("no panic for non-power-of-two entries")
+func TestBadEntriesErrors(t *testing.T) {
+	for _, cfg := range []Config{{Entries: 3}, {Entries: -8}} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
 		}
-	}()
-	New(Config{Entries: 3})
+		if b, err := New(cfg); err == nil || b != nil {
+			t.Errorf("New(%+v) = %v, %v; want nil, error", cfg, b, err)
+		}
+	}
 }

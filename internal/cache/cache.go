@@ -42,6 +42,29 @@ func (c *Config) fill() {
 	}
 }
 
+// Validate reports whether the configuration (with zero fields defaulted)
+// describes a realizable cache: positive sizes, power-of-two block size and
+// set count, and associativity dividing the block count.
+func (c Config) Validate() error {
+	c.fill()
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.MissPenalty < 0 {
+		return fmt.Errorf("cache: negative miss penalty %d", c.MissPenalty)
+	}
+	nBlocks := c.SizeBytes / c.BlockBytes
+	if nBlocks <= 0 || c.SizeBytes%c.BlockBytes != 0 {
+		return fmt.Errorf("cache: bad geometry %+v: size not a multiple of block size", c)
+	}
+	nSets := nBlocks / c.Assoc
+	if nSets <= 0 || nBlocks%c.Assoc != 0 || nSets&(nSets-1) != 0 ||
+		c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: non-power-of-two geometry %+v", c)
+	}
+	return nil
+}
+
 // Stats accumulates access counts.
 type Stats struct {
 	Accesses int64
@@ -76,20 +99,16 @@ type Cache struct {
 	stats    Stats
 }
 
-// New builds a cache from cfg, filling zero fields with defaults. It panics
-// if the geometry is not a power-of-two arrangement, since that indicates a
-// misconfigured experiment rather than a runtime condition.
-func New(cfg Config) *Cache {
+// New builds a cache from cfg, filling zero fields with defaults. A
+// geometry that fails Validate is returned as an error: it indicates a
+// misconfigured experiment, and experiments are user input.
+func New(cfg Config) (*Cache, error) {
 	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	nBlocks := cfg.SizeBytes / cfg.BlockBytes
-	if nBlocks <= 0 || cfg.SizeBytes%cfg.BlockBytes != 0 {
-		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
-	}
 	nSets := nBlocks / cfg.Assoc
-	if nSets <= 0 || nBlocks%cfg.Assoc != 0 || nSets&(nSets-1) != 0 ||
-		cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
-		panic(fmt.Sprintf("cache: non-power-of-two geometry %+v", cfg))
-	}
 	c := &Cache{cfg: cfg, sets: make([][]way, nSets), setMask: int64(nSets - 1)}
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.setShift++
@@ -97,7 +116,7 @@ func New(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i] = make([]way, cfg.Assoc)
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache's (default-filled) configuration.

@@ -5,8 +5,17 @@ import (
 	"testing/quick"
 )
 
+func mustNew(tb testing.TB, cfg Config) *Cache {
+	tb.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
 func TestDefaultsMatchPaper(t *testing.T) {
-	c := New(Config{})
+	c := mustNew(t, Config{})
 	cfg := c.Config()
 	if cfg.SizeBytes != 64<<10 || cfg.BlockBytes != 64 || cfg.Assoc != 1 || cfg.MissPenalty != 12 {
 		t.Errorf("default config %+v does not match the paper's memory system", cfg)
@@ -14,7 +23,7 @@ func TestDefaultsMatchPaper(t *testing.T) {
 }
 
 func TestHitAfterFill(t *testing.T) {
-	c := New(Config{})
+	c := mustNew(t, Config{})
 	if c.Access(0x1000) {
 		t.Errorf("cold access hit")
 	}
@@ -32,7 +41,7 @@ func TestHitAfterFill(t *testing.T) {
 }
 
 func TestDirectMappedConflict(t *testing.T) {
-	c := New(Config{})
+	c := mustNew(t, Config{})
 	a := int64(0x0000)
 	b := a + 64<<10 // same index, different tag
 	c.Access(a)
@@ -46,7 +55,7 @@ func TestDirectMappedConflict(t *testing.T) {
 }
 
 func TestAssociativityResolvesConflict(t *testing.T) {
-	c := New(Config{Assoc: 2})
+	c := mustNew(t, Config{Assoc: 2})
 	a := int64(0x0000)
 	b := a + 32<<10 // same set in a 2-way 64K cache
 	c.Access(a)
@@ -67,7 +76,7 @@ func TestAssociativityResolvesConflict(t *testing.T) {
 }
 
 func TestNoAllocateWritePath(t *testing.T) {
-	c := New(Config{})
+	c := mustNew(t, Config{})
 	if c.AccessNoAllocate(0x2000) {
 		t.Errorf("cold write hit")
 	}
@@ -82,7 +91,7 @@ func TestNoAllocateWritePath(t *testing.T) {
 }
 
 func TestSpecAccessCountsSeparately(t *testing.T) {
-	c := New(Config{})
+	c := mustNew(t, Config{})
 	c.SpecAccess(0x3000)
 	st := c.Stats()
 	if st.SpecAccesses != 1 || st.Accesses != 0 {
@@ -95,7 +104,7 @@ func TestSpecAccessCountsSeparately(t *testing.T) {
 }
 
 func TestMissRate(t *testing.T) {
-	c := New(Config{})
+	c := mustNew(t, Config{})
 	for i := 0; i < 10; i++ {
 		c.Access(0x4000)
 	}
@@ -108,13 +117,25 @@ func TestMissRate(t *testing.T) {
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("no panic for non-power-of-two geometry")
+func TestBadGeometryErrors(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 3000, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 4096, BlockBytes: 48},
+		{SizeBytes: 4096, BlockBytes: 64, Assoc: 3},
+		{SizeBytes: -64},
+		{MissPenalty: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
 		}
-	}()
-	New(Config{SizeBytes: 3000, BlockBytes: 64, Assoc: 1})
+		if c, err := New(cfg); err == nil || c != nil {
+			t.Errorf("New(%+v) = %v, %v; want nil, error", cfg, c, err)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
 }
 
 // Property: a direct-mapped cache hits on an address iff the most recent
@@ -123,7 +144,7 @@ func TestBadGeometryPanics(t *testing.T) {
 func TestAgainstNaiveModel(t *testing.T) {
 	const blocks = 16
 	f := func(addrs []uint16) bool {
-		c := New(Config{SizeBytes: blocks * 64, BlockBytes: 64, Assoc: 1})
+		c := mustNew(t, Config{SizeBytes: blocks * 64, BlockBytes: 64, Assoc: 1})
 		model := map[int64]int64{} // set -> block
 		for _, a16 := range addrs {
 			addr := int64(a16)

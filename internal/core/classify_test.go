@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"elag/internal/asm"
+	"elag/internal/asm/asmtest"
 	"elag/internal/isa"
 )
 
@@ -17,7 +17,7 @@ import (
 //	      op4 ld  r7, r18(0)   ; arr2[i]     -> ld_p
 //	      ...
 func TestPaperFigure4ForLoop(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r1, 0
 		li r17, 4096
 		li r18, 8192
@@ -50,7 +50,7 @@ func TestPaperFigure4ForLoop(t *testing.T) {
 // while-loop whose three loads all use base r2 — the largest load-dependent
 // group — and therefore all get ld_e.
 func TestPaperFigure4WhileLoop(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r2, 4096
 	_while:	ld8_n r3, r2(0)
 		ld8_n r4, r2(4)
@@ -70,7 +70,7 @@ func TestPaperFigure4WhileLoop(t *testing.T) {
 // TestLargestGroupWinsRAddr: with two load-dependent groups, only the
 // larger gets ld_e; the smaller gets ld_n.
 func TestLargestGroupWinsRAddr(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r2, 4096
 		li r3, 8192
 	loop:	ld8_n r4, r2(0)
@@ -113,8 +113,8 @@ func TestMaxECGroups(t *testing.T) {
 		bne r2, 0, loop
 		halt r0
 	`
-	c1 := Classify(asm.MustAssemble(src), Options{MaxECGroups: 1})
-	c2 := Classify(asm.MustAssemble(src), Options{MaxECGroups: 2})
+	c1 := Classify(asmtest.MustAssemble(t, src), Options{MaxECGroups: 1})
+	c2 := Classify(asmtest.MustAssemble(t, src), Options{MaxECGroups: 2})
 	if c1.StaticEC >= c2.StaticEC {
 		t.Errorf("MaxECGroups=2 did not increase EC loads: %d vs %d",
 			c1.StaticEC, c2.StaticEC)
@@ -127,7 +127,7 @@ func TestMaxECGroups(t *testing.T) {
 // TestAcyclicHeuristic: outside loops, absolute loads are PD; the largest
 // base group is EC; the rest NT.
 func TestAcyclicHeuristic(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 		.data
 	g:	.word 7
 		.text
@@ -168,13 +168,13 @@ func TestTaintKillsFalseDependence(t *testing.T) {
 		blt r9, 100, loop
 		halt r0
 	`
-	pTaint := asm.MustAssemble(src)
+	pTaint := asmtest.MustAssemble(t, src)
 	cTaint := Classify(pTaint, Options{})
 	ld := pTaint.Symbols["loop"]
 	if got := cTaint.Class(ld); got != PD {
 		t.Errorf("taint dataflow classified the strided load %v, want PD", got)
 	}
-	pAdd := asm.MustAssemble(src)
+	pAdd := asmtest.MustAssemble(t, src)
 	cAdd := Classify(pAdd, Options{AdditiveSLoad: true})
 	if got := cAdd.Class(ld); got != NT && got != EC {
 		t.Errorf("additive S_load should conservatively classify the load "+
@@ -186,7 +186,7 @@ func TestTaintKillsFalseDependence(t *testing.T) {
 // caller-saved base registers load-dependent — the conservatism Section 6
 // of the paper describes.
 func TestCallsTaintLoop(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r9, 0
 	loop:	call r63, helper
 		ld8_n r3, r1(0)        ; r1 comes from the call: load-dependent
@@ -206,7 +206,7 @@ func TestCallsTaintLoop(t *testing.T) {
 // TestInnerLoopClassificationWins: a load in a nested loop keeps the class
 // its innermost loop assigned.
 func TestInnerLoopClassificationWins(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r9, 0
 	outer:	li r8, 0
 		ld8_n r5, r20(0)      ; outer-loop load
@@ -258,7 +258,7 @@ func TestReclassifyPromotesOnlyNT(t *testing.T) {
 }
 
 func TestApplyRewritesFlavors(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r2, 4096
 	loop:	ld8_n r3, r2(0)
 		ld8_n r2, r2(8)
@@ -296,7 +296,7 @@ func TestClassificationSummary(t *testing.T) {
 }
 
 func TestDumpStructureAndDescribe(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 	main:	li r9, 0
 	loop:	ld8_n r1, r20(0)
 		add r9, r9, 1

@@ -1,0 +1,33 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"elag/internal/asm"
+)
+
+// FuzzRandomProgram feeds generator seeds to the full differential
+// checker: whatever program the seed produces must assemble, terminate
+// under fuel, and replay through every configuration with zero invariant
+// violations. The fuzzer explores the generator's whole decision space;
+// any seed that trips an invariant is a minimized, reproducible
+// counterexample against either the timing model or the emulator.
+func FuzzRandomProgram(f *testing.F) {
+	for seed := int64(1); seed <= 20; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := GenProgram(seed)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		rep, err := Check(p, Options{Fuel: 200_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	})
+}

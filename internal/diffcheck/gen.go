@@ -1,0 +1,171 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenProgram builds a random but well-formed assembly program, seeded
+// deterministically so failures reproduce. It extends the pipeline
+// package's generator with the parts of the ISA that one misses: calls
+// and returns, every load width (signed and unsigned), absolute and
+// register+register addressing, guarded division, nested loops, and
+// console output — while keeping three guarantees the differential
+// checker depends on:
+//
+//   - Termination: every loop counts on a dedicated register the random
+//     ops never touch, and all generated branches are forward skips.
+//   - Alignment: data buffers are 8-aligned and every offset (immediate
+//     or index register) is a multiple of 8, so no access faults.
+//   - Bounds: base registers only ever hold buffer addresses; offsets
+//     stay well inside the 4 KiB buffers.
+//
+// Register convention: r1–r8 scratch (random ops), r9 outer counter,
+// r10 inner counter, r11–r12 division temporaries, r20–r22 buffer bases,
+// r23 index (multiple of 8, < 512), r63 link register.
+func GenProgram(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("\t.data\n")
+	b.WriteString("buf:\t.space 4096\n")
+	b.WriteString("tbl:\t.word 3, 1, 4, 1, 5, 9, 2, 6\n")
+	b.WriteString("\t.text\n")
+	b.WriteString("main:\tli r9, 0\n")
+	b.WriteString("\tli r20, buf\n")
+	b.WriteString("\tli r21, buf+2048\n")
+	b.WriteString("\tli r22, tbl\n")
+	b.WriteString("\tli r23, 0\n")
+
+	nfuncs := rng.Intn(3)
+	outer := 100 + rng.Intn(200)
+
+	b.WriteString("loop:\n")
+	// Recompute the index register from the counter: (r9 & 63) * 8.
+	b.WriteString("\tand r23, r9, 63\n\tsll r23, r23, 3\n")
+	n := 4 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		genOp(rng, &b, i, nfuncs)
+	}
+	if rng.Intn(2) == 0 {
+		// Nested inner loop over a fixed trip count.
+		fmt.Fprintf(&b, "\tli r10, 0\ninner:\n")
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			genOp(rng, &b, 100+i, 0)
+		}
+		fmt.Fprintf(&b, "\tadd r10, r10, 1\n\tblt r10, %d, inner\n", 2+rng.Intn(6))
+	}
+	if rng.Intn(3) == 0 {
+		// Console output: part of the architectural result the
+		// differential check compares.
+		fmt.Fprintf(&b, "\tst8 r%d, (%d)\n", 1+rng.Intn(8), 0x7FFF_F000)
+	}
+	fmt.Fprintf(&b, "\tadd r9, r9, 1\n\tblt r9, %d, loop\n\thalt r9\n", outer)
+
+	for f := 0; f < nfuncs; f++ {
+		fmt.Fprintf(&b, "fn%d:\n", f)
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			genLeafOp(rng, &b, 200+10*f+i)
+		}
+		b.WriteString("\tret\n")
+	}
+	return b.String()
+}
+
+var loadWidths = []string{"1", "2", "4", "8", "2s", "4s"}
+var loadFlavors = []string{"n", "p", "e"}
+var storeWidths = []string{"1", "2", "4", "8"}
+
+// memOperand picks one of the three addressing modes, always 8-aligned
+// and inside a buffer: rB(imm), rB(r23), or (buf+imm).
+func memOperand(rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("r2%d(r23)", rng.Intn(2))
+	case 1:
+		return fmt.Sprintf("buf+%d", rng.Intn(64)*8)
+	case 2:
+		return fmt.Sprintf("r22(%d)", rng.Intn(8)*8)
+	default:
+		return fmt.Sprintf("r2%d(%d)", rng.Intn(2), rng.Intn(64)*8)
+	}
+}
+
+// genOp emits one random main-body operation; i disambiguates skip
+// labels, nfuncs > 0 allows call sites.
+func genOp(rng *rand.Rand, b *strings.Builder, i, nfuncs int) {
+	r1 := 1 + rng.Intn(8)
+	r2 := 1 + rng.Intn(8)
+	rd := 1 + rng.Intn(8)
+	switch rng.Intn(10) {
+	case 0:
+		ops := []string{"add", "sub", "xor", "or", "and", "slt"}
+		fmt.Fprintf(b, "\t%s r%d, r%d, r%d\n", ops[rng.Intn(len(ops))], rd, r1, r2)
+	case 1:
+		ops := []string{"add", "xor", "sll", "srl", "sra"}
+		op := ops[rng.Intn(len(ops))]
+		imm := rng.Intn(1000)
+		if op == "sll" || op == "srl" || op == "sra" {
+			imm = rng.Intn(16)
+		}
+		fmt.Fprintf(b, "\t%s r%d, r%d, %d\n", op, rd, r1, imm)
+	case 2, 3:
+		w := loadWidths[rng.Intn(len(loadWidths))]
+		fl := loadFlavors[rng.Intn(len(loadFlavors))]
+		fmt.Fprintf(b, "\tld%s_%s r%d, %s\n", w, fl, rd, memOperand(rng))
+	case 4:
+		w := storeWidths[rng.Intn(len(storeWidths))]
+		fmt.Fprintf(b, "\tst%s r%d, %s\n", w, r1, memOperand(rng))
+	case 5:
+		// Forward data-dependent skip.
+		fmt.Fprintf(b, "\tand r%d, r%d, 7\n", rd, r1)
+		fmt.Fprintf(b, "\tbeq r%d, %d, skip%d\n", rd, rng.Intn(8), i)
+		fmt.Fprintf(b, "\tadd r%d, r%d, 1\n", rd, rd)
+		fmt.Fprintf(b, "skip%d:\n", i)
+	case 6:
+		fmt.Fprintf(b, "\tmul r%d, r%d, %d\n", rd, r1, 1+rng.Intn(7))
+	case 7:
+		// Guarded division: or-ing in bit 0 makes the divisor
+		// non-zero, so the op never faults.
+		op := []string{"div", "rem"}[rng.Intn(2)]
+		fmt.Fprintf(b, "\tor r11, r%d, 1\n", r1)
+		fmt.Fprintf(b, "\t%s r12, r%d, r11\n", op, r2)
+	case 8:
+		if nfuncs > 0 {
+			fmt.Fprintf(b, "\tcall r63, fn%d\n", rng.Intn(nfuncs))
+		} else {
+			fmt.Fprintf(b, "\tadd r%d, r%d, r%d\n", rd, r1, r2)
+		}
+	case 9:
+		// Pointer-ish chain: load a table word, mask it into an
+		// aligned index, load through it.
+		fmt.Fprintf(b, "\tld8_%s r%d, r22(%d)\n",
+			loadFlavors[rng.Intn(3)], rd, rng.Intn(8)*8)
+		fmt.Fprintf(b, "\tand r%d, r%d, 63\n", rd, rd)
+		fmt.Fprintf(b, "\tsll r%d, r%d, 3\n", rd, rd)
+		fmt.Fprintf(b, "\tld8_%s r%d, r20(r%d)\n",
+			loadFlavors[rng.Intn(3)], 1+rng.Intn(8), rd)
+	}
+}
+
+// genLeafOp emits one operation safe inside a leaf function: no calls (a
+// single link register), no labels shared with the main body.
+func genLeafOp(rng *rand.Rand, b *strings.Builder, i int) {
+	r1 := 1 + rng.Intn(8)
+	rd := 1 + rng.Intn(8)
+	switch rng.Intn(4) {
+	case 0:
+		fmt.Fprintf(b, "\tadd r%d, r%d, %d\n", rd, r1, rng.Intn(100))
+	case 1:
+		w := loadWidths[rng.Intn(len(loadWidths))]
+		fl := loadFlavors[rng.Intn(len(loadFlavors))]
+		fmt.Fprintf(b, "\tld%s_%s r%d, %s\n", w, fl, rd, memOperand(rng))
+	case 2:
+		fmt.Fprintf(b, "\tst%s r%d, %s\n",
+			storeWidths[rng.Intn(len(storeWidths))], r1, memOperand(rng))
+	case 3:
+		fmt.Fprintf(b, "\tbne r%d, 0, fskip%d\n", r1, i)
+		fmt.Fprintf(b, "\txor r%d, r%d, 1\n", rd, rd)
+		fmt.Fprintf(b, "fskip%d:\n", i)
+	}
+}

@@ -13,7 +13,11 @@
 // design from 4 to 16 cached registers.
 package earlycalc
 
-import "elag/internal/isa"
+import (
+	"fmt"
+
+	"elag/internal/isa"
+)
 
 // Config describes the register cache.
 type Config struct {
@@ -21,6 +25,16 @@ type Config struct {
 	// compiler-directed R_addr; 4..16 model the hardware-only schemes of
 	// Figure 5b. Default 1.
 	Entries int
+}
+
+// Validate reports whether the configuration describes a realizable
+// register cache: a non-negative entry count no larger than the register
+// file it shadows (0 defaults to 1).
+func (c Config) Validate() error {
+	if c.Entries < 0 || c.Entries > isa.NumIntRegs {
+		return fmt.Errorf("earlycalc: entries (%d) must be in [0,%d]", c.Entries, isa.NumIntRegs)
+	}
+	return nil
 }
 
 // Stats accumulates cache behaviour.

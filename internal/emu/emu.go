@@ -24,9 +24,11 @@ const (
 	OutChar int64 = 0x7FFF_F008
 )
 
-// ErrFuel is returned when a program exceeds its instruction budget,
-// usually indicating an infinite loop in a test program.
-var ErrFuel = errors.New("emu: instruction budget exhausted")
+// ErrFuel is the sentinel for a program that exceeds its instruction
+// budget, usually indicating an infinite loop in a test program. Returned
+// fuel faults carry position context; match them with errors.Is(err,
+// ErrFuel) or errors.As into *isa.Fault.
+var ErrFuel error = &isa.Fault{Kind: isa.FaultFuel}
 
 // DefaultStackTop is the initial stack pointer if the runner does not set
 // one. The stack grows downward.
@@ -101,15 +103,34 @@ func (c *CPU) EA(in *isa.Inst) int64 {
 	}
 }
 
+// fault builds a typed architectural fault positioned at the current
+// instruction.
+func (c *CPU) fault(kind isa.FaultKind, addr int64, detail string) *isa.Fault {
+	return &isa.Fault{Kind: kind, PC: c.PC, SeqNum: c.res.DynamicInsts, Addr: addr, Detail: detail}
+}
+
+// checkAccess validates the effective address of a memory operation,
+// returning a positioned *isa.Fault (misaligned or out-of-bounds) or nil.
+func (c *CPU) checkAccess(ea int64, width int) error {
+	if f := c.Mem.CheckAccess(ea, width); f != nil {
+		f.PC, f.SeqNum = c.PC, c.res.DynamicInsts
+		return f
+	}
+	return nil
+}
+
 // Step executes one instruction and fills te (which may be nil) with its
-// trace record. It returns an error for architectural faults (bad PC,
-// division by zero).
+// trace record. Architectural faults — bad PC, misaligned or out-of-bounds
+// memory access, illegal opcode, division by zero — are returned as typed
+// *isa.Fault errors; architectural state is left as of the instruction
+// before the faulting one.
 func (c *CPU) Step(te *TraceEntry) error {
 	if c.halted {
 		return errors.New("emu: step after halt")
 	}
 	if c.PC < 0 || c.PC >= len(c.Prog.Insts) {
-		return fmt.Errorf("emu: PC %d out of range [0,%d)", c.PC, len(c.Prog.Insts))
+		return c.fault(isa.FaultBadPC, 0,
+			fmt.Sprintf("PC outside program [0,%d)", len(c.Prog.Insts)))
 	}
 	in := &c.Prog.Insts[c.PC]
 	pc := c.PC
@@ -140,13 +161,13 @@ func (c *CPU) Step(te *TraceEntry) error {
 	case isa.OpDiv:
 		d := src2()
 		if d == 0 {
-			return fmt.Errorf("emu: division by zero at PC %d", pc)
+			return c.fault(isa.FaultDivZero, 0, "")
 		}
 		setR(in.Rd, c.R[in.Rs1]/d)
 	case isa.OpRem:
 		d := src2()
 		if d == 0 {
-			return fmt.Errorf("emu: remainder by zero at PC %d", pc)
+			return c.fault(isa.FaultDivZero, 0, "remainder")
 		}
 		setR(in.Rd, c.R[in.Rs1]%d)
 	case isa.OpAnd:
@@ -179,6 +200,9 @@ func (c *CPU) Step(te *TraceEntry) error {
 	case isa.OpLoad:
 		ea = c.EA(in)
 		baseVal = c.R[in.Base]
+		if err := c.checkAccess(ea, int(in.Width)); err != nil {
+			return err
+		}
 		var v int64
 		if in.Signed {
 			v = c.Mem.ReadSigned(ea, int(in.Width))
@@ -190,6 +214,9 @@ func (c *CPU) Step(te *TraceEntry) error {
 	case isa.OpStore:
 		ea = c.EA(in)
 		baseVal = c.R[in.Base]
+		if err := c.checkAccess(ea, int(in.Width)); err != nil {
+			return err
+		}
 		c.res.DynamicStore++
 		switch ea {
 		case OutInt:
@@ -202,11 +229,17 @@ func (c *CPU) Step(te *TraceEntry) error {
 	case isa.OpFLoad:
 		ea = c.EA(in)
 		baseVal = c.R[in.Base]
+		if err := c.checkAccess(ea, 8); err != nil {
+			return err
+		}
 		c.F[in.Rd] = f64frombits(c.Mem.Read(ea, 8))
 		c.res.DynamicLoads++
 	case isa.OpFStore:
 		ea = c.EA(in)
 		baseVal = c.R[in.Base]
+		if err := c.checkAccess(ea, 8); err != nil {
+			return err
+		}
 		c.Mem.Write(ea, f64bits(c.F[in.Rs2]), 8)
 		c.res.DynamicStore++
 
@@ -242,7 +275,7 @@ func (c *CPU) Step(te *TraceEntry) error {
 		c.res.ExitCode = c.R[in.Rs1]
 		next = pc
 	default:
-		return fmt.Errorf("emu: unimplemented opcode %v at PC %d", in.Op, pc)
+		return c.fault(isa.FaultIllegalOp, 0, fmt.Sprintf("opcode %v", in.Op))
 	}
 
 	if te != nil {
@@ -276,7 +309,8 @@ func RunTrace(prog *isa.Program, fuel int64, wantTrace bool) (Result, []TraceEnt
 	var te TraceEntry
 	for !c.Halted() {
 		if c.res.DynamicInsts >= fuel {
-			return c.res, trace, ErrFuel
+			return c.res, trace,
+				&isa.Fault{Kind: isa.FaultFuel, PC: c.PC, SeqNum: c.res.DynamicInsts}
 		}
 		if err := c.Step(&te); err != nil {
 			return c.res, trace, err

@@ -1,10 +1,12 @@
 package emu
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"elag/internal/asm"
+	"elag/internal/asm/asmtest"
 	"elag/internal/isa"
 )
 
@@ -170,18 +172,98 @@ func TestTraceRecordsLoadsAndBranches(t *testing.T) {
 }
 
 func TestFuelExhaustion(t *testing.T) {
-	p := asm.MustAssemble("main: jmp main")
+	p := asmtest.MustAssemble(t, "main: jmp main")
 	_, err := Run(p, 100)
-	if err != ErrFuel {
+	if !errors.Is(err, ErrFuel) {
 		t.Errorf("err = %v, want ErrFuel", err)
+	}
+	var f *isa.Fault
+	if !errors.As(err, &f) || f.Kind != isa.FaultFuel {
+		t.Errorf("err = %#v, want *isa.Fault{Kind: FaultFuel}", err)
 	}
 }
 
 func TestDivByZeroFaults(t *testing.T) {
-	p := asm.MustAssemble("main: div r1, r1, r0\nhalt r0")
+	p := asmtest.MustAssemble(t, "main: div r1, r1, r0\nhalt r0")
 	_, err := Run(p, 100)
 	if err == nil {
 		t.Errorf("division by zero did not fault")
+	}
+	assertFault(t, err, isa.FaultDivZero)
+}
+
+// assertFault checks err is a *isa.Fault of the given kind, matchable
+// both by errors.As and by errors.Is against a kind-only template.
+func assertFault(t *testing.T, err error, kind isa.FaultKind) {
+	t.Helper()
+	var f *isa.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %T (%v), want *isa.Fault", err, err)
+	}
+	if f.Kind != kind {
+		t.Fatalf("fault kind = %v, want %v (fault: %v)", f.Kind, kind, f)
+	}
+	if !errors.Is(err, &isa.Fault{Kind: kind}) {
+		t.Errorf("errors.Is does not match kind template for %v", err)
+	}
+	if f.Error() == "" {
+		t.Errorf("fault has empty message")
+	}
+}
+
+func TestMisalignedLoadFaults(t *testing.T) {
+	p := asmtest.MustAssemble(t, "main:\tli r2, 4\n\tld8_n r1, r2(0)\n\thalt r1")
+	_, err := Run(p, 100)
+	assertFault(t, err, isa.FaultMisaligned)
+	var f *isa.Fault
+	errors.As(err, &f)
+	if f.Addr != 4 || f.PC != 1 {
+		t.Errorf("fault context = %+v, want Addr 4 at PC 1", f)
+	}
+}
+
+func TestOutOfBoundsStoreFaults(t *testing.T) {
+	p := asmtest.MustAssemble(t, "main:\tli r2, -8\n\tst8 r1, r2(0)\n\thalt r1")
+	_, err := Run(p, 100)
+	assertFault(t, err, isa.FaultOutOfBounds)
+
+	// Above the top of the address space too.
+	p = asmtest.MustAssemble(t, "main:\tli r2, 1\n\tsll r2, r2, 41\n\tst8 r1, r2(0)\n\thalt r1")
+	_, err = Run(p, 100)
+	assertFault(t, err, isa.FaultOutOfBounds)
+}
+
+func TestJumpPastProgramFaults(t *testing.T) {
+	// jr to a PC beyond the last instruction.
+	p := asmtest.MustAssemble(t, "main:\tli r5, 1000\n\tjr r5")
+	_, err := Run(p, 100)
+	assertFault(t, err, isa.FaultBadPC)
+
+	// Falling off the end of the text (no halt) is the same fault.
+	p = asmtest.MustAssemble(t, "main:\tadd r1, r1, 1")
+	_, err = Run(p, 100)
+	assertFault(t, err, isa.FaultBadPC)
+}
+
+func TestIllegalOpcodeFaults(t *testing.T) {
+	p := &isa.Program{
+		Insts:       []isa.Inst{{Op: isa.Op(250)}},
+		Symbols:     map[string]int{"main": 0},
+		DataSymbols: map[string]int64{},
+	}
+	_, err := Run(p, 100)
+	assertFault(t, err, isa.FaultIllegalOp)
+}
+
+func TestFaultCarriesSequenceNumber(t *testing.T) {
+	p := asmtest.MustAssemble(t, "main:\tnop\n\tnop\n\tli r2, 4\n\tld8_n r1, r2(0)\n\thalt r1")
+	_, err := Run(p, 100)
+	var f *isa.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.SeqNum != 3 {
+		t.Errorf("fault SeqNum = %d, want 3", f.SeqNum)
 	}
 }
 

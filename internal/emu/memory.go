@@ -1,6 +1,10 @@
 package emu
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"elag/internal/isa"
+)
 
 // pageBits selects 64 KiB pages for the sparse memory image.
 const pageBits = 16
@@ -106,6 +110,14 @@ func (m *Memory) ReadSigned(addr int64, width int) int64 {
 	v := m.Read(addr, width)
 	shift := uint(64 - 8*width)
 	return int64(v<<shift) >> shift
+}
+
+// CheckAccess validates an access of width bytes at addr against the
+// architectural address space and natural alignment, returning a typed
+// fault (without position context) or nil. Read/Write themselves stay
+// infallible on the sparse image; the emulator checks before accessing.
+func (m *Memory) CheckAccess(addr int64, width int) *isa.Fault {
+	return isa.CheckAccess(addr, width)
 }
 
 // Footprint returns the number of bytes of allocated pages, a rough measure

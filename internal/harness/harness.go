@@ -100,7 +100,10 @@ func (l *Lab) UseProfile() { l.Reclass.Apply(l.Prog.Machine) }
 // Simulate replays the cached trace under cfg with the program's current
 // load flavours.
 func (l *Lab) Simulate(cfg pipeline.Config) (*pipeline.Metrics, error) {
-	sim := pipeline.New(cfg, l.Prog.Machine)
+	sim, err := pipeline.New(cfg, l.Prog.Machine)
+	if err != nil {
+		return nil, err
+	}
 	return sim.Run(l.Trace)
 }
 

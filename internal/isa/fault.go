@@ -1,0 +1,103 @@
+package isa
+
+import "fmt"
+
+// FaultKind classifies an architectural fault raised during program
+// execution or trace replay. Faults are ordinary Go errors (see Fault);
+// they are the typed, recoverable surface for everything that used to be a
+// raw panic or an untyped error string.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultNone is the zero kind; a valid Fault never carries it.
+	FaultNone FaultKind = iota
+	// FaultBadPC: control transferred outside the program's instruction
+	// memory (jump past program end, corrupted return address, or a trace
+	// entry whose PC is out of range).
+	FaultBadPC
+	// FaultMisaligned: a memory access whose effective address is not a
+	// multiple of its access width.
+	FaultMisaligned
+	// FaultOutOfBounds: a memory access outside the architectural address
+	// space [0, MaxAddr).
+	FaultOutOfBounds
+	// FaultIllegalOp: an opcode the machine does not implement.
+	FaultIllegalOp
+	// FaultDivZero: integer division or remainder by zero.
+	FaultDivZero
+	// FaultFuel: the dynamic instruction budget was exhausted before the
+	// program halted (the watchdog against runaway programs).
+	FaultFuel
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBadPC:
+		return "bad PC"
+	case FaultMisaligned:
+		return "misaligned access"
+	case FaultOutOfBounds:
+		return "out-of-bounds access"
+	case FaultIllegalOp:
+		return "illegal opcode"
+	case FaultDivZero:
+		return "division by zero"
+	case FaultFuel:
+		return "instruction budget exhausted"
+	}
+	return "unknown fault"
+}
+
+// MaxAddr bounds the architectural data address space: valid byte
+// addresses are [0, MaxAddr). The bound is far above every software
+// convention in this repository (stack top 0x4000_0000, memory-mapped
+// console at 0x7FFF_F000) while still catching pointer garbage such as
+// negative or sign-bit-set addresses.
+const MaxAddr int64 = 1 << 40
+
+// Fault is a typed architectural fault. It implements error; callers
+// recover it with errors.As and dispatch on Kind. Two faults compare equal
+// under errors.Is when their kinds match, so sentinel values like
+// emu.ErrFuel keep working with wrapped, contextualized faults.
+type Fault struct {
+	Kind   FaultKind
+	PC     int    // instruction index of the faulting instruction
+	SeqNum int64  // dynamic instruction number at the fault
+	Addr   int64  // effective address (memory faults only)
+	Detail string // optional extra context
+}
+
+// Error renders the fault with its position and kind.
+func (f *Fault) Error() string {
+	msg := fmt.Sprintf("fault: %s at PC %d (inst #%d)", f.Kind, f.PC, f.SeqNum)
+	if f.Kind == FaultMisaligned || f.Kind == FaultOutOfBounds {
+		msg += fmt.Sprintf(", address %#x", f.Addr)
+	}
+	if f.Detail != "" {
+		msg += ": " + f.Detail
+	}
+	return msg
+}
+
+// Is matches faults by kind, so errors.Is(err, &Fault{Kind: k}) — and in
+// particular errors.Is(err, emu.ErrFuel) — holds for any fault of kind k
+// regardless of its position fields.
+func (f *Fault) Is(target error) bool {
+	t, ok := target.(*Fault)
+	return ok && t.Kind == f.Kind
+}
+
+// CheckAccess validates a data-memory access of width bytes at addr,
+// returning a FaultMisaligned or FaultOutOfBounds fault (without position
+// context — the emulator fills that in) or nil.
+func CheckAccess(addr int64, width int) *Fault {
+	if addr < 0 || addr > MaxAddr-int64(width) {
+		return &Fault{Kind: FaultOutOfBounds, Addr: addr}
+	}
+	if width > 1 && addr%int64(width) != 0 {
+		return &Fault{Kind: FaultMisaligned, Addr: addr}
+	}
+	return nil
+}

@@ -147,6 +147,9 @@ scan:
 		var v int64
 		if l.src[l.pos] == '\\' {
 			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated character literal")
+			}
 			e, err := unescape(l.src[l.pos])
 			if err != nil {
 				return token{}, l.errf("%v", err)

@@ -22,9 +22,23 @@ func parse(src string) (*file, error) {
 	return p.f, nil
 }
 
-func (p *parser) tok() token     { return p.toks[p.pos] }
-func (p *parser) line() int      { return p.tok().line }
-func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+// tok clamps to the trailing tEOF token: error paths may leave the
+// position one past it, and truncated input must read as end-of-file,
+// not as an index panic.
+func (p *parser) tok() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+func (p *parser) line() int { return p.tok().line }
+func (p *parser) advance() token {
+	t := p.tok()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...any) error {
 	return &Error{Line: p.line(), Msg: fmt.Sprintf(format, args...)}

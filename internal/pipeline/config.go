@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"elag/internal/addrpred"
 	"elag/internal/bpred"
 	"elag/internal/cache"
@@ -123,4 +125,57 @@ func (c *Config) fill() {
 	def(&c.LatMul, 3)
 	def(&c.LatDiv, 8)
 	def(&c.LatFP, 2)
+}
+
+// Validate reports whether the configuration (with zero fields defaulted)
+// describes a realizable machine, including the geometry of every attached
+// structure. A Config that validates cleanly cannot make New fail or the
+// timing model stall forever.
+func (c Config) Validate() error {
+	c.fill()
+	widths := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth},
+		{"IssueWidth", c.IssueWidth},
+		{"IntALUs", c.IntALUs},
+		{"MemPorts", c.MemPorts},
+		{"FPALUs", c.FPALUs},
+		{"BranchUnits", c.BranchUnits},
+	}
+	for _, w := range widths {
+		// Resource counters saturate a uint8 per cycle; a zero capacity
+		// would deadlock the issue loop.
+		if w.v < 1 || w.v > 200 {
+			return fmt.Errorf("pipeline: %s (%d) must be in [1,200]", w.name, w.v)
+		}
+	}
+	if c.LatMul < 1 || c.LatDiv < 1 || c.LatFP < 1 {
+		return fmt.Errorf("pipeline: latencies must be >= 1 (mul %d, div %d, fp %d)",
+			c.LatMul, c.LatDiv, c.LatFP)
+	}
+	if err := c.ICache.Validate(); err != nil {
+		return fmt.Errorf("pipeline: icache: %w", err)
+	}
+	if err := c.DCache.Validate(); err != nil {
+		return fmt.Errorf("pipeline: dcache: %w", err)
+	}
+	if err := c.BTB.Validate(); err != nil {
+		return fmt.Errorf("pipeline: btb: %w", err)
+	}
+	if c.Select > SelHWDual {
+		return fmt.Errorf("pipeline: unknown selection policy %d", c.Select)
+	}
+	if c.Predictor != nil {
+		if err := c.Predictor.Validate(); err != nil {
+			return fmt.Errorf("pipeline: predictor: %w", err)
+		}
+	}
+	if c.RegCache != nil {
+		if err := c.RegCache.Validate(); err != nil {
+			return fmt.Errorf("pipeline: regcache: %w", err)
+		}
+	}
+	return nil
 }

@@ -178,15 +178,31 @@ type Sim struct {
 	scratchRegs []isa.Reg
 }
 
-// New creates a simulation with the given configuration over prog.
-func New(cfg Config, prog *isa.Program) *Sim {
+// New creates a simulation with the given configuration over prog. A
+// configuration that fails Config.Validate is returned as an error.
+func New(cfg Config, prog *isa.Program) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fill()
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := cache.New(cfg.DCache)
+	if err != nil {
+		return nil, err
+	}
+	btb, err := bpred.New(cfg.BTB)
+	if err != nil {
+		return nil, err
+	}
 	s := &Sim{
 		cfg:         cfg,
 		prog:        prog,
-		ic:          newTimedCache(cache.New(cfg.ICache)),
-		dc:          newTimedCache(cache.New(cfg.DCache)),
-		btb:         bpred.New(cfg.BTB),
+		ic:          newTimedCache(ic),
+		dc:          newTimedCache(dc),
+		btb:         btb,
 		icLastBlock: -1,
 		icLastCycle: -1,
 	}
@@ -196,7 +212,9 @@ func New(cfg Config, prog *isa.Program) *Sim {
 	s.brRes.cap = uint8(cfg.BranchUnits)
 	s.portRes.cap = uint8(cfg.MemPorts)
 	if cfg.Predictor != nil {
-		s.table = addrpred.NewTable(*cfg.Predictor)
+		if s.table, err = addrpred.NewTable(*cfg.Predictor); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.RegCache != nil {
 		s.regcache = earlycalc.New(*cfg.RegCache)
@@ -205,7 +223,7 @@ func New(cfg Config, prog *isa.Program) *Sim {
 	// constrain anything.
 	s.nextFetch = 1
 	s.groupCycle = 1
-	return s
+	return s, nil
 }
 
 // Metrics returns the metrics accumulated so far; call after Run.
@@ -242,15 +260,21 @@ func Simulate(cfg Config, prog *isa.Program, fuel int64) (*Metrics, emu.Result, 
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, res, err
 	}
-	sim := New(cfg, prog)
+	sim, err := New(cfg, prog)
+	if err != nil {
+		return nil, res, err
+	}
 	m, err := sim.Run(trace)
 	return m, res, err
 }
 
-// StepInst advances the timing model by one dynamic instruction.
+// StepInst advances the timing model by one dynamic instruction. A trace
+// entry whose PC lies outside the program is a typed bad-PC fault: the
+// trace no longer describes this program.
 func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	if te.PC < 0 || te.PC >= len(s.prog.Insts) {
-		return errors.New("pipeline: trace PC out of range")
+		return &isa.Fault{Kind: isa.FaultBadPC, PC: te.PC, SeqNum: te.SeqNum,
+			Detail: "trace PC outside program"}
 	}
 	in := &s.prog.Insts[te.PC]
 	s.m.Insts++

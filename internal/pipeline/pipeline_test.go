@@ -6,8 +6,10 @@ import (
 
 	"elag/internal/addrpred"
 	"elag/internal/asm"
+	"elag/internal/asm/asmtest"
 	"elag/internal/earlycalc"
 	"elag/internal/emu"
+	"elag/internal/isa"
 )
 
 func sim(t *testing.T, cfg Config, src string) *Metrics {
@@ -21,6 +23,15 @@ func sim(t *testing.T, cfg Config, src string) *Metrics {
 		t.Fatalf("simulate: %v", err)
 	}
 	return m
+}
+
+func mustSim(t *testing.T, cfg Config, p *isa.Program) *Sim {
+	t.Helper()
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
 }
 
 // loopOf builds a program running body (with label "loop" available) n times.
@@ -339,7 +350,7 @@ func TestMetricsDerived(t *testing.T) {
 }
 
 func TestTraceReplayDeterministic(t *testing.T) {
-	p := asm.MustAssemble(loopOf(5000, `
+	p := asmtest.MustAssemble(t, loopOf(5000, `
 		ld8_n r1, r20(0)
 		add r20, r20, 8
 	`))
@@ -347,11 +358,11 @@ func TestTraceReplayDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := New(Config{}, p).Run(trace)
+	m1, err := mustSim(t, Config{}, p).Run(trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := New(Config{}, p).Run(trace)
+	m2, err := mustSim(t, Config{}, p).Run(trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,8 +392,8 @@ func TestListingHasNoSurprises(t *testing.T) {
 	// program with different flavours must produce identical traces.
 	base := loopOf(200, `ld8_n r1, r20(0)`)
 	alt := strings.ReplaceAll(base, "ld8_n", "ld8_p")
-	p1 := asm.MustAssemble(base)
-	p2 := asm.MustAssemble(alt)
+	p1 := asmtest.MustAssemble(t, base)
+	p2 := asmtest.MustAssemble(t, alt)
 	r1, tr1, _ := emu.RunTrace(p1, 0, true)
 	r2, tr2, _ := emu.RunTrace(p2, 0, true)
 	if r1.Output() != r2.Output() || len(tr1) != len(tr2) {
@@ -391,7 +402,7 @@ func TestListingHasNoSurprises(t *testing.T) {
 }
 
 func TestStageTraceRecordsAndRenders(t *testing.T) {
-	p := asm.MustAssemble(loopOf(100, `
+	p := asmtest.MustAssemble(t, loopOf(100, `
 		ld8_n r1, r20(0)
 		add r2, r1, 1
 	`))
@@ -399,7 +410,7 @@ func TestStageTraceRecordsAndRenders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{}, p)
+	s := mustSim(t, Config{}, p)
 	s.EnableStageTrace(12)
 	if _, err := s.Run(trace); err != nil {
 		t.Fatal(err)
@@ -427,7 +438,7 @@ func TestStageTraceRecordsAndRenders(t *testing.T) {
 
 func TestStageTraceMarksForwardedLoads(t *testing.T) {
 	cfg := Config{Select: SelCompiler, RegCache: &earlycalc.Config{Entries: 1}}
-	p := asm.MustAssemble(loopOf(50, `
+	p := asmtest.MustAssemble(t, loopOf(50, `
 		ld8_e r1, r20(0)
 		add r2, r1, 1
 	`))
@@ -435,7 +446,7 @@ func TestStageTraceMarksForwardedLoads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(cfg, p)
+	s := mustSim(t, cfg, p)
 	s.EnableStageTrace(len(trace))
 	if _, err := s.Run(trace); err != nil {
 		t.Fatal(err)

@@ -75,7 +75,7 @@ func TestRandomProgramsAllConfigsAgree(t *testing.T) {
 		}
 		var baseCycles int64
 		for ci, cfg := range cfgs {
-			m, err := New(cfg, p).Run(trace)
+			m, err := mustSim(t, cfg, p).Run(trace)
 			if err != nil {
 				t.Fatalf("seed %d cfg %d: %v", seed, ci, err)
 			}

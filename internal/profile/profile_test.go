@@ -3,7 +3,7 @@ package profile_test
 import (
 	"testing"
 
-	"elag/internal/asm"
+	"elag/internal/asm/asmtest"
 	"elag/internal/core"
 	"elag/internal/profile"
 )
@@ -11,7 +11,7 @@ import (
 func TestPerLoadRates(t *testing.T) {
 	// Two loads: one strided (predictable), one chasing a shuffled ring
 	// (unpredictable).
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 		.data
 		.base 0x10000
 	ring:	.addr ring+32
@@ -67,7 +67,7 @@ func TestPerLoadRates(t *testing.T) {
 }
 
 func TestClassAggregates(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 		.data
 	arr:	.space 1600
 		.text
@@ -105,7 +105,7 @@ func TestProfileDrivesReclassification(t *testing.T) {
 	// Two load-dependent groups: both stride, but only the larger gets
 	// ld_e; the smaller is ld_n yet highly predictable — profiling must
 	// promote it to ld_p.
-	p := asm.MustAssemble(`
+	p := asmtest.MustAssemble(t, `
 		.data
 	ptrs:	.space 8000
 		.text
