@@ -5,11 +5,13 @@
 //
 //	elag-bench [flags]
 //
-//	-exp name   table2|table3|table4|fig5a|fig5b|fig5c|embedded|all (default all)
-//	-fuel N     per-benchmark dynamic instruction budget (0 = run programs
-//	            to completion, the default used for reported results)
-//	-q          suppress progress logging
-//	-csv dir    write every artifact as CSV into dir (for plotting)
+//	-exp name     table2|table3|table4|fig5a|fig5b|fig5c|embedded|all (default all)
+//	-fuel N       per-benchmark dynamic instruction budget (0 = run programs
+//	              to completion, the default used for reported results)
+//	-q            suppress progress logging
+//	-csv dir      write every artifact as CSV into dir (for plotting)
+//	-json file    write every artifact as one schema-versioned JSON document
+//	              ("-" for stdout), for the repo's BENCH_*.json trajectory
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	fuel := flag.Int64("fuel", 0, "per-benchmark instruction budget (0 = unlimited)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	csvDir := flag.String("csv", "", "also write CSVs for every artifact into this directory")
+	jsonPath := flag.String("json", "", `write all artifacts as one JSON document to this file ("-" = stdout)`)
 	flag.Parse()
 
 	var logw io.Writer = os.Stderr
@@ -35,6 +38,25 @@ func main() {
 		logw = nil
 	}
 	r := &harness.Runner{Fuel: *fuel, Log: logw}
+
+	if *jsonPath != "" {
+		doc, err := r.Document()
+		check("json", err)
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				check("json", fmt.Errorf("create %s: %w", *jsonPath, err))
+			}
+			out = f
+		}
+		check("json", harness.WriteBenchJSON(out, doc))
+		if out != os.Stdout {
+			check("json", out.Close())
+			fmt.Fprintf(os.Stderr, "JSON document written to %s\n", *jsonPath)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	elag-prof [flags] file.{mc,s,bin}
+//	elag-prof [flags] file.{mc,s,bin} | workload:NAME
 //
 //	-fuel N        dynamic instruction budget (0 = unlimited)
 //	-threshold F   promotion threshold (default 0.60)
@@ -17,9 +17,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
 	"elag"
+	"elag/cmd/internal/cli"
 	"elag/internal/core"
 )
 
@@ -30,29 +30,17 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: elag-prof [flags] file.{mc,s,bin}")
+		fmt.Fprintln(os.Stderr, "usage: elag-prof [flags]", cli.InputKinds)
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	p, err := cli.Load(flag.Arg(0))
 	if err != nil {
-		fatal(fmt.Errorf("read input: %w", err))
-	}
-	var p *elag.Program
-	switch {
-	case strings.HasSuffix(flag.Arg(0), ".mc"):
-		p, err = elag.Build(string(src), elag.BuildOptions{})
-	case strings.HasSuffix(flag.Arg(0), ".bin"):
-		p, err = elag.LoadObject(src)
-	default:
-		p, err = elag.BuildAsm(string(src), true, elag.ClassifyOptions{})
-	}
-	if err != nil {
-		fatal(fmt.Errorf("build %s: %w", flag.Arg(0), err))
+		cli.Fatal("elag-prof", err)
 	}
 	lp, err := p.Profile(*fuel)
 	if err != nil && !errors.Is(err, elag.ErrFuel) {
-		fatal(fmt.Errorf("profile: %w", err))
+		cli.Fatal("elag-prof", fmt.Errorf("profile: %w", err))
 	}
 	before := p.Classes
 	after := core.Reclassify(before, lp.Rates(), *threshold)
@@ -74,14 +62,4 @@ func main() {
 		fmt.Printf("%6d %-4s %-4s %10d %7.1f%%  %s\n",
 			pc, o, n, lp.Execs[pc], 100*rate, p.Machine.Insts[pc].String())
 	}
-}
-
-func fatal(err error) {
-	var f *elag.Fault
-	if errors.As(err, &f) {
-		fmt.Fprintln(os.Stderr, "elag-prof: architectural fault:", err)
-	} else {
-		fmt.Fprintln(os.Stderr, "elag-prof:", err)
-	}
-	os.Exit(1)
 }

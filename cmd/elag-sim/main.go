@@ -1,17 +1,17 @@
 // elag-sim runs a program under the functional emulator and the timing
-// simulator. Inputs ending in .mc are compiled (with classification);
-// anything else is treated as assembly.
+// simulator. Inputs ending in .mc are compiled (with classification),
+// ".bin" objects are loaded; anything else is treated as assembly.
 //
 // Usage:
 //
-//	elag-sim [flags] file.{mc,s,bin}
+//	elag-sim [flags] file.{mc,s,bin} | workload:NAME
 //
 //	-config name   base | compiler | hw-pred | hw-early | hw-dual
 //	-table N       prediction table entries (default 256)
 //	-regs N        early-calculation registers (default 1; 16 for hw modes)
 //	-fuel N        dynamic instruction budget (0 = unlimited)
 //	-profile       also apply profile-guided reclassification first
-//	-v             print path statistics
+//	-v             print the full metrics summary (paths, failure terms)
 //	-pipeview N    render the first N instructions' stage timeline
 //	-all           compare base and all four early-address configurations
 package main
@@ -21,54 +21,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"elag"
+	"elag/cmd/internal/cli"
 )
 
 func main() {
-	config := flag.String("config", "compiler", "base|compiler|hw-pred|hw-early|hw-dual")
+	config := flag.String("config", "compiler", cli.ConfigNames)
 	table := flag.Int("table", 256, "prediction table entries")
 	regs := flag.Int("regs", 0, "early-calculation registers (0 = mode default)")
 	fuel := flag.Int64("fuel", 0, "dynamic instruction budget (0 = unlimited)")
 	useProfile := flag.Bool("profile", false, "apply profile-guided reclassification")
-	verbose := flag.Bool("v", false, "print path statistics")
+	verbose := flag.Bool("v", false, "print the full metrics summary")
 	pipeview := flag.Int("pipeview", 0, "render the first N instructions' pipeline stages")
 	all := flag.Bool("all", false, "compare every configuration")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: elag-sim [flags] file.{mc,s,bin}")
+		fmt.Fprintln(os.Stderr, "usage: elag-sim [flags]", cli.InputKinds)
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	p, err := cli.Load(flag.Arg(0))
 	if err != nil {
-		fatal(fmt.Errorf("read input: %w", err))
-	}
-	var p *elag.Program
-	switch {
-	case strings.HasSuffix(flag.Arg(0), ".mc"):
-		p, err = elag.Build(string(src), elag.BuildOptions{})
-	case strings.HasSuffix(flag.Arg(0), ".bin"):
-		p, err = elag.LoadObject(src)
-	default:
-		p, err = elag.BuildAsm(string(src), true, elag.ClassifyOptions{})
-	}
-	if err != nil {
-		fatal(fmt.Errorf("build %s: %w", flag.Arg(0), err))
+		cli.Fatal("elag-sim", err)
 	}
 	if *useProfile {
 		lp, err := p.Profile(*fuel)
 		if err != nil && !errors.Is(err, elag.ErrFuel) {
-			fatal(fmt.Errorf("profile: %w", err))
+			cli.Fatal("elag-sim", fmt.Errorf("profile: %w", err))
 		}
 		p.ApplyProfile(lp, 0)
 	}
 
 	base, res, err := p.Simulate(elag.BaseConfig(), *fuel)
 	if err != nil {
-		fatal(fmt.Errorf("simulate base: %w", err))
+		cli.Fatal("elag-sim", fmt.Errorf("simulate base: %w", err))
 	}
 	if *all {
 		fmt.Printf("program: %s\n", flag.Arg(0))
@@ -78,31 +66,31 @@ func main() {
 		fmt.Printf("%-10s %12s %8s %10s %9s\n", "config", "cycles", "IPC", "load-lat", "speedup")
 		fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n", "base", base.Cycles, base.IPC(), base.AvgLoadLatency(), 1.0)
 		for _, name := range []string{"hw-pred", "hw-early", "hw-dual", "compiler"} {
-			c, err := configFor(name, *table, *regs)
+			c, err := cli.Config(name, *table, *regs)
 			if err != nil {
-				fatal(err)
+				cli.Fatal("elag-sim", err)
 			}
 			m, _, err := p.Simulate(c, *fuel)
 			if err != nil {
-				fatal(fmt.Errorf("simulate %s: %w", name, err))
+				cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", name, err))
 			}
 			fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n",
 				name, m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
 		}
 		return
 	}
-	cfg, err := configFor(*config, *table, *regs)
+	cfg, err := cli.Config(*config, *table, *regs)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("elag-sim", err)
 	}
 	m, _, err := p.Simulate(cfg, *fuel)
 	if err != nil {
-		fatal(fmt.Errorf("simulate %s: %w", *config, err))
+		cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", *config, err))
 	}
 	if *pipeview > 0 {
 		view, err := p.StageView(cfg, *fuel, *pipeview)
 		if err != nil {
-			fatal(fmt.Errorf("stage view: %w", err))
+			cli.Fatal("elag-sim", fmt.Errorf("stage view: %w", err))
 		}
 		fmt.Print(view)
 	}
@@ -117,57 +105,7 @@ func main() {
 	fmt.Printf("%-10s %12d %8.2f %10.2f   speedup %.3f\n",
 		*config, m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
 	if *verbose {
-		fmt.Printf("predict path: %+v\n", m.Predict)
-		fmt.Printf("early path:   %+v\n", m.Early)
-		fmt.Printf("dcache: %+v\n", m.DCacheStats)
-		fmt.Printf("btb: %+v\n", m.BTBStats)
-		fmt.Printf("zero-cycle loads: %d  one-cycle loads: %d of %d\n",
-			m.ZeroCycleLoads, m.OneCycleLoads, m.Loads)
+		fmt.Println()
+		fmt.Print(m.Summary())
 	}
-}
-
-func configFor(name string, table, regs int) (elag.SimConfig, error) {
-	def := func(n, d int) int {
-		if n == 0 {
-			return d
-		}
-		return n
-	}
-	switch name {
-	case "base":
-		return elag.BaseConfig(), nil
-	case "compiler":
-		return elag.SimConfig{
-			Select:    elag.SelCompiler,
-			Predictor: &elag.PredictorConfig{Entries: table},
-			RegCache:  &elag.RegCacheConfig{Entries: def(regs, 1)},
-		}, nil
-	case "hw-pred":
-		return elag.SimConfig{
-			Select:    elag.SelAllPredict,
-			Predictor: &elag.PredictorConfig{Entries: table},
-		}, nil
-	case "hw-early":
-		return elag.SimConfig{
-			Select:   elag.SelAllEarly,
-			RegCache: &elag.RegCacheConfig{Entries: def(regs, 16)},
-		}, nil
-	case "hw-dual":
-		return elag.SimConfig{
-			Select:    elag.SelHWDual,
-			Predictor: &elag.PredictorConfig{Entries: table},
-			RegCache:  &elag.RegCacheConfig{Entries: def(regs, 16)},
-		}, nil
-	}
-	return elag.SimConfig{}, fmt.Errorf("unknown config %q", name)
-}
-
-func fatal(err error) {
-	var f *elag.Fault
-	if errors.As(err, &f) {
-		fmt.Fprintln(os.Stderr, "elag-sim: architectural fault:", err)
-	} else {
-		fmt.Fprintln(os.Stderr, "elag-sim:", err)
-	}
-	os.Exit(1)
 }

@@ -35,6 +35,7 @@ package elag
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"elag/internal/addrpred"
 	"elag/internal/asm"
@@ -45,6 +46,7 @@ import (
 	"elag/internal/ir"
 	"elag/internal/isa"
 	"elag/internal/mcc"
+	"elag/internal/obs"
 	"elag/internal/opt"
 	"elag/internal/pipeline"
 	"elag/internal/profile"
@@ -83,6 +85,31 @@ type (
 	Fault = isa.Fault
 	// FaultKind discriminates architectural fault classes.
 	FaultKind = isa.FaultKind
+
+	// Observability surface (see SimulateObserved). Event is one
+	// cycle-level occurrence in the timing model; EventSink receives the
+	// stream; FailMask is the Section 3.2 failure-term bitmask carried by
+	// speculation-failure events.
+	Event = pipeline.Event
+	// EventKind discriminates cycle-level events.
+	EventKind = pipeline.EventKind
+	// EventSink receives the cycle-level event stream of a simulation.
+	EventSink = pipeline.EventSink
+	// FailMask is the forwarding-failure-term bitmask.
+	FailMask = pipeline.FailMask
+	// StallCause labels why an instruction could not issue on a cycle.
+	StallCause = pipeline.StallCause
+	// PathStats counts the behaviour of one speculation path.
+	PathStats = pipeline.PathStats
+	// LoadPCStats is one static load's row in the per-PC attribution
+	// table (Metrics.PerPC).
+	LoadPCStats = pipeline.LoadPCStats
+	// TraceRecorder is an EventSink retaining a bounded window of the
+	// event stream, suitable for WriteChromeTrace.
+	TraceRecorder = obs.Recorder
+	// MetricsDoc is the schema-versioned machine-readable form of one
+	// run's metrics (see NewMetricsDoc / WriteMetricsJSON).
+	MetricsDoc = obs.MetricsDoc
 )
 
 // Selection policies (see pipeline.Selection).
@@ -253,6 +280,69 @@ func (p *Program) Run(fuel int64) (RunResult, error) {
 // with the architectural results.
 func (p *Program) Simulate(cfg SimConfig, fuel int64) (*Metrics, RunResult, error) {
 	return pipeline.Simulate(cfg, p.Machine, fuel)
+}
+
+// ObserveOptions configures SimulateObserved. The zero value observes
+// nothing (equivalent to Simulate).
+type ObserveOptions struct {
+	// Sink, when non-nil, receives the cycle-level event stream (stage
+	// occupancy, speculation launch/forward/fail with failure terms,
+	// R_addr and prediction-table transitions, cache misses, stalls).
+	Sink EventSink
+	// PerPC enables the per-PC load attribution table, returned on
+	// Metrics.PerPC; its rows sum exactly to the global path counters.
+	PerPC bool
+}
+
+// SimulateObserved runs the timing model under cfg with observability
+// attached. Tracing costs nothing when o is zero; with a sink attached the
+// timing result is identical — observation never perturbs the model.
+func (p *Program) SimulateObserved(cfg SimConfig, fuel int64, o ObserveOptions) (*Metrics, RunResult, error) {
+	res, trace, err := emu.RunTrace(p.Machine, fuel, true)
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return nil, res, err
+	}
+	sim, err := pipeline.New(cfg, p.Machine)
+	if err != nil {
+		return nil, res, err
+	}
+	if o.PerPC {
+		sim.EnablePerPC()
+	}
+	if o.Sink != nil {
+		sim.AttachSink(o.Sink)
+	}
+	m, err := sim.Run(trace)
+	return m, res, err
+}
+
+// WriteChromeTrace writes recorded events as Chrome trace_event JSON
+// (loadable in Perfetto or chrome://tracing), using the program's
+// instruction mnemonics for the pipeline lanes.
+func (p *Program) WriteChromeTrace(w io.Writer, events []Event) error {
+	return obs.WriteChromeTrace(w, p.Machine, events)
+}
+
+// NewMetricsDoc wraps a run's metrics in the schema-versioned document
+// written by WriteMetricsJSON; program and config label the run.
+func NewMetricsDoc(program, config string, m *Metrics) *MetricsDoc {
+	return obs.NewMetricsDoc(program, config, m)
+}
+
+// WriteMetricsJSON writes a metrics document as indented JSON.
+func WriteMetricsJSON(w io.Writer, doc *MetricsDoc) error {
+	return obs.WriteMetricsJSON(w, doc)
+}
+
+// WritePerPCCSV writes the per-PC load attribution table as CSV.
+func WritePerPCCSV(w io.Writer, rows []LoadPCStats) error {
+	return obs.WritePerPCCSV(w, rows)
+}
+
+// WriteWorstLoads writes an aligned report of the n static loads with the
+// highest total effective latency (requires ObserveOptions.PerPC).
+func WriteWorstLoads(w io.Writer, m *Metrics, n int) error {
+	return obs.WriteWorstLoads(w, m, n)
 }
 
 // Profile runs the address profiler (Section 4.3): every static load gets

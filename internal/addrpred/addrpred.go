@@ -148,6 +148,17 @@ type taggedEntry struct {
 	e   Entry
 }
 
+// TableEvent describes one training step of a table entry, for observers:
+// the state-machine transition performed by an Update, whether the entry
+// was freshly allocated (the Replace arc), and whether the prediction the
+// entry would have made for this execution was correct.
+type TableEvent struct {
+	PC       int
+	From, To State
+	Correct  bool
+	Alloc    bool
+}
+
 // Table is the finite PC-indexed address prediction table.
 type Table struct {
 	sets   [][]taggedEntry
@@ -155,6 +166,10 @@ type Table struct {
 	stamp  int64
 	stats  Stats
 	policy Policy
+
+	// Observer, when non-nil, receives a TableEvent for every Update and
+	// UpdateIfPresent training step. Nil (the default) costs one branch.
+	Observer func(TableEvent)
 }
 
 // Validate reports whether the configuration (with zero fields defaulted)
@@ -241,9 +256,13 @@ func (t *Table) UpdateIfPresent(pc int, ca int64) (wasCorrect bool) {
 	if te := t.find(pc); te != nil {
 		t.stamp++
 		te.lru = t.stamp
+		from := te.e.State
 		wasCorrect = t.policy.update(&te.e, ca)
 		if wasCorrect {
 			t.stats.Correct++
+		}
+		if t.Observer != nil {
+			t.Observer(TableEvent{PC: pc, From: from, To: te.e.State, Correct: wasCorrect})
 		}
 		return wasCorrect
 	}
@@ -258,9 +277,13 @@ func (t *Table) Update(pc int, ca int64) (wasCorrect bool) {
 	set := t.sets[int64(pc)&t.mask]
 	if te := t.find(pc); te != nil {
 		te.lru = t.stamp
+		from := te.e.State
 		wasCorrect = t.policy.update(&te.e, ca)
 		if wasCorrect {
 			t.stats.Correct++
+		}
+		if t.Observer != nil {
+			t.Observer(TableEvent{PC: pc, From: from, To: te.e.State, Correct: wasCorrect})
 		}
 		return wasCorrect
 	}
@@ -282,5 +305,8 @@ func (t *Table) Update(pc int, ca int64) (wasCorrect bool) {
 	victim.e = Entry{}
 	t.policy.update(&victim.e, ca)
 	t.stats.Allocations++
+	if t.Observer != nil {
+		t.Observer(TableEvent{PC: pc, To: victim.e.State, Alloc: true})
+	}
 	return false
 }

@@ -52,6 +52,28 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// EventOp discriminates observer events.
+type EventOp uint8
+
+// Observer event operations.
+const (
+	// OpBind: a register was (re)bound into the cache.
+	OpBind EventOp = iota
+	// OpInvalidate: a cached register became incoherent (in-flight write).
+	OpInvalidate
+	// OpBroadcast: a register-file write was delivered to the cache.
+	OpBroadcast
+)
+
+// Event is one observable state change of the register cache.
+type Event struct {
+	Op    EventOp
+	Reg   isa.Reg
+	Value int64
+	// Valid reports the entry's coherence after the operation.
+	Valid bool
+}
+
 type entry struct {
 	used  bool
 	reg   isa.Reg
@@ -68,6 +90,10 @@ type Cache struct {
 	entries []entry
 	stamp   int64
 	stats   Stats
+
+	// Observer, when non-nil, receives an Event for every Bind,
+	// Invalidate and Broadcast. Nil (the default) costs one branch.
+	Observer func(Event)
 }
 
 // New builds a register cache; cfg.Entries of 0 means 1.
@@ -101,6 +127,9 @@ func (c *Cache) find(reg isa.Reg) *entry {
 func (c *Cache) Bind(reg isa.Reg, value int64, valid bool) {
 	c.stats.Binds++
 	c.stamp++
+	if c.Observer != nil {
+		c.Observer(Event{Op: OpBind, Reg: reg, Value: value, Valid: valid})
+	}
 	if e := c.find(reg); e != nil {
 		e.value, e.valid, e.lru = value, valid, c.stamp
 		return
@@ -146,6 +175,9 @@ func (c *Cache) Broadcast(reg isa.Reg, value int64) {
 		if e := &c.entries[i]; e.used && e.reg == reg {
 			e.value = value
 			e.valid = true
+			if c.Observer != nil {
+				c.Observer(Event{Op: OpBroadcast, Reg: reg, Value: value, Valid: true})
+			}
 		}
 	}
 }
@@ -157,6 +189,9 @@ func (c *Cache) Invalidate(reg isa.Reg) {
 	for i := range c.entries {
 		if e := &c.entries[i]; e.used && e.reg == reg {
 			e.valid = false
+			if c.Observer != nil {
+				c.Observer(Event{Op: OpInvalidate, Reg: reg, Value: e.value, Valid: false})
+			}
 		}
 	}
 }

@@ -59,9 +59,9 @@ func EmbeddedHWDual() pipeline.Config {
 
 // EmbeddedRow is one benchmark's result in the embedded experiment.
 type EmbeddedRow struct {
-	Name            string
-	CompilerSpeedup float64 // embedded compiler-directed vs embedded base
-	HWDualSpeedup   float64 // embedded hardware-only dual vs embedded base
+	Name            string  `json:"name"`
+	CompilerSpeedup float64 `json:"compiler_speedup"` // embedded compiler-directed vs embedded base
+	HWDualSpeedup   float64 `json:"hw_dual_speedup"`  // embedded hardware-only dual vs embedded base
 }
 
 // Embedded runs the Section 5.4 experiment over the MediaBench suite.

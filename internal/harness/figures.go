@@ -10,16 +10,16 @@ import (
 // FigureSeries is one labelled series of per-benchmark speedups (one group
 // of bars in Figure 5).
 type FigureSeries struct {
-	Label    string
-	Speedups map[string]float64 // benchmark -> speedup
-	Average  float64
+	Label    string             `json:"label"`
+	Speedups map[string]float64 `json:"speedups"` // benchmark -> speedup
+	Average  float64            `json:"average"`
 }
 
 // Figure is a reproduced figure: several series over the same benchmarks.
 type Figure struct {
-	Title      string
-	Benchmarks []string
-	Series     []FigureSeries
+	Title      string         `json:"title"`
+	Benchmarks []string       `json:"benchmarks"`
+	Series     []FigureSeries `json:"series"`
 }
 
 // seriesDef is one figure series: a label plus the per-benchmark runner.

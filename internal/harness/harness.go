@@ -100,9 +100,23 @@ func (l *Lab) UseProfile() { l.Reclass.Apply(l.Prog.Machine) }
 // Simulate replays the cached trace under cfg with the program's current
 // load flavours.
 func (l *Lab) Simulate(cfg pipeline.Config) (*pipeline.Metrics, error) {
+	return l.SimulateObserved(cfg, nil, false)
+}
+
+// SimulateObserved replays the cached trace under cfg with observability
+// attached: sink (may be nil) receives the cycle-level event stream, and
+// perPC enables the per-PC load attribution table on the returned Metrics.
+// Observation never changes the timing result.
+func (l *Lab) SimulateObserved(cfg pipeline.Config, sink pipeline.EventSink, perPC bool) (*pipeline.Metrics, error) {
 	sim, err := pipeline.New(cfg, l.Prog.Machine)
 	if err != nil {
 		return nil, err
+	}
+	if perPC {
+		sim.EnablePerPC()
+	}
+	if sink != nil {
+		sim.AttachSink(sink)
 	}
 	return sim.Run(l.Trace)
 }

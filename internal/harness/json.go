@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchSchema versions the elag-bench JSON document; bump on any
+// field-shape change so an accumulating BENCH_*.json trajectory can
+// dispatch per version.
+const BenchSchema = "elag-bench/v1"
+
+// BenchDocument is every experiment artifact of the paper's evaluation as
+// one machine-readable document (elag-bench -json): Tables 2-4, Figures
+// 5a-5c and the embedded-core extension, plus the run parameters that
+// scale them.
+type BenchDocument struct {
+	Schema string `json:"schema"`
+	// Fuel is the per-benchmark dynamic instruction budget the artifacts
+	// were produced under (0 = programs ran to completion).
+	Fuel     int64         `json:"fuel"`
+	Table2   []Table2Row   `json:"table2"`
+	Table3   []Table3Row   `json:"table3"`
+	Table4   []Table4Row   `json:"table4"`
+	Figure5a *Figure       `json:"figure5a"`
+	Figure5b *Figure       `json:"figure5b"`
+	Figure5c *Figure       `json:"figure5c"`
+	Embedded []EmbeddedRow `json:"embedded"`
+}
+
+// Document runs every experiment and collects the artifacts.
+func (r *Runner) Document() (*BenchDocument, error) {
+	doc := &BenchDocument{Schema: BenchSchema, Fuel: r.Fuel}
+	var err error
+	if doc.Table2, err = r.Table2(); err != nil {
+		return nil, err
+	}
+	if doc.Table3, err = r.Table3(); err != nil {
+		return nil, err
+	}
+	if doc.Table4, err = r.Table4(); err != nil {
+		return nil, err
+	}
+	if doc.Figure5a, err = r.Figure5a(); err != nil {
+		return nil, err
+	}
+	if doc.Figure5b, err = r.Figure5b(); err != nil {
+		return nil, err
+	}
+	if doc.Figure5c, err = r.Figure5c(); err != nil {
+		return nil, err
+	}
+	if doc.Embedded, err = r.Embedded(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// WriteBenchJSON writes doc as indented JSON. Output is byte-stable for a
+// given document (map keys are emitted sorted).
+func WriteBenchJSON(w io.Writer, doc *BenchDocument) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -12,16 +12,16 @@ import (
 // static and dynamic NT/PD/EC distribution under the compiler heuristics,
 // and the unlimited-table prediction rates of the NT and PD loads.
 type Table2Row struct {
-	Name     string
-	LoadsK   float64 // dynamic loads, thousands (the paper reports millions)
-	StaticNT float64 // percent
-	StaticPD float64
-	StaticEC float64
-	DynNT    float64
-	DynPD    float64
-	DynEC    float64
-	RateNT   float64 // percent of NT executions predicted correctly
-	RatePD   float64
+	Name     string  `json:"name"`
+	LoadsK   float64 `json:"loads_k"`   // dynamic loads, thousands (the paper reports millions)
+	StaticNT float64 `json:"static_nt"` // percent
+	StaticPD float64 `json:"static_pd"`
+	StaticEC float64 `json:"static_ec"`
+	DynNT    float64 `json:"dyn_nt"`
+	DynPD    float64 `json:"dyn_pd"`
+	DynEC    float64 `json:"dyn_ec"`
+	RateNT   float64 `json:"rate_nt"` // percent of NT executions predicted correctly
+	RatePD   float64 `json:"rate_pd"`
 }
 
 // Table2 computes the row for one prepared benchmark under a given
@@ -89,12 +89,12 @@ func FormatTable2(rows []Table2Row) string {
 // Table3Row reproduces one row of Table 3: speedup and predictable-load
 // statistics after profile-guided reclassification.
 type Table3Row struct {
-	Name     string
-	Speedup  float64
-	StaticPD float64
-	DynPD    float64
-	RateNT   float64
-	RatePD   float64
+	Name     string  `json:"name"`
+	Speedup  float64 `json:"speedup"`
+	StaticPD float64 `json:"static_pd"`
+	DynPD    float64 `json:"dyn_pd"`
+	RateNT   float64 `json:"rate_nt"`
+	RatePD   float64 `json:"rate_pd"`
 }
 
 // Table3 reproduces Table 3: the compiler-directed dual-path configuration
@@ -151,7 +151,7 @@ func FormatTable3(rows []Table3Row) string {
 // Table4Row reproduces one row of Table 4 (MediaBench).
 type Table4Row struct {
 	Table2Row
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 }
 
 // Table4 reproduces Table 4: MediaBench characteristics and speedups under

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"elag/internal/pipeline"
+)
+
+// MetricsSchema versions the metrics JSON document; bump on any
+// field-shape change so downstream consumers can dispatch.
+const MetricsSchema = "elag-metrics/v1"
+
+// MetricsDoc is the machine-readable form of one simulation run: the raw
+// Metrics (including, when attribution was enabled, the per-PC table) plus
+// the derived headline rates, under a schema version tag.
+type MetricsDoc struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program,omitempty"`
+	Config  string `json:"config,omitempty"`
+
+	IPC            float64 `json:"ipc"`
+	AvgLoadLatency float64 `json:"avg_load_latency"`
+	PredictFwdRate float64 `json:"predict_forward_rate"`
+	EarlyFwdRate   float64 `json:"early_forward_rate"`
+
+	Metrics *pipeline.Metrics `json:"metrics"`
+}
+
+// NewMetricsDoc wraps m in a schema-versioned document; program and config
+// label the run (either may be empty).
+func NewMetricsDoc(program, config string, m *pipeline.Metrics) *MetricsDoc {
+	return &MetricsDoc{
+		Schema:         MetricsSchema,
+		Program:        program,
+		Config:         config,
+		IPC:            m.IPC(),
+		AvgLoadLatency: m.AvgLoadLatency(),
+		PredictFwdRate: m.Predict.ForwardRate(),
+		EarlyFwdRate:   m.Early.ForwardRate(),
+		Metrics:        m,
+	}
+}
+
+// WriteMetricsJSON writes doc as indented JSON. Output is byte-stable for
+// a given document.
+func WriteMetricsJSON(w io.Writer, doc *MetricsDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// pathCols flattens one PathStats into the CSV column order used by
+// WritePerPCCSV (must match pathHeader).
+func pathCols(p *pipeline.PathStats) []string {
+	vals := []int64{p.Eligible, p.Speculated, p.Forwarded, p.NoPrediction,
+		p.RegMiss, p.RegInterlock, p.MemInterlock, p.NoPort, p.CacheMiss,
+		p.AddrMispredict}
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = strconv.FormatInt(v, 10)
+	}
+	return out
+}
+
+func pathHeader(prefix string) []string {
+	cols := []string{"eligible", "speculated", "forwarded", "no_prediction",
+		"reg_miss", "reg_interlock", "mem_interlock", "no_port", "cache_miss",
+		"addr_mispredict"}
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = prefix + c
+	}
+	return out
+}
+
+// WritePerPCCSV emits the per-PC load attribution table as CSV, one row
+// per static load in PC order, with both paths' counters flattened and the
+// effective-latency histogram in trailing lat0..latN columns.
+func WritePerPCCSV(w io.Writer, rows []pipeline.LoadPCStats) error {
+	cw := csv.NewWriter(w)
+	header := []string{"pc", "instruction", "flavor", "count", "forwarded",
+		"zero_cycle", "one_cycle", "avg_latency", "latency_sum"}
+	header = append(header, pathHeader("predict_")...)
+	header = append(header, pathHeader("early_")...)
+	for i := 0; i < pipeline.LatencyBuckets; i++ {
+		header = append(header, fmt.Sprintf("lat%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		rec := []string{
+			strconv.Itoa(r.PC), r.Mnemonic, r.Flavor.String(),
+			strconv.FormatInt(r.Count, 10),
+			strconv.FormatInt(r.Forwarded(), 10),
+			strconv.FormatInt(r.ZeroCycle, 10),
+			strconv.FormatInt(r.OneCycle, 10),
+			strconv.FormatFloat(r.AvgLatency(), 'f', 3, 64),
+			strconv.FormatInt(r.LatencySum, 10),
+		}
+		rec = append(rec, pathCols(&r.Predict)...)
+		rec = append(rec, pathCols(&r.Early)...)
+		for _, h := range r.Hist {
+			rec = append(rec, strconv.FormatInt(h, 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// failureSummary renders a row's dominant failure terms (both paths
+// combined) as "term:count" pairs, largest first, capped at three.
+func failureSummary(r *pipeline.LoadPCStats) string {
+	terms := []struct {
+		name string
+		n    int64
+	}{
+		{"no-prediction", r.Predict.NoPrediction + r.Early.NoPrediction},
+		{"reg-miss", r.Predict.RegMiss + r.Early.RegMiss},
+		{"reg-interlock", r.Predict.RegInterlock + r.Early.RegInterlock},
+		{"mem-interlock", r.Predict.MemInterlock + r.Early.MemInterlock},
+		{"no-port", r.Predict.NoPort + r.Early.NoPort},
+		{"cache-miss", r.Predict.CacheMiss + r.Early.CacheMiss},
+		{"addr-mispredict", r.Predict.AddrMispredict + r.Early.AddrMispredict},
+	}
+	// Selection sort of the top three keeps this allocation-light and the
+	// order stable (ties break toward the canonical term order above).
+	var out string
+	picked := 0
+	for picked < 3 {
+		best := -1
+		for i, t := range terms {
+			if t.n > 0 && (best < 0 || t.n > terms[best].n) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", terms[best].name, terms[best].n)
+		terms[best].n = 0
+		picked++
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// WriteWorstLoads writes an aligned text report of the n static loads with
+// the highest total effective latency: where the pipeline's load cycles
+// actually go, with each load's forward rate and dominant failure terms.
+func WriteWorstLoads(w io.Writer, m *pipeline.Metrics, n int) error {
+	rows := m.WorstLoads(n)
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "no per-PC attribution recorded (enable attribution before the run)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %6s %-6s %10s %10s %8s %8s  %-24s %s\n",
+		"rank", "pc", "flavor", "execs", "cycles", "avg", "fwd", "instruction",
+		"dominant failures"); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		fwd := "-"
+		if r.Count > 0 {
+			fwd = fmt.Sprintf("%.1f%%", 100*float64(r.Forwarded())/float64(r.Count))
+		}
+		if _, err := fmt.Fprintf(w, "%4d %6d %-6s %10d %10d %8.2f %8s  %-24s %s\n",
+			i+1, r.PC, r.Flavor, r.Count, r.LatencySum, r.AvgLatency(), fwd,
+			r.Mnemonic, failureSummary(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

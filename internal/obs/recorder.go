@@ -1,0 +1,43 @@
+// Package obs turns the pipeline's cycle-level event stream and metrics
+// into artifacts other tools can consume: a Chrome trace_event JSON file
+// (loadable in Perfetto or chrome://tracing), machine-readable JSON and
+// CSV for the metrics and the per-PC load attribution table, and a text
+// report of the worst-latency static loads.
+package obs
+
+import "elag/internal/pipeline"
+
+// Recorder is an EventSink that retains a bounded window of the event
+// stream. The zero value records everything; set FromCycle/ToCycle to keep
+// only events inside a cycle window and Limit to cap the kept count.
+type Recorder struct {
+	// FromCycle and ToCycle bound the recorded window by the event's
+	// primary cycle; ToCycle of 0 means unbounded above.
+	FromCycle int64
+	ToCycle   int64
+	// Limit caps the number of kept events (0 = unlimited). Events past
+	// the cap are counted in Dropped but not stored.
+	Limit int
+
+	// Events holds the recorded (copied) events in emission order.
+	Events []pipeline.Event
+	// Total counts all events offered, kept or not; Dropped counts those
+	// lost to Limit (window-excluded events are not "dropped").
+	Total   int64
+	Dropped int64
+}
+
+var _ pipeline.EventSink = (*Recorder)(nil)
+
+// Event implements pipeline.EventSink.
+func (r *Recorder) Event(ev *pipeline.Event) {
+	r.Total++
+	if ev.Cycle < r.FromCycle || (r.ToCycle > 0 && ev.Cycle > r.ToCycle) {
+		return
+	}
+	if r.Limit > 0 && len(r.Events) >= r.Limit {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, *ev)
+}

@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"sort"
+
+	"elag/internal/isa"
+)
+
+// Per-PC load attribution: when enabled, every dynamic load execution is
+// charged to its static PC, with the same PathStats accounting as the
+// global Metrics counters. Both are driven from the one specResult an
+// execution produces, so for any run the per-PC table sums exactly to the
+// global counters — the counter algebra the attribution tests assert.
+
+// LatencyBuckets is the number of effective-latency histogram buckets: a
+// load of effective latency l lands in bucket min(l, LatencyBuckets-1),
+// so the last bucket aggregates the long-miss tail.
+const LatencyBuckets = 18
+
+// LoadPCStats accumulates the behaviour of one static load.
+type LoadPCStats struct {
+	// PC is the static instruction index; Mnemonic its disassembly (the
+	// opcode class, e.g. "ld8_e r1, r20(0)").
+	PC       int
+	Mnemonic string
+	// Flavor is the load's opcode class (ld_n / ld_p / ld_e).
+	Flavor isa.LoadFlavor
+	// Count is the number of dynamic executions.
+	Count int64
+	// ZeroCycle / OneCycle count executions forwarded with effective
+	// latency 0 and 1.
+	ZeroCycle int64
+	OneCycle  int64
+	// LatencySum accumulates effective latency over executions; Hist is
+	// its distribution (bucket = min(latency, LatencyBuckets-1)).
+	LatencySum int64
+	Hist       [LatencyBuckets]int64
+	// Predict and Early break speculation behaviour down per path,
+	// field-for-field compatible with the global Metrics counters.
+	Predict PathStats
+	Early   PathStats
+}
+
+// Forwarded returns the executions forwarded on either path.
+func (l *LoadPCStats) Forwarded() int64 {
+	return l.Predict.Forwarded + l.Early.Forwarded
+}
+
+// AvgLatency returns the mean effective latency of this load's executions.
+func (l *LoadPCStats) AvgLatency() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.LatencySum) / float64(l.Count)
+}
+
+// EnablePerPC turns on per-PC load attribution; call before Run. The table
+// is returned by Metrics in its PerPC field. Disabled (the default), the
+// simulation pays one nil check per load.
+func (s *Sim) EnablePerPC() {
+	if s.attrib == nil {
+		s.attrib = make([]LoadPCStats, len(s.prog.Insts))
+	}
+}
+
+// recordLoad charges one dynamic load execution to its PC. effLat is the
+// contribution to Metrics.LoadLatencySum for this execution.
+func (s *Sim) recordLoad(in *isa.Inst, pc int, spec *specResult, effLat int64) {
+	a := &s.attrib[pc]
+	if a.Count == 0 {
+		a.PC = pc
+		a.Mnemonic = in.String()
+		a.Flavor = in.Flavor
+	}
+	a.Count++
+	a.LatencySum += effLat
+	b := effLat
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	a.Hist[b]++
+	switch spec.path {
+	case pathPredict:
+		spec.applyTo(&a.Predict)
+	case pathEarly:
+		spec.applyTo(&a.Early)
+	}
+	if spec.forwarded {
+		if spec.lat == 0 {
+			a.ZeroCycle++
+		} else {
+			a.OneCycle++
+		}
+	}
+}
+
+// perPC collects the populated attribution rows in PC order (nil when
+// attribution is disabled).
+func (s *Sim) perPC() []LoadPCStats {
+	if s.attrib == nil {
+		return nil
+	}
+	var out []LoadPCStats
+	for i := range s.attrib {
+		if s.attrib[i].Count > 0 {
+			out = append(out, s.attrib[i])
+		}
+	}
+	return out
+}
+
+// WorstLoads returns the n attribution rows with the highest total
+// effective latency — the static loads the pipeline spends the most
+// cycles waiting on. Ties break toward lower PC, so the order is stable.
+func (m *Metrics) WorstLoads(n int) []LoadPCStats {
+	rows := make([]LoadPCStats, len(m.PerPC))
+	copy(rows, m.PerPC)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].LatencySum != rows[j].LatencySum {
+			return rows[i].LatencySum > rows[j].LatencySum
+		}
+		return rows[i].PC < rows[j].PC
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}

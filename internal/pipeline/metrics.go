@@ -61,6 +61,11 @@ type Metrics struct {
 	// effective latency 0 (early calculation) and 1 (prediction).
 	ZeroCycleLoads int64
 	OneCycleLoads  int64
+
+	// PerPC is the per-PC load attribution table (nil unless EnablePerPC
+	// was called before the run). Summing any PathStats field across rows
+	// reproduces the corresponding Predict/Early counter above exactly.
+	PerPC []LoadPCStats
 }
 
 // IPC returns retired instructions per cycle.

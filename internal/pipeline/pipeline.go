@@ -80,6 +80,9 @@ type timedCache struct {
 	c          *cache.Cache
 	fills      map[int64]int64 // block id -> cycle the fill completes
 	blockShift uint
+	// onMiss, when non-nil, observes each fresh miss: the cycle it began,
+	// the cycle its fill completes, and whether it was speculative.
+	onMiss func(addr, cycle, done int64, spec bool)
 }
 
 func newTimedCache(c *cache.Cache) *timedCache {
@@ -114,6 +117,9 @@ func (t *timedCache) access(addr, cycle int64, spec, allocate bool) (ready int64
 		return cycle, true
 	}
 	done := cycle + int64(t.c.MissPenalty())
+	if t.onMiss != nil {
+		t.onMiss(addr, cycle, done, spec)
+	}
 	if allocate || spec {
 		t.fills[block] = done
 		if len(t.fills) > 256 {
@@ -170,12 +176,16 @@ type Sim struct {
 	stores    [64]storeRec
 	storeHead int
 
-	curPredictPath bool
-
 	traceCap   int
 	stageTrace []StageRecord
 
 	scratchRegs []isa.Reg
+
+	// Observability (all nil/zero when disabled — the default).
+	sink     EventSink     // cycle-level event stream, set by AttachSink
+	ev       Event         // reusable event buffer passed to the sink
+	obsCycle int64         // approximate cycle for component-observer events
+	attrib   []LoadPCStats // per-PC load attribution, set by EnablePerPC
 }
 
 // New creates a simulation with the given configuration over prog. A
@@ -238,6 +248,7 @@ func (s *Sim) Metrics() *Metrics {
 	s.m.ICacheStats = s.ic.c.Stats()
 	s.m.DCacheStats = s.dc.c.Stats()
 	s.m.BTBStats = s.btb.Stats()
+	s.m.PerPC = s.perPC()
 	return &s.m
 }
 
@@ -317,10 +328,11 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	d2 := f + 2
 
 	// ---- operand readiness (scoreboard) ----
-	e := f + 3
-	if e < s.lastIssue {
-		e = s.lastIssue
+	ePipe := f + 3
+	if ePipe < s.lastIssue {
+		ePipe = s.lastIssue
 	}
+	e := ePipe
 	s.scratchRegs = in.IntRegsRead(s.scratchRegs[:0])
 	for _, r := range s.scratchRegs {
 		if t := s.regReady[r]; t > e {
@@ -337,13 +349,36 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	}
 
 	// ---- early address generation (decided at ID1/ID2, before issue) ----
-	spec := specResult{lat: -1}
+	spec := noSpec
 	if in.IsLoad() {
 		s.m.Loads++
+		s.obsCycle = d2
 		spec = s.speculate(in, te, d1, d2, e)
+		switch spec.path {
+		case pathPredict:
+			spec.applyTo(&s.m.Predict)
+		case pathEarly:
+			spec.applyTo(&s.m.Early)
+		}
+		if s.sink != nil && spec.eligible {
+			sq := s.m.Insts - 1
+			if spec.speculated {
+				s.emit(Event{Kind: EvSpecLaunch, Seq: sq, PC: te.PC,
+					Cycle: spec.specCycle, Path: spec.pathByte(), Addr: spec.specAddr})
+			}
+			if spec.forwarded {
+				s.emit(Event{Kind: EvSpecForward, Seq: sq, PC: te.PC,
+					Cycle: e, Path: spec.pathByte(), Lat: spec.lat})
+			} else {
+				s.emit(Event{Kind: EvSpecFail, Seq: sq, PC: te.PC,
+					Cycle: e, Path: spec.pathByte(), Fail: spec.fail})
+			}
+		}
 	}
 
 	// ---- issue (enter EXE) ----
+	eFlow := e
+	var widthStall, fuStall int64
 	var fu *resTrack
 	switch {
 	case in.IsALU():
@@ -355,14 +390,31 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	}
 	for {
 		if !s.issueRes.avail(e) {
+			widthStall++
 			e++
 			continue
 		}
 		if fu != nil && !fu.avail(e) {
+			fuStall++
 			e++
 			continue
 		}
 		break
+	}
+	if s.sink != nil {
+		sq := s.m.Insts - 1
+		if opStall := eFlow - ePipe; opStall > 0 {
+			s.emit(Event{Kind: EvStall, Seq: sq, PC: te.PC, Cycle: ePipe,
+				Cause: StallOperand, Cycles: opStall})
+		}
+		if widthStall > 0 {
+			s.emit(Event{Kind: EvStall, Seq: sq, PC: te.PC, Cycle: eFlow,
+				Cause: StallIssueWidth, Cycles: widthStall})
+		}
+		if fuStall > 0 {
+			s.emit(Event{Kind: EvStall, Seq: sq, PC: te.PC, Cycle: eFlow,
+				Cause: StallFU, Cycles: fuStall})
+		}
 	}
 	s.issueRes.tryUse(e)
 	if fu != nil {
@@ -377,7 +429,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	// ---- EXE/MEM and destination ready times ----
 	switch {
 	case in.IsLoad():
-		var ready int64
+		var ready, effLat int64
 		switch {
 		case spec.lat >= 0:
 			// Forwarded: effective latency spec.lat (0 for the
@@ -389,7 +441,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 				s.m.OneCycleLoads++
 			}
 			done = e + 1
-			s.m.LoadLatencySum += spec.lat
+			effLat = spec.lat
 		case spec.reusable:
 			// The speculative access used the correct address but
 			// its data arrived too late to forward (e.g. a cache
@@ -404,16 +456,21 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 			}
 			ready = dataEnd + 1
 			done = dataEnd + 1
-			s.m.LoadLatencySum += ready - e
+			effLat = ready - e
 		default:
 			m := e + 1
 			for !s.portRes.tryUse(m) {
 				m++
 			}
+			s.obsCycle = m
 			dataEnd, _ := s.dc.access(te.EA, m, false, true)
 			ready = dataEnd + 1
 			done = dataEnd + 1
-			s.m.LoadLatencySum += ready - e
+			effLat = ready - e
+		}
+		s.m.LoadLatencySum += effLat
+		if s.attrib != nil {
+			s.recordLoad(in, te.PC, &spec, effLat)
 		}
 		if in.Op == isa.OpFLoad {
 			s.fpReady[in.Rd] = ready
@@ -421,7 +478,8 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 			s.regReady[in.Rd] = ready
 		}
 		// Train the prediction table in MEM regardless of forwarding.
-		s.updatePredictor(in, te, d1)
+		s.obsCycle = e + 1
+		s.updatePredictor(te, spec.path == pathPredict)
 
 	case in.IsStore():
 		s.m.Stores++
@@ -429,11 +487,13 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		for !s.portRes.tryUse(m) {
 			m++
 		}
+		s.obsCycle = m
 		s.dc.access(te.EA, m, false, false) // write-through, no allocate
 		done = m + 1
 		s.recordStore(e, m, te.EA, int64(in.Width))
 
 	case in.IsBranch():
+		s.obsCycle = e
 		s.resolveBranch(in, te, f, d1, e)
 		done = e + 1
 
@@ -468,6 +528,14 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 			fwd = int8(spec.lat)
 		}
 		s.recordStages(te.PC, f, e, done, fwd)
+	}
+	if s.sink != nil {
+		fwdLat := int64(-1)
+		if in.IsLoad() && spec.forwarded {
+			fwdLat = spec.lat
+		}
+		s.emit(Event{Kind: EvRetire, Seq: s.m.Insts - 1, PC: te.PC, Cycle: done,
+			Fetch: f, Issue: e, Done: done, Lat: fwdLat})
 	}
 	return nil
 }
@@ -507,26 +575,94 @@ func (s *Sim) memInterlock(ea, width, cycle int64) bool {
 	return false
 }
 
+// pathID names the early-address-generation path a load was steered to.
+type pathID uint8
+
+const (
+	pathNone pathID = iota
+	pathPredict
+	pathEarly
+)
+
 // specResult describes the outcome of early address generation for one
 // load execution: lat >= 0 means data was forwarded with that effective
 // latency; otherwise, reusable reports whether a speculative access with
 // the correct address was issued anyway (so the load is satisfied by that
 // access's data, available at the end of cycle dataEnd, without a second
 // cache access).
+//
+// The remaining fields are the observability record: which path the load
+// was steered to, how far the speculation got (eligible -> speculated ->
+// forwarded), and the Section 3.2 failure-term bitmask when it did not
+// forward. Both the global PathStats and the per-PC attribution table are
+// driven from this one record via applyTo, so they can never disagree.
 type specResult struct {
 	lat      int64
 	dataEnd  int64
 	reusable bool
+
+	path       pathID
+	eligible   bool
+	speculated bool
+	forwarded  bool
+	fail       FailMask
+	specCycle  int64 // cycle the speculative access was issued
+	specAddr   int64 // address it was issued with
 }
 
 var noSpec = specResult{lat: -1}
 
-// speculate runs the ID1/ID2 early-address-generation logic for a load. It
-// also records (in curPredictPath) whether this execution was steered to
-// the prediction table, which determines whether the MEM-stage table
-// update applies.
+// pathByte renders the path for events ('P' predict, 'E' early).
+func (r *specResult) pathByte() byte {
+	if r.path == pathPredict {
+		return 'P'
+	}
+	return 'E'
+}
+
+// applyTo adds this execution's outcome to a PathStats accumulator, one
+// counter per eligible/speculated/forwarded flag and failure-mask bit.
+func (r *specResult) applyTo(ps *PathStats) {
+	if r.eligible {
+		ps.Eligible++
+	}
+	if r.speculated {
+		ps.Speculated++
+	}
+	if r.forwarded {
+		ps.Forwarded++
+	}
+	if r.fail == 0 {
+		return
+	}
+	if r.fail&FailNoPrediction != 0 {
+		ps.NoPrediction++
+	}
+	if r.fail&FailRegMiss != 0 {
+		ps.RegMiss++
+	}
+	if r.fail&FailRegInterlock != 0 {
+		ps.RegInterlock++
+	}
+	if r.fail&FailMemInterlock != 0 {
+		ps.MemInterlock++
+	}
+	if r.fail&FailNoPort != 0 {
+		ps.NoPort++
+	}
+	if r.fail&FailCacheMiss != 0 {
+		ps.CacheMiss++
+	}
+	if r.fail&FailAddrMispredict != 0 {
+		ps.AddrMispredict++
+	}
+}
+
+// speculate runs the ID1/ID2 early-address-generation logic for a load.
+// The result's path field records which mechanism this execution was
+// steered to; pathPredict determines whether the MEM-stage table update
+// allocates.
 func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specResult {
-	s.curPredictPath = false
 	switch s.cfg.Select {
 	case SelNone:
 		return noSpec
@@ -536,7 +672,6 @@ func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specR
 			if s.table == nil {
 				return noSpec
 			}
-			s.curPredictPath = true
 			return s.specPredict(in, te, d2, e)
 		case isa.LdE:
 			if s.regcache == nil {
@@ -549,7 +684,6 @@ func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specR
 		if s.table == nil {
 			return noSpec
 		}
-		s.curPredictPath = true
 		return s.specPredict(in, te, d2, e)
 	case SelAllEarly:
 		if s.regcache == nil {
@@ -565,7 +699,6 @@ func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specR
 			if s.table == nil {
 				return noSpec
 			}
-			s.curPredictPath = true
 			return s.specPredict(in, te, d2, e)
 		}
 		if s.regcache == nil {
@@ -576,11 +709,11 @@ func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specR
 	return noSpec
 }
 
-func (s *Sim) updatePredictor(in *isa.Inst, te *emu.TraceEntry, d1 int64) {
+func (s *Sim) updatePredictor(te *emu.TraceEntry, predictPath bool) {
 	if s.table == nil {
 		return
 	}
-	if s.curPredictPath {
+	if predictPath {
 		s.table.Update(te.PC, te.EA)
 	} else if s.cfg.Select == SelHWDual {
 		// Allocation is gated on interlocks, but entries that already
@@ -594,12 +727,11 @@ func (s *Sim) updatePredictor(in *isa.Inst, te *emu.TraceEntry, d1 int64) {
 // requires !Mem_Interlock ∧ Table_Hit ∧ Port_Allocated ∧ DCache_Hit ∧
 // CA==PA and yields an effective load latency of 1 cycle.
 func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specResult {
-	ps := &s.m.Predict
-	ps.Eligible++
+	r := specResult{lat: -1, path: pathPredict, eligible: true}
 	predAddr, ok := s.table.Probe(te.PC)
 	if !ok {
-		ps.NoPrediction++
-		return noSpec
+		r.fail |= FailNoPrediction
+		return r
 	}
 	// Like the early-calculation path, the speculative access is issued
 	// on the load's last decode cycle: a load stalled at issue re-probes
@@ -609,32 +741,37 @@ func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specRes
 		specCycle = e - 1
 	}
 	if !s.portRes.tryUse(specCycle) {
-		ps.NoPort++
-		return noSpec
+		r.fail |= FailNoPort
+		return r
 	}
-	ps.Speculated++
+	r.speculated = true
+	r.specCycle = specCycle
+	r.specAddr = predAddr
 	ready, hit := s.dc.access(predAddr, specCycle, true, true)
 	correct := predAddr == te.EA
 	milk := s.memInterlock(te.EA, int64(in.Width), specCycle)
 	fwd := hit && ready <= e-1 && correct && !milk
 	if !correct {
-		ps.AddrMispredict++
+		r.fail |= FailAddrMispredict
 	}
 	if !hit || ready > e-1 {
-		ps.CacheMiss++
+		r.fail |= FailCacheMiss
 	}
 	if milk {
-		ps.MemInterlock++
+		r.fail |= FailMemInterlock
 	}
 	if !fwd {
 		// A correct-address access that merely arrived late (or
 		// missed the cache) still satisfies the load when its data
 		// lands; a memory interlock means the data may be stale and
 		// must be re-fetched.
-		return specResult{lat: -1, dataEnd: ready, reusable: correct && !milk}
+		r.dataEnd = ready
+		r.reusable = correct && !milk
+		return r
 	}
-	ps.Forwarded++
-	return specResult{lat: 1}
+	r.forwarded = true
+	r.lat = 1
+	return r
 }
 
 // specEarly implements the ld_e path: the base register's value is read
@@ -660,13 +797,14 @@ func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specRes
 // ld_e itself) from the hardware-only allocate-on-use policy; both bind
 // after the lookup, so a load that just switched the binding does not hit.
 func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindDirected bool) specResult {
-	es := &s.m.Early
 	if in.Mode == isa.AMRegReg {
 		// Only register+offset (and absolute) addresses can be formed
-		// by the decode-stage adder.
-		return noSpec
+		// by the decode-stage adder. Not an eligible execution.
+		r := noSpec
+		r.path = pathEarly
+		return r
 	}
-	es.Eligible++
+	r := specResult{lat: -1, path: pathEarly, eligible: true}
 
 	hit := true
 	lat := int64(0)
@@ -685,8 +823,8 @@ func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindD
 		// broadcast-on-writeback.
 		s.regcache.Bind(in.Base, te.BaseVal, true)
 		if !hit {
-			es.RegMiss++
-			return noSpec
+			r.fail |= FailRegMiss
+			return r
 		}
 		switch {
 		case ready <= specCycle:
@@ -696,32 +834,37 @@ func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindD
 			lat = 1
 			specCycle = e
 		default:
-			es.RegInterlock++
-			return noSpec
+			r.fail |= FailRegInterlock
+			return r
 		}
 	}
 	if !s.portRes.tryUse(specCycle) {
-		es.NoPort++
-		return noSpec
+		r.fail |= FailNoPort
+		return r
 	}
-	es.Speculated++
+	r.speculated = true
+	r.specCycle = specCycle
+	r.specAddr = te.EA
 	// Coherent R_addr implies the speculative address equals the
 	// architectural effective address.
 	dataEnd, chit := s.dc.access(te.EA, specCycle, true, true)
 	milk := s.memInterlock(te.EA, int64(in.Width), specCycle)
 	if milk {
-		es.MemInterlock++
+		r.fail |= FailMemInterlock
 		// Possibly-stale data: the normal access must re-fetch.
-		return noSpec
+		return r
 	}
 	if !chit || dataEnd > specCycle {
-		es.CacheMiss++
+		r.fail |= FailCacheMiss
 		// Correct address, late data: the load waits for this
 		// access's fill instead of re-accessing the cache.
-		return specResult{lat: -1, dataEnd: dataEnd, reusable: true}
+		r.dataEnd = dataEnd
+		r.reusable = true
+		return r
 	}
-	es.Forwarded++
-	return specResult{lat: lat}
+	r.forwarded = true
+	r.lat = lat
+	return r
 }
 
 // resolveBranch trains the BTB and computes the fetch redirect.

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// pct renders a ratio as a percentage with one decimal.
+func pct(num, den int64) string {
+	if den == 0 {
+		return "   -  "
+	}
+	return fmt.Sprintf("%5.1f%%", 100*float64(num)/float64(den))
+}
+
+// Summary renders the run as an aligned human-readable table: the headline
+// rates (IPC, average load latency), the memory system, and the per-path
+// forward rates with the Section 3.2 failure-term breakdown. The output is
+// stable for a given Metrics value.
+func (m *Metrics) Summary() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("%-22s %12d", "cycles", m.Cycles)
+	w("%-22s %12d   IPC %.3f", "instructions", m.Insts, m.IPC())
+	w("%-22s %12d   stores %d   branches %d", "loads", m.Loads, m.Stores, m.Branches)
+	w("%-22s %12d   of %d (%s)", "branch mispredicts", m.Mispredicts,
+		m.BTBStats.Branches, strings.TrimSpace(pct(m.Mispredicts, m.BTBStats.Branches)))
+	w("%-22s %12.3f   zero-cycle %d   one-cycle %d", "avg load latency",
+		m.AvgLoadLatency(), m.ZeroCycleLoads, m.OneCycleLoads)
+	for _, c := range []struct {
+		name      string
+		acc, miss int64
+	}{
+		{"I-cache", m.ICacheStats.Accesses, m.ICacheStats.Misses},
+		{"D-cache", m.DCacheStats.Accesses, m.DCacheStats.Misses},
+	} {
+		w("%-22s %12s   hit (%d accesses, %d misses)", c.name,
+			strings.TrimSpace(pct(c.acc-c.miss, c.acc)), c.acc, c.miss)
+	}
+
+	w("")
+	w("%-10s %10s %10s %10s %8s", "path", "eligible", "speculated", "forwarded", "fwd")
+	for _, p := range []struct {
+		name string
+		ps   *PathStats
+	}{{"predict", &m.Predict}, {"early", &m.Early}} {
+		w("%-10s %10d %10d %10d  %s", p.name,
+			p.ps.Eligible, p.ps.Speculated, p.ps.Forwarded,
+			pct(p.ps.Forwarded, p.ps.Eligible))
+	}
+
+	w("")
+	w("%-16s %12s %12s", "failure term", "predict", "early")
+	for _, t := range []struct {
+		name   string
+		pv, ev int64
+	}{
+		{"no-prediction", m.Predict.NoPrediction, m.Early.NoPrediction},
+		{"reg-miss", m.Predict.RegMiss, m.Early.RegMiss},
+		{"reg-interlock", m.Predict.RegInterlock, m.Early.RegInterlock},
+		{"mem-interlock", m.Predict.MemInterlock, m.Early.MemInterlock},
+		{"no-port", m.Predict.NoPort, m.Early.NoPort},
+		{"cache-miss", m.Predict.CacheMiss, m.Early.CacheMiss},
+		{"addr-mispredict", m.Predict.AddrMispredict, m.Early.AddrMispredict},
+	} {
+		w("%-16s %12d %12d", t.name, t.pv, t.ev)
+	}
+	return b.String()
+}
