@@ -12,6 +12,11 @@
 //	-csv dir      write every artifact as CSV into dir (for plotting)
 //	-json file    write every artifact as one schema-versioned JSON document
 //	              ("-" for stdout), for the repo's BENCH_*.json trajectory
+//	-parallel N   fan benchmarks across N workers (results are byte-identical
+//	              at every setting; wall time is reported on stderr)
+//	-cpuprofile f write a CPU profile
+//	-replaybench f  run the trace-replay microbenchmarks and write the
+//	              elag-replaybench/v1 JSON document ("-" for stdout)
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"elag/cmd/internal/cli"
 	"elag/internal/harness"
 )
 
@@ -31,13 +37,36 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	csvDir := flag.String("csv", "", "also write CSVs for every artifact into this directory")
 	jsonPath := flag.String("json", "", `write all artifacts as one JSON document to this file ("-" = stdout)`)
+	replayPath := flag.String("replaybench", "", `run the replay microbenchmarks, write JSON to this file ("-" = stdout)`)
+	perf := cli.PerfFlags()
 	flag.Parse()
+	perf.Start("elag-bench")
+	defer perf.Stop()
 
 	var logw io.Writer = os.Stderr
 	if *quiet {
 		logw = nil
 	}
-	r := &harness.Runner{Fuel: *fuel, Log: logw}
+	r := &harness.Runner{Fuel: *fuel, Log: logw, Parallel: perf.Parallel}
+
+	if *replayPath != "" {
+		doc, err := r.ReplayBench()
+		check("replaybench", err)
+		out := os.Stdout
+		if *replayPath != "-" {
+			f, err := os.Create(*replayPath)
+			if err != nil {
+				check("replaybench", fmt.Errorf("create %s: %w", *replayPath, err))
+			}
+			out = f
+		}
+		check("replaybench", harness.WriteReplayBenchJSON(out, doc))
+		if out != os.Stdout {
+			check("replaybench", out.Close())
+			fmt.Fprintf(os.Stderr, "replay benchmark written to %s\n", *replayPath)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		doc, err := r.Document()

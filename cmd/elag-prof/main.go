@@ -9,6 +9,8 @@
 //	-fuel N        dynamic instruction budget (0 = unlimited)
 //	-threshold F   promotion threshold (default 0.60)
 //	-all           list every load, not just the reclassified ones
+//	-parallel N    GOMAXPROCS for the run
+//	-cpuprofile f  write a CPU profile
 package main
 
 import (
@@ -27,7 +29,10 @@ func main() {
 	fuel := flag.Int64("fuel", 0, "dynamic instruction budget")
 	threshold := flag.Float64("threshold", 0.60, "NT->PD promotion threshold")
 	all := flag.Bool("all", false, "list every load")
+	perf := cli.PerfFlags()
 	flag.Parse()
+	perf.Start("elag-prof")
+	defer perf.Stop()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: elag-prof [flags]", cli.InputKinds)

@@ -14,6 +14,9 @@
 //	-v             print the full metrics summary (paths, failure terms)
 //	-pipeview N    render the first N instructions' stage timeline
 //	-all           compare base and all four early-address configurations
+//	-parallel N    with -all, simulate configurations concurrently (the
+//	               printed table is identical at every setting)
+//	-cpuprofile f  write a CPU profile
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"elag"
 	"elag/cmd/internal/cli"
@@ -35,7 +39,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print the full metrics summary")
 	pipeview := flag.Int("pipeview", 0, "render the first N instructions' pipeline stages")
 	all := flag.Bool("all", false, "compare every configuration")
+	perf := cli.PerfFlags()
 	flag.Parse()
+	perf.Start("elag-sim")
+	defer perf.Stop()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: elag-sim [flags]", cli.InputKinds)
@@ -63,17 +70,42 @@ func main() {
 		if p.Classes != nil {
 			fmt.Printf("classification: %s\n", p.Classes)
 		}
-		fmt.Printf("%-10s %12s %8s %10s %9s\n", "config", "cycles", "IPC", "load-lat", "speedup")
-		fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n", "base", base.Cycles, base.IPC(), base.AvgLoadLatency(), 1.0)
-		for _, name := range []string{"hw-pred", "hw-early", "hw-dual", "compiler"} {
+		names := []string{"hw-pred", "hw-early", "hw-dual", "compiler"}
+		// Each configuration replays its own fresh simulation over the
+		// shared immutable program, so the cells fan out across workers;
+		// results land in fixed slots and print in fixed order.
+		metrics := make([]*elag.Metrics, len(names))
+		errs := make([]error, len(names))
+		sem := make(chan struct{}, max(1, perf.Parallel))
+		var wg sync.WaitGroup
+		for i, name := range names {
 			c, err := cli.Config(name, *table, *regs)
 			if err != nil {
 				cli.Fatal("elag-sim", err)
 			}
-			m, _, err := p.Simulate(c, *fuel)
+			wg.Add(1)
+			go func(i int, name string, c elag.SimConfig) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				m, _, err := p.Simulate(c, *fuel)
+				if err != nil {
+					errs[i] = fmt.Errorf("simulate %s: %w", name, err)
+					return
+				}
+				metrics[i] = m
+			}(i, name, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
-				cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", name, err))
+				cli.Fatal("elag-sim", err)
 			}
+		}
+		fmt.Printf("%-10s %12s %8s %10s %9s\n", "config", "cycles", "IPC", "load-lat", "speedup")
+		fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n", "base", base.Cycles, base.IPC(), base.AvgLoadLatency(), 1.0)
+		for i, name := range names {
+			m := metrics[i]
 			fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n",
 				name, m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
 		}

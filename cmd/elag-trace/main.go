@@ -18,6 +18,8 @@
 //	-limit N       cap recorded events (default 1e6; 0 = unlimited)
 //	-o dir         output directory (default trace-out)
 //	-top N         worst-loads report length (default 10)
+//	-parallel N    GOMAXPROCS for the run
+//	-cpuprofile f  write a CPU profile
 package main
 
 import (
@@ -40,7 +42,10 @@ func main() {
 	limit := flag.Int("limit", 1_000_000, "max recorded events (0 = unlimited)")
 	outDir := flag.String("o", "trace-out", "output directory")
 	top := flag.Int("top", 10, "worst-loads report length")
+	perf := cli.PerfFlags()
 	flag.Parse()
+	perf.Start("elag-trace")
+	defer perf.Stop()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: elag-trace [flags]", cli.InputKinds)

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Perf is the performance flag pair shared by the elag tools: -parallel
+// (worker/GOMAXPROCS parallelism) and -cpuprofile (pprof output). Register
+// with PerfFlags before flag.Parse, bracket main's work with Start/Stop.
+type Perf struct {
+	// Parallel is the requested parallelism: the worker-pool size for
+	// grid experiments and the GOMAXPROCS setting for the process.
+	Parallel int
+
+	cpuprofile string
+	tool       string
+	f          *os.File
+	start      time.Time
+}
+
+// PerfFlags registers -parallel and -cpuprofile on the default flag set.
+func PerfFlags() *Perf {
+	p := &Perf{}
+	flag.IntVar(&p.Parallel, "parallel", runtime.GOMAXPROCS(0),
+		"parallelism (worker pool size; results are identical at any value)")
+	flag.StringVar(&p.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	return p
+}
+
+// Start applies the parallelism setting, starts profiling if requested, and
+// begins the wall-time clock. Call after flag.Parse.
+func (p *Perf) Start(tool string) {
+	p.tool = tool
+	p.start = time.Now()
+	if p.Parallel > 0 {
+		runtime.GOMAXPROCS(p.Parallel)
+	}
+	if p.cpuprofile != "" {
+		f, err := os.Create(p.cpuprofile)
+		if err != nil {
+			Fatal(tool, fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Fatal(tool, fmt.Errorf("cpuprofile: %w", err))
+		}
+		p.f = f
+	}
+}
+
+// Stop flushes the profile (if any) and reports wall time on stderr.
+// Wall time goes to stderr so stdout artifacts stay byte-comparable
+// across -parallel settings.
+func (p *Perf) Stop() {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			Fatal(p.tool, fmt.Errorf("cpuprofile: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "%s: CPU profile written to %s\n", p.tool, p.cpuprofile)
+	}
+	fmt.Fprintf(os.Stderr, "%s: wall time %.3fs (parallel=%d)\n",
+		p.tool, time.Since(p.start).Seconds(), p.Parallel)
+}

@@ -72,6 +72,10 @@ type (
 	LoadProfile = profile.LoadProfile
 	// LoadClass is a per-load classification (NT, PD or EC).
 	LoadClass = core.Class
+	// FlavorOverlay is an immutable per-PC load-flavour assignment that a
+	// simulation can apply without mutating the program (see
+	// Classification.Overlay); nil means the program's own flavours.
+	FlavorOverlay = isa.FlavorOverlay
 	// Selection steers loads to early-address-generation hardware.
 	Selection = pipeline.Selection
 	// PredictorConfig parameterizes the address-prediction table.
@@ -292,6 +296,10 @@ type ObserveOptions struct {
 	// PerPC enables the per-PC load attribution table, returned on
 	// Metrics.PerPC; its rows sum exactly to the global path counters.
 	PerPC bool
+	// Flavors, when non-nil, overrides the program's load flavours for
+	// this simulation only (the program itself is not mutated, so
+	// concurrent simulations with different overlays are safe).
+	Flavors FlavorOverlay
 }
 
 // SimulateObserved runs the timing model under cfg with observability
@@ -302,7 +310,7 @@ func (p *Program) SimulateObserved(cfg SimConfig, fuel int64, o ObserveOptions) 
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, res, err
 	}
-	sim, err := pipeline.New(cfg, p.Machine)
+	sim, err := pipeline.New(cfg, p.Machine, o.Flavors)
 	if err != nil {
 		return nil, res, err
 	}
@@ -388,10 +396,8 @@ func (p *Program) StageView(cfg SimConfig, fuel int64, n int) (string, error) {
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return "", err
 	}
-	if len(trace) > n {
-		trace = trace[:n]
-	}
-	sim, err := pipeline.New(cfg, p.Machine)
+	trace = trace.Prefix(n)
+	sim, err := pipeline.New(cfg, p.Machine, nil)
 	if err != nil {
 		return "", err
 	}

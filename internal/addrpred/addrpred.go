@@ -212,8 +212,11 @@ func NewTable(cfg Config) (*Table, error) {
 	}
 	nSets := n / assoc
 	t := &Table{sets: make([][]taggedEntry, nSets), mask: int64(nSets - 1), policy: cfg.Policy}
+	// One backing array for all sets: two allocations per table instead of
+	// one per set.
+	entries := make([]taggedEntry, nSets*assoc)
 	for i := range t.sets {
-		t.sets[i] = make([]taggedEntry, assoc)
+		t.sets[i] = entries[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return t, nil
 }

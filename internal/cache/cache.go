@@ -119,8 +119,11 @@ func New(cfg Config) (*Cache, error) {
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.setShift++
 	}
+	// All sets share one backing array: two allocations per cache instead
+	// of one per set, and adjacent sets stay adjacent in memory.
+	ways := make([]way, nSets*cfg.Assoc)
 	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
+		c.sets[i] = ways[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return c, nil
 }

@@ -107,11 +107,26 @@ func (c *Classification) StaticShares() (nt, pd, ec float64) {
 }
 
 // Apply rewrites the program's load flavours according to the
-// classification.
+// classification. Prefer Overlay for simulation: Apply mutates the shared
+// Program, so concurrent simulations must not race with it.
 func (c *Classification) Apply(p *isa.Program) {
 	for pc, cl := range c.ByPC {
 		p.Insts[pc].Flavor = cl.Flavor()
 	}
+}
+
+// Overlay renders the classification as an immutable flavour overlay over
+// p without touching p: the program's current flavours are snapshotted and
+// the classified loads overridden. The result can parameterize any number
+// of concurrent simulations sharing p and its trace.
+func (c *Classification) Overlay(p *isa.Program) isa.FlavorOverlay {
+	o := isa.ProgramFlavors(p)
+	for pc, cl := range c.ByPC {
+		if pc >= 0 && pc < len(o) {
+			o[pc] = cl.Flavor()
+		}
+	}
+	return o
 }
 
 // String summarizes the classification.

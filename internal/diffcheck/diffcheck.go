@@ -207,9 +207,9 @@ func Check(prog *isa.Program, opt Options) (*Report, error) {
 			rep.failf("", "arch-result",
 				"re-emulation result %q != reference %q", res2.Output(), res.Output())
 		}
-		if len(trace2) != len(trace) {
+		if trace2.Len() != trace.Len() {
 			rep.failf("", "arch-result",
-				"re-emulation trace length %d != reference %d", len(trace2), len(trace))
+				"re-emulation trace length %d != reference %d", trace2.Len(), trace.Len())
 		}
 	}
 	return rep, nil
@@ -218,26 +218,27 @@ func Check(prog *isa.Program, opt Options) (*Report, error) {
 // checkLockstep steps a fresh CPU through the program, comparing each
 // architectural step against the recorded trace entry and verifying the
 // NextPC chain.
-func checkLockstep(prog *isa.Program, trace []emu.TraceEntry, rep *Report) {
+func checkLockstep(prog *isa.Program, trace *emu.Trace, rep *Report) {
 	c := emu.New(prog)
 	var te emu.TraceEntry
-	for i := range trace {
+	n := trace.Len()
+	for i := 0; i < n; i++ {
 		if c.Halted() {
-			rep.failf("", "lockstep", "CPU halted at step %d of %d", i, len(trace))
+			rep.failf("", "lockstep", "CPU halted at step %d of %d", i, n)
 			return
 		}
 		if err := c.Step(&te); err != nil {
 			rep.failf("", "lockstep", "step %d faulted: %v", i, err)
 			return
 		}
-		want := &trace[i]
-		if te != *want {
-			rep.failf("", "lockstep", "step %d: re-execution %+v != trace %+v", i, te, *want)
+		want := trace.At(i)
+		if te != want {
+			rep.failf("", "lockstep", "step %d: re-execution %+v != trace %+v", i, te, want)
 			return
 		}
-		if i+1 < len(trace) && want.NextPC != trace[i+1].PC {
+		if i+1 < n && want.NextPC != int(trace.PC[i+1]) {
 			rep.failf("", "lockstep",
-				"step %d: NextPC %d but trace continues at %d", i, want.NextPC, trace[i+1].PC)
+				"step %d: NextPC %d but trace continues at %d", i, want.NextPC, trace.PC[i+1])
 			return
 		}
 		if want.SeqNum != int64(i) {
@@ -287,10 +288,10 @@ type dynamicLoadMix struct {
 	regReg int64 // register+register (never early-calculable)
 }
 
-func countLoads(prog *isa.Program, trace []emu.TraceEntry) dynamicLoadMix {
+func countLoads(prog *isa.Program, trace *emu.Trace) dynamicLoadMix {
 	var mix dynamicLoadMix
-	for i := range trace {
-		pc := trace[i].PC
+	for i, n := 0, trace.Len(); i < n; i++ {
+		pc := int(trace.PC[i])
 		if pc < 0 || pc >= len(prog.Insts) {
 			continue
 		}
@@ -316,9 +317,9 @@ func countLoads(prog *isa.Program, trace []emu.TraceEntry) dynamicLoadMix {
 
 // checkConfig replays the trace under one configuration and checks every
 // per-configuration invariant. Returns nil when the replay itself failed.
-func checkConfig(prog *isa.Program, nc NamedConfig, trace []emu.TraceEntry,
+func checkConfig(prog *isa.Program, nc NamedConfig, trace *emu.Trace,
 	res *emu.Result, maxCPI int64, rep *Report) *pipeline.Metrics {
-	sim, err := pipeline.New(nc.Config, prog)
+	sim, err := pipeline.New(nc.Config, prog, nil)
 	if err != nil {
 		rep.failf(nc.Name, "construct", "%v", err)
 		return nil

@@ -84,7 +84,7 @@ func TestLockstepCatchesTraceCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace[len(trace)/2].EA += 8
+	trace.EA[trace.Len()/2] += 8
 	rep := &Report{}
 	checkLockstep(p, trace, rep)
 	if rep.Ok() {
@@ -170,7 +170,7 @@ func TestDefaultConfigsValid(t *testing.T) {
 		if err := nc.Config.Validate(); err != nil {
 			t.Errorf("%s: %v", nc.Name, err)
 		}
-		if _, err := pipeline.New(nc.Config, p); err != nil {
+		if _, err := pipeline.New(nc.Config, p, nil); err != nil {
 			t.Errorf("%s: %v", nc.Name, err)
 		}
 	}

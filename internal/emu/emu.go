@@ -291,35 +291,145 @@ func (c *CPU) Step(te *TraceEntry) error {
 	return nil
 }
 
+// Trace is the dynamic instruction trace in a packed columnar
+// (structure-of-arrays) layout: one parallel slice per TraceEntry field,
+// with the dynamic sequence number implicit in the index. The replay loop
+// streams ~25 bytes per instruction instead of the ~48 bytes of a padded
+// []TraceEntry, and a trace sized from the retired-instruction count is
+// allocated exactly once (no append regrowth). A Trace is immutable after
+// RunTrace returns; any number of timing simulations may replay it
+// concurrently.
+type Trace struct {
+	PC      []int32 // instruction index
+	NextPC  []int32 // PC of the next executed instruction
+	EA      []int64 // effective address (memory ops only)
+	BaseVal []int64 // base-register value when executed (reg modes)
+	Taken   []bool  // branch outcome (OpBr); true for jmp/call/jr
+}
+
+// NewTrace returns an empty trace with exact capacity for n entries.
+func NewTrace(n int) *Trace {
+	if n < 0 {
+		n = 0
+	}
+	return &Trace{
+		PC:      make([]int32, 0, n),
+		NextPC:  make([]int32, 0, n),
+		EA:      make([]int64, 0, n),
+		BaseVal: make([]int64, 0, n),
+		Taken:   make([]bool, 0, n),
+	}
+}
+
+// Len returns the number of recorded instructions.
+func (t *Trace) Len() int { return len(t.PC) }
+
+// At materializes entry i as a TraceEntry (SeqNum = i). Replay hot loops
+// read the columns directly; At is the convenience accessor for checkers
+// and tests.
+func (t *Trace) At(i int) TraceEntry {
+	return TraceEntry{
+		PC:      int(t.PC[i]),
+		SeqNum:  int64(i),
+		EA:      t.EA[i],
+		BaseVal: t.BaseVal[i],
+		Taken:   t.Taken[i],
+		NextPC:  int(t.NextPC[i]),
+	}
+}
+
+// Prefix returns a view of the first n entries (t itself if n >= Len).
+// The view shares the underlying columns; neither may be mutated.
+func (t *Trace) Prefix(n int) *Trace {
+	if n >= t.Len() {
+		return t
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Trace{
+		PC:      t.PC[:n],
+		NextPC:  t.NextPC[:n],
+		EA:      t.EA[:n],
+		BaseVal: t.BaseVal[:n],
+		Taken:   t.Taken[:n],
+	}
+}
+
+// Fill writes entry i into te (SeqNum = i). The replay loop reuses one
+// stack TraceEntry across the whole trace this way.
+func (t *Trace) Fill(i int, te *TraceEntry) {
+	te.PC = int(t.PC[i])
+	te.SeqNum = int64(i)
+	te.EA = t.EA[i]
+	te.BaseVal = t.BaseVal[i]
+	te.Taken = t.Taken[i]
+	te.NextPC = int(t.NextPC[i])
+}
+
+func (t *Trace) push(te *TraceEntry) {
+	t.PC = append(t.PC, int32(te.PC))
+	t.NextPC = append(t.NextPC, int32(te.NextPC))
+	t.EA = append(t.EA, te.EA)
+	t.BaseVal = append(t.BaseVal, te.BaseVal)
+	t.Taken = append(t.Taken, te.Taken)
+}
+
 // Run executes prog to completion (or until fuel instructions have retired)
 // and returns the run summary. fuel <= 0 means a generous default.
 func Run(prog *isa.Program, fuel int64) (Result, error) {
-	r, _, err := RunTrace(prog, fuel, false)
+	r, err := runTrace(prog, fuel, nil)
 	return r, err
 }
 
 // RunTrace executes prog and, if wantTrace is true, also returns the full
-// dynamic instruction trace for replay by the timing model.
-func RunTrace(prog *isa.Program, fuel int64, wantTrace bool) (Result, []TraceEntry, error) {
+// dynamic instruction trace for replay by the timing model. The trace
+// columns are sized exactly: a traceless dry run counts the retired
+// instructions first (emulation is deterministic, so the count is exact).
+// Callers that already know the dynamic instruction count — e.g. from a
+// prior run's Result — should use RunTraceHint and skip the dry pass.
+func RunTrace(prog *isa.Program, fuel int64, wantTrace bool) (Result, *Trace, error) {
+	if !wantTrace {
+		res, err := runTrace(prog, fuel, nil)
+		return res, nil, err
+	}
+	// The dry pass's error (if any) recurs identically in the traced pass.
+	dry, _ := runTrace(prog, fuel, nil)
+	return RunTraceHint(prog, fuel, dry.DynamicInsts)
+}
+
+// RunTraceHint is RunTrace with a caller-supplied capacity hint (typically
+// Result.DynamicInsts of an earlier run under the same fuel, which makes it
+// exact). An underestimate merely reintroduces append growth.
+func RunTraceHint(prog *isa.Program, fuel, hint int64) (Result, *Trace, error) {
+	t := NewTrace(int(hint))
+	res, err := runTrace(prog, fuel, t)
+	return res, t, err
+}
+
+func runTrace(prog *isa.Program, fuel int64, t *Trace) (Result, error) {
 	if fuel <= 0 {
 		fuel = 200_000_000
 	}
 	c := New(prog)
-	var trace []TraceEntry
 	var te TraceEntry
 	for !c.Halted() {
 		if c.res.DynamicInsts >= fuel {
-			return c.res, trace,
+			return c.res,
 				&isa.Fault{Kind: isa.FaultFuel, PC: c.PC, SeqNum: c.res.DynamicInsts}
 		}
+		if t == nil {
+			if err := c.Step(nil); err != nil {
+				return c.res, err
+			}
+			continue
+		}
 		if err := c.Step(&te); err != nil {
-			return c.res, trace, err
+			return c.res, err
 		}
-		if wantTrace {
-			trace = append(trace, te)
-		}
+		t.push(&te)
 	}
-	return c.res, trace, nil
+	return c.res, nil
 }
 
 func f64bits(f float64) uint64 { return math.Float64bits(f) }

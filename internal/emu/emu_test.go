@@ -157,17 +157,17 @@ func TestTraceRecordsLoadsAndBranches(t *testing.T) {
 	if res.ExitCode != 77 {
 		t.Fatalf("exit = %d", res.ExitCode)
 	}
-	if len(trace) != 3 {
-		t.Fatalf("trace length %d, want 3", len(trace))
+	if trace.Len() != 3 {
+		t.Fatalf("trace length %d, want 3", trace.Len())
 	}
-	if trace[0].EA != p.DataSymbols["v"] {
-		t.Errorf("load EA = %#x, want %#x", trace[0].EA, p.DataSymbols["v"])
+	if trace.At(0).EA != p.DataSymbols["v"] {
+		t.Errorf("load EA = %#x, want %#x", trace.At(0).EA, p.DataSymbols["v"])
 	}
-	if !trace[1].Taken || trace[1].NextPC != p.Symbols["yes"] {
-		t.Errorf("branch trace wrong: %+v", trace[1])
+	if !trace.At(1).Taken || trace.At(1).NextPC != p.Symbols["yes"] {
+		t.Errorf("branch trace wrong: %+v", trace.At(1))
 	}
-	if trace[0].Taken || trace[0].NextPC != 1 {
-		t.Errorf("non-branch trace wrong: %+v", trace[0])
+	if trace.At(0).Taken || trace.At(0).NextPC != 1 {
+		t.Errorf("non-branch trace wrong: %+v", trace.At(0))
 	}
 }
 

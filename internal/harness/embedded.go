@@ -66,36 +66,36 @@ type EmbeddedRow struct {
 
 // Embedded runs the Section 5.4 experiment over the MediaBench suite.
 func (r *Runner) Embedded() ([]EmbeddedRow, error) {
-	var rows []EmbeddedRow
-	var avg EmbeddedRow
 	media := workload.BySuite(workload.Media)
-	for _, w := range media {
-		l, err := r.Lab(w)
+	rows := make([]EmbeddedRow, len(media))
+	err := r.forEachLab(media, func(i int, l *Lab) error {
+		base, err := l.Simulate(EmbeddedBase(), nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := l.Simulate(EmbeddedBase())
+		cc, err := l.Simulate(EmbeddedCompiler(), l.HeurFlavors)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		l.UseHeuristics()
-		cc, err := l.Simulate(EmbeddedCompiler())
+		hw, err := l.Simulate(EmbeddedHWDual(), nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hw, err := l.Simulate(EmbeddedHWDual())
-		if err != nil {
-			return nil, err
-		}
-		row := EmbeddedRow{
-			Name:            w.Name,
+		rows[i] = EmbeddedRow{
+			Name:            l.W.Name,
 			CompilerSpeedup: float64(base.Cycles) / float64(cc.Cycles),
 			HWDualSpeedup:   float64(base.Cycles) / float64(hw.Cycles),
 		}
-		rows = append(rows, row)
+		r.logf("%s done", l.W.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var avg EmbeddedRow
+	for _, row := range rows {
 		avg.CompilerSpeedup += row.CompilerSpeedup / float64(len(media))
 		avg.HWDualSpeedup += row.HWDualSpeedup / float64(len(media))
-		r.logf("%s done", w.Name)
 	}
 	avg.Name = "average"
 	rows = append(rows, avg)

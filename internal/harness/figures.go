@@ -37,22 +37,35 @@ func (r *Runner) figure(title string, suite workload.Suite, series []seriesDef) 
 	for _, s := range series {
 		fig.Series = append(fig.Series, FigureSeries{Label: s.label, Speedups: map[string]float64{}})
 	}
-	// Benchmark-outer iteration: one lab (and its trace) resident at a
-	// time, replayed under every series configuration.
-	for _, w := range benches {
-		l, err := r.Lab(w)
-		if err != nil {
-			return nil, err
-		}
+	// One benchmark's column of cells is a single unit of work: its lab
+	// (and trace) is built once and replayed under every series
+	// configuration. Cells land in slots indexed by (series, benchmark).
+	grid := make([][]float64, len(series))
+	for i := range grid {
+		grid[i] = make([]float64, len(benches))
+	}
+	err := r.forEachLab(benches, func(bi int, l *Lab) error {
 		for i, s := range series {
 			sp, err := s.run(l)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", s.label, w.Name, err)
+				return fmt.Errorf("%s/%s: %w", s.label, l.W.Name, err)
 			}
+			grid[i][bi] = sp
+		}
+		r.logf("%s done", l.W.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate in benchmark order, off the worker pool: averages sum in
+	// a fixed order, so they are bit-identical at every worker count.
+	for i := range series {
+		for bi, w := range benches {
+			sp := grid[i][bi]
 			fig.Series[i].Speedups[w.Name] = sp
 			fig.Series[i].Average += sp / float64(len(benches))
 		}
-		r.logf("%s done", w.Name)
 	}
 	return fig, nil
 }
@@ -76,14 +89,13 @@ func (r *Runner) Figure5a() (*Figure, error) {
 			seriesDef{
 				label: fmt.Sprintf("hw-only %d", size),
 				run: func(l *Lab) (float64, error) {
-					return l.Speedup(HWPredict(size))
+					return l.Speedup(HWPredict(size), nil)
 				},
 			},
 			seriesDef{
 				label: fmt.Sprintf("compiler %d", size),
 				run: func(l *Lab) (float64, error) {
-					l.UseHeuristics()
-					return l.Speedup(CompilerPredict(size))
+					return l.Speedup(CompilerPredict(size), l.HeurFlavors)
 				},
 			},
 		)
@@ -107,7 +119,7 @@ func (r *Runner) Figure5b() (*Figure, error) {
 		series = append(series, seriesDef{
 			label: fmt.Sprintf("hw-early %d regs", n),
 			run: func(l *Lab) (float64, error) {
-				return l.Speedup(HWEarly(n))
+				return l.Speedup(HWEarly(n), nil)
 			},
 		})
 	}
@@ -121,23 +133,19 @@ func (r *Runner) Figure5b() (*Figure, error) {
 func (r *Runner) Figure5c() (*Figure, error) {
 	series := []seriesDef{
 		{label: "hw-predict 256", run: func(l *Lab) (float64, error) {
-			return l.Speedup(HWPredict(256))
+			return l.Speedup(HWPredict(256), nil)
 		}},
 		{label: "hw-early 16", run: func(l *Lab) (float64, error) {
-			return l.Speedup(HWEarly(16))
+			return l.Speedup(HWEarly(16), nil)
 		}},
 		{label: "hw-dual", run: func(l *Lab) (float64, error) {
-			return l.Speedup(HWDual(256, 16))
+			return l.Speedup(HWDual(256, 16), nil)
 		}},
 		{label: "compiler dual", run: func(l *Lab) (float64, error) {
-			l.UseHeuristics()
-			return l.Speedup(CompilerDual())
+			return l.Speedup(CompilerDual(), l.HeurFlavors)
 		}},
 		{label: "compiler dual+profile", run: func(l *Lab) (float64, error) {
-			l.UseProfile()
-			sp, err := l.Speedup(CompilerDual())
-			l.UseHeuristics()
-			return sp, err
+			return l.Speedup(CompilerDual(), l.ReclassFlavors)
 		}},
 	}
 	return r.figure("Figure 5c: dual-path early address generation", workload.SPEC, series)

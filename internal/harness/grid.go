@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"context"
+	"sync"
+
+	"elag/internal/workload"
+)
+
+// Grid scheduling: every experiment is a (benchmark, configuration) grid.
+// The unit of dispatch is a whole benchmark — its lab is built once and
+// every configuration cell replays the same resident trace — so workers
+// have benchmark affinity and never contend for a lab. Each cell writes a
+// preallocated slot indexed by benchmark, and callers aggregate (averages,
+// row ordering) in benchmark order afterwards; with per-cell results
+// independent of scheduling, the output is bit-identical at every worker
+// count.
+
+// forEachLab builds the lab for each workload and calls fn(i, lab), fanning
+// benchmarks across r.workers() goroutines. fn is called exactly once per
+// benchmark, each invocation on a single goroutine (distinct benchmarks may
+// run concurrently). The first error cancels the remaining benchmarks and
+// is returned.
+func (r *Runner) forEachLab(benches []*workload.Workload, fn func(i int, l *Lab) error) error {
+	if r.workers() <= 1 || len(benches) <= 1 {
+		for i, w := range benches {
+			l, err := r.Lab(w)
+			if err != nil {
+				return err
+			}
+			if err := fn(i, l); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	idx := make(chan int)
+	workers := r.workers()
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain after cancellation
+				}
+				l, err := r.Lab(benches[i])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if err := fn(i, l); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := range benches {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

@@ -3,16 +3,26 @@
 // benchmark is compiled once; its dynamic trace is generated once and
 // replayed under every hardware configuration, exactly like the paper's
 // emulation-driven methodology.
+//
+// Experiments optionally fan out across a worker pool (Runner.Parallel)
+// with benchmark affinity: one worker owns a benchmark's whole column of
+// (benchmark, configuration) cells, so each multi-megabyte trace is built
+// once and stays worker-local. Labs are immutable after construction —
+// per-simulation load flavours travel as overlays, never as program
+// mutations — so every cell is data-race-free and the results (cycle
+// counts, speedups, averages) are bit-identical at any parallelism level.
 package harness
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"elag"
 	"elag/internal/core"
 	"elag/internal/emu"
+	"elag/internal/isa"
 	"elag/internal/pipeline"
 	"elag/internal/profile"
 	"elag/internal/workload"
@@ -20,53 +30,159 @@ import (
 
 // Runner executes experiments. The zero value is usable; set Fuel to bound
 // per-benchmark dynamic instructions (0 means run each program to
-// completion) and Log to observe progress.
+// completion), Parallel to fan benchmarks across workers, and Log to
+// observe progress.
 type Runner struct {
 	// Fuel caps emulated instructions per benchmark; a truncated trace
 	// is still valid for timing studies. 0 means unlimited.
 	Fuel int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Parallel is the worker count for grid experiments; <=1 runs
+	// serially. Results are identical at every setting — parallelism
+	// changes wall time only.
+	Parallel int
+	// MaxResident bounds how many labs (each holding a multi-megabyte
+	// trace) stay cached; 0 derives a bound from Parallel. Labs in use
+	// are never invalidated by eviction — the cache only drops its own
+	// reference.
+	MaxResident int
 
-	// Exactly one lab (with its multi-megabyte trace) is kept resident;
-	// experiment loops iterate benchmark-outer so each benchmark is
-	// built and traced once per experiment.
-	last *Lab
+	logMu sync.Mutex
+
+	labMu  sync.Mutex
+	labs   map[string]*labEntry
+	labSeq int64
+}
+
+// labEntry is one cache slot. ready is closed once l/err are set;
+// concurrent requests for the same benchmark wait on it instead of
+// building twice (single-flight).
+type labEntry struct {
+	ready   chan struct{}
+	l       *Lab
+	err     error
+	lastUse int64
 }
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Log != nil {
+		r.logMu.Lock()
 		fmt.Fprintf(r.Log, format+"\n", args...)
+		r.logMu.Unlock()
 	}
 }
 
+// workers returns the effective worker-pool size.
+func (r *Runner) workers() int {
+	if r.Parallel > 1 {
+		return r.Parallel
+	}
+	return 1
+}
+
+// maxResident returns the lab-cache bound: at least one lab per worker
+// plus one, so affinity-scheduled grids never thrash their own columns.
+func (r *Runner) maxResident() int {
+	if r.MaxResident > 0 {
+		return r.MaxResident
+	}
+	n := r.workers() + 1
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // Lab is one benchmark prepared for experiments: compiled, classified,
-// profiled, and traced.
+// profiled, and traced. A Lab is immutable once built — simulations pick a
+// classification by passing one of the flavour overlays (or nil for the
+// program's baked-in flavours), and any number of simulations may share
+// the lab concurrently.
 type Lab struct {
 	W *workload.Workload
-	// Prog is the compiled program; its load flavours are rewritten by
-	// UseHeuristics/UseProfile/ClearFlavors before each simulation.
+	// Prog is the compiled program. Its instruction stream is never
+	// mutated after Build.
 	Prog *elag.Program
 	// Heur is the classification from the Section 4 heuristics alone;
 	// Reclass additionally applies the Section 4.3 address profile.
 	Heur    *core.Classification
 	Reclass *core.Classification
+	// HeurFlavors / ReclassFlavors are the overlay forms of the two
+	// classifications, ready to pass to Simulate.
+	HeurFlavors    isa.FlavorOverlay
+	ReclassFlavors isa.FlavorOverlay
 	// Profile holds per-load unlimited-table prediction rates.
 	Profile *profile.LoadProfile
 	// Trace is the architectural dynamic trace replayed by the timing
 	// model; EmuRes summarizes the architectural run.
-	Trace  []emu.TraceEntry
+	Trace  *emu.Trace
 	EmuRes emu.Result
 
-	baseCycles int64 // memoized base-architecture cycles
+	baseOnce   sync.Once
+	baseCycles int64
+	baseErr    error
 }
 
-// Lab prepares the lab for one workload, reusing the resident one when the
-// same benchmark is requested again.
+// Lab prepares the lab for one workload, returning a cached one when
+// available. Concurrent callers requesting the same benchmark share one
+// build; distinct benchmarks build independently. The cache keeps at most
+// maxResident labs, evicting least-recently-used ones.
 func (r *Runner) Lab(w *workload.Workload) (*Lab, error) {
-	if r.last != nil && r.last.W.Name == w.Name {
-		return r.last, nil
+	r.labMu.Lock()
+	if r.labs == nil {
+		r.labs = make(map[string]*labEntry)
 	}
+	r.labSeq++
+	if e, ok := r.labs[w.Name]; ok {
+		e.lastUse = r.labSeq
+		r.labMu.Unlock()
+		<-e.ready
+		return e.l, e.err
+	}
+	e := &labEntry{ready: make(chan struct{}), lastUse: r.labSeq}
+	r.labs[w.Name] = e
+	r.evictLocked()
+	r.labMu.Unlock()
+
+	e.l, e.err = r.buildLab(w)
+	if e.err != nil {
+		// Do not cache failures: a later retry rebuilds.
+		r.labMu.Lock()
+		if r.labs[w.Name] == e {
+			delete(r.labs, w.Name)
+		}
+		r.labMu.Unlock()
+	}
+	close(e.ready)
+	return e.l, e.err
+}
+
+// evictLocked drops least-recently-used ready entries until the cache fits
+// the bound. In-flight builds are never evicted. Callers hold labMu.
+func (r *Runner) evictLocked() {
+	max := r.maxResident()
+	for len(r.labs) > max {
+		var victim string
+		var oldest int64
+		for name, e := range r.labs {
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if victim == "" || e.lastUse < oldest {
+				victim, oldest = name, e.lastUse
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(r.labs, victim)
+	}
+}
+
+func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
 	r.logf("build %s", w.Name)
 	p, err := elag.Build(w.Source, elag.BuildOptions{})
 	if err != nil {
@@ -74,41 +190,40 @@ func (r *Runner) Lab(w *workload.Workload) (*Lab, error) {
 	}
 	l := &Lab{W: w, Prog: p, Heur: p.Classes}
 
-	lp, _, err := profile.Collect(p.Machine, r.Fuel)
+	lp, profRes, err := profile.Collect(p.Machine, r.Fuel)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, fmt.Errorf("%s: profile: %w", w.Name, err)
 	}
 	l.Profile = lp
 	l.Reclass = core.Reclassify(l.Heur, lp.Rates(), 0)
+	l.HeurFlavors = l.Heur.Overlay(p.Machine)
+	l.ReclassFlavors = l.Reclass.Overlay(p.Machine)
 
-	res, trace, err := emu.RunTrace(p.Machine, r.Fuel, true)
+	// The profiler already emulated this program under the same fuel, so
+	// its retired-instruction count sizes the trace columns exactly.
+	res, trace, err := emu.RunTraceHint(p.Machine, r.Fuel, profRes.DynamicInsts)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, fmt.Errorf("%s: trace: %w", w.Name, err)
 	}
 	l.Trace = trace
 	l.EmuRes = res
-	r.last = l
 	return l, nil
 }
 
-// UseHeuristics applies the heuristic-only classification to the program.
-func (l *Lab) UseHeuristics() { l.Heur.Apply(l.Prog.Machine) }
-
-// UseProfile applies the profile-reclassified flavours to the program.
-func (l *Lab) UseProfile() { l.Reclass.Apply(l.Prog.Machine) }
-
-// Simulate replays the cached trace under cfg with the program's current
-// load flavours.
-func (l *Lab) Simulate(cfg pipeline.Config) (*pipeline.Metrics, error) {
-	return l.SimulateObserved(cfg, nil, false)
+// Simulate replays the cached trace under cfg. flavors selects the load
+// classification (l.HeurFlavors, l.ReclassFlavors, or nil for the
+// program's baked-in flavours).
+func (l *Lab) Simulate(cfg pipeline.Config, flavors isa.FlavorOverlay) (*pipeline.Metrics, error) {
+	return l.SimulateObserved(cfg, flavors, nil, false)
 }
 
 // SimulateObserved replays the cached trace under cfg with observability
 // attached: sink (may be nil) receives the cycle-level event stream, and
 // perPC enables the per-PC load attribution table on the returned Metrics.
 // Observation never changes the timing result.
-func (l *Lab) SimulateObserved(cfg pipeline.Config, sink pipeline.EventSink, perPC bool) (*pipeline.Metrics, error) {
-	sim, err := pipeline.New(cfg, l.Prog.Machine)
+func (l *Lab) SimulateObserved(cfg pipeline.Config, flavors isa.FlavorOverlay,
+	sink pipeline.EventSink, perPC bool) (*pipeline.Metrics, error) {
+	sim, err := pipeline.New(cfg, l.Prog.Machine, flavors)
 	if err != nil {
 		return nil, err
 	}
@@ -122,25 +237,27 @@ func (l *Lab) SimulateObserved(cfg pipeline.Config, sink pipeline.EventSink, per
 }
 
 // BaseCycles returns (memoizing) the cycle count of the base architecture,
-// the denominator of every speedup in Section 5.
+// the denominator of every speedup in Section 5. Safe for concurrent use;
+// the base simulation runs at most once per lab.
 func (l *Lab) BaseCycles() (int64, error) {
-	if l.baseCycles == 0 {
-		m, err := l.Simulate(pipeline.PaperBase())
+	l.baseOnce.Do(func() {
+		m, err := l.Simulate(pipeline.PaperBase(), nil)
 		if err != nil {
-			return 0, err
+			l.baseErr = err
+			return
 		}
 		l.baseCycles = m.Cycles
-	}
-	return l.baseCycles, nil
+	})
+	return l.baseCycles, l.baseErr
 }
 
-// Speedup simulates cfg and returns baseCycles/cycles.
-func (l *Lab) Speedup(cfg pipeline.Config) (float64, error) {
+// Speedup simulates cfg under flavors and returns baseCycles/cycles.
+func (l *Lab) Speedup(cfg pipeline.Config, flavors isa.FlavorOverlay) (float64, error) {
 	base, err := l.BaseCycles()
 	if err != nil {
 		return 0, err
 	}
-	m, err := l.Simulate(cfg)
+	m, err := l.Simulate(cfg, flavors)
 	if err != nil {
 		return 0, err
 	}

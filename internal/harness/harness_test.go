@@ -22,8 +22,11 @@ func TestLabPreparesEverything(t *testing.T) {
 	if l.Heur == nil || l.Reclass == nil || l.Profile == nil {
 		t.Fatalf("lab incomplete")
 	}
-	if len(l.Trace) == 0 {
+	if l.Trace.Len() == 0 {
 		t.Fatalf("no trace collected")
+	}
+	if int64(l.Trace.Len()) != l.EmuRes.DynamicInsts {
+		t.Fatalf("trace length %d != retired %d", l.Trace.Len(), l.EmuRes.DynamicInsts)
 	}
 	base, err := l.BaseCycles()
 	if err != nil {
@@ -48,8 +51,7 @@ func TestSpeedupsAtLeastNotAbsurd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l.UseHeuristics()
-	sp, err := l.Speedup(harness.CompilerDual())
+	sp, err := l.Speedup(harness.CompilerDual(), l.HeurFlavors)
 	if err != nil {
 		t.Fatal(err)
 	}

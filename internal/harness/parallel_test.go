@@ -1,0 +1,116 @@
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"elag/internal/harness"
+	"elag/internal/workload"
+)
+
+// artifactJSON runs Table 2 and Figure 5a on a fresh runner at the given
+// parallelism and returns their canonical JSON encoding.
+func artifactJSON(t *testing.T, parallel int, fuel int64) []byte {
+	t.Helper()
+	r := &harness.Runner{Fuel: fuel, Parallel: parallel}
+	rows, err := r.Table2()
+	if err != nil {
+		t.Fatalf("parallel=%d: table2: %v", parallel, err)
+	}
+	fig, err := r.Figure5a()
+	if err != nil {
+		t.Fatalf("parallel=%d: fig5a: %v", parallel, err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, v := range []any{rows, fig} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the engine's headline guarantee: the grid
+// experiments produce byte-identical artifacts — cycle counts, speedups,
+// float averages and all — at every parallelism level. Run under -race
+// this also proves the fan-out is data-race-free.
+func TestParallelDeterminism(t *testing.T) {
+	fuel := int64(120_000)
+	if testing.Short() {
+		fuel = 40_000
+	}
+	want := artifactJSON(t, 1, fuel)
+	for _, par := range []int{4, 8} {
+		got := artifactJSON(t, par, fuel)
+		if !bytes.Equal(got, want) {
+			t.Errorf("parallel=%d artifacts differ from serial run\nserial:   %.200s\nparallel: %.200s",
+				par, want, got)
+		}
+	}
+}
+
+// TestLabSingleFlight: concurrent requests for one benchmark must share a
+// single build and return the same lab.
+func TestLabSingleFlight(t *testing.T) {
+	r := &harness.Runner{Fuel: 50_000, Parallel: 8}
+	w := workload.Get("023.eqntott")
+	const n = 8
+	labs := make([]*harness.Lab, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := r.Lab(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			labs[i] = l
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if labs[i] != labs[0] {
+			t.Fatalf("lab %d is a different instance", i)
+		}
+	}
+}
+
+// TestLabCacheEviction: the cache keeps at most MaxResident labs but a
+// re-request transparently rebuilds an evicted one.
+func TestLabCacheEviction(t *testing.T) {
+	r := &harness.Runner{Fuel: 50_000, MaxResident: 2}
+	names := []string{"023.eqntott", "008.espresso", "026.compress"}
+	first := make(map[string]*harness.Lab)
+	for _, name := range names {
+		l, err := r.Lab(workload.Get(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[name] = l
+	}
+	// The oldest lab was evicted; requesting it again must rebuild (a
+	// fresh instance), and the result must still be usable.
+	l, err := r.Lab(workload.Get(names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == first[names[0]] {
+		t.Errorf("lab for %s not evicted with MaxResident=2", names[0])
+	}
+	if _, err := l.Simulate(harness.CompilerDual(), l.HeurFlavors); err != nil {
+		t.Fatal(err)
+	}
+	// The most recent lab is still cached.
+	l3, err := r.Lab(workload.Get(names[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3 != first[names[2]] {
+		t.Errorf("most-recent lab was evicted")
+	}
+}

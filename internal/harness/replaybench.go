@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"elag/internal/pipeline"
+	"elag/internal/workload"
+)
+
+// ReplayBenchSchema versions the elag-bench -replaybench JSON document
+// (BENCH_replay.json in the repository root); bump on any field-shape
+// change.
+const ReplayBenchSchema = "elag-replaybench/v1"
+
+// ReplayBenchResult is one microbenchmark: the timing model replaying the
+// prepared SPEC traces under one configuration.
+type ReplayBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MInstPerSec float64 `json:"minst_per_sec"`
+}
+
+// ReplayBenchDoc is the machine-readable replay-throughput record, the
+// repository's tracked evidence for trace-replay hot-path performance.
+type ReplayBenchDoc struct {
+	Schema string `json:"schema"`
+	// Fuel is the per-benchmark dynamic instruction budget of the
+	// replayed traces.
+	Fuel    int64               `json:"fuel"`
+	Results []ReplayBenchResult `json:"results"`
+}
+
+// ReplayBench measures trace-replay throughput over the Table-2 workload:
+// every SPEC benchmark's trace replayed under the paper's
+// compiler-directed configuration ("replay-table2") and under the base
+// architecture ("replay-base"). Labs are built outside the timed region,
+// so ns/op and allocs/op measure the replay hot loop alone.
+func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
+	benches := workload.BySuite(workload.SPEC)
+	labs := make([]*Lab, len(benches))
+	for i, w := range benches {
+		l, err := r.Lab(w)
+		if err != nil {
+			return nil, err
+		}
+		labs[i] = l
+	}
+	var insts int64
+	for _, l := range labs {
+		insts += l.EmuRes.DynamicInsts
+	}
+
+	run := func(name string, sim func(l *Lab) error) (ReplayBenchResult, error) {
+		// Validate once outside the benchmark: testing.Benchmark has no
+		// error channel, so surface configuration problems here.
+		for _, l := range labs {
+			if err := sim(l); err != nil {
+				return ReplayBenchResult{}, err
+			}
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, l := range labs {
+					if err := sim(l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		return ReplayBenchResult{
+			Name:        name,
+			Iterations:  br.N,
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			MInstPerSec: float64(insts) * float64(br.N) / br.T.Seconds() / 1e6,
+		}, nil
+	}
+
+	doc := &ReplayBenchDoc{Schema: ReplayBenchSchema, Fuel: r.Fuel}
+	t2, err := run("replay-table2", func(l *Lab) error {
+		_, err := l.Simulate(CompilerDual(), l.HeurFlavors)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := run("replay-base", func(l *Lab) error {
+		_, err := l.Simulate(pipeline.PaperBase(), nil)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	doc.Results = append(doc.Results, t2, base)
+	return doc, nil
+}
+
+// WriteReplayBenchJSON writes doc as indented JSON.
+func WriteReplayBenchJSON(w io.Writer, doc *ReplayBenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -43,13 +43,14 @@ func tableRow(l *Lab, c *core.Classification) Table2Row {
 
 // Table2 reproduces Table 2 over the SPEC-like suite.
 func (r *Runner) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, w := range workload.BySuite(workload.SPEC) {
-		l, err := r.Lab(w)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, tableRow(l, l.Heur))
+	benches := workload.BySuite(workload.SPEC)
+	rows := make([]Table2Row, len(benches))
+	err := r.forEachLab(benches, func(i int, l *Lab) error {
+		rows[i] = tableRow(l, l.Heur)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows = append(rows, averageT2(rows))
 	return rows, nil
@@ -100,27 +101,26 @@ type Table3Row struct {
 // Table3 reproduces Table 3: the compiler-directed dual-path configuration
 // (256-entry table, one R_addr) with address-profile reclassification.
 func (r *Runner) Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, w := range workload.BySuite(workload.SPEC) {
-		l, err := r.Lab(w)
+	benches := workload.BySuite(workload.SPEC)
+	rows := make([]Table3Row, len(benches))
+	err := r.forEachLab(benches, func(i int, l *Lab) error {
+		sp, err := l.Speedup(CompilerDual(), l.ReclassFlavors)
 		if err != nil {
-			return nil, err
-		}
-		l.UseProfile()
-		sp, err := l.Speedup(CompilerDual())
-		if err != nil {
-			return nil, err
+			return err
 		}
 		t := tableRow(l, l.Reclass)
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Name:     l.W.Name,
 			Speedup:  sp,
 			StaticPD: t.StaticPD,
 			DynPD:    t.DynPD,
 			RateNT:   t.RateNT,
 			RatePD:   t.RatePD,
-		})
-		l.UseHeuristics()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	avg := Table3Row{Name: "average"}
 	n := float64(len(rows))
@@ -157,18 +157,18 @@ type Table4Row struct {
 // Table4 reproduces Table 4: MediaBench characteristics and speedups under
 // the compiler heuristics (no profiling).
 func (r *Runner) Table4() ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, w := range workload.BySuite(workload.Media) {
-		l, err := r.Lab(w)
+	benches := workload.BySuite(workload.Media)
+	rows := make([]Table4Row, len(benches))
+	err := r.forEachLab(benches, func(i int, l *Lab) error {
+		sp, err := l.Speedup(CompilerDual(), l.HeurFlavors)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		l.UseHeuristics()
-		sp, err := l.Speedup(CompilerDual())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table4Row{Table2Row: tableRow(l, l.Heur), Speedup: sp})
+		rows[i] = Table4Row{Table2Row: tableRow(l, l.Heur), Speedup: sp}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	avg := Table4Row{}
 	var t2s []Table2Row

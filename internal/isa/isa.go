@@ -463,6 +463,33 @@ type Program struct {
 	DataSymbols map[string]int64
 }
 
+// FlavorOverlay is an immutable per-PC load-flavour assignment, indexed by
+// instruction PC. It lets a timing simulation be parameterized by a load
+// classification without rewriting Program.Insts in place, so any number of
+// simulations over the same Program can run concurrently: the Program and
+// its trace stay shared and read-only, and each simulation carries its own
+// overlay. Entries for non-load PCs are ignored. A nil overlay means "use
+// the flavours encoded in the instruction stream".
+type FlavorOverlay []LoadFlavor
+
+// ProgramFlavors snapshots p's current load flavours into an overlay.
+func ProgramFlavors(p *Program) FlavorOverlay {
+	o := make(FlavorOverlay, len(p.Insts))
+	for pc := range p.Insts {
+		o[pc] = p.Insts[pc].Flavor
+	}
+	return o
+}
+
+// At returns the overlay flavour for pc, or fallback where the overlay
+// does not cover it (nil overlay or out-of-range PC).
+func (o FlavorOverlay) At(pc int, fallback LoadFlavor) LoadFlavor {
+	if pc >= 0 && pc < len(o) {
+		return o[pc]
+	}
+	return fallback
+}
+
 // InstBytes is the architectural size of one instruction in bytes; the
 // I-cache indexes instruction addresses as PC*InstBytes.
 const InstBytes = 4

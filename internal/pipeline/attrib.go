@@ -64,13 +64,21 @@ func (s *Sim) EnablePerPC() {
 }
 
 // recordLoad charges one dynamic load execution to its PC. effLat is the
-// contribution to Metrics.LoadLatencySum for this execution.
-func (s *Sim) recordLoad(in *isa.Inst, pc int, spec *specResult, effLat int64) {
+// contribution to Metrics.LoadLatencySum for this execution. Flavor (and
+// the rendered mnemonic) reflect the decode cache, i.e. any overlay the
+// simulation was constructed with.
+func (s *Sim) recordLoad(in *isa.Inst, md *instMeta, pc int, spec *specResult, effLat int64) {
 	a := &s.attrib[pc]
 	if a.Count == 0 {
 		a.PC = pc
-		a.Mnemonic = in.String()
-		a.Flavor = in.Flavor
+		if md.flavor == in.Flavor {
+			a.Mnemonic = in.String()
+		} else {
+			over := *in
+			over.Flavor = md.flavor
+			a.Mnemonic = over.String()
+		}
+		a.Flavor = md.flavor
 	}
 	a.Count++
 	a.LatencySum += effLat

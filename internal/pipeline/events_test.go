@@ -30,7 +30,7 @@ func obsConfig() Config {
 	}
 }
 
-func obsTrace(t *testing.T) ([]emu.TraceEntry, *Sim) {
+func obsTrace(t *testing.T) (*emu.Trace, *Sim) {
 	t.Helper()
 	p := asmtest.MustAssemble(t, loopOf(3000, obsProgBody))
 	_, trace, err := emu.RunTrace(p, 10_000_000, true)

@@ -106,12 +106,17 @@ func (t *timedCache) access(addr, cycle int64, spec, allocate bool) (ready int64
 	default:
 		tagHit = t.c.AccessNoAllocate(addr)
 	}
-	if done, ok := t.fills[block]; ok {
-		if done > cycle {
-			// Fill still in flight from an earlier miss.
-			return done, false
+	// The fills map is empty for the overwhelming majority of accesses;
+	// skipping the map lookup then keeps the hit path allocation- and
+	// hash-free.
+	if len(t.fills) > 0 {
+		if done, ok := t.fills[block]; ok {
+			if done > cycle {
+				// Fill still in flight from an earlier miss.
+				return done, false
+			}
+			delete(t.fills, block)
 		}
-		delete(t.fills, block)
 	}
 	if tagHit {
 		return cycle, true
@@ -143,6 +148,7 @@ type storeRec struct {
 type Sim struct {
 	cfg  Config
 	prog *isa.Program
+	meta []instMeta // per-PC decode cache (see decode.go)
 
 	ic, dc   *timedCache
 	btb      *bpred.BTB
@@ -179,8 +185,6 @@ type Sim struct {
 	traceCap   int
 	stageTrace []StageRecord
 
-	scratchRegs []isa.Reg
-
 	// Observability (all nil/zero when disabled — the default).
 	sink     EventSink     // cycle-level event stream, set by AttachSink
 	ev       Event         // reusable event buffer passed to the sink
@@ -188,9 +192,13 @@ type Sim struct {
 	attrib   []LoadPCStats // per-PC load attribution, set by EnablePerPC
 }
 
-// New creates a simulation with the given configuration over prog. A
-// configuration that fails Config.Validate is returned as an error.
-func New(cfg Config, prog *isa.Program) (*Sim, error) {
+// New creates a simulation with the given configuration over prog. flavors
+// optionally overrides the load flavours baked into prog (nil uses the
+// program's own); the overlay is resolved into the Sim's private decode
+// cache at construction, so concurrent simulations of one Program with
+// different flavour assignments never race. A configuration that fails
+// Config.Validate is returned as an error.
+func New(cfg Config, prog *isa.Program, flavors isa.FlavorOverlay) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -210,6 +218,7 @@ func New(cfg Config, prog *isa.Program) (*Sim, error) {
 	s := &Sim{
 		cfg:         cfg,
 		prog:        prog,
+		meta:        buildMeta(prog, &cfg, flavors),
 		ic:          newTimedCache(ic),
 		dc:          newTimedCache(dc),
 		btb:         btb,
@@ -253,9 +262,11 @@ func (s *Sim) Metrics() *Metrics {
 }
 
 // Run replays the whole trace and returns the final metrics.
-func (s *Sim) Run(trace []emu.TraceEntry) (*Metrics, error) {
-	for i := range trace {
-		if err := s.StepInst(&trace[i]); err != nil {
+func (s *Sim) Run(trace *emu.Trace) (*Metrics, error) {
+	var te emu.TraceEntry
+	for i, n := 0, trace.Len(); i < n; i++ {
+		trace.Fill(i, &te)
+		if err := s.StepInst(&te); err != nil {
 			return nil, err
 		}
 	}
@@ -271,7 +282,7 @@ func Simulate(cfg Config, prog *isa.Program, fuel int64) (*Metrics, emu.Result, 
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, res, err
 	}
-	sim, err := New(cfg, prog)
+	sim, err := New(cfg, prog, nil)
 	if err != nil {
 		return nil, res, err
 	}
@@ -288,6 +299,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 			Detail: "trace PC outside program"}
 	}
 	in := &s.prog.Insts[te.PC]
+	md := &s.meta[te.PC]
 	s.m.Insts++
 
 	// ---- IF ----
@@ -333,27 +345,28 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		ePipe = s.lastIssue
 	}
 	e := ePipe
-	s.scratchRegs = in.IntRegsRead(s.scratchRegs[:0])
-	for _, r := range s.scratchRegs {
+	for _, r := range md.intRegs[:md.nInt] {
 		if t := s.regReady[r]; t > e {
 			e = t
 		}
 	}
-	switch in.Op {
-	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
-		e = max64(e, s.fpReady[in.Rs1], s.fpReady[in.Rs2])
-	case isa.OpFMov, isa.OpCvtFI:
-		e = max64(e, s.fpReady[in.Rs1], 0)
-	case isa.OpFStore:
-		e = max64(e, s.fpReady[in.Rs2], 0)
+	if md.fpA != 0 {
+		if t := s.fpReady[md.fpA-1]; t > e {
+			e = t
+		}
+	}
+	if md.fpB != 0 {
+		if t := s.fpReady[md.fpB-1]; t > e {
+			e = t
+		}
 	}
 
 	// ---- early address generation (decided at ID1/ID2, before issue) ----
 	spec := noSpec
-	if in.IsLoad() {
+	if md.isLoad() {
 		s.m.Loads++
 		s.obsCycle = d2
-		spec = s.speculate(in, te, d1, d2, e)
+		spec = s.speculate(in, md, te, d1, d2, e)
 		switch spec.path {
 		case pathPredict:
 			spec.applyTo(&s.m.Predict)
@@ -380,12 +393,12 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	eFlow := e
 	var widthStall, fuStall int64
 	var fu *resTrack
-	switch {
-	case in.IsALU():
+	switch md.fu {
+	case fuALU:
 		fu = &s.aluRes
-	case in.IsFP():
+	case fuFP:
 		fu = &s.fpRes
-	case in.IsBranch():
+	case fuBr:
 		fu = &s.brRes
 	}
 	for {
@@ -428,7 +441,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 
 	// ---- EXE/MEM and destination ready times ----
 	switch {
-	case in.IsLoad():
+	case md.isLoad():
 		var ready, effLat int64
 		switch {
 		case spec.lat >= 0:
@@ -470,9 +483,9 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		}
 		s.m.LoadLatencySum += effLat
 		if s.attrib != nil {
-			s.recordLoad(in, te.PC, &spec, effLat)
+			s.recordLoad(in, md, te.PC, &spec, effLat)
 		}
-		if in.Op == isa.OpFLoad {
+		if md.isFLoad() {
 			s.fpReady[in.Rd] = ready
 		} else if in.Rd != isa.RegZero {
 			s.regReady[in.Rd] = ready
@@ -481,7 +494,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		s.obsCycle = e + 1
 		s.updatePredictor(te, spec.path == pathPredict)
 
-	case in.IsStore():
+	case md.isStore():
 		s.m.Stores++
 		m := e + 1
 		for !s.portRes.tryUse(m) {
@@ -492,27 +505,19 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		done = m + 1
 		s.recordStore(e, m, te.EA, int64(in.Width))
 
-	case in.IsBranch():
+	case md.isBranch():
 		s.obsCycle = e
 		s.resolveBranch(in, te, f, d1, e)
 		done = e + 1
 
 	default:
-		lat := int64(1)
-		switch in.Op {
-		case isa.OpMul:
-			lat = int64(s.cfg.LatMul)
-		case isa.OpDiv, isa.OpRem:
-			lat = int64(s.cfg.LatDiv)
-		case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpFMov, isa.OpCvtIF:
-			lat = int64(s.cfg.LatFP)
-		}
+		lat := int64(md.lat)
 		done = e + lat
-		if r, ok := in.WritesIntReg(); ok {
-			s.regReady[r] = e + lat
+		if md.wInt != 0 {
+			s.regReady[md.wInt-1] = e + lat
 		}
-		if r, ok := in.WritesFPReg(); ok {
-			s.fpReady[r] = e + lat
+		if md.wFP != 0 {
+			s.fpReady[md.wFP-1] = e + lat
 		}
 	}
 
@@ -524,14 +529,14 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	}
 	if s.traceCap > 0 {
 		fwd := int8(-1)
-		if in.IsLoad() && spec.lat >= 0 {
+		if md.isLoad() && spec.lat >= 0 {
 			fwd = int8(spec.lat)
 		}
 		s.recordStages(te.PC, f, e, done, fwd)
 	}
 	if s.sink != nil {
 		fwdLat := int64(-1)
-		if in.IsLoad() && spec.forwarded {
+		if md.isLoad() && spec.forwarded {
 			fwdLat = spec.lat
 		}
 		s.emit(Event{Kind: EvRetire, Seq: s.m.Insts - 1, PC: te.PC, Cycle: done,
@@ -661,13 +666,14 @@ func (r *specResult) applyTo(ps *PathStats) {
 // speculate runs the ID1/ID2 early-address-generation logic for a load.
 // The result's path field records which mechanism this execution was
 // steered to; pathPredict determines whether the MEM-stage table update
-// allocates.
-func (s *Sim) speculate(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64) specResult {
+// allocates. The flavour driving SelCompiler comes from the decode cache,
+// where any overlay passed to New has already been resolved.
+func (s *Sim) speculate(in *isa.Inst, md *instMeta, te *emu.TraceEntry, d1, d2, e int64) specResult {
 	switch s.cfg.Select {
 	case SelNone:
 		return noSpec
 	case SelCompiler:
-		switch in.Flavor {
+		switch md.flavor {
 		case isa.LdP:
 			if s.table == nil {
 				return noSpec

@@ -27,7 +27,7 @@ func sim(t *testing.T, cfg Config, src string) *Metrics {
 
 func mustSim(t *testing.T, cfg Config, p *isa.Program) *Sim {
 	t.Helper()
-	s, err := New(cfg, p)
+	s, err := New(cfg, p, nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -396,7 +396,7 @@ func TestListingHasNoSurprises(t *testing.T) {
 	p2 := asmtest.MustAssemble(t, alt)
 	r1, tr1, _ := emu.RunTrace(p1, 0, true)
 	r2, tr2, _ := emu.RunTrace(p2, 0, true)
-	if r1.Output() != r2.Output() || len(tr1) != len(tr2) {
+	if r1.Output() != r2.Output() || tr1.Len() != tr2.Len() {
 		t.Errorf("flavour changed architectural behaviour")
 	}
 }
@@ -447,7 +447,7 @@ func TestStageTraceMarksForwardedLoads(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := mustSim(t, cfg, p)
-	s.EnableStageTrace(len(trace))
+	s.EnableStageTrace(trace.Len())
 	if _, err := s.Run(trace); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,72 @@
+// Replay microbenchmarks: timing-model throughput over prebuilt dynamic
+// traces — the hot path of every table and figure in the evaluation. The
+// labs (compile + profile + trace) are built once outside the timed
+// region, so ns/op and allocs/op measure trace replay alone.
+package elag_test
+
+import (
+	"testing"
+
+	"elag"
+	"elag/internal/harness"
+	"elag/internal/workload"
+)
+
+const replayFuel = 500_000
+
+// replayLabs prepares one Lab per SPEC benchmark (the Table-2 workload).
+func replayLabs(b *testing.B) []*harness.Lab {
+	var labs []*harness.Lab
+	for _, w := range workload.BySuite(workload.SPEC) {
+		r := &harness.Runner{Fuel: replayFuel}
+		l, err := r.Lab(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		labs = append(labs, l)
+	}
+	return labs
+}
+
+func replayInsts(labs []*harness.Lab) int64 {
+	var n int64
+	for _, l := range labs {
+		n += l.EmuRes.DynamicInsts
+	}
+	return n
+}
+
+// BenchmarkReplayTable2 replays every SPEC benchmark's trace under the
+// paper's compiler-directed configuration — the per-cell work of Table 2's
+// grid.
+func BenchmarkReplayTable2(b *testing.B) {
+	labs := replayLabs(b)
+	insts := replayInsts(labs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range labs {
+			if _, err := l.Simulate(harness.CompilerDual(), l.HeurFlavors); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkReplayBase replays the SPEC traces under the base architecture
+// (no early address generation) — the denominator of every speedup.
+func BenchmarkReplayBase(b *testing.B) {
+	labs := replayLabs(b)
+	insts := replayInsts(labs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range labs {
+			if _, err := l.Simulate(elag.BaseConfig(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
