@@ -14,9 +14,16 @@
 //	              ("-" for stdout), for the repo's BENCH_*.json trajectory
 //	-parallel N   fan benchmarks across N workers (results are byte-identical
 //	              at every setting; wall time is reported on stderr)
+//	-chunk N      stream traces in N-entry chunks instead of materializing
+//	              them (peak trace memory O(N) per worker; artifacts are
+//	              byte-identical at every setting)
+//	-nobatch      replay each grid cell in its own pass instead of batching
+//	              all configurations through one pass (for wall-time A/B;
+//	              artifacts are byte-identical either way)
 //	-cpuprofile f write a CPU profile
+//	-memprofile f write a heap profile at exit
 //	-replaybench f  run the trace-replay microbenchmarks and write the
-//	              elag-replaybench/v1 JSON document ("-" for stdout)
+//	              elag-replaybench/v2 JSON document ("-" for stdout)
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSVs for every artifact into this directory")
 	jsonPath := flag.String("json", "", `write all artifacts as one JSON document to this file ("-" = stdout)`)
 	replayPath := flag.String("replaybench", "", `run the replay microbenchmarks, write JSON to this file ("-" = stdout)`)
+	noBatch := flag.Bool("nobatch", false, "replay each grid cell in its own pass (disables batched replay)")
 	perf := cli.PerfFlags()
 	flag.Parse()
 	perf.Start("elag-bench")
@@ -47,7 +55,8 @@ func main() {
 	if *quiet {
 		logw = nil
 	}
-	r := &harness.Runner{Fuel: *fuel, Log: logw, Parallel: perf.Parallel}
+	r := &harness.Runner{Fuel: *fuel, Log: logw, Parallel: perf.Parallel,
+		ChunkSize: perf.Chunk, NoBatch: *noBatch}
 
 	if *replayPath != "" {
 		doc, err := r.ReplayBench()

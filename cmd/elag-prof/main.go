@@ -11,6 +11,7 @@
 //	-all           list every load, not just the reclassified ones
 //	-parallel N    GOMAXPROCS for the run
 //	-cpuprofile f  write a CPU profile
+//	-memprofile f  write a heap profile at exit
 package main
 
 import (

@@ -14,9 +14,12 @@
 //	-v             print the full metrics summary (paths, failure terms)
 //	-pipeview N    render the first N instructions' stage timeline
 //	-all           compare base and all four early-address configurations
-//	-parallel N    with -all, simulate configurations concurrently (the
-//	               printed table is identical at every setting)
+//	               in one batched pass: the program is emulated once and
+//	               every configuration replays each trace chunk in turn
+//	-chunk N       stream the trace in N-entry chunks (bounded memory;
+//	               the printed tables are identical at every setting)
 //	-cpuprofile f  write a CPU profile
+//	-memprofile f  write a heap profile at exit
 package main
 
 import (
@@ -24,7 +27,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
 	"elag"
 	"elag/cmd/internal/cli"
@@ -61,51 +63,33 @@ func main() {
 		p.ApplyProfile(lp, 0)
 	}
 
-	base, res, err := p.Simulate(elag.BaseConfig(), *fuel)
-	if err != nil {
-		cli.Fatal("elag-sim", fmt.Errorf("simulate base: %w", err))
-	}
 	if *all {
 		fmt.Printf("program: %s\n", flag.Arg(0))
 		if p.Classes != nil {
 			fmt.Printf("classification: %s\n", p.Classes)
 		}
 		names := []string{"hw-pred", "hw-early", "hw-dual", "compiler"}
-		// Each configuration replays its own fresh simulation over the
-		// shared immutable program, so the cells fan out across workers;
-		// results land in fixed slots and print in fixed order.
-		metrics := make([]*elag.Metrics, len(names))
-		errs := make([]error, len(names))
-		sem := make(chan struct{}, max(1, perf.Parallel))
-		var wg sync.WaitGroup
-		for i, name := range names {
+		// One batched pass: the program is emulated exactly once and every
+		// configuration (base included) advances through each trace chunk
+		// while it is cache-hot. Rows print in fixed order and are
+		// bit-identical to five independent simulations.
+		specs := []elag.BatchSpec{{Config: elag.BaseConfig()}}
+		for _, name := range names {
 			c, err := cli.Config(name, *table, *regs)
 			if err != nil {
 				cli.Fatal("elag-sim", err)
 			}
-			wg.Add(1)
-			go func(i int, name string, c elag.SimConfig) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				m, _, err := p.Simulate(c, *fuel)
-				if err != nil {
-					errs[i] = fmt.Errorf("simulate %s: %w", name, err)
-					return
-				}
-				metrics[i] = m
-			}(i, name, c)
+			specs = append(specs, elag.BatchSpec{Config: c})
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				cli.Fatal("elag-sim", err)
-			}
+		metrics, _, err := p.SimulateBatch(specs, *fuel, perf.Chunk)
+		if err != nil {
+			cli.Fatal("elag-sim", fmt.Errorf("simulate: %w", err))
 		}
+		base := metrics[0]
 		fmt.Printf("%-10s %12s %8s %10s %9s\n", "config", "cycles", "IPC", "load-lat", "speedup")
 		fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n", "base", base.Cycles, base.IPC(), base.AvgLoadLatency(), 1.0)
 		for i, name := range names {
-			m := metrics[i]
+			m := metrics[i+1]
 			fmt.Printf("%-10s %12d %8.2f %10.2f %9.3f\n",
 				name, m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
 		}
@@ -115,10 +99,13 @@ func main() {
 	if err != nil {
 		cli.Fatal("elag-sim", err)
 	}
-	m, _, err := p.Simulate(cfg, *fuel)
+	// Base and the chosen configuration share one emulation pass.
+	ms, res, err := p.SimulateBatch(
+		[]elag.BatchSpec{{Config: elag.BaseConfig()}, {Config: cfg}}, *fuel, perf.Chunk)
 	if err != nil {
 		cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", *config, err))
 	}
+	base, m := ms[0], ms[1]
 	if *pipeview > 0 {
 		view, err := p.StageView(cfg, *fuel, *pipeview)
 		if err != nil {

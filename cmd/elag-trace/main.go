@@ -19,7 +19,10 @@
 //	-o dir         output directory (default trace-out)
 //	-top N         worst-loads report length (default 10)
 //	-parallel N    GOMAXPROCS for the run
+//	-chunk N       stream the trace in N-entry chunks (bounded memory;
+//	               artifacts are byte-identical at every setting)
 //	-cpuprofile f  write a CPU profile
+//	-memprofile f  write a heap profile at exit
 package main
 
 import (
@@ -62,7 +65,8 @@ func main() {
 	}
 
 	rec := &elag.TraceRecorder{FromCycle: *from, ToCycle: *to, Limit: *limit}
-	m, _, err := p.SimulateObserved(cfg, *fuel, elag.ObserveOptions{Sink: rec, PerPC: true})
+	m, _, err := p.SimulateObserved(cfg, *fuel,
+		elag.ObserveOptions{Sink: rec, PerPC: true, ChunkSize: perf.Chunk})
 	if err != nil {
 		cli.Fatal("elag-trace", fmt.Errorf("simulate %s: %w", *config, err))
 	}

@@ -6,34 +6,49 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 )
 
-// Perf is the performance flag pair shared by the elag tools: -parallel
-// (worker/GOMAXPROCS parallelism) and -cpuprofile (pprof output). Register
-// with PerfFlags before flag.Parse, bracket main's work with Start/Stop.
+// Perf is the performance flag set shared by the elag tools: -parallel
+// (worker/GOMAXPROCS parallelism), -chunk (streaming trace chunk size),
+// -cpuprofile and -memprofile (pprof output). Register with PerfFlags
+// before flag.Parse, bracket main's work with Start/Stop.
 type Perf struct {
 	// Parallel is the requested parallelism: the worker-pool size for
 	// grid experiments and the GOMAXPROCS setting for the process.
 	Parallel int
+	// Chunk is the streaming trace chunk size in entries. > 0 streams the
+	// architectural execution in recycled chunks (peak trace memory
+	// O(Chunk), any fuel budget fits in memory); 0 keeps traces resident.
+	// Results are bit-identical either way.
+	Chunk int
 
 	cpuprofile string
+	memprofile string
 	tool       string
 	f          *os.File
 	start      time.Time
+
+	sampleStop chan struct{}
+	sampleDone sync.WaitGroup
+	peakHeap   uint64
 }
 
-// PerfFlags registers -parallel and -cpuprofile on the default flag set.
+// PerfFlags registers the shared performance flags on the default flag set.
 func PerfFlags() *Perf {
 	p := &Perf{}
 	flag.IntVar(&p.Parallel, "parallel", runtime.GOMAXPROCS(0),
 		"parallelism (worker pool size; results are identical at any value)")
+	flag.IntVar(&p.Chunk, "chunk", 0,
+		"stream traces in chunks of this many entries (0 = materialize; results identical)")
 	flag.StringVar(&p.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&p.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	return p
 }
 
-// Start applies the parallelism setting, starts profiling if requested, and
-// begins the wall-time clock. Call after flag.Parse.
+// Start applies the parallelism setting, starts profiling and the peak-heap
+// sampler, and begins the wall-time clock. Call after flag.Parse.
 func (p *Perf) Start(tool string) {
 	p.tool = tool
 	p.start = time.Now()
@@ -50,11 +65,46 @@ func (p *Perf) Start(tool string) {
 		}
 		p.f = f
 	}
+	p.sampleStop = make(chan struct{})
+	p.sampleDone.Add(1)
+	go p.sampleHeap()
 }
 
-// Stop flushes the profile (if any) and reports wall time on stderr.
-// Wall time goes to stderr so stdout artifacts stay byte-comparable
-// across -parallel settings.
+// sampleHeap polls HeapAlloc until Stop, tracking the high-water mark. A
+// 10ms tick is frequent enough to catch a resident multi-megabyte trace yet
+// cheap enough to never show in profiles.
+func (p *Perf) sampleHeap() {
+	defer p.sampleDone.Done()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	var ms runtime.MemStats
+	for {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > p.peakHeap {
+			p.peakHeap = ms.HeapAlloc
+		}
+		select {
+		case <-p.sampleStop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// PeakHeap stops the sampler (idempotent) and returns the observed peak
+// HeapAlloc in bytes.
+func (p *Perf) PeakHeap() uint64 {
+	if p.sampleStop != nil {
+		close(p.sampleStop)
+		p.sampleDone.Wait()
+		p.sampleStop = nil
+	}
+	return p.peakHeap
+}
+
+// Stop flushes the profiles (if any) and reports wall time plus peak heap
+// on stderr. Both go to stderr so stdout artifacts stay byte-comparable
+// across -parallel and -chunk settings.
 func (p *Perf) Stop() {
 	if p.f != nil {
 		pprof.StopCPUProfile()
@@ -63,6 +113,21 @@ func (p *Perf) Stop() {
 		}
 		fmt.Fprintf(os.Stderr, "%s: CPU profile written to %s\n", p.tool, p.cpuprofile)
 	}
-	fmt.Fprintf(os.Stderr, "%s: wall time %.3fs (parallel=%d)\n",
-		p.tool, time.Since(p.start).Seconds(), p.Parallel)
+	peak := p.PeakHeap()
+	if p.memprofile != "" {
+		f, err := os.Create(p.memprofile)
+		if err != nil {
+			Fatal(p.tool, fmt.Errorf("memprofile: %w", err))
+		}
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			Fatal(p.tool, fmt.Errorf("memprofile: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			Fatal(p.tool, fmt.Errorf("memprofile: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "%s: heap profile written to %s\n", p.tool, p.memprofile)
+	}
+	fmt.Fprintf(os.Stderr, "%s: wall time %.3fs, peak heap %.1f MB (parallel=%d chunk=%d)\n",
+		p.tool, time.Since(p.start).Seconds(), float64(peak)/(1<<20), p.Parallel, p.Chunk)
 }

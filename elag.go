@@ -114,7 +114,15 @@ type (
 	// MetricsDoc is the schema-versioned machine-readable form of one
 	// run's metrics (see NewMetricsDoc / WriteMetricsJSON).
 	MetricsDoc = obs.MetricsDoc
+	// BatchSpec is one configuration cell of a batched replay (see
+	// SimulateBatch): a simulator configuration plus an optional flavour
+	// overlay.
+	BatchSpec = pipeline.BatchSpec
 )
+
+// DefaultChunkSize is the streaming-trace chunk size used when a chunked
+// entry point is passed chunkSize <= 0.
+const DefaultChunkSize = emu.DefaultChunkSize
 
 // Selection policies (see pipeline.Selection).
 const (
@@ -286,6 +294,23 @@ func (p *Program) Simulate(cfg SimConfig, fuel int64) (*Metrics, RunResult, erro
 	return pipeline.Simulate(cfg, p.Machine, fuel)
 }
 
+// SimulateStream is Simulate with bounded memory: the dynamic trace is
+// streamed through the timing model in chunkSize-entry chunks (<= 0 for
+// DefaultChunkSize) instead of materialized, so peak trace memory is
+// O(chunkSize) regardless of fuel. Metrics are bit-identical to Simulate.
+func (p *Program) SimulateStream(cfg SimConfig, fuel int64, chunkSize int) (*Metrics, RunResult, error) {
+	return pipeline.SimulateStream(cfg, p.Machine, fuel, chunkSize)
+}
+
+// SimulateBatch emulates the program once and replays its trace under
+// every spec in a single streamed pass (see pipeline.BatchReplay): one
+// architectural execution amortized over N configurations, each chunk
+// cache-hot across all of them. Metrics are returned in spec order and are
+// bit-identical to N independent Simulate calls.
+func (p *Program) SimulateBatch(specs []BatchSpec, fuel int64, chunkSize int) ([]*Metrics, RunResult, error) {
+	return pipeline.BatchReplay(p.Machine, fuel, chunkSize, specs)
+}
+
 // ObserveOptions configures SimulateObserved. The zero value observes
 // nothing (equivalent to Simulate).
 type ObserveOptions struct {
@@ -300,25 +325,37 @@ type ObserveOptions struct {
 	// this simulation only (the program itself is not mutated, so
 	// concurrent simulations with different overlays are safe).
 	Flavors FlavorOverlay
+	// ChunkSize, when > 0, streams the trace through the simulation in
+	// chunks of this many entries instead of materializing it (peak trace
+	// memory O(ChunkSize)); metrics and the event stream are bit-identical
+	// either way.
+	ChunkSize int
 }
 
 // SimulateObserved runs the timing model under cfg with observability
 // attached. Tracing costs nothing when o is zero; with a sink attached the
 // timing result is identical — observation never perturbs the model.
 func (p *Program) SimulateObserved(cfg SimConfig, fuel int64, o ObserveOptions) (*Metrics, RunResult, error) {
-	res, trace, err := emu.RunTrace(p.Machine, fuel, true)
-	if err != nil && !errors.Is(err, emu.ErrFuel) {
-		return nil, res, err
-	}
 	sim, err := pipeline.New(cfg, p.Machine, o.Flavors)
 	if err != nil {
-		return nil, res, err
+		return nil, RunResult{}, err
 	}
 	if o.PerPC {
 		sim.EnablePerPC()
 	}
 	if o.Sink != nil {
 		sim.AttachSink(o.Sink)
+	}
+	if o.ChunkSize > 0 {
+		res, err := emu.StreamTrace(p.Machine, fuel, o.ChunkSize, sim.RunChunk)
+		if err != nil && !errors.Is(err, emu.ErrFuel) {
+			return nil, res, err
+		}
+		return sim.Metrics(), res, nil
+	}
+	res, trace, err := emu.RunTrace(p.Machine, fuel, true)
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return nil, res, err
 	}
 	m, err := sim.Run(trace)
 	return m, res, err

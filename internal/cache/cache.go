@@ -92,8 +92,10 @@ type way struct {
 // Cache is a tag-store cache model. Use New to construct one.
 type Cache struct {
 	cfg      Config
-	sets     []([]way)
+	ways     []way // flat set-major tag store: set s occupies [s*assoc, (s+1)*assoc)
+	assoc    int
 	setShift uint
+	tagShift uint // setShift plus the set-index width
 	setMask  int64
 	stamp    int64
 	stats    Stats
@@ -115,16 +117,14 @@ func New(cfg Config) (*Cache, error) {
 	}
 	nBlocks := cfg.SizeBytes / cfg.BlockBytes
 	nSets := nBlocks / cfg.Assoc
-	c := &Cache{cfg: cfg, sets: make([][]way, nSets), setMask: int64(nSets - 1)}
+	c := &Cache{cfg: cfg, assoc: cfg.Assoc, setMask: int64(nSets - 1)}
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.setShift++
 	}
-	// All sets share one backing array: two allocations per cache instead
-	// of one per set, and adjacent sets stay adjacent in memory.
-	ways := make([]way, nSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = ways[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
+	c.tagShift = c.setShift + popcount64(uint64(c.setMask))
+	// One flat set-major array: a single allocation, adjacent sets adjacent
+	// in memory, and the hot direct-mapped lookup is one index away.
+	c.ways = make([]way, nSets*cfg.Assoc)
 	return c, nil
 }
 
@@ -140,13 +140,26 @@ func (c *Cache) MissPenalty() int { return c.cfg.MissPenalty }
 // Probe reports whether addr currently hits, without updating any state.
 func (c *Cache) Probe(addr int64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if w := &c.sets[set][i]; w.valid && w.tag == tag {
+	ways := c.set(set)
+	for i := range ways {
+		if w := &ways[i]; w.valid && w.tag == tag {
 			return true
 		}
 	}
 	return false
 }
+
+// set returns the ways of one set.
+func (c *Cache) set(set int64) []way {
+	base := int(set) * c.assoc
+	return c.ways[base : base+c.assoc]
+}
+
+// CountHit records a demand access known to hit without probing the tag
+// store. Callers must guarantee residency — it exists for replay fast
+// paths that can prove the block is resident (e.g. a refetch of the same
+// instruction block with no intervening access).
+func (c *Cache) CountHit() { c.stats.Accesses++ }
 
 // Access performs a demand access at addr: on a miss the block is filled
 // (LRU replacement). It returns true on a hit.
@@ -189,9 +202,23 @@ func (c *Cache) SpecAccess(addr int64) bool {
 }
 
 func (c *Cache) touch(addr int64, allocate bool) bool {
-	set, tag := c.index(addr)
-	ways := c.sets[set]
+	if c.assoc == 1 {
+		// Direct-mapped (the paper's geometry, and the hot path of every
+		// replay): one way, no LRU bookkeeping, no use stamp.
+		block := addr >> c.setShift
+		w := &c.ways[block&c.setMask]
+		tag := block >> (c.tagShift - c.setShift)
+		if w.valid && w.tag == tag {
+			return true
+		}
+		if allocate {
+			*w = way{valid: true, tag: tag}
+		}
+		return false
+	}
 	c.stamp++
+	set, tag := c.index(addr)
+	ways := c.set(set)
 	for i := range ways {
 		if w := &ways[i]; w.valid && w.tag == tag {
 			w.lru = c.stamp
@@ -217,7 +244,7 @@ func (c *Cache) touch(addr int64, allocate bool) bool {
 
 func (c *Cache) index(addr int64) (set, tag int64) {
 	block := addr >> c.setShift
-	return block & c.setMask, block >> popcount64(uint64(c.setMask))
+	return block & c.setMask, addr >> c.tagShift
 }
 
 func popcount64(v uint64) uint {

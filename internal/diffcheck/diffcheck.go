@@ -27,6 +27,7 @@ package diffcheck
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 
 	"elag/internal/addrpred"
@@ -177,11 +178,13 @@ func Check(prog *isa.Program, opt Options) (*Report, error) {
 	}
 
 	var baseCycles int64
+	seqMetrics := make([]*pipeline.Metrics, len(configs))
 	for i, nc := range configs {
 		m := checkConfig(prog, nc, trace, &res, opt.MaxCPI, rep)
 		if m == nil {
 			continue
 		}
+		seqMetrics[i] = m
 		rep.Cycles[nc.Name] = m.Cycles
 		if i == 0 {
 			baseCycles = m.Cycles
@@ -194,6 +197,7 @@ func Check(prog *isa.Program, opt Options) (*Report, error) {
 				"%d cycles vs %d under %s", m.Cycles, baseCycles, configs[0].Name)
 		}
 	}
+	checkStream(prog, trace, opt.Fuel, configs, seqMetrics, rep)
 
 	// Architectural transparency: the replays above must not have
 	// touched the program image, and re-emulating now must reproduce the
@@ -246,6 +250,80 @@ func checkLockstep(prog *isa.Program, trace *emu.Trace, rep *Report) {
 			return
 		}
 	}
+}
+
+// checkStream verifies the streaming engine against the materialized one:
+// StreamTrace's chunk concatenation must reproduce the recorded trace entry
+// for entry (sequence numbers included), and a batched streamed replay of
+// every configuration must produce metrics bit-identical to the sequential
+// whole-trace replays. The awkward chunk size (97) forces partial final
+// chunks on almost every program.
+func checkStream(prog *isa.Program, trace *emu.Trace, fuel int64,
+	configs []NamedConfig, seq []*pipeline.Metrics, rep *Report) {
+	const chunk = 97
+	stop := errors.New("stop")
+	off := 0
+	_, err := emu.StreamTrace(prog, fuel, chunk, func(c *emu.Trace) error {
+		if c.Seq0 != int64(off) {
+			rep.failf("", "stream-trace", "chunk Seq0 %d at offset %d", c.Seq0, off)
+			return stop
+		}
+		n := c.Len()
+		if n == 0 || n > chunk {
+			rep.failf("", "stream-trace", "chunk of %d entries (chunk size %d)", n, chunk)
+			return stop
+		}
+		if off+n > trace.Len() {
+			rep.failf("", "stream-trace",
+				"stream produced %d entries, trace has %d", off+n, trace.Len())
+			return stop
+		}
+		for i := 0; i < n; i++ {
+			if c.At(i) != trace.At(off+i) {
+				rep.failf("", "stream-trace", "entry %d: stream %+v != trace %+v",
+					off+i, c.At(i), trace.At(off+i))
+				return stop
+			}
+		}
+		off += n
+		return nil
+	})
+	if err != nil && !errors.Is(err, emu.ErrFuel) && !errors.Is(err, stop) {
+		rep.failf("", "stream-trace", "streaming emulation: %v", err)
+		return
+	}
+	if errors.Is(err, stop) {
+		return
+	}
+	if off != trace.Len() {
+		rep.failf("", "stream-trace", "stream produced %d entries, trace has %d", off, trace.Len())
+		return
+	}
+
+	specs := make([]pipeline.BatchSpec, len(configs))
+	for i, nc := range configs {
+		specs[i] = pipeline.BatchSpec{Config: nc.Config}
+	}
+	ms, _, err := pipeline.BatchReplay(prog, fuel, chunk, specs)
+	if err != nil {
+		rep.failf("", "stream-batch", "batched replay: %v", err)
+		return
+	}
+	for i, nc := range configs {
+		if seq[i] == nil {
+			continue
+		}
+		if !metricsEqual(ms[i], seq[i]) {
+			rep.failf(nc.Name, "stream-batch",
+				"batched streamed metrics differ from sequential replay: %d cycles vs %d",
+				ms[i].Cycles, seq[i].Cycles)
+		}
+	}
+}
+
+// metricsEqual compares two metrics structs field for field.
+func metricsEqual(a, b *pipeline.Metrics) bool {
+	return reflect.DeepEqual(a, b)
 }
 
 // checkClasses verifies that the program's load flavours agree with the

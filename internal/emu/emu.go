@@ -293,13 +293,19 @@ func (c *CPU) Step(te *TraceEntry) error {
 
 // Trace is the dynamic instruction trace in a packed columnar
 // (structure-of-arrays) layout: one parallel slice per TraceEntry field,
-// with the dynamic sequence number implicit in the index. The replay loop
-// streams ~25 bytes per instruction instead of the ~48 bytes of a padded
-// []TraceEntry, and a trace sized from the retired-instruction count is
-// allocated exactly once (no append regrowth). A Trace is immutable after
-// RunTrace returns; any number of timing simulations may replay it
-// concurrently.
+// with the dynamic sequence number implicit in the index (offset by Seq0
+// for chunks of a streamed trace). The replay loop streams ~25 bytes per
+// instruction instead of the ~48 bytes of a padded []TraceEntry, and a
+// trace sized from the retired-instruction count is allocated exactly once
+// (no append regrowth). A Trace is immutable after RunTrace returns; any
+// number of timing simulations may replay it concurrently. Chunks handed
+// out by StreamTrace are the exception: they are recycled, and are only
+// valid until their yield callback returns.
 type Trace struct {
+	// Seq0 is the dynamic sequence number of entry 0: zero for a whole
+	// materialized trace, the running instruction count for a chunk of a
+	// streamed one.
+	Seq0    int64
 	PC      []int32 // instruction index
 	NextPC  []int32 // PC of the next executed instruction
 	EA      []int64 // effective address (memory ops only)
@@ -324,13 +330,13 @@ func NewTrace(n int) *Trace {
 // Len returns the number of recorded instructions.
 func (t *Trace) Len() int { return len(t.PC) }
 
-// At materializes entry i as a TraceEntry (SeqNum = i). Replay hot loops
-// read the columns directly; At is the convenience accessor for checkers
-// and tests.
+// At materializes entry i as a TraceEntry (SeqNum = Seq0+i). Replay hot
+// loops read the columns directly; At is the convenience accessor for
+// checkers and tests.
 func (t *Trace) At(i int) TraceEntry {
 	return TraceEntry{
 		PC:      int(t.PC[i]),
-		SeqNum:  int64(i),
+		SeqNum:  t.Seq0 + int64(i),
 		EA:      t.EA[i],
 		BaseVal: t.BaseVal[i],
 		Taken:   t.Taken[i],
@@ -356,11 +362,66 @@ func (t *Trace) Prefix(n int) *Trace {
 	}
 }
 
-// Fill writes entry i into te (SeqNum = i). The replay loop reuses one
-// stack TraceEntry across the whole trace this way.
+// Slice returns a view of entries [lo, hi), with Seq0 advanced so the
+// view's sequence numbers match the parent's. The view shares the
+// underlying columns; neither may be mutated. Batched replay walks a
+// materialized trace in cache-sized windows this way without copying.
+func (t *Trace) Slice(lo, hi int) *Trace {
+	return &Trace{
+		Seq0:    t.Seq0 + int64(lo),
+		PC:      t.PC[lo:hi],
+		NextPC:  t.NextPC[lo:hi],
+		EA:      t.EA[lo:hi],
+		BaseVal: t.BaseVal[lo:hi],
+		Taken:   t.Taken[lo:hi],
+	}
+}
+
+// Chunks walks a materialized trace in consecutive windows of at most
+// chunkSize entries, calling yield with a view of each (Seq0 advanced per
+// window). One view header is reused across the walk; like StreamTrace
+// chunks it is only valid until yield returns. chunkSize <= 0 yields the
+// whole trace in one window.
+func (t *Trace) Chunks(chunkSize int, yield func(*Trace) error) error {
+	n := t.Len()
+	if chunkSize <= 0 || chunkSize >= n {
+		return yield(t)
+	}
+	var view Trace
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		view.Seq0 = t.Seq0 + int64(lo)
+		view.PC = t.PC[lo:hi]
+		view.NextPC = t.NextPC[lo:hi]
+		view.EA = t.EA[lo:hi]
+		view.BaseVal = t.BaseVal[lo:hi]
+		view.Taken = t.Taken[lo:hi]
+		if err := yield(&view); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reset empties the trace for reuse as the next chunk, keeping the column
+// capacity and advancing Seq0 to the given sequence number.
+func (t *Trace) reset(seq0 int64) {
+	t.Seq0 = seq0
+	t.PC = t.PC[:0]
+	t.NextPC = t.NextPC[:0]
+	t.EA = t.EA[:0]
+	t.BaseVal = t.BaseVal[:0]
+	t.Taken = t.Taken[:0]
+}
+
+// Fill writes entry i into te (SeqNum = Seq0+i). The replay loop reuses
+// one stack TraceEntry across the whole trace this way.
 func (t *Trace) Fill(i int, te *TraceEntry) {
 	te.PC = int(t.PC[i])
-	te.SeqNum = int64(i)
+	te.SeqNum = t.Seq0 + int64(i)
 	te.EA = t.EA[i]
 	te.BaseVal = t.BaseVal[i]
 	te.Taken = t.Taken[i]
@@ -405,6 +466,78 @@ func RunTraceHint(prog *isa.Program, fuel, hint int64) (Result, *Trace, error) {
 	t := NewTrace(int(hint))
 	res, err := runTrace(prog, fuel, t)
 	return res, t, err
+}
+
+// DefaultChunkSize is the streaming chunk size used when a caller passes
+// chunkSize <= 0: 4096 entries ≈ 100 KB of columns, small enough to stay
+// resident in L2 while every batched pipeline state replays it, large
+// enough that per-chunk overhead vanishes.
+const DefaultChunkSize = 4096
+
+// StreamTrace executes prog like RunTrace but delivers the dynamic trace
+// in fixed-capacity chunks through yield instead of materializing it, so
+// peak trace memory is O(chunkSize) regardless of fuel — the path for
+// 100M+ instruction runs that could never hold a full columnar trace.
+//
+// Chunks are recycled through a two-deep ring: the chunk passed to yield
+// is valid only until yield returns (a consumer that needs the data longer
+// must copy it). Chunk boundaries carry no meaning — concatenating the
+// yielded chunks reproduces, bit for bit, the trace RunTrace would have
+// built, with Seq0 marking each chunk's position. Unlike RunTrace, no dry
+// counting pass is needed: chunk capacity is fixed up front, so the
+// program is emulated exactly once.
+//
+// On an architectural fault (including fuel exhaustion) the partial chunk
+// is flushed to yield first, then the fault is returned: consumers observe
+// the complete prefix trace, whose timing is still valid. An error
+// returned by yield aborts the run and is returned verbatim.
+func StreamTrace(prog *isa.Program, fuel int64, chunkSize int, yield func(*Trace) error) (Result, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if fuel <= 0 {
+		fuel = 200_000_000
+	}
+	ring := [2]*Trace{NewTrace(chunkSize), NewTrace(chunkSize)}
+	cur := 0
+	t := ring[0]
+	c := New(prog)
+	var te TraceEntry
+	flush := func() error {
+		if t.Len() == 0 {
+			return nil
+		}
+		seq := t.Seq0 + int64(t.Len())
+		if err := yield(t); err != nil {
+			return err
+		}
+		cur ^= 1
+		t = ring[cur]
+		t.reset(seq)
+		return nil
+	}
+	for !c.Halted() {
+		if c.res.DynamicInsts >= fuel {
+			fault := &isa.Fault{Kind: isa.FaultFuel, PC: c.PC, SeqNum: c.res.DynamicInsts}
+			if err := flush(); err != nil {
+				return c.res, err
+			}
+			return c.res, fault
+		}
+		if err := c.Step(&te); err != nil {
+			if ferr := flush(); ferr != nil {
+				return c.res, ferr
+			}
+			return c.res, err
+		}
+		t.push(&te)
+		if t.Len() == chunkSize {
+			if err := flush(); err != nil {
+				return c.res, err
+			}
+		}
+	}
+	return c.res, flush()
 }
 
 func runTrace(prog *isa.Program, fuel int64, t *Trace) (Result, error) {

@@ -69,18 +69,15 @@ func (r *Runner) Embedded() ([]EmbeddedRow, error) {
 	media := workload.BySuite(workload.Media)
 	rows := make([]EmbeddedRow, len(media))
 	err := r.forEachLab(media, func(i int, l *Lab) error {
-		base, err := l.Simulate(EmbeddedBase(), nil)
+		ms, err := l.SimulateBatch([]pipeline.BatchSpec{
+			{Config: EmbeddedBase()},
+			{Config: EmbeddedCompiler(), Flavors: l.HeurFlavors},
+			{Config: EmbeddedHWDual()},
+		})
 		if err != nil {
 			return err
 		}
-		cc, err := l.Simulate(EmbeddedCompiler(), l.HeurFlavors)
-		if err != nil {
-			return err
-		}
-		hw, err := l.Simulate(EmbeddedHWDual(), nil)
-		if err != nil {
-			return err
-		}
+		base, cc, hw := ms[0], ms[1], ms[2]
 		rows[i] = EmbeddedRow{
 			Name:            l.W.Name,
 			CompilerSpeedup: float64(base.Cycles) / float64(cc.Cycles),

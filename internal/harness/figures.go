@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"elag/internal/isa"
+	"elag/internal/pipeline"
 	"elag/internal/workload"
 )
 
@@ -22,10 +24,22 @@ type Figure struct {
 	Series     []FigureSeries `json:"series"`
 }
 
-// seriesDef is one figure series: a label plus the per-benchmark runner.
+// seriesDef is one figure series, declared as data: a label, the hardware
+// configuration, and the flavour overlay drawn from the lab (nil for the
+// program's baked-in flavours). Declarative series let figure() replay a
+// benchmark's entire column of configurations in one batched pass.
 type seriesDef struct {
 	label string
-	run   func(l *Lab) (float64, error)
+	cfg   pipeline.Config
+	flav  func(l *Lab) isa.FlavorOverlay
+}
+
+func (s *seriesDef) spec(l *Lab) pipeline.BatchSpec {
+	sp := pipeline.BatchSpec{Config: s.cfg}
+	if s.flav != nil {
+		sp.Flavors = s.flav(l)
+	}
+	return sp
 }
 
 func (r *Runner) figure(title string, suite workload.Suite, series []seriesDef) (*Figure, error) {
@@ -38,19 +52,31 @@ func (r *Runner) figure(title string, suite workload.Suite, series []seriesDef) 
 		fig.Series = append(fig.Series, FigureSeries{Label: s.label, Speedups: map[string]float64{}})
 	}
 	// One benchmark's column of cells is a single unit of work: its lab
-	// (and trace) is built once and replayed under every series
-	// configuration. Cells land in slots indexed by (series, benchmark).
+	// (and trace) is built once and all series configurations advance
+	// through the trace in a single batched pass. Cells land in slots
+	// indexed by (series, benchmark).
 	grid := make([][]float64, len(series))
 	for i := range grid {
 		grid[i] = make([]float64, len(benches))
 	}
 	err := r.forEachLab(benches, func(bi int, l *Lab) error {
-		for i, s := range series {
-			sp, err := s.run(l)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", s.label, l.W.Name, err)
+		base, err := l.BaseCycles()
+		if err != nil {
+			return fmt.Errorf("%s: base: %w", l.W.Name, err)
+		}
+		specs := make([]pipeline.BatchSpec, len(series))
+		for i := range series {
+			specs[i] = series[i].spec(l)
+		}
+		ms, err := l.SimulateBatch(specs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", l.W.Name, err)
+		}
+		for i, m := range ms {
+			if m.Cycles == 0 {
+				return fmt.Errorf("%s/%s: zero cycles", series[i].label, l.W.Name)
 			}
-			grid[i][bi] = sp
+			grid[i][bi] = float64(base) / float64(m.Cycles)
 		}
 		r.logf("%s done", l.W.Name)
 		return nil
@@ -84,20 +110,10 @@ var Figure5aSizes = []int{8, 16, 32}
 func (r *Runner) Figure5a() (*Figure, error) {
 	var series []seriesDef
 	for _, size := range Figure5aSizes {
-		size := size
 		series = append(series,
-			seriesDef{
-				label: fmt.Sprintf("hw-only %d", size),
-				run: func(l *Lab) (float64, error) {
-					return l.Speedup(HWPredict(size), nil)
-				},
-			},
-			seriesDef{
-				label: fmt.Sprintf("compiler %d", size),
-				run: func(l *Lab) (float64, error) {
-					return l.Speedup(CompilerPredict(size), l.HeurFlavors)
-				},
-			},
+			seriesDef{label: fmt.Sprintf("hw-only %d", size), cfg: HWPredict(size)},
+			seriesDef{label: fmt.Sprintf("compiler %d", size), cfg: CompilerPredict(size),
+				flav: (*Lab).heurFlavors},
 		)
 	}
 	return r.figure("Figure 5a: table-based address prediction only (scaled sizes)",
@@ -115,12 +131,9 @@ var Figure5bSizes = []int{1, 2, 4}
 func (r *Runner) Figure5b() (*Figure, error) {
 	var series []seriesDef
 	for _, n := range Figure5bSizes {
-		n := n
 		series = append(series, seriesDef{
 			label: fmt.Sprintf("hw-early %d regs", n),
-			run: func(l *Lab) (float64, error) {
-				return l.Speedup(HWEarly(n), nil)
-			},
+			cfg:   HWEarly(n),
 		})
 	}
 	return r.figure("Figure 5b: early address calculation only (scaled sizes)",
@@ -132,21 +145,11 @@ func (r *Runner) Figure5b() (*Figure, error) {
 // heuristics, and with heuristics plus address profiling.
 func (r *Runner) Figure5c() (*Figure, error) {
 	series := []seriesDef{
-		{label: "hw-predict 256", run: func(l *Lab) (float64, error) {
-			return l.Speedup(HWPredict(256), nil)
-		}},
-		{label: "hw-early 16", run: func(l *Lab) (float64, error) {
-			return l.Speedup(HWEarly(16), nil)
-		}},
-		{label: "hw-dual", run: func(l *Lab) (float64, error) {
-			return l.Speedup(HWDual(256, 16), nil)
-		}},
-		{label: "compiler dual", run: func(l *Lab) (float64, error) {
-			return l.Speedup(CompilerDual(), l.HeurFlavors)
-		}},
-		{label: "compiler dual+profile", run: func(l *Lab) (float64, error) {
-			return l.Speedup(CompilerDual(), l.ReclassFlavors)
-		}},
+		{label: "hw-predict 256", cfg: HWPredict(256)},
+		{label: "hw-early 16", cfg: HWEarly(16)},
+		{label: "hw-dual", cfg: HWDual(256, 16)},
+		{label: "compiler dual", cfg: CompilerDual(), flav: (*Lab).heurFlavors},
+		{label: "compiler dual+profile", cfg: CompilerDual(), flav: (*Lab).reclassFlavors},
 	}
 	return r.figure("Figure 5c: dual-path early address generation", workload.SPEC, series)
 }

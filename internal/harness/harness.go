@@ -47,6 +47,18 @@ type Runner struct {
 	// are never invalidated by eviction — the cache only drops its own
 	// reference.
 	MaxResident int
+	// ChunkSize, when > 0, puts labs in streaming mode: the dynamic trace
+	// is never materialized, and every simulation re-streams the
+	// architectural execution in chunks of this many entries (peak trace
+	// memory O(ChunkSize), enabling fuel budgets whose traces could never
+	// fit in memory). 0 keeps the trace resident and walks it in
+	// emu.DefaultChunkSize windows. Results are bit-identical either way.
+	ChunkSize int
+	// NoBatch disables batched multi-configuration replay: each grid cell
+	// replays the trace in its own pass, as the pre-batching engine did.
+	// Results are bit-identical with batching on or off; the switch exists
+	// for wall-time comparison and the determinism tests.
+	NoBatch bool
 
 	logMu sync.Mutex
 
@@ -115,9 +127,16 @@ type Lab struct {
 	// Profile holds per-load unlimited-table prediction rates.
 	Profile *profile.LoadProfile
 	// Trace is the architectural dynamic trace replayed by the timing
-	// model; EmuRes summarizes the architectural run.
+	// model. In streaming mode (Runner.ChunkSize > 0) it is nil — each
+	// simulation re-streams the execution instead — so peak memory stays
+	// O(chunk) regardless of fuel. EmuRes summarizes the architectural
+	// run in both modes.
 	Trace  *emu.Trace
 	EmuRes emu.Result
+
+	fuel    int64 // runner fuel, for streaming re-emulation
+	chunk   int   // streaming chunk size (0 = materialized)
+	noBatch bool  // per-cell sequential replay (Runner.NoBatch)
 
 	baseOnce   sync.Once
 	baseCycles int64
@@ -188,7 +207,8 @@ func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	l := &Lab{W: w, Prog: p, Heur: p.Classes}
+	l := &Lab{W: w, Prog: p, Heur: p.Classes,
+		fuel: r.Fuel, chunk: r.ChunkSize, noBatch: r.NoBatch}
 
 	lp, profRes, err := profile.Collect(p.Machine, r.Fuel)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
@@ -199,6 +219,13 @@ func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
 	l.HeurFlavors = l.Heur.Overlay(p.Machine)
 	l.ReclassFlavors = l.Reclass.Overlay(p.Machine)
 
+	if r.ChunkSize > 0 {
+		// Streaming mode: no materialized trace. The profiler's run is a
+		// complete architectural execution under the same fuel, so its
+		// Result stands in for the trace run's.
+		l.EmuRes = profRes
+		return l, nil
+	}
 	// The profiler already emulated this program under the same fuel, so
 	// its retired-instruction count sizes the trace columns exactly.
 	res, trace, err := emu.RunTraceHint(p.Machine, r.Fuel, profRes.DynamicInsts)
@@ -223,18 +250,86 @@ func (l *Lab) Simulate(cfg pipeline.Config, flavors isa.FlavorOverlay) (*pipelin
 // Observation never changes the timing result.
 func (l *Lab) SimulateObserved(cfg pipeline.Config, flavors isa.FlavorOverlay,
 	sink pipeline.EventSink, perPC bool) (*pipeline.Metrics, error) {
-	sim, err := pipeline.New(cfg, l.Prog.Machine, flavors)
+	ms, err := l.replayBatch([]pipeline.BatchSpec{{Config: cfg, Flavors: flavors}},
+		func(_ int, sim *pipeline.Sim) {
+			if perPC {
+				sim.EnablePerPC()
+			}
+			if sink != nil {
+				sim.AttachSink(sink)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
-	if perPC {
-		sim.EnablePerPC()
-	}
-	if sink != nil {
-		sim.AttachSink(sink)
-	}
-	return sim.Run(l.Trace)
+	return ms[0], nil
 }
+
+// SimulateBatch replays the benchmark's trace under every spec in a single
+// pass — one trace iteration shared by all configurations, each chunk
+// cache-hot across the whole batch — returning metrics in spec order.
+// Results are bit-identical to len(specs) Simulate calls. Under
+// Runner.NoBatch each spec gets its own pass instead (same results, the
+// pre-batching wall time).
+func (l *Lab) SimulateBatch(specs []pipeline.BatchSpec) ([]*pipeline.Metrics, error) {
+	if l.noBatch {
+		ms := make([]*pipeline.Metrics, len(specs))
+		for i, sp := range specs {
+			m, err := l.replayBatch(specs[i:i+1], nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s: spec %d %v: %w", l.W.Name, i, sp.Config.Select, err)
+			}
+			ms[i] = m[0]
+		}
+		return ms, nil
+	}
+	return l.replayBatch(specs, nil)
+}
+
+// replayBatch is the lab's replay engine: every simulation — single or
+// batched, materialized or streaming — funnels through here. attach (may be
+// nil) customizes each Sim before the first instruction. In materialized
+// mode the cached trace is walked in chunk windows with every Sim advanced
+// per window; in streaming mode (Runner.ChunkSize > 0) the architectural
+// execution is re-emulated through recycled chunks and never materialized.
+func (l *Lab) replayBatch(specs []pipeline.BatchSpec, attach func(i int, sim *pipeline.Sim)) ([]*pipeline.Metrics, error) {
+	sims, err := pipeline.NewBatch(l.Prog.Machine, specs)
+	if err != nil {
+		return nil, err
+	}
+	if attach != nil {
+		for i, sim := range sims {
+			attach(i, sim)
+		}
+	}
+	run := func(chunk *emu.Trace) error {
+		return pipeline.RunChunkBatch(sims, chunk)
+	}
+	if l.Trace != nil {
+		chunk := l.chunk
+		if chunk <= 0 {
+			chunk = emu.DefaultChunkSize
+		}
+		if err := l.Trace.Chunks(chunk, run); err != nil {
+			return nil, err
+		}
+	} else {
+		_, err := emu.StreamTrace(l.Prog.Machine, l.fuel, l.chunk, run)
+		if err != nil && !errors.Is(err, emu.ErrFuel) {
+			return nil, err
+		}
+	}
+	ms := make([]*pipeline.Metrics, len(sims))
+	for i, sim := range sims {
+		ms[i] = sim.Metrics()
+	}
+	return ms, nil
+}
+
+// heurFlavors / reclassFlavors are accessor forms of the overlay fields,
+// usable as method expressions in declarative series/spec tables.
+func (l *Lab) heurFlavors() isa.FlavorOverlay    { return l.HeurFlavors }
+func (l *Lab) reclassFlavors() isa.FlavorOverlay { return l.ReclassFlavors }
 
 // BaseCycles returns (memoizing) the cycle count of the base architecture,
 // the denominator of every speedup in Section 5. Safe for concurrent use;

@@ -10,18 +10,17 @@ import (
 	"elag/internal/workload"
 )
 
-// artifactJSON runs Table 2 and Figure 5a on a fresh runner at the given
-// parallelism and returns their canonical JSON encoding.
-func artifactJSON(t *testing.T, parallel int, fuel int64) []byte {
+// artifactJSON runs Table 2 and Figure 5a on a fresh runner and returns
+// their canonical JSON encoding.
+func artifactJSON(t *testing.T, r *harness.Runner) []byte {
 	t.Helper()
-	r := &harness.Runner{Fuel: fuel, Parallel: parallel}
 	rows, err := r.Table2()
 	if err != nil {
-		t.Fatalf("parallel=%d: table2: %v", parallel, err)
+		t.Fatalf("%+v: table2: %v", r, err)
 	}
 	fig, err := r.Figure5a()
 	if err != nil {
-		t.Fatalf("parallel=%d: fig5a: %v", parallel, err)
+		t.Fatalf("%+v: fig5a: %v", r, err)
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -35,19 +34,33 @@ func artifactJSON(t *testing.T, parallel int, fuel int64) []byte {
 
 // TestParallelDeterminism is the engine's headline guarantee: the grid
 // experiments produce byte-identical artifacts — cycle counts, speedups,
-// float averages and all — at every parallelism level. Run under -race
-// this also proves the fan-out is data-race-free.
+// float averages and all — at every parallelism level, with batched replay
+// on or off, and with traces materialized or streamed. Run under -race this
+// also proves the fan-out is data-race-free.
 func TestParallelDeterminism(t *testing.T) {
 	fuel := int64(120_000)
 	if testing.Short() {
 		fuel = 40_000
 	}
-	want := artifactJSON(t, 1, fuel)
-	for _, par := range []int{4, 8} {
-		got := artifactJSON(t, par, fuel)
+	want := artifactJSON(t, &harness.Runner{Fuel: fuel, Parallel: 1})
+	variants := []struct {
+		name string
+		r    *harness.Runner
+	}{
+		{"parallel=1 nobatch", &harness.Runner{Fuel: fuel, Parallel: 1, NoBatch: true}},
+		{"parallel=4", &harness.Runner{Fuel: fuel, Parallel: 4}},
+		{"parallel=4 nobatch", &harness.Runner{Fuel: fuel, Parallel: 4, NoBatch: true}},
+		{"parallel=8", &harness.Runner{Fuel: fuel, Parallel: 8}},
+		{"parallel=8 nobatch", &harness.Runner{Fuel: fuel, Parallel: 8, NoBatch: true}},
+		{"parallel=4 streaming", &harness.Runner{Fuel: fuel, Parallel: 4, ChunkSize: 257}},
+		{"parallel=8 streaming nobatch",
+			&harness.Runner{Fuel: fuel, Parallel: 8, ChunkSize: 257, NoBatch: true}},
+	}
+	for _, v := range variants {
+		got := artifactJSON(t, v.r)
 		if !bytes.Equal(got, want) {
-			t.Errorf("parallel=%d artifacts differ from serial run\nserial:   %.200s\nparallel: %.200s",
-				par, want, got)
+			t.Errorf("%s artifacts differ from serial run\nserial: %.200s\ngot:    %.200s",
+				v.name, want, got)
 		}
 	}
 }

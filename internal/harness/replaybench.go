@@ -2,20 +2,24 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
+	"elag/internal/emu"
 	"elag/internal/pipeline"
 	"elag/internal/workload"
 )
 
 // ReplayBenchSchema versions the elag-bench -replaybench JSON document
 // (BENCH_replay.json in the repository root); bump on any field-shape
-// change.
-const ReplayBenchSchema = "elag-replaybench/v1"
+// change. v2 adds peak_bytes and the streaming/batched entries.
+const ReplayBenchSchema = "elag-replaybench/v2"
 
 // ReplayBenchResult is one microbenchmark: the timing model replaying the
-// prepared SPEC traces under one configuration.
+// prepared SPEC traces under one configuration (or configuration batch).
 type ReplayBenchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
@@ -23,6 +27,10 @@ type ReplayBenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MInstPerSec float64 `json:"minst_per_sec"`
+	// PeakBytes is the peak HeapAlloc observed while one op ran on an
+	// otherwise idle heap: the live-memory cost of the engine shape, which
+	// is what streaming bounds (resident traces dominate it otherwise).
+	PeakBytes int64 `json:"peak_bytes"`
 }
 
 // ReplayBenchDoc is the machine-readable replay-throughput record, the
@@ -35,41 +43,107 @@ type ReplayBenchDoc struct {
 	Results []ReplayBenchResult `json:"results"`
 }
 
-// ReplayBench measures trace-replay throughput over the Table-2 workload:
-// every SPEC benchmark's trace replayed under the paper's
-// compiler-directed configuration ("replay-table2") and under the base
-// architecture ("replay-base"). Labs are built outside the timed region,
-// so ns/op and allocs/op measure the replay hot loop alone.
+// peakHeap runs fn on a freshly collected heap while sampling HeapAlloc
+// every millisecond, returning the observed high-water mark in bytes.
+func peakHeap(fn func() error) (int64, error) {
+	runtime.GC()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	err := fn()
+	close(stop)
+	<-done
+	return int64(peak), err
+}
+
+// allSpecs is the five-configuration grid of elag-sim -all: the base
+// architecture plus every early-address scheme, compiler-directed last.
+func allSpecs(l *Lab) []pipeline.BatchSpec {
+	return []pipeline.BatchSpec{
+		{Config: pipeline.PaperBase()},
+		{Config: HWPredict(256)},
+		{Config: HWEarly(16)},
+		{Config: HWDual(256, 16)},
+		{Config: CompilerDual(), Flavors: l.HeurFlavors},
+	}
+}
+
+// ReplayBench measures trace-replay throughput over the Table-2 workload.
+// Per-configuration entries replay every SPEC benchmark's resident trace
+// ("replay-table2" under the paper's compiler-directed configuration,
+// "replay-base" under the base architecture) with labs built outside the
+// timed region, so ns/op and allocs/op measure the replay hot loop alone.
+// "stream-table2" is the same simulation over streaming labs — the trace is
+// never materialized, so its peak_bytes shows the memory bound.
+// "seq-all" and "batch-all" run the full five-configuration grid per
+// benchmark the pre-batching way (one emulation per cell) and the batched
+// way (one streamed emulation shared by all cells); their ns/op ratio is
+// the single-pass speedup.
 func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
 	benches := workload.BySuite(workload.SPEC)
-	labs := make([]*Lab, len(benches))
-	for i, w := range benches {
-		l, err := r.Lab(w)
-		if err != nil {
-			return nil, err
+	chunk := r.ChunkSize
+	if chunk <= 0 {
+		chunk = emu.DefaultChunkSize
+	}
+	// Dedicated runners so every lab survives its entries' whole timed
+	// region: materialized labs (resident traces) for the per-configuration
+	// entries, streaming labs (no traces) for the rest.
+	buildLabs := func(rr *Runner) ([]*Lab, error) {
+		labs := make([]*Lab, len(benches))
+		for i, w := range benches {
+			l, err := rr.Lab(w)
+			if err != nil {
+				return nil, err
+			}
+			labs[i] = l
 		}
-		labs[i] = l
+		return labs, nil
+	}
+	rm := &Runner{Fuel: r.Fuel, MaxResident: len(benches) + 1}
+	labs, err := buildLabs(rm)
+	if err != nil {
+		return nil, err
 	}
 	var insts int64
 	for _, l := range labs {
 		insts += l.EmuRes.DynamicInsts
 	}
 
-	run := func(name string, sim func(l *Lab) error) (ReplayBenchResult, error) {
-		// Validate once outside the benchmark: testing.Benchmark has no
-		// error channel, so surface configuration problems here.
-		for _, l := range labs {
-			if err := sim(l); err != nil {
-				return ReplayBenchResult{}, err
+	run := func(name string, labs []*Lab, passes int64, sim func(l *Lab) error) (ReplayBenchResult, error) {
+		// Validate once outside the benchmark — testing.Benchmark has no
+		// error channel — and sample the peak heap of one op while at it.
+		all := func() error {
+			for _, l := range labs {
+				if err := sim(l); err != nil {
+					return err
+				}
 			}
+			return nil
+		}
+		peak, err := peakHeap(all)
+		if err != nil {
+			return ReplayBenchResult{}, err
 		}
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				for _, l := range labs {
-					if err := sim(l); err != nil {
-						b.Fatal(err)
-					}
+				if err := all(); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})
@@ -79,26 +153,78 @@ func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
 			NsPerOp:     br.NsPerOp(),
 			AllocsPerOp: br.AllocsPerOp(),
 			BytesPerOp:  br.AllocedBytesPerOp(),
-			MInstPerSec: float64(insts) * float64(br.N) / br.T.Seconds() / 1e6,
+			MInstPerSec: float64(insts*passes) * float64(br.N) / br.T.Seconds() / 1e6,
+			PeakBytes:   peak,
 		}, nil
 	}
 
 	doc := &ReplayBenchDoc{Schema: ReplayBenchSchema, Fuel: r.Fuel}
-	t2, err := run("replay-table2", func(l *Lab) error {
+	add := func(name string, labs []*Lab, passes int64, sim func(l *Lab) error) error {
+		res, err := run(name, labs, passes, sim)
+		if err != nil {
+			return err
+		}
+		doc.Results = append(doc.Results, res)
+		return nil
+	}
+	if err := add("replay-table2", labs, 1, func(l *Lab) error {
 		_, err := l.Simulate(CompilerDual(), l.HeurFlavors)
 		return err
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
-	base, err := run("replay-base", func(l *Lab) error {
+	if err := add("replay-base", labs, 1, func(l *Lab) error {
 		_, err := l.Simulate(pipeline.PaperBase(), nil)
 		return err
-	})
+	}); err != nil {
+		return nil, err
+	}
+
+	// Release the resident traces before the streaming and whole-grid
+	// entries: their peak_bytes must reflect each engine shape, not the
+	// cache of the previous entries.
+	labs, rm = nil, nil
+	_ = rm
+	rs := &Runner{Fuel: r.Fuel, ChunkSize: chunk, MaxResident: len(benches) + 1}
+	slabs, err := buildLabs(rs)
 	if err != nil {
 		return nil, err
 	}
-	doc.Results = append(doc.Results, t2, base)
+
+	if err := add("stream-table2", slabs, 1, func(l *Lab) error {
+		_, err := l.Simulate(CompilerDual(), l.HeurFlavors)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("seq-all", slabs, 5, func(l *Lab) error {
+		// The pre-batching grid engine: every cell pays its own
+		// architectural execution (materialize + replay).
+		for _, sp := range allSpecs(l) {
+			_, trace, err := emu.RunTrace(l.Prog.Machine, r.Fuel, true)
+			if err != nil && !errors.Is(err, emu.ErrFuel) {
+				return err
+			}
+			sim, err := pipeline.New(sp.Config, l.Prog.Machine, sp.Flavors)
+			if err != nil {
+				return err
+			}
+			if _, err := sim.Run(trace); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("batch-all", slabs, 5, func(l *Lab) error {
+		// One streamed architectural execution shared by all five
+		// configurations.
+		_, _, err := pipeline.BatchReplay(l.Prog.Machine, r.Fuel, chunk, allSpecs(l))
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	return doc, nil
 }
 

@@ -1,0 +1,136 @@
+package pipeline
+
+// Batched multi-configuration replay: the evaluation replays one
+// architectural trace under many hardware configurations (every table and
+// figure of the paper is such a grid), and the per-configuration sequential
+// shape pays for the trace twice per cell — once to produce it, once to
+// stream its megabytes past the sim. BatchReplay instead advances N
+// independent pipeline states through each trace chunk in one pass: the
+// program is emulated exactly once (streamed, O(chunkSize) memory, no dry
+// counting pass), and each chunk is still hot in L1/L2 when the next
+// configuration replays it. Each Sim is fully independent state, so the
+// batched metrics are bit-identical to N sequential replays.
+
+import (
+	"errors"
+
+	"elag/internal/emu"
+	"elag/internal/isa"
+)
+
+// BatchSpec is one configuration cell of a batched replay: a hardware
+// configuration plus the load-flavour overlay to resolve into its decode
+// cache (nil uses the program's baked-in flavours).
+type BatchSpec struct {
+	Config  Config
+	Flavors isa.FlavorOverlay
+}
+
+// NewBatch constructs one independent Sim per spec over prog. Any
+// construction error aborts the whole batch.
+func NewBatch(prog *isa.Program, specs []BatchSpec) ([]*Sim, error) {
+	sims := make([]*Sim, len(specs))
+	for i, sp := range specs {
+		sim, err := New(sp.Config, prog, sp.Flavors)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = sim
+	}
+	return sims, nil
+}
+
+// RunChunkBatch advances every sim through chunk, one sim at a time: each
+// sim walks the whole chunk before the next starts, so a sim's own state
+// (scoreboard, caches, predictor) stays hot in L1 across consecutive
+// entries while the chunk itself — small enough to sit in L2 — is reread
+// by each configuration. StepInst treats the shared entries as read-only,
+// so the batched metrics are bit-identical to N sequential replays.
+func RunChunkBatch(sims []*Sim, chunk *emu.Trace) error {
+	// Hoist the columns into locals: unlike Fill's receiver loads, locals
+	// provably don't alias the sim, so the slice headers survive the
+	// StepInst call in registers.
+	n := chunk.Len()
+	pcs, nextPCs := chunk.PC[:n], chunk.NextPC[:n]
+	eas, baseVals := chunk.EA[:n], chunk.BaseVal[:n]
+	takens := chunk.Taken[:n]
+	seq0 := chunk.Seq0
+	var te emu.TraceEntry
+	for _, s := range sims {
+		for i := 0; i < n; i++ {
+			te.PC = int(pcs[i])
+			te.SeqNum = seq0 + int64(i)
+			te.EA = eas[i]
+			te.BaseVal = baseVals[i]
+			te.Taken = takens[i]
+			te.NextPC = int(nextPCs[i])
+			if err := s.StepInst(&te); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// batchMetrics finalizes a batch of sims.
+func batchMetrics(sims []*Sim) []*Metrics {
+	ms := make([]*Metrics, len(sims))
+	for i, sim := range sims {
+		ms[i] = sim.Metrics()
+	}
+	return ms
+}
+
+// BatchReplay emulates prog once (streamed in chunkSize-entry chunks;
+// <= 0 for emu.DefaultChunkSize) and replays every chunk through one Sim
+// per spec, returning the per-spec metrics in spec order plus the
+// architectural result. Peak trace memory is O(chunkSize) regardless of
+// fuel. A fuel-truncated run is still replayed — prefix timing is valid
+// timing — so fuel exhaustion is not an error here.
+func BatchReplay(prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec) ([]*Metrics, emu.Result, error) {
+	sims, err := NewBatch(prog, specs)
+	if err != nil {
+		return nil, emu.Result{}, err
+	}
+	res, err := emu.StreamTrace(prog, fuel, chunkSize, func(chunk *emu.Trace) error {
+		return RunChunkBatch(sims, chunk)
+	})
+	if err != nil && !errors.Is(err, emu.ErrFuel) {
+		return nil, res, err
+	}
+	return batchMetrics(sims), res, nil
+}
+
+// BatchReplayTrace is BatchReplay over an already-materialized trace: the
+// trace is walked once in chunkSize-entry windows (<= 0 for
+// emu.DefaultChunkSize) with every Sim advanced per window, so the window
+// stays cache-hot across all configurations instead of each configuration
+// streaming the whole trace from memory.
+func BatchReplayTrace(prog *isa.Program, trace *emu.Trace, chunkSize int, specs []BatchSpec) ([]*Metrics, error) {
+	sims, err := NewBatch(prog, specs)
+	if err != nil {
+		return nil, err
+	}
+	if chunkSize <= 0 {
+		chunkSize = emu.DefaultChunkSize
+	}
+	err = trace.Chunks(chunkSize, func(chunk *emu.Trace) error {
+		return RunChunkBatch(sims, chunk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batchMetrics(sims), nil
+}
+
+// SimulateStream is Simulate with bounded memory: the trace is streamed
+// through the Sim in chunkSize-entry chunks instead of materialized. The
+// metrics are bit-identical to Simulate's; peak trace memory is
+// O(chunkSize) regardless of fuel.
+func SimulateStream(cfg Config, prog *isa.Program, fuel int64, chunkSize int) (*Metrics, emu.Result, error) {
+	ms, res, err := BatchReplay(prog, fuel, chunkSize, []BatchSpec{{Config: cfg}})
+	if err != nil {
+		return nil, res, err
+	}
+	return ms[0], res, nil
+}

@@ -106,8 +106,8 @@ func (t *timedCache) access(addr, cycle int64, spec, allocate bool) (ready int64
 	default:
 		tagHit = t.c.AccessNoAllocate(addr)
 	}
-	// The fills map is empty for the overwhelming majority of accesses;
-	// skipping the map lookup then keeps the hit path allocation- and
+	// The fill map is empty for the overwhelming majority of accesses;
+	// skipping the lookup then keeps the hit path allocation- and
 	// hash-free.
 	if len(t.fills) > 0 {
 		if done, ok := t.fills[block]; ok {
@@ -178,9 +178,14 @@ type Sim struct {
 
 	issueHist [frontEndSlots]int64
 	seq       int64
+	seqIdx    int // seq % frontEndSlots, kept as a ring cursor (18 is not a power of two)
 
 	stores    [64]storeRec
 	storeHead int
+	// storeMaxMem is the highest mem cycle of any recorded store: when it
+	// is below a query cycle, no slot can interlock and the ring scan is
+	// skipped entirely.
+	storeMaxMem int64
 
 	traceCap   int
 	stageTrace []StageRecord
@@ -263,14 +268,26 @@ func (s *Sim) Metrics() *Metrics {
 
 // Run replays the whole trace and returns the final metrics.
 func (s *Sim) Run(trace *emu.Trace) (*Metrics, error) {
-	var te emu.TraceEntry
-	for i, n := 0, trace.Len(); i < n; i++ {
-		trace.Fill(i, &te)
-		if err := s.StepInst(&te); err != nil {
-			return nil, err
-		}
+	if err := s.RunChunk(trace); err != nil {
+		return nil, err
 	}
 	return s.Metrics(), nil
+}
+
+// RunChunk replays one chunk of a trace, carrying all pipeline state
+// across calls: replaying a trace chunk by chunk (in order, without gaps)
+// is bit-identical to replaying it whole with Run. Call Metrics after the
+// last chunk. The chunk is not retained — StreamTrace's recycled buffers
+// may be passed directly.
+func (s *Sim) RunChunk(chunk *emu.Trace) error {
+	var te emu.TraceEntry
+	for i, n := 0, chunk.Len(); i < n; i++ {
+		chunk.Fill(i, &te)
+		if err := s.StepInst(&te); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Simulate is the convenience entry point: emulate prog, then replay its
@@ -305,7 +322,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	// ---- IF ----
 	f := s.nextFetch
 	// Front-end back-pressure: wait for a decode slot.
-	if h := s.issueHist[s.seq%frontEndSlots]; s.seq >= frontEndSlots && f < h-2 {
+	if h := s.issueHist[s.seqIdx]; s.seq >= frontEndSlots && f < h-2 {
 		f = h - 2
 	}
 	if f < s.groupCycle {
@@ -321,6 +338,15 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		if s.icLastReady > f {
 			f = s.icLastReady
 		}
+	} else if iblock == s.icLastBlock && f >= s.icLastReady && s.ic.c.Observer == nil {
+		// Refetch of the last instruction block at or past its fill
+		// completion. No intervening I-cache access can have evicted it (an
+		// access would have changed icLastBlock) and fetch cycles never
+		// regress, so this is a guaranteed same-cycle hit: count it without
+		// probing the tag store or the fill map. With an observer attached
+		// the full path runs so every access is observed.
+		s.ic.c.CountHit()
+		s.icLastCycle, s.icLastReady = f, f
 	} else {
 		ready, _ := s.ic.access(iaddr, f, false, true)
 		s.icLastBlock, s.icLastCycle, s.icLastReady = iblock, f, ready
@@ -434,8 +460,11 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		fu.tryUse(e)
 	}
 	s.lastIssue = e
-	s.issueHist[s.seq%frontEndSlots] = e
+	s.issueHist[s.seqIdx] = e
 	s.seq++
+	if s.seqIdx++; s.seqIdx == frontEndSlots {
+		s.seqIdx = 0
+	}
 
 	done := e + 1 // completion (end cycle) for bookkeeping
 
@@ -558,6 +587,9 @@ func max64(a, b, c int64) int64 {
 func (s *Sim) recordStore(exe, mem, ea, width int64) {
 	s.stores[s.storeHead] = storeRec{exe: exe, mem: mem, ea: ea, width: width}
 	s.storeHead = (s.storeHead + 1) % len(s.stores)
+	if mem > s.storeMaxMem {
+		s.storeMaxMem = mem
+	}
 }
 
 // memInterlock reports whether, at the given cycle, an older in-flight
@@ -565,6 +597,9 @@ func (s *Sim) recordStore(exe, mem, ea, width int64) {
 // the store's address is not yet computed, or it overlaps and its data has
 // not yet reached memory.
 func (s *Sim) memInterlock(ea, width, cycle int64) bool {
+	if s.storeMaxMem < cycle {
+		return false // every recorded store has already written back
+	}
 	for i := range s.stores {
 		st := &s.stores[i]
 		if st.mem == 0 || st.mem < cycle {

@@ -5,10 +5,13 @@
 package elag_test
 
 import (
+	"errors"
 	"testing"
 
 	"elag"
+	"elag/internal/emu"
 	"elag/internal/harness"
+	"elag/internal/pipeline"
 	"elag/internal/workload"
 )
 
@@ -52,6 +55,62 @@ func BenchmarkReplayTable2(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// allBatchSpecs mirrors elag-sim -all's five-configuration grid.
+func allBatchSpecs(l *harness.Lab) []pipeline.BatchSpec {
+	return []pipeline.BatchSpec{
+		{Config: pipeline.PaperBase()},
+		{Config: harness.HWPredict(256)},
+		{Config: harness.HWEarly(16)},
+		{Config: harness.HWDual(256, 16)},
+		{Config: harness.CompilerDual(), Flavors: l.HeurFlavors},
+	}
+}
+
+// BenchmarkSeqAll is the pre-batching five-configuration grid: every cell
+// pays its own architectural execution (dry pass + materialize + replay).
+func BenchmarkSeqAll(b *testing.B) {
+	labs := replayLabs(b)
+	insts := replayInsts(labs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range labs {
+			for _, sp := range allBatchSpecs(l) {
+				_, trace, err := emu.RunTrace(l.Prog.Machine, replayFuel, true)
+				if err != nil && !errors.Is(err, emu.ErrFuel) {
+					b.Fatal(err)
+				}
+				sim, err := pipeline.New(sp.Config, l.Prog.Machine, sp.Flavors)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(5*insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkBatchAll is the same grid batched: one streamed architectural
+// execution per benchmark shared by all five configurations.
+func BenchmarkBatchAll(b *testing.B) {
+	labs := replayLabs(b)
+	insts := replayInsts(labs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range labs {
+			if _, _, err := pipeline.BatchReplay(l.Prog.Machine, replayFuel,
+				emu.DefaultChunkSize, allBatchSpecs(l)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(5*insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
 
 // BenchmarkReplayBase replays the SPEC traces under the base architecture

@@ -1,0 +1,199 @@
+// Golden equivalence tests for the streaming trace engine: on every
+// embedded workload, at chunk sizes from pathological (1) through awkward
+// (7) to default (4096) and degenerate (longer than the whole trace), the
+// streamed execution must reproduce the materialized one bit for bit —
+// trace entries, timing metrics, and the cycle-level event stream alike.
+package elag_test
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"reflect"
+
+	"elag"
+	"elag/internal/emu"
+	"elag/internal/workload"
+)
+
+// streamChunkSizes is the golden chunk-size matrix. The final entry is
+// larger than any trace the test fuel can produce, so the whole run lands
+// in one partial chunk.
+func streamChunkSizes(traceLen int) []int {
+	return []int{1, 7, 4096, traceLen + 1}
+}
+
+func buildWorkload(t *testing.T, w *workload.Workload) *elag.Program {
+	t.Helper()
+	p, err := elag.Build(w.Source, elag.BuildOptions{})
+	if err != nil {
+		t.Fatalf("%s: build: %v", w.Name, err)
+	}
+	return p
+}
+
+// TestStreamTraceChunkEquivalence: concatenating StreamTrace's chunks
+// reproduces the materialized trace entry for entry — PC, sequence number,
+// effective address, branch outcome — at every chunk size, along with the
+// architectural result. The fuel truncates some workloads and lets others
+// halt, so both termination paths flush their final partial chunk.
+func TestStreamTraceChunkEquivalence(t *testing.T) {
+	fuel := int64(400_000)
+	if testing.Short() {
+		fuel = 60_000
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := buildWorkload(t, w)
+			res, trace, err := emu.RunTrace(p.Machine, fuel, true)
+			if err != nil && !errors.Is(err, emu.ErrFuel) {
+				t.Fatalf("materialized run: %v", err)
+			}
+			for _, chunk := range streamChunkSizes(trace.Len()) {
+				off := 0
+				sres, serr := emu.StreamTrace(p.Machine, fuel, chunk, func(c *emu.Trace) error {
+					if c.Seq0 != int64(off) {
+						t.Fatalf("chunk=%d: Seq0 %d at offset %d", chunk, c.Seq0, off)
+					}
+					if c.Len() == 0 || c.Len() > chunk {
+						t.Fatalf("chunk=%d: yielded %d entries", chunk, c.Len())
+					}
+					if off+c.Len() > trace.Len() {
+						t.Fatalf("chunk=%d: stream overruns trace (%d > %d)",
+							chunk, off+c.Len(), trace.Len())
+					}
+					for i := 0; i < c.Len(); i++ {
+						if got, want := c.At(i), trace.At(off+i); got != want {
+							t.Fatalf("chunk=%d entry %d: stream %+v != trace %+v",
+								chunk, off+i, got, want)
+						}
+					}
+					off += c.Len()
+					return nil
+				})
+				if serr != nil && !errors.Is(serr, emu.ErrFuel) {
+					t.Fatalf("chunk=%d: stream: %v", chunk, serr)
+				}
+				if (err == nil) != (serr == nil) {
+					t.Fatalf("chunk=%d: stream error %v, materialized %v", chunk, serr, err)
+				}
+				if off != trace.Len() {
+					t.Fatalf("chunk=%d: stream produced %d entries, trace has %d",
+						chunk, off, trace.Len())
+				}
+				if sres.DynamicInsts != res.DynamicInsts || sres.Output() != res.Output() {
+					t.Fatalf("chunk=%d: architectural result diverged: %d insts %q vs %d insts %q",
+						chunk, sres.DynamicInsts, sres.Output(), res.DynamicInsts, res.Output())
+				}
+			}
+		})
+	}
+}
+
+// TestStreamBoundedMemory is the tentpole's memory guarantee, demonstrated
+// at scale: a 20M-instruction run of the stress kernel — whose materialized
+// trace would occupy ~500 MB — simulated through 64K-entry streamed chunks
+// must keep the peak heap under 128 MB. Skipped in -short.
+func TestStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20M-instruction run; skipped in -short")
+	}
+	src, err := os.ReadFile("testdata/stress.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := elag.Build(string(src), elag.BuildOptions{})
+	if err != nil {
+		t.Fatalf("build stress.mc: %v", err)
+	}
+	const fuel = 20_000_000
+	runtime.GC()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	m, res, err := p.SimulateStream(elag.CompilerDirectedConfig(), fuel, 65536)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatalf("streamed simulate: %v", err)
+	}
+	if res.DynamicInsts != fuel {
+		t.Fatalf("expected the fuel budget to truncate: ran %d insts, fuel %d",
+			res.DynamicInsts, fuel)
+	}
+	if m.Insts != fuel {
+		t.Fatalf("timing model retired %d of %d streamed instructions", m.Insts, fuel)
+	}
+	const bound = 128 << 20
+	if peak > bound {
+		t.Fatalf("peak heap %d MB exceeds %d MB streaming bound (materialized trace would be ~%d MB)",
+			peak>>20, bound>>20, fuel*25>>20)
+	}
+	t.Logf("20M insts streamed: %d cycles, peak heap %.1f MB", m.Cycles, float64(peak)/(1<<20))
+}
+
+// TestStreamSimulateGolden: the timing metrics and the complete cycle-level
+// event stream of a streamed simulation are bit-identical to the
+// materialized simulation's, on every workload at every chunk size.
+func TestStreamSimulateGolden(t *testing.T) {
+	fuel := int64(60_000)
+	if testing.Short() {
+		fuel = 20_000
+	}
+	cfg := elag.CompilerDirectedConfig()
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := buildWorkload(t, w)
+			recM := &elag.TraceRecorder{}
+			want, wantRes, err := p.SimulateObserved(cfg, fuel,
+				elag.ObserveOptions{Sink: recM, PerPC: true})
+			if err != nil {
+				t.Fatalf("materialized simulate: %v", err)
+			}
+			for _, chunk := range streamChunkSizes(int(wantRes.DynamicInsts)) {
+				rec := &elag.TraceRecorder{}
+				got, gotRes, err := p.SimulateObserved(cfg, fuel,
+					elag.ObserveOptions{Sink: rec, PerPC: true, ChunkSize: chunk})
+				if err != nil {
+					t.Fatalf("chunk=%d: simulate: %v", chunk, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("chunk=%d: metrics diverged: %d cycles vs %d",
+						chunk, got.Cycles, want.Cycles)
+				}
+				if gotRes.Output() != wantRes.Output() {
+					t.Fatalf("chunk=%d: architectural output diverged", chunk)
+				}
+				if len(rec.Events) != len(recM.Events) {
+					t.Fatalf("chunk=%d: %d events vs %d", chunk, len(rec.Events), len(recM.Events))
+				}
+				for i := range rec.Events {
+					if rec.Events[i] != recM.Events[i] {
+						t.Fatalf("chunk=%d event %d: %+v != %+v",
+							chunk, i, rec.Events[i], recM.Events[i])
+					}
+				}
+			}
+		})
+	}
+}
