@@ -24,6 +24,11 @@
 //	-memprofile f write a heap profile at exit
 //	-replaybench f  run the trace-replay microbenchmarks and write the
 //	              elag-replaybench/v2 JSON document ("-" for stdout)
+//	-compilebench f  compile every workload through the default pipeline and
+//	              write the elag-compilebench/v1 JSON document (per-workload
+//	              wall time + per-pass breakdown; "-" for stdout)
+//	-reps N       repetitions per workload for -compilebench, reporting the
+//	              fastest (default 5)
 package main
 
 import (
@@ -45,6 +50,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSVs for every artifact into this directory")
 	jsonPath := flag.String("json", "", `write all artifacts as one JSON document to this file ("-" = stdout)`)
 	replayPath := flag.String("replaybench", "", `run the replay microbenchmarks, write JSON to this file ("-" = stdout)`)
+	compilePath := flag.String("compilebench", "", `run the compile benchmark, write JSON to this file ("-" = stdout)`)
+	reps := flag.Int("reps", 5, "repetitions per workload for -compilebench (fastest wins)")
 	noBatch := flag.Bool("nobatch", false, "replay each grid cell in its own pass (disables batched replay)")
 	perf := cli.PerfFlags()
 	flag.Parse()
@@ -73,6 +80,25 @@ func main() {
 		if out != os.Stdout {
 			check("replaybench", out.Close())
 			fmt.Fprintf(os.Stderr, "replay benchmark written to %s\n", *replayPath)
+		}
+		return
+	}
+
+	if *compilePath != "" {
+		doc, err := r.CompileBench(*reps)
+		check("compilebench", err)
+		out := os.Stdout
+		if *compilePath != "-" {
+			f, err := os.Create(*compilePath)
+			if err != nil {
+				check("compilebench", fmt.Errorf("create %s: %w", *compilePath, err))
+			}
+			out = f
+		}
+		check("compilebench", harness.WriteCompileBenchJSON(out, doc))
+		if out != os.Stdout {
+			check("compilebench", out.Close())
+			fmt.Fprintf(os.Stderr, "compile benchmark written to %s\n", *compilePath)
 		}
 		return
 	}

@@ -39,7 +39,6 @@ import (
 
 	"elag/internal/addrpred"
 	"elag/internal/asm"
-	"elag/internal/codegen"
 	"elag/internal/core"
 	"elag/internal/earlycalc"
 	"elag/internal/emu"
@@ -48,6 +47,7 @@ import (
 	"elag/internal/mcc"
 	"elag/internal/obs"
 	"elag/internal/opt"
+	"elag/internal/passman"
 	"elag/internal/pipeline"
 	"elag/internal/profile"
 )
@@ -89,6 +89,18 @@ type (
 	Fault = isa.Fault
 	// FaultKind discriminates architectural fault classes.
 	FaultKind = isa.FaultKind
+
+	// OptLevel selects a predefined compiler pipeline (O0, O1, O2).
+	OptLevel = passman.OptLevel
+	// PassStats accumulates per-pass counters across a Build (attach via
+	// BuildOptions.Stats; export with passman.NewStatsDoc).
+	PassStats = passman.Stats
+	// PassDump is one IR snapshot requested with BuildOptions.DumpIR.
+	PassDump = passman.Dump
+	// SourceError is a front-end diagnostic carrying a line:col source
+	// position; match with errors.As to recover the location from a
+	// failed Build.
+	SourceError = mcc.Error
 
 	// Observability surface (see SimulateObserved). Event is one
 	// cycle-level occurrence in the timing model; EventSink receives the
@@ -173,15 +185,62 @@ func BaseConfig() SimConfig { return pipeline.PaperBase() }
 // compiler-directed addressing register.
 func CompilerDirectedConfig() SimConfig { return pipeline.PaperCompilerDirected() }
 
+// Optimization levels (see BuildOptions.Level).
+const (
+	// O0 disables IR optimization entirely: lower and classify only.
+	O0 = passman.O0
+	// O1 runs the propagation/cleanup fixpoint without inlining, loop or
+	// memory passes.
+	O1 = passman.O1
+	// O2 is the full paper pipeline and the default.
+	O2 = passman.O2
+)
+
+// ParseOptLevel maps "0"/"1"/"2" (or "O0".."O2") to an OptLevel.
+func ParseOptLevel(s string) (OptLevel, error) { return passman.ParseOptLevel(s) }
+
 // BuildOptions controls compilation.
 type BuildOptions struct {
-	// Opt tunes the classical optimizer.
+	// Opt tunes the classical optimizer pipeline the legacy way
+	// (per-pass disable flags). Honored only when neither Level nor
+	// Passes is set; the zero value means the full O2 schedule.
 	Opt OptOptions
 	// Classify tunes the load-classification heuristics.
 	Classify ClassifyOptions
 	// DisableClassify leaves every load as ld_n (the hardware-only
 	// configurations ignore flavours anyway).
 	DisableClassify bool
+
+	// Level selects a predefined pipeline (O0/O1/O2); the zero value
+	// defers to Opt (and therefore defaults to O2).
+	Level OptLevel
+	// Passes, when non-empty, is an explicit pipeline spec (see
+	// passman.Parse), overriding Level and Opt. Example:
+	// "inline,fixpoint(constprop,dce),matsym".
+	Passes string
+	// DisableVerify skips the ir.Verify run between passes. Verification
+	// is on by default: a pass that corrupts the module is reported at
+	// the pass that broke it rather than at codegen.
+	DisableVerify bool
+	// Stats, when non-nil, accumulates per-pass statistics for the build
+	// (instructions before/after, rewrite activity, wall time).
+	Stats *PassStats
+	// DumpIR, when non-empty, snapshots the IR after every run of the
+	// named pass; the snapshots are returned on Program.PassDumps.
+	DumpIR string
+}
+
+// pipelineFor resolves the BuildOptions precedence: Passes spec, then an
+// explicit Level, then the legacy Opt knobs (whose zero value is O2).
+func pipelineFor(o BuildOptions) (passman.Pipeline, error) {
+	classify := !o.DisableClassify
+	if o.Passes != "" {
+		return passman.Parse(o.Passes, classify)
+	}
+	if o.Level != passman.ODefault {
+		return passman.ForLevel(o.Level, classify), nil
+	}
+	return passman.Legacy(o.Opt, classify), nil
 }
 
 // Program is a compiled, classified, executable program.
@@ -198,29 +257,53 @@ type Program struct {
 	// Classes is the load classification applied to Machine (nil when
 	// classification was disabled).
 	Classes *Classification
+	// PassDumps holds the IR snapshots requested with
+	// BuildOptions.DumpIR, in pass-run order.
+	PassDumps []PassDump
+	// Pipeline is the spec-like rendering of the pass pipeline that built
+	// the program (empty for assembly inputs).
+	Pipeline string
 }
 
-// Build compiles MC source through the full pipeline: front end, classical
-// optimizations, code generation, assembly, and load classification.
+// Build compiles MC source through the full pipeline: front end, then a
+// pass-manager-scheduled flow of classical optimizations, code generation,
+// assembly, and load classification. The IR is verified between passes
+// unless BuildOptions.DisableVerify is set.
 func Build(src string, o BuildOptions) (*Program, error) {
 	mod, err := mcc.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	opt.Run(mod, o.Opt)
-	text, err := codegen.Generate(mod)
+	pl, err := pipelineFor(o)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := asm.Assemble(text)
-	if err != nil {
-		return nil, fmt.Errorf("internal: generated assembly does not assemble: %w", err)
+	st := &passman.State{
+		Source:       src,
+		Module:       mod,
+		InlineBudget: o.Opt.InlineBudget,
+		ClassifyOpts: o.Classify,
 	}
-	p := &Program{Source: src, Asm: text, Machine: prog, Module: mod}
-	if !o.DisableClassify {
-		p.Classes = core.ClassifyAndApply(prog, o.Classify)
+	mgr := passman.Manager{
+		Verify:    !o.DisableVerify,
+		Stats:     o.Stats,
+		DumpAfter: o.DumpIR,
 	}
-	return p, nil
+	if err := mgr.Run(pl, st); err != nil {
+		return nil, err
+	}
+	if st.Machine == nil {
+		return nil, fmt.Errorf("pipeline %q produced no machine program (missing lower pass)", pl.Names())
+	}
+	return &Program{
+		Source:    src,
+		Asm:       st.Asm,
+		Machine:   st.Machine,
+		Module:    st.Module,
+		Classes:   st.Classes,
+		PassDumps: mgr.Dumps,
+		Pipeline:  pl.Names(),
+	}, nil
 }
 
 // BuildAsm assembles a hand-written assembly program and (optionally)
@@ -400,13 +483,22 @@ func (p *Program) Profile(fuel int64) (*LoadProfile, error) {
 
 // ApplyProfile performs the paper's profile-guided reclassification: NT
 // loads whose profiled prediction rate exceeds threshold (0 means the
-// paper's 60%) become PD. The program's load flavours are rewritten.
+// paper's 60%) become PD. The program's load flavours are rewritten. It is
+// the passman "profile-promote" machine pass applied standalone.
 func (p *Program) ApplyProfile(lp *LoadProfile, threshold float64) *Classification {
-	if p.Classes == nil {
-		p.Classes = core.Classify(p.Machine, core.Options{})
+	st := &passman.State{
+		Machine:          p.Machine,
+		Classes:          p.Classes,
+		ProfileRates:     lp.Rates(),
+		ProfileThreshold: threshold,
 	}
-	p.Classes = core.Reclassify(p.Classes, lp.Rates(), threshold)
-	p.Classes.Apply(p.Machine)
+	var mgr passman.Manager
+	if err := mgr.Run(passman.Pipeline{passman.ProfilePromotePass()}, st); err != nil {
+		// The promote pass only fails on a state with no machine
+		// program or no rates; neither is constructible here.
+		panic(fmt.Sprintf("elag: profile-promote pass failed: %v", err))
+	}
+	p.Classes = st.Classes
 	return p.Classes
 }
 

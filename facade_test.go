@@ -1,6 +1,7 @@
 package elag_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -146,5 +147,91 @@ func TestBuildErrorsAreReported(t *testing.T) {
 	}
 	if _, err := elag.BuildAsm("bogus r1, r2", false, elag.ClassifyOptions{}); err == nil {
 		t.Errorf("assembler error not reported")
+	}
+	// Front-end diagnostics carry a typed line:col position.
+	_, err := elag.Build("int main() {\n\treturn nope;\n}", elag.BuildOptions{})
+	var se *elag.SourceError
+	if !errors.As(err, &se) {
+		t.Fatalf("build error %v is not a SourceError", err)
+	}
+	if se.Line != 2 || se.Col == 0 {
+		t.Errorf("diagnostic position %d:%d, want line 2 with a column", se.Line, se.Col)
+	}
+}
+
+const facadeLoopSrc = `
+int g[16];
+int main() {
+	int s = 0;
+	for (int i = 0; i < 16; i = i + 1) { g[i] = i * 3; s = s + g[i]; }
+	print_int(s);
+	return s & 255;
+}`
+
+// TestBuildOptLevels: every O level must build through the facade and
+// produce the same architectural output; O0 must skip optimization.
+func TestBuildOptLevels(t *testing.T) {
+	var ref string
+	for i, lvl := range []elag.OptLevel{elag.O0, elag.O1, elag.O2} {
+		p, err := elag.Build(facadeLoopSrc, elag.BuildOptions{Level: lvl})
+		if err != nil {
+			t.Fatalf("level %v: %v", lvl, err)
+		}
+		if p.Pipeline == "" {
+			t.Errorf("level %v: no pipeline recorded", lvl)
+		}
+		res, err := p.Run(0)
+		if err != nil {
+			t.Fatalf("level %v: %v", lvl, err)
+		}
+		if i == 0 {
+			ref = res.Output()
+		} else if res.Output() != ref {
+			t.Errorf("level %v output %q != O0 %q", lvl, res.Output(), ref)
+		}
+	}
+	p0, err := elag.Build(facadeLoopSrc, elag.BuildOptions{Level: elag.O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Pipeline != "lower,classify" {
+		t.Errorf("O0 pipeline = %q, want lower,classify", p0.Pipeline)
+	}
+}
+
+// TestBuildExplicitPasses: a -passes-style spec drives the build, and the
+// requested IR dumps come back on the program.
+func TestBuildExplicitPasses(t *testing.T) {
+	var stats elag.PassStats
+	p, err := elag.Build(facadeLoopSrc, elag.BuildOptions{
+		Passes: "fixpoint:2(constprop,dce)",
+		Stats:  &stats,
+		DumpIR: "dce",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pipeline != "fixpoint(constprop,dce),lower,classify" {
+		t.Errorf("pipeline = %q", p.Pipeline)
+	}
+	if len(p.PassDumps) == 0 {
+		t.Error("no IR dumps for dce")
+	}
+	for _, d := range p.PassDumps {
+		if d.Pass != "dce" {
+			t.Errorf("dump for %q, want dce", d.Pass)
+		}
+	}
+	found := false
+	for _, ps := range stats.Passes() {
+		if ps.Name == "constprop" && ps.Runs > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no stats recorded for constprop")
+	}
+	if _, err := elag.Build(facadeLoopSrc, elag.BuildOptions{Passes: "bogus"}); err == nil {
+		t.Error("unknown pass accepted")
 	}
 }

@@ -87,9 +87,16 @@ type Options struct {
 // Classification maps each static load (by PC) to its class.
 type Classification struct {
 	ByPC map[int]Class
+	// Reasons records, per classified PC, which heuristic produced the
+	// class ("arithmetic-dep", "load-dep group r7", "acyclic absolute",
+	// "profile-promoted", ...). Debugging aid; see DumpClasses.
+	Reasons map[int]string
 	// StaticNT/PD/EC count static loads per class.
 	StaticNT, StaticPD, StaticEC int
 }
+
+// Reason returns the recorded heuristic for the load at pc ("" if none).
+func (c *Classification) Reason(pc int) string { return c.Reasons[pc] }
 
 // Class returns the class assigned to the load at pc (NT if absent).
 func (c *Classification) Class(pc int) Class { return c.ByPC[pc] }
@@ -141,7 +148,7 @@ func Classify(p *isa.Program, o Options) *Classification {
 	if o.MaxECGroups == 0 {
 		o.MaxECGroups = 1
 	}
-	c := &Classification{ByPC: make(map[int]Class)}
+	c := &Classification{ByPC: make(map[int]Class), Reasons: make(map[int]string)}
 	for _, f := range splitFunctions(p) {
 		classifyFunc(p, f, o, c)
 	}
@@ -167,7 +174,7 @@ func ClassifyAndApply(p *isa.Program, o Options) *Classification {
 
 func classifyFunc(p *isa.Program, f *mfunc, o Options, c *Classification) {
 	assigned := make(map[int]bool) // PCs classified by an inner loop
-	assign := func(pc int, cl Class) {
+	assign := func(pc int, cl Class, why string) {
 		if assigned[pc] {
 			return
 		}
@@ -176,6 +183,7 @@ func classifyFunc(p *isa.Program, f *mfunc, o Options, c *Classification) {
 			return
 		}
 		c.ByPC[pc] = cl
+		c.Reasons[pc] = why
 		assigned[pc] = true
 	}
 
@@ -206,12 +214,12 @@ func classifyFunc(p *isa.Program, f *mfunc, o Options, c *Classification) {
 	var grouped []int
 	for _, pc := range acyclic {
 		if p.Insts[pc].Mode == isa.AMAbsolute {
-			assign(pc, PD)
+			assign(pc, PD, "acyclic absolute")
 		} else {
 			grouped = append(grouped, pc)
 		}
 	}
-	assignGroups(p, grouped, o, assign)
+	assignGroups(p, grouped, o, assign, "acyclic")
 }
 
 // classifyLoop applies the cyclic heuristics of Section 4.1 to one loop:
@@ -219,7 +227,7 @@ func classifyFunc(p *isa.Program, f *mfunc, o Options, c *Classification) {
 // split the loop's loads into load-dependent and arithmetic-dependent, give
 // the largest load-dependent base-register group ld_e, the other
 // load-dependent loads ld_n, and the arithmetic-dependent loads ld_p.
-func classifyLoop(p *isa.Program, l *mloop, o Options, assign func(int, Class), assigned map[int]bool) {
+func classifyLoop(p *isa.Program, l *mloop, o Options, assign func(int, Class, string), assigned map[int]bool) {
 	var dep func(pc int, in *isa.Inst) bool
 	if o.AdditiveSLoad {
 		sload := additiveSLoad(p, l)
@@ -261,9 +269,9 @@ func classifyLoop(p *isa.Program, l *mloop, o Options, assign func(int, Class), 
 			}
 		}
 	}
-	assignGroups(p, loadDep, o, assign)
+	assignGroups(p, loadDep, o, assign, "load-dep")
 	for _, pc := range arithDep {
-		assign(pc, PD)
+		assign(pc, PD, "arithmetic-dep")
 	}
 }
 
@@ -397,12 +405,12 @@ func taintSLoad(p *isa.Program, l *mloop) map[int]regSet {
 // largest group(s) ld_e; register+register members and all other groups get
 // ld_n (the base register "is not used by many other loads, or [the]
 // addressing mode is not register+offset" — Section 4).
-func assignGroups(p *isa.Program, pcs []int, o Options, assign func(int, Class)) {
+func assignGroups(p *isa.Program, pcs []int, o Options, assign func(int, Class, string), ctx string) {
 	groups := make(map[isa.Reg][]int)
 	for _, pc := range pcs {
 		in := &p.Insts[pc]
 		if in.Mode == isa.AMAbsolute {
-			assign(pc, NT)
+			assign(pc, NT, ctx+" absolute")
 			continue
 		}
 		groups[in.Base] = append(groups[in.Base], pc)
@@ -427,11 +435,15 @@ func assignGroups(p *isa.Program, pcs []int, o Options, assign func(int, Class))
 		}
 	}
 	for i, g := range order {
+		why := fmt.Sprintf("%s group r%d (%d loads)", ctx, g.reg, g.size)
 		for _, pc := range groups[g.reg] {
-			if i < o.MaxECGroups && p.Insts[pc].Mode == isa.AMRegOffset {
-				assign(pc, EC)
-			} else {
-				assign(pc, NT)
+			switch {
+			case i >= o.MaxECGroups:
+				assign(pc, NT, why+" not largest")
+			case p.Insts[pc].Mode != isa.AMRegOffset:
+				assign(pc, NT, why+" not reg+offset")
+			default:
+				assign(pc, EC, why)
 			}
 		}
 	}
@@ -445,14 +457,20 @@ func Reclassify(c *Classification, rates map[int]float64, threshold float64) *Cl
 	if threshold == 0 {
 		threshold = 0.60
 	}
-	n := &Classification{ByPC: make(map[int]Class, len(c.ByPC))}
+	n := &Classification{
+		ByPC:    make(map[int]Class, len(c.ByPC)),
+		Reasons: make(map[int]string, len(c.ByPC)),
+	}
 	for pc, cl := range c.ByPC {
+		why := c.Reasons[pc]
 		if cl == NT {
 			if r, ok := rates[pc]; ok && r > threshold {
 				cl = PD
+				why = fmt.Sprintf("profile-promoted (rate %.2f > %.2f)", r, threshold)
 			}
 		}
 		n.ByPC[pc] = cl
+		n.Reasons[pc] = why
 	}
 	for _, cl := range n.ByPC {
 		switch cl {

@@ -11,6 +11,28 @@ import (
 // DumpStructure renders the machine-level functions, basic blocks and
 // natural loops the classifier sees — a debugging aid for classification
 // questions (exposed through elag-cc -structure).
+// DumpClasses renders the per-load classification listing with the
+// heuristic that produced each class — pc, class, reason, instruction —
+// grouped by function (exposed through elag-cc -dump-classes).
+func DumpClasses(p *isa.Program, c *Classification) string {
+	var sb strings.Builder
+	for _, f := range splitFunctions(p) {
+		header := false
+		for pc := f.start; pc < f.end; pc++ {
+			cl, ok := c.ByPC[pc]
+			if !ok {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(&sb, "func %s:\n", f.name)
+				header = true
+			}
+			fmt.Fprintf(&sb, "  %6d  %-2s  %-34s %s\n", pc, cl, c.Reason(pc), p.Insts[pc].String())
+		}
+	}
+	return sb.String()
+}
+
 func DumpStructure(p *isa.Program) string {
 	var sb strings.Builder
 	for _, f := range splitFunctions(p) {

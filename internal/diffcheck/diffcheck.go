@@ -174,7 +174,7 @@ func Check(prog *isa.Program, opt Options) (*Report, error) {
 
 	checkLockstep(prog, trace, rep)
 	if opt.Classes != nil {
-		checkClasses(prog, opt.Classes, rep)
+		checkClasses(prog, opt.Classes, "", rep)
 	}
 
 	var baseCycles int64
@@ -327,8 +327,9 @@ func metricsEqual(a, b *pipeline.Metrics) bool {
 }
 
 // checkClasses verifies that the program's load flavours agree with the
-// classification that claims to describe them.
-func checkClasses(prog *isa.Program, cl *core.Classification, rep *Report) {
+// classification that claims to describe them. cfg labels the violations
+// ("" for configuration-independent checks).
+func checkClasses(prog *isa.Program, cl *core.Classification, cfg string, rep *Report) {
 	nt, pd, ec := 0, 0, 0
 	for pc := range prog.Insts {
 		in := &prog.Insts[pc]
@@ -345,12 +346,12 @@ func checkClasses(prog *isa.Program, cl *core.Classification, rep *Report) {
 			want, nt = isa.LdN, nt+1
 		}
 		if in.Flavor != want {
-			rep.failf("", "class-flavor",
+			rep.failf(cfg, "class-flavor",
 				"load at PC %d classified %v but flavoured %v", pc, cl.Class(pc), in.Flavor)
 		}
 	}
 	if nt != cl.StaticNT || pd != cl.StaticPD || ec != cl.StaticEC {
-		rep.failf("", "class-counts",
+		rep.failf(cfg, "class-counts",
 			"static counts NT/PD/EC %d/%d/%d != classification %d/%d/%d",
 			nt, pd, ec, cl.StaticNT, cl.StaticPD, cl.StaticEC)
 	}

@@ -98,7 +98,7 @@ func TestClassMismatchCaught(t *testing.T) {
 	p := asmtest.MustAssemble(t, "main:\tld8_p r1, r2(0)\n\thalt r1")
 	cl := &core.Classification{ByPC: map[int]core.Class{0: core.EC}, StaticEC: 1}
 	rep := &Report{}
-	checkClasses(p, cl, rep)
+	checkClasses(p, cl, "", rep)
 	if rep.Ok() {
 		t.Fatal("flavour/class mismatch not caught")
 	}

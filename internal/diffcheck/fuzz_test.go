@@ -12,6 +12,31 @@ import (
 // violations. The fuzzer explores the generator's whole decision space;
 // any seed that trips an invariant is a minimized, reproducible
 // counterexample against either the timing model or the emulator.
+// FuzzOptLevels feeds generator seeds to the optimization-level
+// differential checker: whatever MC program the seed produces must compile
+// at O0, O1 and O2 (with IR verification between passes) and behave
+// identically at every level — same output stream, same faults, same final
+// global memory. Any seed that trips a violation is a minimized,
+// reproducible miscompilation witness.
+func FuzzOptLevels(f *testing.F) {
+	for seed := int64(1); seed <= 20; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := GenMC(seed)
+		rep, err := CheckOptLevels(src, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if rep.Truncated {
+			t.Fatalf("seed %d: generated program exhausted fuel\n%s", seed, src)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	})
+}
+
 func FuzzRandomProgram(f *testing.F) {
 	for seed := int64(1); seed <= 20; seed++ {
 		f.Add(seed)

@@ -1,0 +1,348 @@
+package diffcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	elag "elag"
+
+	"elag/internal/emu"
+	"elag/internal/ir"
+	"elag/internal/isa"
+)
+
+// This file is the optimization-level differential leg: the same MC source
+// compiled at O0, O1 and O2 must be architecturally indistinguishable. The
+// pass manager may reshape the code arbitrarily — inline, hoist, strength-
+// reduce, delete — but the observable contract is fixed:
+//
+//   - Output: exit code, print_int and print_char streams are identical.
+//   - Faults: a program that faults does so with the same fault kind at
+//     every level (positions differ: PCs are per-level artifacts).
+//   - Memory: the final contents of every source-level global are
+//     byte-identical. Registers and stack frames are per-level artifacts
+//     and are deliberately not compared.
+//
+// The O0 build is the semantic reference: no optimization pass has touched
+// it, so any divergence indicts the optimizer, not the front end.
+
+// optLevels is the ladder under differential test, reference first.
+var optLevels = []struct {
+	Name  string
+	Level elag.OptLevel
+}{
+	{"O0", elag.O0},
+	{"O1", elag.O1},
+	{"O2", elag.O2},
+}
+
+// levelRun is one level's build plus its architectural outcome.
+type levelRun struct {
+	name  string
+	prog  *elag.Program
+	res   emu.Result
+	fault *isa.Fault // nil after a clean halt
+	cpu   *emu.CPU   // final machine state (for global-memory comparison)
+}
+
+// run executes the level's program for at most fuel instructions, keeping
+// the CPU so the final memory image stays inspectable.
+func (lr *levelRun) run(fuel int64) {
+	c := emu.New(lr.prog.Machine)
+	lr.cpu = c
+	for i := int64(0); i < fuel && !c.Halted(); i++ {
+		if err := c.Step(nil); err != nil {
+			var f *isa.Fault
+			if errors.As(err, &f) {
+				lr.fault = f
+			} else {
+				lr.fault = &isa.Fault{Kind: isa.FaultIllegalOp, Detail: err.Error()}
+			}
+			break
+		}
+	}
+	if lr.fault == nil && !c.Halted() {
+		lr.fault = &isa.Fault{Kind: isa.FaultFuel}
+	}
+	lr.res = c.Result()
+}
+
+// CheckOptLevels compiles src at every optimization level (with IR
+// verification between passes) and cross-checks the levels' architectural
+// results against the O0 reference. fuel bounds each level's dynamic
+// instruction count (<=0 for a default of 2M); when any level exhausts its
+// fuel the report is marked Truncated and the cross-level comparisons are
+// skipped — different levels execute different dynamic instruction counts,
+// so truncated prefixes are not comparable.
+//
+// It returns an error only when a build fails (the front end rejecting src
+// is not an optimizer divergence); everything else is reported as
+// violations.
+func CheckOptLevels(src string, fuel int64) (*Report, error) {
+	if fuel <= 0 {
+		fuel = 2_000_000
+	}
+	rep := &Report{Cycles: map[string]int64{}}
+	runs := make([]levelRun, 0, len(optLevels))
+	for _, l := range optLevels {
+		p, err := elag.Build(src, elag.BuildOptions{Level: l.Level})
+		if err != nil {
+			return nil, fmt.Errorf("%s build: %w", l.Name, err)
+		}
+		lr := levelRun{name: l.Name, prog: p}
+		lr.run(fuel)
+		if lr.fault != nil && lr.fault.Kind == isa.FaultFuel {
+			rep.Truncated = true
+		}
+		// Each level's classification must agree with the flavours it
+		// stamped on its own machine program.
+		checkClasses(p.Machine, p.Classes, l.Name, rep)
+		runs = append(runs, lr)
+	}
+	rep.Insts = runs[0].res.DynamicInsts
+	if rep.Truncated {
+		return rep, nil
+	}
+	compareRuns(runs, rep)
+	return rep, nil
+}
+
+// compareRuns checks every run against the first (the reference).
+func compareRuns(runs []levelRun, rep *Report) {
+	ref := &runs[0]
+	for i := 1; i < len(runs); i++ {
+		r := &runs[i]
+		cfg := r.name + "-vs-" + ref.name
+		if (ref.fault == nil) != (r.fault == nil) {
+			rep.failf(cfg, "fault", "%s %s, %s %s",
+				ref.name, faultString(ref.fault), r.name, faultString(r.fault))
+			continue
+		}
+		if ref.fault != nil {
+			// Both faulted: the kinds must agree. The partial state a
+			// fault leaves behind is a per-level artifact and is not
+			// compared.
+			if r.fault.Kind != ref.fault.Kind {
+				rep.failf(cfg, "fault-kind", "%s %v, %s %v",
+					ref.name, ref.fault.Kind, r.name, r.fault.Kind)
+			}
+			continue
+		}
+		if got, want := r.res.Output(), ref.res.Output(); got != want {
+			rep.failf(cfg, "output", "%s %q != %s %q", r.name, got, ref.name, want)
+		}
+		compareGlobals(ref, r, cfg, rep)
+	}
+}
+
+func faultString(f *isa.Fault) string {
+	if f == nil {
+		return "halted cleanly"
+	}
+	return fmt.Sprintf("faulted (%v)", f.Kind)
+}
+
+// compareGlobals verifies that every source-level global holds the same
+// final bytes in both runs. Globals are matched by name: their addresses
+// are per-level layout decisions.
+func compareGlobals(ref, r *levelRun, cfg string, rep *Report) {
+	if ref.prog.Module == nil {
+		return
+	}
+	for _, g := range ref.prog.Module.Globals {
+		want, ok := globalBytes(ref, g)
+		if !ok {
+			rep.failf(cfg, "globals", "%s lost data symbol %s", ref.name, g.Name)
+			continue
+		}
+		got, ok := globalBytes(r, g)
+		if !ok {
+			rep.failf(cfg, "globals", "%s lost data symbol %s", r.name, g.Name)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			off := 0
+			for off < len(want) && want[off] == got[off] {
+				off++
+			}
+			rep.failf(cfg, "globals",
+				"final memory of %s differs at byte %d: %s %#x, %s %#x",
+				g.Name, off, r.name, got[off], ref.name, want[off])
+		}
+	}
+}
+
+// globalBytes reads a global's final memory image out of a finished run.
+func globalBytes(lr *levelRun, g *ir.Global) ([]byte, bool) {
+	addr, ok := lr.prog.Machine.DataSymbols[g.Name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, g.Size)
+	for i := range out {
+		out[i] = lr.cpu.Mem.ByteAt(addr + int64(i))
+	}
+	return out, true
+}
+
+// GenMC builds a random but well-formed MC program, seeded deterministically
+// so failures reproduce. Where GenProgram exercises the assembler-level ISA,
+// GenMC exercises the compiler: it emits the shapes the optimizer rewrites —
+// inlinable helper functions, loop-invariant expressions, redundant loads of
+// the same element, constant-foldable arithmetic, dead branches, nested
+// literal-bounded loops — while keeping three guarantees the differential
+// checker depends on:
+//
+//   - Termination: every loop is bounded by an integer literal; no
+//     data-dependent back edge is ever generated.
+//   - No faults: array indices are masked to the array size, divisors are
+//     or-ed with 1 (and both operands masked non-negative), and shift
+//     amounts are small literals.
+//   - Observability: results flow into the printed accumulator and the
+//     global arrays, both of which the checker compares across levels.
+func GenMC(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	nglob := 2 + rng.Intn(2)
+	for g := 0; g < nglob; g++ {
+		fmt.Fprintf(&b, "int g%d[64];\n", g)
+	}
+	b.WriteString("int acc;\n")
+
+	nfuncs := rng.Intn(3)
+	for f := 0; f < nfuncs; f++ {
+		fmt.Fprintf(&b, "int h%d(int a, int b) { return %s; }\n",
+			f, genExpr(rng, []string{"a", "b"}, 2))
+	}
+
+	b.WriteString("int main() {\n\tint t = 0;\n\tint u = 0;\n")
+	// Seed the arrays with expressions of the index so every level starts
+	// from the same non-trivial image.
+	b.WriteString("\tfor (int i = 0; i < 64; i = i + 1) {\n")
+	for g := 0; g < nglob; g++ {
+		fmt.Fprintf(&b, "\t\tg%d[i] = %s;\n", g, genExpr(rng, []string{"i"}, 2))
+	}
+	b.WriteString("\t}\n")
+
+	gen := &mcGen{rng: rng, nglob: nglob, nfuncs: nfuncs}
+	outer := 8 + rng.Intn(24)
+	fmt.Fprintf(&b, "\tfor (int i = 0; i < %d; i = i + 1) {\n", outer)
+	vars := []string{"i", "t", "u", "acc"}
+	for n := 4 + rng.Intn(8); n > 0; n-- {
+		gen.stmt(&b, "\t\t", vars, 2)
+	}
+	b.WriteString("\t}\n")
+
+	// Fold the arrays into the printed digest: a store optimized away
+	// incorrectly changes the output stream, not just the memory image.
+	fmt.Fprintf(&b, "\tfor (int i = 0; i < 64; i = i + 1) { acc = acc ^ (g%d[i] + i); }\n",
+		rng.Intn(nglob))
+	b.WriteString("\tprint_int(acc);\n\tprint_int(t);\n\tprint_int(u);\n")
+	b.WriteString("\tprint_char((65 + (acc & 25)));\n")
+	b.WriteString("\treturn (acc & 255);\n}\n")
+	return b.String()
+}
+
+// mcGen carries the statement generator's context: array/helper counts and
+// a counter for fresh inner-loop variable names.
+type mcGen struct {
+	rng    *rand.Rand
+	nglob  int
+	nfuncs int
+	nloop  int
+}
+
+// index renders a guaranteed-in-bounds array index expression.
+func (g *mcGen) index(vars []string) string {
+	return fmt.Sprintf("((%s) & 63)", genExpr(g.rng, vars, 2))
+}
+
+func (g *mcGen) arr() string { return fmt.Sprintf("g%d", g.rng.Intn(g.nglob)) }
+
+// stmt emits one random statement at the given indentation. depth bounds
+// block nesting (if/else bodies, inner loops).
+func (g *mcGen) stmt(b *strings.Builder, ind string, vars []string, depth int) {
+	rng := g.rng
+	n := rng.Intn(10)
+	if depth <= 0 && (n == 4 || n == 5) {
+		n = 2
+	}
+	switch n {
+	case 0: // load into a scratch local
+		fmt.Fprintf(b, "%st = %s[%s];\n", ind, g.arr(), g.index(vars))
+	case 1: // store
+		fmt.Fprintf(b, "%s%s[%s] = %s;\n", ind, g.arr(), g.index(vars),
+			genExpr(rng, vars, 2))
+	case 2: // accumulate
+		fmt.Fprintf(b, "%sacc = acc + %s;\n", ind, genExpr(rng, vars, 2))
+	case 3: // redundant loads of the same element (RLE fodder)
+		a, ix := g.arr(), g.index(vars)
+		fmt.Fprintf(b, "%st = %s[%s];\n", ind, a, ix)
+		fmt.Fprintf(b, "%su = %s[%s];\n", ind, a, ix)
+		fmt.Fprintf(b, "%sacc = acc + (t + u);\n", ind)
+	case 4: // data-dependent branch
+		fmt.Fprintf(b, "%sif (((%s) & 15) < %d) {\n", ind,
+			genExpr(rng, vars, 1), 1+rng.Intn(15))
+		g.stmt(b, ind+"\t", vars, depth-1)
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			g.stmt(b, ind+"\t", vars, depth-1)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case 5: // nested literal-bounded loop with a loop-invariant expression
+		j := fmt.Sprintf("j%d", g.nloop)
+		g.nloop++
+		fmt.Fprintf(b, "%sfor (int %s = 0; %s < %d; %s = %s + 1) {\n",
+			ind, j, j, 2+rng.Intn(7), j, j)
+		fmt.Fprintf(b, "%s\tu = u + ((t * %d) + %d);\n", ind, 1+rng.Intn(5), rng.Intn(50))
+		g.stmt(b, ind+"\t", append(vars, j), depth-1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case 6: // guarded division and remainder: divisor in [1,15]
+		fmt.Fprintf(b, "%su = ((%s) & 1023) / (((%s) & 15) | 1);\n",
+			ind, genExpr(rng, vars, 2), genExpr(rng, vars, 1))
+		fmt.Fprintf(b, "%st = t + (u %% %d);\n", ind, 2+rng.Intn(9))
+	case 7: // helper call (inlinable at O2)
+		if g.nfuncs > 0 {
+			fmt.Fprintf(b, "%sacc = acc + h%d(t, u);\n", ind, rng.Intn(g.nfuncs))
+		} else {
+			fmt.Fprintf(b, "%sacc = acc + (t ^ u);\n", ind)
+		}
+	case 8: // dead branch (constant-foldable at O1+, executed nowhere)
+		fmt.Fprintf(b, "%sif (0) { acc = acc + %d; }\n", ind, rng.Intn(10000))
+	case 9: // constant arithmetic (constprop fodder)
+		fmt.Fprintf(b, "%st = t + (%d * %d + %d);\n",
+			ind, 1+rng.Intn(9), 1+rng.Intn(9), rng.Intn(100))
+	}
+}
+
+// genExpr renders a side-effect-free integer expression over vars.
+func genExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%d", rng.Intn(100))
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	a := genExpr(rng, vars, depth-1)
+	b := genExpr(rng, vars, depth-1)
+	switch rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %d)", a, 1+rng.Intn(7))
+	case 3:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 4:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 5:
+		return fmt.Sprintf("(%s << %d)", a, rng.Intn(4))
+	default:
+		return fmt.Sprintf("(%s >> %d)", a, rng.Intn(4))
+	}
+}

@@ -1,0 +1,166 @@
+package diffcheck
+
+import (
+	"strings"
+	"testing"
+
+	elag "elag"
+
+	"elag/internal/emu"
+	"elag/internal/mcc"
+	"elag/internal/workload"
+)
+
+// TestOptLevelsWorkloads: every embedded benchmark must be architecturally
+// equivalent at O0, O1 and O2 — same output, same faults (none), same final
+// global memory. This is the repository's O0-vs-O2 equivalence suite.
+func TestOptLevelsWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rep, err := CheckOptLevels(w.Source, 2_000_000)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Error(err)
+			}
+			if rep.Insts == 0 {
+				t.Errorf("reference run retired no instructions")
+			}
+		})
+	}
+}
+
+// TestOptLevelsRandomPrograms runs the O-level differential check on 200
+// seeded random MC programs — compiler-shaped inputs (inlinable helpers,
+// redundant loads, invariant expressions, dead branches) rather than the
+// assembler-shaped ones GenProgram produces.
+func TestOptLevelsRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		src := GenMC(seed)
+		rep, err := CheckOptLevels(src, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if rep.Truncated {
+			t.Fatalf("seed %d: generated program exhausted 2M fuel\n%s", seed, src)
+		}
+		if err := rep.Err(); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestGenMCDeterministic: the generator must reproduce the same source for
+// the same seed, or fuzz failures would not minimize.
+func TestGenMCDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		if GenMC(seed) != GenMC(seed) {
+			t.Fatalf("seed %d: GenMC is not deterministic", seed)
+		}
+	}
+}
+
+// TestGenMCCompilesAndTerminates: every generated program must pass the
+// front end and halt on its own well under the checker's default fuel —
+// the generator's termination and fault-freedom guarantees.
+func TestGenMCCompilesAndTerminates(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		src := GenMC(seed)
+		if _, err := mcc.Compile(src); err != nil {
+			t.Fatalf("seed %d: front end rejected generated program: %v\n%s", seed, err, src)
+		}
+		p, err := elag.Build(src, elag.BuildOptions{Level: elag.O0})
+		if err != nil {
+			t.Fatalf("seed %d: O0 build: %v", seed, err)
+		}
+		res, err := emu.Run(p.Machine, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if len(res.IntOut) == 0 {
+			t.Errorf("seed %d: program produced no output", seed)
+		}
+	}
+}
+
+// TestCompareRunsCatchesOutputDivergence: a fabricated output mismatch must
+// be flagged — a self-test that the checker can actually fail.
+func TestCompareRunsCatchesOutputDivergence(t *testing.T) {
+	a := levelRun{name: "O0", prog: &elag.Program{}, res: emu.Result{ExitCode: 1}}
+	b := levelRun{name: "O2", prog: &elag.Program{}, res: emu.Result{ExitCode: 2}}
+	rep := &Report{}
+	compareRuns([]levelRun{a, b}, rep)
+	if rep.Ok() {
+		t.Fatal("divergent exit codes passed the cross-level check")
+	}
+	if !strings.Contains(rep.Err().Error(), "output") {
+		t.Errorf("divergence not attributed to output: %v", rep.Err())
+	}
+}
+
+// TestCompareRunsCatchesFaultDivergence: one level faulting while the
+// reference halts cleanly must be flagged, as must differing fault kinds.
+func TestCompareRunsCatchesFaultDivergence(t *testing.T) {
+	clean := levelRun{name: "O0", prog: &elag.Program{}}
+	faulted := levelRun{name: "O2", prog: &elag.Program{},
+		fault: &elag.Fault{Kind: elag.FaultDivZero}}
+	rep := &Report{}
+	compareRuns([]levelRun{clean, faulted}, rep)
+	if rep.Ok() {
+		t.Fatal("clean-vs-faulted divergence passed")
+	}
+
+	other := levelRun{name: "O1", prog: &elag.Program{},
+		fault: &elag.Fault{Kind: elag.FaultMisaligned}}
+	rep = &Report{}
+	compareRuns([]levelRun{faulted, other}, rep)
+	if rep.Ok() {
+		t.Fatal("differing fault kinds passed")
+	}
+}
+
+// TestCompareRunsCatchesMemoryDivergence: poking one byte of a global in an
+// otherwise identical run must trip the final-memory comparison.
+func TestCompareRunsCatchesMemoryDivergence(t *testing.T) {
+	src := GenMC(5)
+	p, err := elag.Build(src, elag.BuildOptions{Level: elag.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := levelRun{name: "O0", prog: p}
+	ref.run(2_000_000)
+	poked := levelRun{name: "O2", prog: p}
+	poked.run(2_000_000)
+	if ref.fault != nil || poked.fault != nil {
+		t.Fatal("generated program faulted")
+	}
+	addr := p.Machine.DataSymbols["g0"]
+	poked.cpu.Mem.SetByte(addr, poked.cpu.Mem.ByteAt(addr)^0xFF)
+	rep := &Report{}
+	compareRuns([]levelRun{ref, poked}, rep)
+	if rep.Ok() {
+		t.Fatal("divergent global memory passed the cross-level check")
+	}
+	if !strings.Contains(rep.Err().Error(), "g0") {
+		t.Errorf("divergence not attributed to the poked global: %v", rep.Err())
+	}
+}
+
+// TestOptLevelsTruncationReported: an absurdly small fuel must mark the
+// report truncated rather than raise spurious divergences.
+func TestOptLevelsTruncationReported(t *testing.T) {
+	rep, err := CheckOptLevels(GenMC(9), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("50-instruction fuel did not truncate")
+	}
+	for _, v := range rep.Violations {
+		if v.Check == "output" || v.Check == "globals" || v.Check == "fault" {
+			t.Errorf("truncated run raised cross-level violation: %v", v)
+		}
+	}
+}

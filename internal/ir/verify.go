@@ -1,0 +1,459 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyError is one violated IR invariant, locating the offending
+// function, block and instruction.
+type VerifyError struct {
+	Func  string
+	Block int // block ID, -1 when not block-specific
+	Inst  int // instruction index within the block, -1 when not specific
+	Msg   string
+}
+
+func (e *VerifyError) Error() string {
+	loc := e.Func
+	if e.Block >= 0 {
+		loc += fmt.Sprintf("/B%d", e.Block)
+		if e.Inst >= 0 {
+			loc += fmt.Sprintf("/%d", e.Inst)
+		}
+	}
+	return fmt.Sprintf("ir.Verify: %s: %s", loc, e.Msg)
+}
+
+// VerifyErrors aggregates every invariant violation found in one module or
+// function, so a broken pass surfaces all of its damage at once.
+type VerifyErrors []*VerifyError
+
+func (es VerifyErrors) Error() string {
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ir.Verify: %d violations:", len(es))
+	for _, e := range es {
+		sb.WriteString("\n  ")
+		sb.WriteString(e.Error())
+	}
+	return sb.String()
+}
+
+// Verify checks the module invariants that every pass must preserve:
+//
+//   - Structure: every reachable block is non-empty and ends with exactly
+//     one terminator; terminators appear only in the last position.
+//   - Control flow: branch and jump targets are blocks of the same
+//     function (no dangling block references), and any recorded
+//     Succs/Preds edges agree with the terminators.
+//   - Registers: every register mentioned lies in [0, NumVRegs); value
+//     operands are well-kinded; frame operands name existing slots.
+//   - Memory: loads and stores carry a power-of-two width in 1..8, loads
+//     define a destination, and address bases are present.
+//   - Def-before-use: on every path from entry, a virtual register is
+//     assigned before it is read (parameters are defined on entry).
+//
+// Blocks unreachable from the entry are skipped: a pass is entitled to
+// leave them stale until the next ComputeCFG prunes them.
+//
+// Verify never mutates the module; it returns nil or a VerifyErrors.
+func Verify(m *Module) error {
+	var errs VerifyErrors
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			errs = append(errs, err.(VerifyErrors)...)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
+}
+
+// VerifyFunc checks one function (see Verify). Returns nil or VerifyErrors.
+func VerifyFunc(f *Func) error {
+	v := &verifier{f: f}
+	v.structure()
+	if len(v.errs) == 0 {
+		// Dataflow assumes structurally sound blocks.
+		v.defBeforeUse()
+	}
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return v.errs
+}
+
+type verifier struct {
+	f     *Func
+	reach map[*Block]bool
+	errs  VerifyErrors
+}
+
+// computeReach walks the terminator-implied graph from the entry block.
+// Targets outside f.Blocks are not followed (they are reported as dangling
+// references by the structure pass).
+func (v *verifier) computeReach(inFunc map[*Block]bool) {
+	v.reach = make(map[*Block]bool, len(v.f.Blocks))
+	if len(v.f.Blocks) == 0 {
+		return
+	}
+	stack := []*Block{v.f.Blocks[0]}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v.reach[b] {
+			continue
+		}
+		v.reach[b] = true
+		if t := b.Term(); t != nil {
+			switch t.Op {
+			case OpBr:
+				for _, s := range []*Block{t.Then, t.Else} {
+					if s != nil && inFunc[s] && !v.reach[s] {
+						stack = append(stack, s)
+					}
+				}
+			case OpJmp:
+				if t.To != nil && inFunc[t.To] && !v.reach[t.To] {
+					stack = append(stack, t.To)
+				}
+			}
+		}
+	}
+}
+
+func (v *verifier) failf(b *Block, inst int, format string, args ...any) {
+	id := -1
+	if b != nil {
+		id = b.ID
+	}
+	v.errs = append(v.errs, &VerifyError{
+		Func: v.f.Name, Block: id, Inst: inst, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *verifier) structure() {
+	f := v.f
+	if len(f.Blocks) == 0 {
+		v.failf(nil, -1, "function has no blocks")
+		return
+	}
+	if f.NParams > f.nvregs {
+		v.failf(nil, -1, "NParams %d exceeds NumVRegs %d", f.NParams, f.nvregs)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b == nil {
+			v.failf(nil, -1, "nil block in block list")
+			return
+		}
+		inFunc[b] = true
+	}
+	v.computeReach(inFunc)
+	hasEdges := false
+	for _, b := range f.Blocks {
+		if !v.reach[b] {
+			continue
+		}
+		if len(b.Succs) > 0 || len(b.Preds) > 0 {
+			hasEdges = true
+		}
+		if len(b.Insts) == 0 {
+			v.failf(b, -1, "empty block (missing terminator)")
+			continue
+		}
+		for i, in := range b.Insts {
+			if in == nil {
+				v.failf(b, i, "nil instruction")
+				continue
+			}
+			if in.IsTerminator() && i != len(b.Insts)-1 {
+				v.failf(b, i, "terminator %s not at end of block", in.Op)
+			}
+			v.checkInstr(b, i, in, inFunc)
+		}
+		if t := b.Insts[len(b.Insts)-1]; !t.IsTerminator() {
+			v.failf(b, len(b.Insts)-1, "block does not end in a terminator (last op %s)", t.Op)
+		}
+	}
+	if hasEdges {
+		v.checkEdges(inFunc)
+	}
+}
+
+// checkInstr validates one instruction's operands and shape.
+func (v *verifier) checkInstr(b *Block, i int, in *Instr, inFunc map[*Block]bool) {
+	v.checkOperand(b, i, in.A, "A")
+	v.checkOperand(b, i, in.B, "B")
+	if in.Dst != NoVReg && !v.validReg(in.Dst) {
+		v.failf(b, i, "destination v%d out of range [0,%d)", in.Dst, v.f.nvregs)
+	}
+	switch in.Op {
+	case OpLoad, OpStore:
+		switch in.Width {
+		case 1, 2, 4, 8:
+		default:
+			v.failf(b, i, "memory access width %d (want 1, 2, 4 or 8)", in.Width)
+		}
+		if in.Base.Kind == OpndNone {
+			v.failf(b, i, "memory access with no base operand")
+		}
+		v.checkOperand(b, i, in.Base, "Base")
+		if in.Index != NoVReg && !v.validReg(in.Index) {
+			v.failf(b, i, "index v%d out of range [0,%d)", in.Index, v.f.nvregs)
+		}
+		if in.Op == OpLoad && in.Dst == NoVReg {
+			v.failf(b, i, "load with no destination")
+		}
+	case OpCall:
+		if in.Callee == "" {
+			v.failf(b, i, "call with empty callee")
+		}
+		for k, a := range in.Args {
+			v.checkOperand(b, i, a, fmt.Sprintf("arg %d", k))
+		}
+	case OpBr:
+		if in.Then == nil || in.Else == nil {
+			v.failf(b, i, "branch with nil target")
+		} else {
+			if !inFunc[in.Then] {
+				v.failf(b, i, "branch Then targets block B%d not in function", in.Then.ID)
+			}
+			if !inFunc[in.Else] {
+				v.failf(b, i, "branch Else targets block B%d not in function", in.Else.ID)
+			}
+		}
+	case OpJmp:
+		if in.To == nil {
+			v.failf(b, i, "jump with nil target")
+		} else if !inFunc[in.To] {
+			v.failf(b, i, "jump targets block B%d not in function", in.To.ID)
+		}
+	case OpCopy:
+		if in.Dst == NoVReg {
+			v.failf(b, i, "copy with no destination")
+		}
+		if in.A.Kind == OpndNone {
+			v.failf(b, i, "copy with no source operand")
+		}
+	default:
+		if in.Op.IsBinary() && in.Dst == NoVReg {
+			v.failf(b, i, "%s with no destination", in.Op)
+		}
+	}
+}
+
+func (v *verifier) validReg(r VReg) bool { return r >= 0 && int(r) < v.f.nvregs }
+
+func (v *verifier) checkOperand(b *Block, i int, o Operand, what string) {
+	switch o.Kind {
+	case OpndNone, OpndConst, OpndSym:
+	case OpndReg:
+		if !v.validReg(o.Reg) {
+			v.failf(b, i, "operand %s: v%d out of range [0,%d)", what, o.Reg, v.f.nvregs)
+		}
+	case OpndFrame:
+		if o.Slot < 0 || o.Slot >= len(v.f.Slots) {
+			v.failf(b, i, "operand %s: frame slot %d out of range [0,%d)", what, o.Slot, len(v.f.Slots))
+		}
+	default:
+		v.failf(b, i, "operand %s: unknown kind %d", what, o.Kind)
+	}
+}
+
+// checkEdges verifies that the recorded CFG adjacency (when present) agrees
+// with what the terminators imply, and that Preds is the exact transpose of
+// Succs. Only edges between reachable blocks are considered.
+func (v *verifier) checkEdges(inFunc map[*Block]bool) {
+	type edge struct{ from, to *Block }
+	predWant := make(map[edge]int)
+	for _, b := range v.f.Blocks {
+		if !v.reach[b] {
+			continue
+		}
+		var want []*Block
+		if t := b.Term(); t != nil {
+			switch t.Op {
+			case OpBr:
+				if inFunc[t.Then] && inFunc[t.Else] {
+					want = []*Block{t.Then, t.Else}
+				}
+			case OpJmp:
+				if inFunc[t.To] {
+					want = []*Block{t.To}
+				}
+			}
+		}
+		if len(b.Succs) != len(want) {
+			v.failf(b, -1, "recorded %d successors, terminator implies %d", len(b.Succs), len(want))
+			continue
+		}
+		for i := range want {
+			if b.Succs[i] != want[i] {
+				v.failf(b, -1, "successor %d is B%d, terminator implies B%d",
+					i, b.Succs[i].ID, want[i].ID)
+			}
+		}
+		for _, s := range want {
+			predWant[edge{b, s}]++
+		}
+	}
+	predGot := make(map[edge]int)
+	for _, b := range v.f.Blocks {
+		if !v.reach[b] {
+			continue
+		}
+		for _, p := range b.Preds {
+			if !inFunc[p] {
+				v.failf(b, -1, "predecessor B%d not in function", p.ID)
+				continue
+			}
+			if !v.reach[p] {
+				continue
+			}
+			predGot[edge{p, b}]++
+		}
+	}
+	for e, n := range predWant {
+		if predGot[e] != n {
+			v.failf(e.to, -1, "predecessor list disagrees with edges from B%d (%d recorded, %d implied)",
+				e.from.ID, predGot[e], n)
+		}
+	}
+	for e, n := range predGot {
+		if predWant[e] == 0 {
+			v.failf(e.to, -1, "spurious predecessor B%d (%d recorded, no such edge)", e.from.ID, n)
+		}
+	}
+}
+
+// defBeforeUse runs a forward "definitely assigned" dataflow over the CFG
+// implied by the terminators and reports any register read on a path before
+// any assignment. Parameters are defined on entry. Unreachable blocks are
+// skipped: passes are entitled to leave them stale until the next
+// ComputeCFG prunes them.
+func (v *verifier) defBeforeUse() {
+	f := v.f
+	n := f.nvregs
+	if n == 0 {
+		return
+	}
+	words := (n + 63) / 64
+
+	succs := func(b *Block) []*Block {
+		t := b.Term()
+		if t == nil {
+			return nil
+		}
+		switch t.Op {
+		case OpBr:
+			return []*Block{t.Then, t.Else}
+		case OpJmp:
+			return []*Block{t.To}
+		}
+		return nil
+	}
+
+	// Reachability was computed by the structure pass.
+	reach := v.reach
+
+	get := func(s []uint64, r VReg) bool { return s[r>>6]&(1<<(uint(r)&63)) != 0 }
+	set := func(s []uint64, r VReg) { s[r>>6] |= 1 << (uint(r) & 63) }
+
+	// in[b] = intersection over reachable preds of out[pred]; entry gets
+	// the parameters. Initialize non-entry to "all defined" (top) so the
+	// intersection converges downward.
+	in := make(map[*Block][]uint64, len(f.Blocks))
+	out := make(map[*Block][]uint64, len(f.Blocks))
+	top := make([]uint64, words)
+	for i := range top {
+		top[i] = ^uint64(0)
+	}
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		in[b] = append([]uint64(nil), top...)
+		out[b] = append([]uint64(nil), top...)
+	}
+	entryIn := make([]uint64, words)
+	for p := 0; p < f.NParams; p++ {
+		set(entryIn, VReg(p))
+	}
+	copy(in[f.Blocks[0]], entryIn)
+
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, s := range succs(b) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	transfer := func(b *Block, defined []uint64) {
+		for _, inst := range b.Insts {
+			if inst.Dst != NoVReg && v.validReg(inst.Dst) {
+				set(defined, inst.Dst)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if !reach[b] {
+				continue
+			}
+			newIn := append([]uint64(nil), top...)
+			if b == f.Blocks[0] {
+				copy(newIn, entryIn)
+			} else {
+				for _, p := range preds[b] {
+					for i := range newIn {
+						newIn[i] &= out[p][i]
+					}
+				}
+			}
+			newOut := append([]uint64(nil), newIn...)
+			transfer(b, newOut)
+			same := true
+			for i := range newIn {
+				if newIn[i] != in[b][i] || newOut[i] != out[b][i] {
+					same = false
+				}
+			}
+			if !same {
+				in[b], out[b] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+
+	var scratch []VReg
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		defined := append([]uint64(nil), in[b]...)
+		for i, inst := range b.Insts {
+			scratch = inst.Uses(scratch[:0])
+			for _, u := range scratch {
+				if !v.validReg(u) {
+					continue // already reported by structure pass
+				}
+				if !get(defined, u) {
+					v.failf(b, i, "v%d used before definition (%s)", u, inst)
+				}
+			}
+			if inst.Dst != NoVReg && v.validReg(inst.Dst) {
+				set(defined, inst.Dst)
+			}
+		}
+	}
+}

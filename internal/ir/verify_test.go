@@ -1,0 +1,309 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"elag/internal/isa"
+)
+
+// vbin builds a binary instruction for verifier tests.
+func vbin(op Op, d VReg, a, b Operand) *Instr {
+	in := NewInstr(op)
+	in.Dst = d
+	in.A, in.B = a, b
+	return in
+}
+
+func vret(o Operand) *Instr {
+	in := NewInstr(OpRet)
+	in.A = o
+	return in
+}
+
+// wellFormed builds a two-block function that passes every check:
+// entry computes v1 = p0 + 1 and jumps to an exit returning v1.
+func wellFormed() *Func {
+	f := NewFunc("ok", 1)
+	v := f.NewVReg()
+	entry, exit := f.NewBlock(), f.NewBlock()
+	j := NewInstr(OpJmp)
+	j.To = exit
+	entry.Insts = append(entry.Insts, vbin(OpAdd, v, R(0), C(1)), j)
+	exit.Insts = append(exit.Insts, vret(R(v)))
+	f.ComputeCFG()
+	return f
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	f := wellFormed()
+	if err := VerifyFunc(f); err != nil {
+		t.Fatalf("well-formed function rejected: %v", err)
+	}
+	if err := Verify(&Module{Funcs: []*Func{f}}); err != nil {
+		t.Fatalf("well-formed module rejected: %v", err)
+	}
+}
+
+func TestVerifyNegative(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Func
+		want  string // substring of the expected violation
+	}{
+		{
+			name:  "no blocks",
+			build: func() *Func { return NewFunc("t", 0) },
+			want:  "no blocks",
+		},
+		{
+			name: "empty block",
+			build: func() *Func {
+				f := NewFunc("t", 0)
+				f.NewBlock()
+				return f
+			},
+			want: "empty block",
+		},
+		{
+			name: "missing terminator",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				b.Insts = append(b.Insts, vbin(OpAdd, f.NewVReg(), R(0), C(1)))
+				return f
+			},
+			want: "does not end in a terminator",
+		},
+		{
+			name: "terminator mid-block",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				b.Insts = append(b.Insts, vret(R(0)), vbin(OpAdd, f.NewVReg(), R(0), C(1)), vret(R(0)))
+				return f
+			},
+			want: "not at end of block",
+		},
+		{
+			name: "dangling jump target",
+			build: func() *Func {
+				f := NewFunc("t", 0)
+				b := f.NewBlock()
+				stranger := &Block{ID: 99}
+				j := NewInstr(OpJmp)
+				j.To = stranger
+				b.Insts = append(b.Insts, j)
+				return f
+			},
+			want: "not in function",
+		},
+		{
+			name: "dangling branch arm",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				exit := f.NewBlock()
+				exit.Insts = append(exit.Insts, vret(C(0)))
+				br := NewInstr(OpBr)
+				br.Cond = isa.CondLT
+				br.A, br.B = R(0), C(4)
+				br.Then, br.Else = &Block{ID: 7}, exit
+				b.Insts = append(b.Insts, br)
+				return f
+			},
+			want: "not in function",
+		},
+		{
+			name: "nil branch target",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				br := NewInstr(OpBr)
+				br.Cond = isa.CondLT
+				br.A, br.B = R(0), C(4)
+				b.Insts = append(b.Insts, br)
+				return f
+			},
+			want: "nil target",
+		},
+		{
+			name: "use before def straight line",
+			build: func() *Func {
+				f := NewFunc("t", 0)
+				v := f.NewVReg()
+				b := f.NewBlock()
+				b.Insts = append(b.Insts, vbin(OpAdd, f.NewVReg(), R(v), C(1)), vret(C(0)))
+				return f
+			},
+			want: "used before definition",
+		},
+		{
+			name: "use before def on one path",
+			build: func() *Func {
+				// v defined only on the Then path but read at the join.
+				f := NewFunc("t", 1)
+				v := f.NewVReg()
+				entry, then, join := f.NewBlock(), f.NewBlock(), f.NewBlock()
+				br := NewInstr(OpBr)
+				br.Cond = isa.CondLT
+				br.A, br.B = R(0), C(4)
+				br.Then, br.Else = then, join
+				entry.Insts = append(entry.Insts, br)
+				j := NewInstr(OpJmp)
+				j.To = join
+				then.Insts = append(then.Insts, vbin(OpAdd, v, R(0), C(1)), j)
+				join.Insts = append(join.Insts, vret(R(v)))
+				return f
+			},
+			want: "used before definition",
+		},
+		{
+			name: "vreg out of range",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				b.Insts = append(b.Insts, vbin(OpAdd, VReg(40), R(0), C(1)), vret(C(0)))
+				return f
+			},
+			want: "out of range",
+		},
+		{
+			name: "bad memory width",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				v := f.NewVReg()
+				b := f.NewBlock()
+				ld := NewInstr(OpLoad)
+				ld.Dst = v
+				ld.Base = R(0)
+				ld.Width = 3
+				b.Insts = append(b.Insts, ld, vret(R(v)))
+				return f
+			},
+			want: "width 3",
+		},
+		{
+			name: "load without destination",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				ld := NewInstr(OpLoad)
+				ld.Base = R(0)
+				ld.Width = 8
+				b.Insts = append(b.Insts, ld, vret(C(0)))
+				return f
+			},
+			want: "load with no destination",
+		},
+		{
+			name: "store without base",
+			build: func() *Func {
+				f := NewFunc("t", 1)
+				b := f.NewBlock()
+				st := NewInstr(OpStore)
+				st.A = R(0)
+				st.Width = 8
+				b.Insts = append(b.Insts, st, vret(C(0)))
+				return f
+			},
+			want: "no base operand",
+		},
+		{
+			name: "call without callee",
+			build: func() *Func {
+				f := NewFunc("t", 0)
+				b := f.NewBlock()
+				call := NewInstr(OpCall)
+				call.Dst = f.NewVReg()
+				b.Insts = append(b.Insts, call, vret(C(0)))
+				return f
+			},
+			want: "empty callee",
+		},
+		{
+			name: "frame slot out of range",
+			build: func() *Func {
+				f := NewFunc("t", 0)
+				v := f.NewVReg()
+				b := f.NewBlock()
+				cp := NewInstr(OpCopy)
+				cp.Dst = v
+				cp.A = Operand{Kind: OpndFrame, Slot: 3}
+				b.Insts = append(b.Insts, cp, vret(R(v)))
+				return f
+			},
+			want: "frame slot 3 out of range",
+		},
+		{
+			name: "stale successor list",
+			build: func() *Func {
+				f := wellFormed()
+				// Rewire the terminator without recomputing edges: the
+				// recorded Succs now disagree with the terminator.
+				extra := f.NewBlock()
+				extra.Insts = append(extra.Insts, vret(C(0)))
+				f.Blocks[0].Term().To = extra
+				return f
+			},
+			want: "successor",
+		},
+		{
+			name: "spurious predecessor",
+			build: func() *Func {
+				f := wellFormed()
+				f.Blocks[0].Preds = append(f.Blocks[0].Preds, f.Blocks[1])
+				return f
+			},
+			want: "spurious predecessor",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.build()
+			err := VerifyFunc(f)
+			if err == nil {
+				t.Fatalf("malformed function accepted:\n%s", f.String())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("violation %q not reported; got: %v", tc.want, err)
+			}
+			// The module form must report the same violations.
+			if merr := Verify(&Module{Funcs: []*Func{f}}); merr == nil {
+				t.Errorf("Verify accepted what VerifyFunc rejected")
+			}
+		})
+	}
+}
+
+func TestVerifySkipsUnreachableBlocks(t *testing.T) {
+	// A stale, empty, unreachable block must not fail verification:
+	// passes may leave such blocks behind until the next ComputeCFG.
+	f := wellFormed()
+	f.Blocks = append(f.Blocks, &Block{ID: 12})
+	if err := VerifyFunc(f); err != nil {
+		t.Fatalf("unreachable stale block reported: %v", err)
+	}
+}
+
+func TestVerifyReportsAllViolations(t *testing.T) {
+	// Two independent structural violations must both surface.
+	f := NewFunc("t", 0)
+	v := f.NewVReg()
+	b := f.NewBlock()
+	ld := NewInstr(OpLoad)
+	ld.Base = R(v) // also a use-before-def, but structure errors gate dataflow
+	ld.Width = 3
+	b.Insts = append(b.Insts, ld)
+	err := VerifyFunc(f)
+	if err == nil {
+		t.Fatal("malformed function accepted")
+	}
+	es, ok := err.(VerifyErrors)
+	if !ok {
+		t.Fatalf("error type %T, want VerifyErrors", err)
+	}
+	if len(es) < 3 { // width, no load dst, missing terminator
+		t.Errorf("expected >=3 violations, got %d: %v", len(es), err)
+	}
+}

@@ -1,6 +1,6 @@
 package mcc
 
-// Abstract syntax for MC. Every node carries its source line for
+// Abstract syntax for MC. Every node carries its source position (line:col) for
 // diagnostics.
 
 // Type kinds.
@@ -107,126 +107,126 @@ func sameType(a, b *Type) bool {
 
 // ---- Expressions ----
 
-type expr interface{ exprLine() int }
+type expr interface{ exprLine() srcPos }
 
 type numLit struct {
-	line int
+	line srcPos
 	val  int64
 }
 
 type strLit struct {
-	line int
+	line srcPos
 	val  string
 }
 
 type identExpr struct {
-	line int
+	line srcPos
 	name string
 }
 
 type unaryExpr struct {
-	line int
+	line srcPos
 	op   string // - ! ~ & *
 	x    expr
 }
 
 type binaryExpr struct {
-	line int
+	line srcPos
 	op   string
 	x, y expr
 }
 
 type assignExpr struct {
-	line int
+	line srcPos
 	op   string // = += -= *= /= %= &= |= ^= <<= >>=
 	lhs  expr
 	rhs  expr
 }
 
 type condExpr struct {
-	line int
+	line srcPos
 	cond expr
 	x, y expr
 }
 
 type callExpr struct {
-	line int
+	line srcPos
 	name string
 	args []expr
 }
 
 type indexExpr struct {
-	line int
+	line srcPos
 	x    expr
 	idx  expr
 }
 
 type memberExpr struct {
-	line  int
+	line  srcPos
 	x     expr
 	name  string
 	arrow bool
 }
 
 type incDecExpr struct {
-	line int
+	line srcPos
 	x    expr
 	dec  bool
 	post bool
 }
 
 type sizeofExpr struct {
-	line int
+	line srcPos
 	typ  *Type
 }
 
-func (e *numLit) exprLine() int     { return e.line }
-func (e *strLit) exprLine() int     { return e.line }
-func (e *identExpr) exprLine() int  { return e.line }
-func (e *unaryExpr) exprLine() int  { return e.line }
-func (e *binaryExpr) exprLine() int { return e.line }
-func (e *assignExpr) exprLine() int { return e.line }
-func (e *condExpr) exprLine() int   { return e.line }
-func (e *callExpr) exprLine() int   { return e.line }
-func (e *indexExpr) exprLine() int  { return e.line }
-func (e *memberExpr) exprLine() int { return e.line }
-func (e *incDecExpr) exprLine() int { return e.line }
-func (e *sizeofExpr) exprLine() int { return e.line }
+func (e *numLit) exprLine() srcPos     { return e.line }
+func (e *strLit) exprLine() srcPos     { return e.line }
+func (e *identExpr) exprLine() srcPos  { return e.line }
+func (e *unaryExpr) exprLine() srcPos  { return e.line }
+func (e *binaryExpr) exprLine() srcPos { return e.line }
+func (e *assignExpr) exprLine() srcPos { return e.line }
+func (e *condExpr) exprLine() srcPos   { return e.line }
+func (e *callExpr) exprLine() srcPos   { return e.line }
+func (e *indexExpr) exprLine() srcPos  { return e.line }
+func (e *memberExpr) exprLine() srcPos { return e.line }
+func (e *incDecExpr) exprLine() srcPos { return e.line }
+func (e *sizeofExpr) exprLine() srcPos { return e.line }
 
 // ---- Statements ----
 
-type stmt interface{ stmtLine() int }
+type stmt interface{ stmtLine() srcPos }
 
 type blockStmt struct {
-	line  int
+	line  srcPos
 	stmts []stmt
 }
 
 type exprStmt struct {
-	line int
+	line srcPos
 	x    expr
 }
 
 type declStmt struct {
-	line int
+	line srcPos
 	d    *varDecl
 }
 
 type ifStmt struct {
-	line      int
+	line      srcPos
 	cond      expr
 	then, els stmt // els may be nil
 }
 
 type whileStmt struct {
-	line int
+	line srcPos
 	cond expr
 	body stmt
 	post bool // do-while: body runs before the first test
 }
 
 type forStmt struct {
-	line int
+	line srcPos
 	init stmt // may be nil (exprStmt or declStmt)
 	cond expr // may be nil
 	post expr // may be nil
@@ -236,7 +236,7 @@ type forStmt struct {
 // switchStmt is a C switch with fallthrough semantics; case labels must be
 // constant expressions.
 type switchStmt struct {
-	line  int
+	line  srcPos
 	cond  expr
 	cases []switchCase
 	// defIdx is the index into cases of the default arm, or -1.
@@ -244,34 +244,34 @@ type switchStmt struct {
 }
 
 type switchCase struct {
-	line int
+	line srcPos
 	vals []int64 // empty for default
 	body []stmt
 }
 
 type returnStmt struct {
-	line int
+	line srcPos
 	x    expr // may be nil
 }
 
-type breakStmt struct{ line int }
-type continueStmt struct{ line int }
+type breakStmt struct{ line srcPos }
+type continueStmt struct{ line srcPos }
 
-func (s *blockStmt) stmtLine() int    { return s.line }
-func (s *exprStmt) stmtLine() int     { return s.line }
-func (s *declStmt) stmtLine() int     { return s.line }
-func (s *ifStmt) stmtLine() int       { return s.line }
-func (s *whileStmt) stmtLine() int    { return s.line }
-func (s *forStmt) stmtLine() int      { return s.line }
-func (s *switchStmt) stmtLine() int   { return s.line }
-func (s *returnStmt) stmtLine() int   { return s.line }
-func (s *breakStmt) stmtLine() int    { return s.line }
-func (s *continueStmt) stmtLine() int { return s.line }
+func (s *blockStmt) stmtLine() srcPos    { return s.line }
+func (s *exprStmt) stmtLine() srcPos     { return s.line }
+func (s *declStmt) stmtLine() srcPos     { return s.line }
+func (s *ifStmt) stmtLine() srcPos       { return s.line }
+func (s *whileStmt) stmtLine() srcPos    { return s.line }
+func (s *forStmt) stmtLine() srcPos      { return s.line }
+func (s *switchStmt) stmtLine() srcPos   { return s.line }
+func (s *returnStmt) stmtLine() srcPos   { return s.line }
+func (s *breakStmt) stmtLine() srcPos    { return s.line }
+func (s *continueStmt) stmtLine() srcPos { return s.line }
 
 // ---- Declarations ----
 
 type varDecl struct {
-	line     int
+	line     srcPos
 	name     string
 	typ      *Type
 	init     expr   // scalar initializer, may be nil
@@ -284,7 +284,7 @@ type param struct {
 }
 
 type funcDecl struct {
-	line   int
+	line   srcPos
 	name   string
 	ret    *Type
 	params []param

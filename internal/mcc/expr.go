@@ -17,7 +17,7 @@ type lval struct {
 // addr materializes the lvalue's address as an operand.
 func (lo *lowerer) addr(lv *lval) (ir.Operand, error) {
 	if lv.local != nil {
-		return ir.Operand{}, errAt(0, "cannot take address of register local %s", lv.local.name)
+		return ir.Operand{}, errAt(srcPos{}, "cannot take address of register local %s", lv.local.name)
 	}
 	switch lv.base.Kind {
 	case ir.OpndSym, ir.OpndFrame:
@@ -36,7 +36,7 @@ func (lo *lowerer) addr(lv *lval) (ir.Operand, error) {
 		lo.emit(add)
 		return ir.R(t), nil
 	}
-	return ir.Operand{}, errAt(0, "bad lvalue base")
+	return ir.Operand{}, errAt(srcPos{}, "bad lvalue base")
 }
 
 // loadLV reads the lvalue. Arrays and structs yield their address (decay).
@@ -62,7 +62,7 @@ func (lo *lowerer) loadLV(lv *lval) (ir.Operand, *Type, error) {
 // storeLV writes o to the lvalue.
 func (lo *lowerer) storeLV(lv *lval, o ir.Operand) error {
 	if lv.typ.isArray() || lv.typ.kind == tyStruct {
-		return errAt(0, "cannot assign to aggregate")
+		return errAt(srcPos{}, "cannot assign to aggregate")
 	}
 	if lv.local != nil {
 		cp := ir.NewInstr(ir.OpCopy)

@@ -8,6 +8,7 @@ import (
 	"elag/internal/codegen"
 	"elag/internal/mcc"
 	"elag/internal/opt"
+	"elag/internal/passman"
 )
 
 // FuzzCompile drives arbitrary text through the whole MC tool chain:
@@ -26,7 +27,9 @@ func FuzzCompile(f *testing.F) {
 		if err != nil {
 			return // rejected input is the expected outcome
 		}
-		opt.Run(mod, opt.Options{})
+		if err := passman.Optimize(mod, opt.Options{}); err != nil {
+			t.Fatalf("optimizer broke IR invariants: %v\nsource: %q", err, src)
+		}
 		text, err := codegen.Generate(mod)
 		if err != nil {
 			// The code generator may reject valid-but-unsupported

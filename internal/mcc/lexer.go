@@ -16,13 +16,21 @@ import (
 	"strings"
 )
 
-// Error is a front-end diagnostic with position.
+// Error is a front-end diagnostic with a source position. Col is
+// 1-based; 0 means the column is unknown (diagnostics raised against
+// whole declarations rather than tokens).
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("mcc: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("mcc: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("mcc: line %d: %s", e.Line, e.Msg)
+}
 
 type tokKind uint8
 
@@ -40,7 +48,15 @@ type token struct {
 	text string
 	num  int64
 	line int
+	col  int // 1-based column of the token's first byte
 }
+
+// srcPos is a line:col source position carried by AST nodes.
+type srcPos struct {
+	line, col int
+}
+
+func (t token) srcPos() srcPos { return srcPos{t.line, t.col} }
 
 var keywords = map[string]bool{
 	"int": true, "char": true, "void": true, "struct": true,
@@ -51,10 +67,11 @@ var keywords = map[string]bool{
 
 // lexer tokenizes MC source.
 type lexer struct {
-	src  string
-	pos  int
-	line int
-	toks []token
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset where the current line begins
+	toks      []token
 }
 
 func lex(src string) ([]token, error) {
@@ -72,8 +89,11 @@ func lex(src string) ([]token, error) {
 }
 
 func (l *lexer) errf(format string, args ...any) error {
-	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+	return &Error{Line: l.line, Col: l.col(l.pos), Msg: fmt.Sprintf(format, args...)}
 }
+
+// col converts a byte offset on the current line to a 1-based column.
+func (l *lexer) col(pos int) int { return pos - l.lineStart + 1 }
 
 func (l *lexer) next() (token, error) {
 	// Skip whitespace and comments.
@@ -83,6 +103,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
@@ -94,6 +115,7 @@ func (l *lexer) next() (token, error) {
 			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
 				if l.src[l.pos] == '\n' {
 					l.line++
+					l.lineStart = l.pos + 1
 				}
 				l.pos++
 			}
@@ -107,9 +129,10 @@ func (l *lexer) next() (token, error) {
 	}
 scan:
 	if l.pos >= len(l.src) {
-		return token{kind: tEOF, line: l.line}, nil
+		return token{kind: tEOF, line: l.line, col: l.col(l.pos)}, nil
 	}
 	start, line := l.pos, l.line
+	col := l.col(start)
 	c := l.src[l.pos]
 	switch {
 	case isAlpha(c):
@@ -118,9 +141,9 @@ scan:
 		}
 		text := l.src[start:l.pos]
 		if keywords[text] {
-			return token{kind: tKw, text: text, line: line}, nil
+			return token{kind: tKw, text: text, line: line, col: col}, nil
 		}
-		return token{kind: tIdent, text: text, line: line}, nil
+		return token{kind: tIdent, text: text, line: line, col: col}, nil
 
 	case isDigit(c):
 		base := int64(10)
@@ -137,7 +160,7 @@ scan:
 			v = v*base + int64(d)
 			l.pos++
 		}
-		return token{kind: tNum, num: v, line: line}, nil
+		return token{kind: tNum, num: v, line: line, col: col}, nil
 
 	case c == '\'':
 		l.pos++
@@ -164,7 +187,7 @@ scan:
 			return token{}, l.errf("unterminated character literal")
 		}
 		l.pos++
-		return token{kind: tNum, num: v, line: line}, nil
+		return token{kind: tNum, num: v, line: line, col: col}, nil
 
 	case c == '"':
 		l.pos++
@@ -194,7 +217,7 @@ scan:
 			return token{}, l.errf("unterminated string literal")
 		}
 		l.pos++
-		return token{kind: tStr, text: sb.String(), line: line}, nil
+		return token{kind: tStr, text: sb.String(), line: line, col: col}, nil
 	}
 
 	// Punctuation, longest match first.
@@ -206,7 +229,7 @@ scan:
 	} {
 		if strings.HasPrefix(l.src[l.pos:], p) {
 			l.pos += len(p)
-			return token{kind: tPunct, text: p, line: line}, nil
+			return token{kind: tPunct, text: p, line: line, col: col}, nil
 		}
 	}
 	return token{}, l.errf("unexpected character %q", c)

@@ -48,7 +48,7 @@ func Compile(src string) (*ir.Module, error) {
 	}
 	for _, fd := range f.funcs {
 		if lo.fds[fd.name] != nil {
-			return nil, &Error{Line: fd.line, Msg: fmt.Sprintf("function %s redefined", fd.name)}
+			return nil, errAt(fd.line, "function %s redefined", fd.name)
 		}
 		lo.fds[fd.name] = fd
 	}
@@ -68,8 +68,8 @@ func Compile(src string) (*ir.Module, error) {
 	return lo.m, nil
 }
 
-func errAt(line int, format string, args ...any) error {
-	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+func errAt(at srcPos, format string, args ...any) error {
+	return &Error{Line: at.line, Col: at.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // ---- globals ----

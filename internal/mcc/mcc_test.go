@@ -1,6 +1,7 @@
 package mcc_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"elag/internal/emu"
 	"elag/internal/mcc"
 	"elag/internal/opt"
+	"elag/internal/passman"
 )
 
 // compileRun compiles MC source (optimized) and runs it, returning outputs.
@@ -18,7 +20,9 @@ func compileRun(t *testing.T, src string) emu.Result {
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	opt.Run(mod, opt.Options{})
+	if err := passman.Optimize(mod, opt.Options{}); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
 	text, err := codegen.Generate(mod)
 	if err != nil {
 		t.Fatalf("codegen: %v", err)
@@ -376,6 +380,55 @@ func TestParseErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), c.frag) {
 			t.Errorf("Compile(%q) error %q, want substring %q", c.src, err, c.frag)
 		}
+	}
+}
+
+// TestErrorPositions: diagnostics from every front-end stage — lexer,
+// parser, lowering — must carry the exact line:col of the offending token
+// (columns are 1-based byte offsets into the line). Declaration-level
+// diagnostics with no meaningful column carry Col 0 and render in the
+// legacy line-only form.
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"lexer bad char", "int main() {\n\tint y = @;\n}", 2, 10},
+		{"lexer unterminated comment", "/* never closed", 1, 15},
+		{"parser bad expression", "int main() { return 1 + ; }", 1, 25},
+		{"parser missing semicolon", "int main() { return 0 ", 1, 23},
+		{"lowering undefined variable", "int main() {\n\treturn x;\n}", 2, 9},
+		{"lowering arity mismatch",
+			"int f(int a) { return a; }\nint main() {\n\treturn f(1, 2);\n}", 3, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := mcc.Compile(c.src)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded", c.src)
+			}
+			var me *mcc.Error
+			if !errors.As(err, &me) {
+				t.Fatalf("error %v is not a *mcc.Error", err)
+			}
+			if me.Line != c.line || me.Col != c.col {
+				t.Errorf("position %d:%d, want %d:%d (%v)", me.Line, me.Col, c.line, c.col, err)
+			}
+		})
+	}
+
+	// Whole-declaration diagnostics have no column.
+	_, err := mcc.Compile("int g() { return 1; }")
+	var me *mcc.Error
+	if !errors.As(err, &me) {
+		t.Fatalf("error %v is not a *mcc.Error", err)
+	}
+	if me.Col != 0 {
+		t.Errorf("declaration-level diagnostic carries column %d", me.Col)
+	}
+	if got := err.Error(); strings.Contains(got, ":0:") {
+		t.Errorf("column-less diagnostic rendered a column: %q", got)
 	}
 }
 

@@ -31,7 +31,7 @@ func (p *parser) tok() token {
 	}
 	return p.toks[p.pos]
 }
-func (p *parser) line() int { return p.tok().line }
+func (p *parser) line() srcPos { return p.tok().srcPos() }
 func (p *parser) advance() token {
 	t := p.tok()
 	if p.pos < len(p.toks) {
@@ -41,7 +41,8 @@ func (p *parser) advance() token {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return &Error{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+	t := p.tok()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) at(text string) bool {
@@ -221,7 +222,7 @@ func align(t *Type) int64 {
 
 // varDeclTail parses the rest of a variable declaration after "type name":
 // optional array dimensions and an initializer.
-func (p *parser) varDeclTail(t *Type, name string, line int) (*varDecl, error) {
+func (p *parser) varDeclTail(t *Type, name string, line srcPos) (*varDecl, error) {
 	var dims []int64
 	for p.accept("[") {
 		if p.tok().kind != tNum {
@@ -259,7 +260,7 @@ func (p *parser) varDeclTail(t *Type, name string, line int) (*varDecl, error) {
 	return vd, nil
 }
 
-func (p *parser) funcDecl(ret *Type, name string, line int) (*funcDecl, error) {
+func (p *parser) funcDecl(ret *Type, name string, line srcPos) (*funcDecl, error) {
 	fd := &funcDecl{line: line, name: name, ret: ret}
 	if err := p.expect("("); err != nil {
 		return nil, err
@@ -509,7 +510,7 @@ func (p *parser) stmt() (stmt, error) {
 
 // switchStmt parses switch (expr) { case K: ... default: ... } with C
 // fallthrough semantics. Case labels must be integer constant expressions.
-func (p *parser) switchStmt(line int) (stmt, error) {
+func (p *parser) switchStmt(line srcPos) (stmt, error) {
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
@@ -777,15 +778,15 @@ func (p *parser) primary() (expr, error) {
 	switch t.kind {
 	case tNum:
 		p.advance()
-		return &numLit{line: t.line, val: t.num}, nil
+		return &numLit{line: t.srcPos(), val: t.num}, nil
 	case tStr:
 		p.advance()
-		return &strLit{line: t.line, val: t.text}, nil
+		return &strLit{line: t.srcPos(), val: t.text}, nil
 	case tIdent:
 		p.advance()
 		if p.at("(") {
 			p.advance()
-			c := &callExpr{line: t.line, name: t.text}
+			c := &callExpr{line: t.srcPos(), name: t.text}
 			if !p.accept(")") {
 				for {
 					a, err := p.assignExprP()
@@ -803,7 +804,7 @@ func (p *parser) primary() (expr, error) {
 			}
 			return c, nil
 		}
-		return &identExpr{line: t.line, name: t.text}, nil
+		return &identExpr{line: t.srcPos(), name: t.text}, nil
 	case tPunct:
 		if t.text == "(" {
 			p.advance()

@@ -14,7 +14,11 @@ package opt
 
 import "elag/internal/ir"
 
-// Options selects which passes run. The zero value runs everything.
+// Options selects which passes run when a legacy-style pipeline is built
+// from flags (see passman.Legacy). The zero value runs everything. The
+// scheduling itself — pass order, the cleanup fixpoint, the
+// fold-after-strength-reduction rule — lives in internal/passman; this
+// package only provides the individual transformations.
 type Options struct {
 	// DisableInline skips function inlining.
 	DisableInline bool
@@ -27,64 +31,8 @@ type Options struct {
 	// InlineBudget is the maximum callee size (IR instructions) eligible
 	// for inlining. Default 40.
 	InlineBudget int
-	// Rounds is the number of cleanup iterations. Default 3.
+	// Rounds is the maximum number of cleanup iterations. Default 8.
 	Rounds int
-}
-
-// Run optimizes the module in place.
-func Run(m *ir.Module, o Options) {
-	if o.InlineBudget == 0 {
-		o.InlineBudget = 40
-	}
-	if o.Rounds == 0 {
-		o.Rounds = 8
-	}
-	if !o.DisableInline {
-		Inline(m, o.InlineBudget)
-		PruneDeadFuncs(m)
-	}
-	for _, f := range m.Funcs {
-		f.ComputeCFG()
-		for r := 0; r < o.Rounds; r++ {
-			changed := false
-			changed = ConstProp(f) || changed
-			changed = LocalCSE(f) || changed
-			changed = CopyProp(f) || changed
-			changed = CoalesceCopies(f) || changed
-			if !o.DisableRLE {
-				changed = RedundantLoadElim(f) || changed
-			}
-			changed = DeadCodeElim(f) || changed
-			if !o.DisableLICM {
-				changed = LICM(f) || changed
-			}
-			srChanged := false
-			if !o.DisableStrengthReduce {
-				srChanged = StrengthReduce(f)
-				changed = srChanged || changed
-			}
-			// Fold addressing only once strength reduction has
-			// converged for this round: folding an add that is
-			// about to become a pointer induction variable would
-			// hide it from the reducer (and from the paper's
-			// register+offset striding-load shape).
-			if !srChanged {
-				changed = FoldAddressing(f) || changed
-			}
-			changed = DeadCodeElim(f) || changed
-			if !changed {
-				break
-			}
-		}
-		// Final phase: keep symbol addresses in registers where it
-		// pays, and hoist the materializations out of loops. No
-		// propagation passes may run afterwards (they would fold the
-		// addresses back in).
-		if MaterializeSyms(f) && !o.DisableLICM {
-			LICM(f)
-			DeadCodeElim(f)
-		}
-	}
 }
 
 // defCounts returns, for each virtual register, how many instructions

@@ -33,6 +33,56 @@ func cp(d ir.VReg, a ir.Operand) *ir.Instr {
 	return in
 }
 
+// runAll replays the historical full-pipeline schedule over the module
+// using the exported passes. The production scheduler now lives in
+// internal/passman (which this package cannot import); this local copy
+// keeps the whole-pipeline tests in the package that owns the passes.
+func runAll(m *ir.Module, o Options) {
+	if o.InlineBudget == 0 {
+		o.InlineBudget = 40
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 8
+	}
+	if !o.DisableInline {
+		Inline(m, o.InlineBudget)
+		PruneDeadFuncs(m)
+	}
+	for _, f := range m.Funcs {
+		f.ComputeCFG()
+		for r := 0; r < o.Rounds; r++ {
+			changed := false
+			changed = ConstProp(f) || changed
+			changed = LocalCSE(f) || changed
+			changed = CopyProp(f) || changed
+			changed = CoalesceCopies(f) || changed
+			if !o.DisableRLE {
+				changed = RedundantLoadElim(f) || changed
+			}
+			changed = DeadCodeElim(f) || changed
+			if !o.DisableLICM {
+				changed = LICM(f) || changed
+			}
+			srChanged := false
+			if !o.DisableStrengthReduce {
+				srChanged = StrengthReduce(f)
+				changed = srChanged || changed
+			}
+			if !srChanged {
+				changed = FoldAddressing(f) || changed
+			}
+			changed = DeadCodeElim(f) || changed
+			if !changed {
+				break
+			}
+		}
+		if MaterializeSyms(f) && !o.DisableLICM {
+			LICM(f)
+			DeadCodeElim(f)
+		}
+	}
+}
+
 func TestConstPropFoldsChains(t *testing.T) {
 	f := ir.NewFunc("t", 0)
 	v0, v1, v2 := f.NewVReg(), f.NewVReg(), f.NewVReg()
@@ -312,7 +362,7 @@ func TestStrengthReduceMakesPointerIV(t *testing.T) {
 	exit.Insts = append(exit.Insts, ret)
 	f.ComputeCFG()
 
-	Run(&ir.Module{Funcs: []*ir.Func{f}}, Options{DisableInline: true})
+	runAll(&ir.Module{Funcs: []*ir.Func{f}}, Options{DisableInline: true})
 
 	// After the full pipeline the load's base register must be defined
 	// by a self-incrementing add (a pointer IV), and the multiply must
@@ -524,7 +574,7 @@ func TestRunIsIdempotentish(t *testing.T) {
 	v := f.NewVReg()
 	oneBlock(f, cp(v, ir.C(1)), bin(ir.OpAdd, f.NewVReg(), ir.R(v), ir.C(2)))
 	m := &ir.Module{Funcs: []*ir.Func{f}}
-	Run(m, Options{})
+	runAll(m, Options{})
 	count := func() int {
 		n := 0
 		for _, b := range f.Blocks {
@@ -533,7 +583,7 @@ func TestRunIsIdempotentish(t *testing.T) {
 		return n
 	}
 	before := count()
-	Run(m, Options{})
+	runAll(m, Options{})
 	if count() != before {
 		t.Errorf("second Run changed the program: %d -> %d", before, count())
 	}
@@ -546,7 +596,7 @@ func TestOptionsDisableFlags(t *testing.T) {
 	v := f.NewVReg()
 	oneBlock(f, cp(v, ir.C(1)))
 	m := &ir.Module{Funcs: []*ir.Func{f}}
-	Run(m, Options{
+	runAll(m, Options{
 		DisableInline:         true,
 		DisableLICM:           true,
 		DisableStrengthReduce: true,

@@ -1,0 +1,272 @@
+package passman
+
+import (
+	"fmt"
+	"sort"
+
+	"elag/internal/asm"
+	"elag/internal/codegen"
+	"elag/internal/core"
+	"elag/internal/ir"
+	"elag/internal/opt"
+)
+
+// The registered per-function IR passes. These are the building blocks of
+// fixpoint groups; each is also usable standalone in a -passes= spec
+// (wrapped to run once over every function).
+var funcPasses = map[string]FuncPass{
+	"constprop": {
+		Name: "constprop",
+		Desc: "constant folding and local/global constant propagation",
+		Run:  wrapBool(opt.ConstProp),
+	},
+	"cse": {
+		Name: "cse",
+		Desc: "local common-subexpression elimination",
+		Run:  wrapBool(opt.LocalCSE),
+	},
+	"copyprop": {
+		Name: "copyprop",
+		Desc: "local/global copy propagation",
+		Run:  wrapBool(opt.CopyProp),
+	},
+	"coalesce": {
+		Name: "coalesce",
+		Desc: "virtual-register copy coalescing",
+		Run:  wrapBool(opt.CoalesceCopies),
+	},
+	"rle": {
+		Name: "rle",
+		Desc: "redundant load elimination and store-to-load forwarding",
+		Run:  wrapBool(opt.RedundantLoadElim),
+	},
+	"dce": {
+		Name: "dce",
+		Desc: "dead-code elimination",
+		Run:  wrapBool(opt.DeadCodeElim),
+	},
+	"licm": {
+		Name: "licm",
+		Desc: "loop-invariant code motion",
+		Run:  wrapBool(opt.LICM),
+	},
+	"iv": {
+		Name: "iv",
+		Desc: "induction-variable strength reduction, then addressing-mode folding once reduction converges",
+		// Folding an add that is about to become a pointer induction
+		// variable would hide it from the reducer, so the fold half
+		// only runs on iterations where reduction found nothing —
+		// preserving the schedule the classifier's striding-load
+		// shapes depend on.
+		Run: func(f *ir.Func) (bool, error) {
+			sr := opt.StrengthReduce(f)
+			changed := sr
+			if !sr {
+				changed = opt.FoldAddressing(f) || changed
+			}
+			return changed, nil
+		},
+	},
+}
+
+func wrapBool(fn func(*ir.Func) bool) func(*ir.Func) (bool, error) {
+	return func(f *ir.Func) (bool, error) { return fn(f), nil }
+}
+
+// forAll wraps a per-function pass as a module pass running it once over
+// every function.
+func forAll(fp FuncPass) *Pass {
+	return &Pass{
+		Name: fp.Name,
+		Desc: fp.Desc,
+		Kind: KindIR,
+		Run: func(st *State) (bool, error) {
+			changed := false
+			for _, f := range st.Module.Funcs {
+				f.ComputeCFG()
+				c, err := fp.Run(f)
+				if err != nil {
+					return changed, err
+				}
+				changed = changed || c
+			}
+			return changed, nil
+		},
+	}
+}
+
+// InlinePass returns the module-level inlining pass: expand small callees
+// into their call sites (budget from State.InlineBudget, default 40), then
+// prune functions no call reaches.
+func InlinePass() *Pass {
+	return &Pass{
+		Name: "inline",
+		Desc: "function inlining plus dead-function pruning",
+		Kind: KindIR,
+		Run: func(st *State) (bool, error) {
+			budget := st.InlineBudget
+			if budget == 0 {
+				budget = 40
+			}
+			changed := opt.Inline(st.Module, budget)
+			changed = opt.PruneDeadFuncs(st.Module) || changed
+			return changed, nil
+		},
+	}
+}
+
+// MatSymPass returns the symbol-materialization epilogue: keep global
+// addresses in registers where it pays, then hoist the materializations out
+// of loops and sweep the dead address arithmetic. No propagation pass may
+// run after it (it would fold the addresses back in), which is why it is a
+// pipeline step rather than a fixpoint member.
+func MatSymPass(withCleanup bool) *Pass {
+	return &Pass{
+		Name: "matsym",
+		Desc: "global-address materialization (+ LICM/DCE cleanup)",
+		Kind: KindIR,
+		Run: func(st *State) (bool, error) {
+			changed := false
+			for _, f := range st.Module.Funcs {
+				if opt.MaterializeSyms(f) {
+					changed = true
+					if withCleanup {
+						opt.LICM(f)
+						opt.DeadCodeElim(f)
+					}
+				}
+			}
+			return changed, nil
+		},
+	}
+}
+
+// LowerPass returns the lowering step: code generation (linear-scan
+// allocation, instruction selection) followed by assembly. After it,
+// State.Asm and State.Machine are set.
+func LowerPass() *Pass {
+	return &Pass{
+		Name: "lower",
+		Desc: "code generation and assembly",
+		Kind: KindLower,
+		Run: func(st *State) (bool, error) {
+			text, err := codegen.Generate(st.Module)
+			if err != nil {
+				return false, err
+			}
+			prog, err := asm.Assemble(text)
+			if err != nil {
+				return false, fmt.Errorf("internal: generated assembly does not assemble: %w", err)
+			}
+			st.Asm = text
+			st.Machine = prog
+			return true, nil
+		},
+	}
+}
+
+// ClassifyPass returns the paper's Section 4 load classifier as a machine
+// pass; additive selects the literal additive S_load fixpoint policy
+// regardless of State.ClassifyOpts.
+func ClassifyPass(additive bool) *Pass {
+	name := "classify"
+	desc := "Section 4 load classification (kill-aware S_load taint)"
+	if additive {
+		name = "classify-additive"
+		desc = "Section 4 load classification (literal additive S_load fixpoint)"
+	}
+	return &Pass{
+		Name: name,
+		Desc: desc,
+		Kind: KindMachine,
+		Run: func(st *State) (bool, error) {
+			if st.Machine == nil {
+				return false, fmt.Errorf("no machine program (missing lower pass?)")
+			}
+			o := st.ClassifyOpts
+			if additive {
+				o.AdditiveSLoad = true
+			}
+			st.Classes = core.ClassifyAndApply(st.Machine, o)
+			return st.Classes.StaticTotal() > 0, nil
+		},
+	}
+}
+
+// ProfilePromotePass returns the Section 4.3 profile-guided
+// reclassification as a machine pass: NT loads whose profiled prediction
+// rate exceeds State.ProfileThreshold become PD.
+func ProfilePromotePass() *Pass {
+	return &Pass{
+		Name: "profile-promote",
+		Desc: "Section 4.3 profile-guided NT→PD promotion",
+		Kind: KindMachine,
+		Run: func(st *State) (bool, error) {
+			if st.Machine == nil {
+				return false, fmt.Errorf("no machine program (missing lower pass?)")
+			}
+			if st.ProfileRates == nil {
+				return false, fmt.Errorf("no profile rates on the compilation state")
+			}
+			if st.Classes == nil {
+				st.Classes = core.Classify(st.Machine, st.ClassifyOpts)
+			}
+			before := st.Classes.StaticPD
+			st.Classes = core.Reclassify(st.Classes, st.ProfileRates, st.ProfileThreshold)
+			st.Classes.Apply(st.Machine)
+			return st.Classes.StaticPD != before, nil
+		},
+	}
+}
+
+// modulePass resolves the named module-level pass, constructing it fresh
+// (passes are stateless; construction is cheap).
+func modulePass(name string) (*Pass, bool) {
+	switch name {
+	case "inline":
+		return InlinePass(), true
+	case "matsym":
+		return MatSymPass(true), true
+	case "lower":
+		return LowerPass(), true
+	case "classify":
+		return ClassifyPass(false), true
+	case "classify-additive":
+		return ClassifyPass(true), true
+	case "profile-promote":
+		return ProfilePromotePass(), true
+	}
+	if fp, ok := funcPasses[name]; ok {
+		return forAll(fp), true
+	}
+	return nil, false
+}
+
+// LookupFunc resolves a per-function pass name (a legal fixpoint member).
+func LookupFunc(name string) (FuncPass, bool) {
+	fp, ok := funcPasses[name]
+	return fp, ok
+}
+
+// Names lists every registered pass name, function-level passes first,
+// each sorted.
+func Names() []string {
+	var fn, mod []string
+	for n := range funcPasses {
+		fn = append(fn, n)
+	}
+	sort.Strings(fn)
+	mod = []string{"inline", "matsym", "lower", "classify", "classify-additive", "profile-promote"}
+	return append(fn, mod...)
+}
+
+// Describe returns the one-line description of a registered pass.
+func Describe(name string) string {
+	if fp, ok := funcPasses[name]; ok {
+		return fp.Desc
+	}
+	if p, ok := modulePass(name); ok {
+		return p.Desc
+	}
+	return ""
+}

@@ -1,0 +1,301 @@
+package passman
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"elag/internal/ir"
+	"elag/internal/opt"
+)
+
+// OptLevel selects a predefined pipeline.
+type OptLevel int
+
+// Optimization levels.
+const (
+	// ODefault means "no explicit choice" and resolves to O2.
+	ODefault OptLevel = iota
+	// O0 runs no IR optimization at all: lower and classify only.
+	O0
+	// O1 runs the propagation/cleanup fixpoint (constprop, cse,
+	// copyprop, coalesce, dce) without inlining, loop or memory passes.
+	O1
+	// O2 is the full paper pipeline: inlining, the complete cleanup
+	// fixpoint (adding rle, licm, iv), and symbol materialization. This
+	// is the default and reproduces the schedule the paper's Section 4
+	// heuristics were tuned against.
+	O2
+)
+
+// ParseOptLevel maps "0"/"1"/"2" (or "O0".."O2") to a level.
+func ParseOptLevel(s string) (OptLevel, error) {
+	switch strings.TrimPrefix(strings.ToUpper(s), "O") {
+	case "0":
+		return O0, nil
+	case "1":
+		return O1, nil
+	case "2", "":
+		return O2, nil
+	}
+	return ODefault, fmt.Errorf("unknown optimization level %q (want 0, 1 or 2)", s)
+}
+
+func (l OptLevel) String() string {
+	switch l {
+	case O0:
+		return "O0"
+	case O1:
+		return "O1"
+	}
+	return "O2"
+}
+
+// cleanupGroup builds the fixpoint cluster from registered member names.
+func cleanupGroup(maxIters int, names ...string) *Group {
+	g := &Group{Name: "cleanup", MaxIters: maxIters}
+	for _, n := range names {
+		fp, ok := funcPasses[n]
+		if !ok {
+			panic("passman: unknown fixpoint member " + n)
+		}
+		g.Members = append(g.Members, fp)
+	}
+	return g
+}
+
+// o2Members is the full cleanup schedule, in the order the paper's
+// prerequisite-pass list is applied; dce runs twice per iteration (once
+// mid-schedule to shrink the work the loop passes see, once at the end to
+// sweep what they leave).
+var o2Members = []string{
+	"constprop", "cse", "copyprop", "coalesce", "rle", "dce", "licm", "iv", "dce",
+}
+
+// o1Members is the straight-line subset: no inlining, loops or memory.
+var o1Members = []string{"constprop", "cse", "copyprop", "coalesce", "dce"}
+
+// ForLevel builds the pipeline for an optimization level. classify appends
+// the Section 4 classifier after lowering (additive selects the literal
+// S_load policy).
+func ForLevel(level OptLevel, classify bool) Pipeline {
+	var pl Pipeline
+	switch level {
+	case O0:
+	case O1:
+		pl = append(pl, cleanupGroup(0, o1Members...))
+	default: // O2, ODefault
+		pl = append(pl, InlinePass(), cleanupGroup(0, o2Members...), MatSymPass(true))
+	}
+	pl = append(pl, LowerPass())
+	if classify {
+		pl = append(pl, ClassifyPass(false))
+	}
+	return pl
+}
+
+// Legacy builds the pipeline equivalent to the pre-pass-manager opt.Run
+// schedule under the given options: the O2 pipeline with the disabled
+// passes removed and the iteration bound overridden. It exists so that the
+// BuildOptions.Opt knobs (and elag-cc -no-opt) keep their exact historical
+// meaning.
+func Legacy(o opt.Options, classify bool) Pipeline {
+	pl := LegacyIR(o)
+	pl = append(pl, LowerPass())
+	if classify {
+		pl = append(pl, ClassifyPass(false))
+	}
+	return pl
+}
+
+// LegacyIR is the IR-only prefix of Legacy: the optimization schedule
+// without lowering or classification. Useful for tools and tests that
+// operate on the module form.
+func LegacyIR(o opt.Options) Pipeline {
+	members := []string{"constprop", "cse", "copyprop", "coalesce"}
+	if !o.DisableRLE {
+		members = append(members, "rle")
+	}
+	members = append(members, "dce")
+	if !o.DisableLICM {
+		members = append(members, "licm")
+	}
+	if !o.DisableStrengthReduce {
+		members = append(members, "iv")
+	} else {
+		// The legacy schedule still folded addressing modes each round
+		// when strength reduction was disabled.
+		members = append(members, "fold")
+	}
+	members = append(members, "dce")
+
+	g := &Group{Name: "cleanup", MaxIters: o.Rounds}
+	for _, n := range members {
+		if n == "fold" {
+			g.Members = append(g.Members, FuncPass{
+				Name: "fold",
+				Desc: "addressing-mode folding",
+				Run:  wrapBool(opt.FoldAddressing),
+			})
+			continue
+		}
+		g.Members = append(g.Members, funcPasses[n])
+	}
+
+	var pl Pipeline
+	if !o.DisableInline {
+		pl = append(pl, InlinePass())
+	}
+	pl = append(pl, g, MatSymPass(!o.DisableLICM))
+	return pl
+}
+
+// Optimize runs the legacy IR optimization schedule over a module in place,
+// verifying the IR between passes. It is the module-level replacement for
+// the old opt.Run entry point.
+func Optimize(m *ir.Module, o opt.Options) error {
+	mgr := Manager{Verify: true}
+	return mgr.Run(LegacyIR(o), &State{Module: m})
+}
+
+// Parse builds a pipeline from a -passes= spec string. Grammar:
+//
+//	spec  := step ("," step)*
+//	step  := name | "fixpoint" [":" iters] "(" name ("," name)* ")"
+//
+// Names resolve against the registry (see Names). Fixpoint members must be
+// per-function IR passes. IR steps must precede "lower"; machine steps
+// (classify, classify-additive, profile-promote) must follow it. If the
+// spec names no "lower", one is appended after the IR steps; if classify is
+// set and the spec names no classifier, "classify" is appended too — so a
+// spec can describe just the optimization schedule and inherit the rest of
+// the flow.
+func Parse(spec string, classify bool) (Pipeline, error) {
+	var pl Pipeline
+	sawLower := false
+	sawClassifier := false
+
+	steps, err := splitSteps(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range steps {
+		switch {
+		case strings.HasPrefix(s, "fixpoint"):
+			g, err := parseFixpoint(s)
+			if err != nil {
+				return nil, err
+			}
+			if sawLower {
+				return nil, fmt.Errorf("passes spec: fixpoint group after lower")
+			}
+			pl = append(pl, g)
+		default:
+			p, ok := modulePass(s)
+			if !ok {
+				return nil, fmt.Errorf("passes spec: unknown pass %q (have: %s)",
+					s, strings.Join(Names(), ", "))
+			}
+			switch p.Kind {
+			case KindIR:
+				if sawLower {
+					return nil, fmt.Errorf("passes spec: IR pass %q after lower", s)
+				}
+			case KindLower:
+				if sawLower {
+					return nil, fmt.Errorf("passes spec: duplicate lower pass")
+				}
+				sawLower = true
+			case KindMachine:
+				if !sawLower {
+					return nil, fmt.Errorf("passes spec: machine pass %q before lower", s)
+				}
+				if s == "classify" || s == "classify-additive" {
+					sawClassifier = true
+				}
+			}
+			pl = append(pl, p)
+		}
+	}
+	if !sawLower {
+		pl = append(pl, LowerPass())
+	}
+	if classify && !sawClassifier {
+		pl = append(pl, ClassifyPass(false))
+	}
+	return pl, nil
+}
+
+// splitSteps splits a spec on commas at paren depth zero.
+func splitSteps(spec string) ([]string, error) {
+	var steps []string
+	depth, start := 0, 0
+	for i := 0; i < len(spec); i++ {
+		switch spec[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("passes spec: unbalanced ')'")
+			}
+		case ',':
+			if depth == 0 {
+				steps = append(steps, strings.TrimSpace(spec[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("passes spec: unbalanced '('")
+	}
+	if s := strings.TrimSpace(spec[start:]); s != "" {
+		steps = append(steps, s)
+	}
+	for _, s := range steps {
+		if s == "" {
+			return nil, fmt.Errorf("passes spec: empty step")
+		}
+	}
+	return steps, nil
+}
+
+// parseFixpoint parses "fixpoint[:iters](a,b,c)".
+func parseFixpoint(s string) (*Group, error) {
+	rest := strings.TrimPrefix(s, "fixpoint")
+	iters := 0
+	if strings.HasPrefix(rest, ":") {
+		i := strings.IndexByte(rest, '(')
+		if i < 0 {
+			return nil, fmt.Errorf("passes spec: malformed fixpoint %q", s)
+		}
+		n, err := strconv.Atoi(rest[1:i])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("passes spec: bad fixpoint iteration bound in %q", s)
+		}
+		iters = n
+		rest = rest[i:]
+	}
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("passes spec: malformed fixpoint %q", s)
+	}
+	g := &Group{Name: "cleanup", MaxIters: iters}
+	for _, n := range strings.Split(rest[1:len(rest)-1], ",") {
+		n = strings.TrimSpace(n)
+		fp, ok := funcPasses[n]
+		if !ok {
+			return nil, fmt.Errorf("passes spec: %q is not a per-function pass (fixpoint members: %s)",
+				n, strings.Join(funcPassNames(), ", "))
+		}
+		g.Members = append(g.Members, fp)
+	}
+	if len(g.Members) == 0 {
+		return nil, fmt.Errorf("passes spec: empty fixpoint group in %q", s)
+	}
+	return g, nil
+}
+
+func funcPassNames() []string {
+	names := Names()
+	return names[:len(names)-6]
+}
