@@ -14,6 +14,7 @@
 package elag_test
 
 import (
+	"context"
 	"testing"
 
 	"elag"
@@ -23,6 +24,10 @@ import (
 	"elag/internal/profile"
 	"elag/internal/workload"
 )
+
+// ctx is the no-deadline context the tests run under; cancellation paths
+// have their own dedicated tests.
+var ctx = context.Background()
 
 const benchFuel = 2_000_000
 
@@ -34,7 +39,7 @@ func newRunner() *harness.Runner { return &harness.Runner{Fuel: benchFuel} }
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
-		rows, err := r.Table2()
+		rows, err := r.Table2(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +55,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
-		rows, err := r.Table3()
+		rows, err := r.Table3(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +70,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
-		rows, err := r.Table4()
+		rows, err := r.Table4(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +85,7 @@ func BenchmarkTable4(b *testing.B) {
 // 64/128/256 entries, hardware-only versus compiler-directed.
 func BenchmarkFigure5a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := newRunner().Figure5a()
+		fig, err := newRunner().Figure5a(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +108,7 @@ func BenchmarkFigure5a(b *testing.B) {
 // calculation with 4, 8 and 16 cached registers.
 func BenchmarkFigure5b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := newRunner().Figure5b()
+		fig, err := newRunner().Figure5b(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +130,7 @@ func BenchmarkFigure5b(b *testing.B) {
 // beats the larger hardware-only schemes; profiling adds more).
 func BenchmarkFigure5c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := newRunner().Figure5c()
+		fig, err := newRunner().Figure5c(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -347,7 +352,7 @@ func BenchmarkAblationPredictorPolicy(b *testing.B) {
 // (64-entry table + 8 registers) on an embedded-class 2-wide core.
 func BenchmarkEmbedded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := newRunner().Embedded()
+		rows, err := newRunner().Embedded(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}

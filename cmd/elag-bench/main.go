@@ -57,6 +57,8 @@ func main() {
 	flag.Parse()
 	perf.Start("elag-bench")
 	defer perf.Stop()
+	ctx := perf.Context()
+	checkPerf = perf
 
 	var logw io.Writer = os.Stderr
 	if *quiet {
@@ -66,7 +68,7 @@ func main() {
 		ChunkSize: perf.Chunk, NoBatch: *noBatch}
 
 	if *replayPath != "" {
-		doc, err := r.ReplayBench()
+		doc, err := r.ReplayBench(ctx)
 		check("replaybench", err)
 		out := os.Stdout
 		if *replayPath != "-" {
@@ -85,7 +87,7 @@ func main() {
 	}
 
 	if *compilePath != "" {
-		doc, err := r.CompileBench(*reps)
+		doc, err := r.CompileBench(ctx, *reps)
 		check("compilebench", err)
 		out := os.Stdout
 		if *compilePath != "-" {
@@ -104,7 +106,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		doc, err := r.Document()
+		doc, err := r.Document(ctx)
 		check("json", err)
 		out := os.Stdout
 		if *jsonPath != "-" {
@@ -126,7 +128,7 @@ func main() {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			check("csv", fmt.Errorf("create %s: %w", *csvDir, err))
 		}
-		err := r.ExportCSV(func(name string) (io.WriteCloser, error) {
+		err := r.ExportCSV(ctx, func(name string) (io.WriteCloser, error) {
 			return os.Create(filepath.Join(*csvDir, name))
 		})
 		check("csv", err)
@@ -137,31 +139,31 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "table2":
-			rows, err := r.Table2()
+			rows, err := r.Table2(ctx)
 			check("table2", err)
 			fmt.Print(harness.FormatTable2(rows))
 		case "table3":
-			rows, err := r.Table3()
+			rows, err := r.Table3(ctx)
 			check("table3", err)
 			fmt.Print(harness.FormatTable3(rows))
 		case "table4":
-			rows, err := r.Table4()
+			rows, err := r.Table4(ctx)
 			check("table4", err)
 			fmt.Print(harness.FormatTable4(rows))
 		case "fig5a":
-			fig, err := r.Figure5a()
+			fig, err := r.Figure5a(ctx)
 			check("fig5a", err)
 			fmt.Print(harness.FormatFigure(fig))
 		case "fig5b":
-			fig, err := r.Figure5b()
+			fig, err := r.Figure5b(ctx)
 			check("fig5b", err)
 			fmt.Print(harness.FormatFigure(fig))
 		case "fig5c":
-			fig, err := r.Figure5c()
+			fig, err := r.Figure5c(ctx)
 			check("fig5c", err)
 			fmt.Print(harness.FormatFigure(fig))
 		case "embedded":
-			rows, err := r.Embedded()
+			rows, err := r.Embedded(ctx)
 			check("embedded", err)
 			fmt.Print(harness.FormatEmbedded(rows))
 		default:
@@ -183,8 +185,15 @@ func main() {
 	run(*exp)
 }
 
+// checkPerf lets check report deadline/interrupt outcomes distinctly; set
+// once in main before any work runs.
+var checkPerf *cli.Perf
+
 func check(what string, err error) {
 	if err != nil {
+		if checkPerf != nil {
+			checkPerf.CheckContext(err)
+		}
 		fmt.Fprintf(os.Stderr, "elag-bench: %s: %v\n", what, err)
 		os.Exit(1)
 	}

@@ -34,6 +34,7 @@ func main() {
 	flag.Parse()
 	perf.Start("elag-prof")
 	defer perf.Stop()
+	ctx := perf.Context()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: elag-prof [flags]", cli.InputKinds)
@@ -44,8 +45,9 @@ func main() {
 	if err != nil {
 		cli.Fatal("elag-prof", err)
 	}
-	lp, err := p.Profile(*fuel)
+	lp, err := p.ProfileContext(ctx, *fuel)
 	if err != nil && !errors.Is(err, elag.ErrFuel) {
+		perf.CheckContext(err)
 		cli.Fatal("elag-prof", fmt.Errorf("profile: %w", err))
 	}
 	before := p.Classes

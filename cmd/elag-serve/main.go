@@ -1,0 +1,142 @@
+// elag-serve runs the simulation engine as a long-lived HTTP/JSON service:
+// compile, simulate, and grid jobs are admitted against hard budgets,
+// queued with backpressure, and executed on a panic-isolated worker pool
+// where every job honors its wall-clock deadline and client disconnect.
+//
+// Usage:
+//
+//	elag-serve [flags]
+//
+//	-addr host:port     listen address (default :8723)
+//	-workers N          job worker pool size (default GOMAXPROCS)
+//	-queue N            job queue depth; a full queue answers 429 with
+//	                    Retry-After (default 64)
+//	-grid-parallel N    harness parallelism inside each grid job (default 1)
+//	-max-fuel N         per-job dynamic instruction budget cap
+//	-max-deadline DUR   per-job wall-time cap (and default deadline)
+//	-max-source N       per-job MC source size cap in bytes
+//	-drain-timeout DUR  how long a SIGTERM drain waits before cancelling
+//	                    whatever is still running (default 30s)
+//	-drain-policy P     wait (finish in-flight jobs) | cancel (abort them);
+//	                    default wait
+//	-stats file         write the elag-serve-stats/v1 counters here on
+//	                    drain ("-" for stderr)
+//	-chaos spec         arm fault injection (tests/drills only), e.g.
+//	                    "panic-every=3,slow-chunk=5ms,queue-saturate"
+//
+// The API is schema-versioned as elag-serve/v1; see DESIGN.md §13 and the
+// README's "Running as a service" section for the endpoint reference and a
+// curl quickstart. SIGTERM/SIGINT starts a graceful drain: /readyz flips
+// to 503, admission stops, in-flight jobs finish or cancel per
+// -drain-policy, and the stats document is flushed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elag/internal/chaosinject"
+	"elag/internal/obs"
+	"elag/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "job queue depth (0 = default 64)")
+	gridParallel := flag.Int("grid-parallel", 1, "harness parallelism inside each grid job")
+	maxFuel := flag.Int64("max-fuel", 0, "per-job fuel cap (0 = default 50M)")
+	maxDeadline := flag.Duration("max-deadline", 0, "per-job wall-time cap and default deadline (0 = default 2m)")
+	maxSource := flag.Int("max-source", 0, "per-job source size cap in bytes (0 = default 1MiB)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain grace before force-cancel")
+	drainPolicy := flag.String("drain-policy", serve.DrainWait, "wait | cancel")
+	statsPath := flag.String("stats", "", `write drain-time service counters to this file ("-" = stderr)`)
+	chaos := flag.String("chaos", "", "arm chaos fault injection, e.g. panic-every=3,slow-chunk=5ms")
+	flag.Parse()
+
+	if *drainPolicy != serve.DrainWait && *drainPolicy != serve.DrainCancel {
+		fmt.Fprintf(os.Stderr, "elag-serve: -drain-policy %q (want %s or %s)\n",
+			*drainPolicy, serve.DrainWait, serve.DrainCancel)
+		os.Exit(2)
+	}
+	if err := chaosinject.Parse(*chaos); err != nil {
+		fmt.Fprintf(os.Stderr, "elag-serve: -chaos: %v\n", err)
+		os.Exit(2)
+	}
+	if chaosinject.Enabled() {
+		fmt.Fprintf(os.Stderr, "elag-serve: CHAOS ARMED (%s) — not for production traffic\n", *chaos)
+	}
+
+	lim := serve.DefaultLimits()
+	if *maxFuel > 0 {
+		lim.MaxFuel = *maxFuel
+	}
+	if *maxDeadline > 0 {
+		lim.MaxDeadline = *maxDeadline
+	}
+	if *maxSource > 0 {
+		lim.MaxSourceBytes = *maxSource
+	}
+	core := serve.New(serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		GridParallel: *gridParallel,
+		Limits:       lim,
+		DrainPolicy:  *drainPolicy,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: core.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "elag-serve: listening on %s (workers=%d queue=%d policy=%s)\n",
+			*addr, *workers, *queueDepth, *drainPolicy)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "elag-serve: %s: draining (policy=%s, grace=%s)\n",
+			sig, *drainPolicy, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "elag-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain while the HTTP surface stays up: /healthz keeps answering 200
+	// and /readyz reports 503 so load balancers stop routing here; only
+	// after the pool is empty does the listener close.
+	doc := core.Drain(*drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "elag-serve: shutdown: %v\n", err)
+	}
+
+	if *statsPath != "" {
+		out := os.Stderr
+		if *statsPath != "-" {
+			f, err := os.Create(*statsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elag-serve: stats: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := obs.WriteServeStatsJSON(out, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "elag-serve: stats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "elag-serve: drained (done=%d failed=%d canceled=%d panics=%d)\n",
+		doc.JobsDone, doc.JobsFailed, doc.JobsCanceled, doc.PanicsRecovered)
+}

@@ -45,6 +45,7 @@ func main() {
 	flag.Parse()
 	perf.Start("elag-sim")
 	defer perf.Stop()
+	ctx := perf.Context()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: elag-sim [flags]", cli.InputKinds)
@@ -56,8 +57,9 @@ func main() {
 		cli.Fatal("elag-sim", err)
 	}
 	if *useProfile {
-		lp, err := p.Profile(*fuel)
+		lp, err := p.ProfileContext(ctx, *fuel)
 		if err != nil && !errors.Is(err, elag.ErrFuel) {
+			perf.CheckContext(err)
 			cli.Fatal("elag-sim", fmt.Errorf("profile: %w", err))
 		}
 		p.ApplyProfile(lp, 0)
@@ -81,8 +83,9 @@ func main() {
 			}
 			specs = append(specs, elag.BatchSpec{Config: c})
 		}
-		metrics, _, err := p.SimulateBatch(specs, *fuel, perf.Chunk)
+		metrics, _, err := p.SimulateBatchContext(ctx, specs, *fuel, perf.Chunk)
 		if err != nil {
+			perf.CheckContext(err)
 			cli.Fatal("elag-sim", fmt.Errorf("simulate: %w", err))
 		}
 		base := metrics[0]
@@ -100,9 +103,10 @@ func main() {
 		cli.Fatal("elag-sim", err)
 	}
 	// Base and the chosen configuration share one emulation pass.
-	ms, res, err := p.SimulateBatch(
+	ms, res, err := p.SimulateBatchContext(ctx,
 		[]elag.BatchSpec{{Config: elag.BaseConfig()}, {Config: cfg}}, *fuel, perf.Chunk)
 	if err != nil {
+		perf.CheckContext(err)
 		cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", *config, err))
 	}
 	base, m := ms[0], ms[1]

@@ -49,6 +49,7 @@ func main() {
 	flag.Parse()
 	perf.Start("elag-trace")
 	defer perf.Stop()
+	ctx := perf.Context()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: elag-trace [flags]", cli.InputKinds)
@@ -65,9 +66,10 @@ func main() {
 	}
 
 	rec := &elag.TraceRecorder{FromCycle: *from, ToCycle: *to, Limit: *limit}
-	m, _, err := p.SimulateObserved(cfg, *fuel,
+	m, _, err := p.SimulateObservedContext(ctx, cfg, *fuel,
 		elag.ObserveOptions{Sink: rec, PerPC: true, ChunkSize: perf.Chunk})
 	if err != nil {
+		perf.CheckContext(err)
 		cli.Fatal("elag-trace", fmt.Errorf("simulate %s: %w", *config, err))
 	}
 

@@ -57,45 +57,12 @@ func Load(path string) (*elag.Program, error) {
 }
 
 // ConfigNames documents the -config values Config accepts.
-const ConfigNames = "base|compiler|hw-pred|hw-early|hw-dual"
+const ConfigNames = elag.ConfigNames
 
-// Config maps a -config name to a simulator configuration. table sizes the
-// prediction table; regs sizes the register cache (0 picks the mode's
-// default: 1 for compiler, 16 for the hardware-only modes).
+// Config maps a -config name to a simulator configuration (see
+// elag.NamedConfig — the same vocabulary the elag-serve job API accepts).
 func Config(name string, table, regs int) (elag.SimConfig, error) {
-	def := func(n, d int) int {
-		if n == 0 {
-			return d
-		}
-		return n
-	}
-	switch name {
-	case "base":
-		return elag.BaseConfig(), nil
-	case "compiler":
-		return elag.SimConfig{
-			Select:    elag.SelCompiler,
-			Predictor: &elag.PredictorConfig{Entries: table},
-			RegCache:  &elag.RegCacheConfig{Entries: def(regs, 1)},
-		}, nil
-	case "hw-pred":
-		return elag.SimConfig{
-			Select:    elag.SelAllPredict,
-			Predictor: &elag.PredictorConfig{Entries: table},
-		}, nil
-	case "hw-early":
-		return elag.SimConfig{
-			Select:   elag.SelAllEarly,
-			RegCache: &elag.RegCacheConfig{Entries: def(regs, 16)},
-		}, nil
-	case "hw-dual":
-		return elag.SimConfig{
-			Select:    elag.SelHWDual,
-			Predictor: &elag.PredictorConfig{Entries: table},
-			RegCache:  &elag.RegCacheConfig{Entries: def(regs, 16)},
-		}, nil
-	}
-	return elag.SimConfig{}, fmt.Errorf("unknown config %q (want %s)", name, ConfigNames)
+	return elag.NamedConfig(name, table, regs)
 }
 
 // Fatal reports err on stderr (flagging architectural faults as such) and

@@ -1,19 +1,26 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"syscall"
 	"time"
 )
 
 // Perf is the performance flag set shared by the elag tools: -parallel
 // (worker/GOMAXPROCS parallelism), -chunk (streaming trace chunk size),
-// -cpuprofile and -memprofile (pprof output). Register with PerfFlags
-// before flag.Parse, bracket main's work with Start/Stop.
+// -timeout (a wall-clock deadline for the whole run), -cpuprofile and
+// -memprofile (pprof output). Register with PerfFlags before flag.Parse,
+// bracket main's work with Start/Stop, and pass Context() into the work so
+// the deadline — and Ctrl-C / SIGTERM — interrupt long grids cleanly
+// instead of leaving the process killable only by signal.
 type Perf struct {
 	// Parallel is the requested parallelism: the worker-pool size for
 	// grid experiments and the GOMAXPROCS setting for the process.
@@ -23,12 +30,19 @@ type Perf struct {
 	// O(Chunk), any fuel budget fits in memory); 0 keeps traces resident.
 	// Results are bit-identical either way.
 	Chunk int
+	// Timeout, when > 0, bounds the whole run's wall time: Context()
+	// carries the deadline, and every simulation/grid entry point checks
+	// it between trace chunks.
+	Timeout time.Duration
 
 	cpuprofile string
 	memprofile string
 	tool       string
 	f          *os.File
 	start      time.Time
+
+	ctx       context.Context
+	ctxCancel context.CancelFunc
 
 	sampleStop chan struct{}
 	sampleDone sync.WaitGroup
@@ -42,9 +56,46 @@ func PerfFlags() *Perf {
 		"parallelism (worker pool size; results are identical at any value)")
 	flag.IntVar(&p.Chunk, "chunk", 0,
 		"stream traces in chunks of this many entries (0 = materialize; results identical)")
+	flag.DurationVar(&p.Timeout, "timeout", 0,
+		"wall-clock deadline for the run (e.g. 30s, 5m; 0 = none)")
 	flag.StringVar(&p.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&p.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	return p
+}
+
+// Context returns the run's context: cancelled by SIGINT/SIGTERM, and
+// carrying the -timeout deadline when one was set. The first call arms the
+// signal handler; later calls return the same context. Valid after Start.
+func (p *Perf) Context() context.Context {
+	if p.ctx == nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		if p.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+			prev := stop
+			stop = func() { cancel(); prev() }
+		}
+		p.ctx, p.ctxCancel = ctx, stop
+	}
+	return p.ctx
+}
+
+// CheckContext exits with a per-cause message and status when err (or the
+// run context itself) reports cancellation: deadline exhaustion and
+// interrupts are operational outcomes, not tool bugs, so they are reported
+// as such. Any other error falls through to Fatal via the caller.
+func (p *Perf) CheckContext(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "%s: timed out after %s (-timeout)\n", p.tool, p.Timeout)
+		os.Exit(3)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", p.tool)
+		os.Exit(3)
+	}
 }
 
 // Start applies the parallelism setting, starts profiling and the peak-heap
@@ -106,6 +157,9 @@ func (p *Perf) PeakHeap() uint64 {
 // on stderr. Both go to stderr so stdout artifacts stay byte-comparable
 // across -parallel and -chunk settings.
 func (p *Perf) Stop() {
+	if p.ctxCancel != nil {
+		p.ctxCancel()
+	}
 	if p.f != nil {
 		pprof.StopCPUProfile()
 		if err := p.f.Close(); err != nil {

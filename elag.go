@@ -33,6 +33,7 @@
 package elag
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -184,6 +185,50 @@ func BaseConfig() SimConfig { return pipeline.PaperBase() }
 // 256-entry direct-mapped address prediction table plus one
 // compiler-directed addressing register.
 func CompilerDirectedConfig() SimConfig { return pipeline.PaperCompilerDirected() }
+
+// ConfigNames documents the configuration names NamedConfig accepts.
+const ConfigNames = "base|compiler|hw-pred|hw-early|hw-dual"
+
+// NamedConfig maps a configuration name (see ConfigNames) to a simulator
+// configuration — the shared vocabulary of the CLI tools' -config flag and
+// the elag-serve job API. table sizes the prediction table (0 keeps the
+// mode's zero default); regs sizes the register cache (0 picks the mode's
+// default: 1 for compiler, 16 for the hardware-only modes).
+func NamedConfig(name string, table, regs int) (SimConfig, error) {
+	def := func(n, d int) int {
+		if n == 0 {
+			return d
+		}
+		return n
+	}
+	switch name {
+	case "base":
+		return BaseConfig(), nil
+	case "compiler":
+		return SimConfig{
+			Select:    SelCompiler,
+			Predictor: &PredictorConfig{Entries: table},
+			RegCache:  &RegCacheConfig{Entries: def(regs, 1)},
+		}, nil
+	case "hw-pred":
+		return SimConfig{
+			Select:    SelAllPredict,
+			Predictor: &PredictorConfig{Entries: table},
+		}, nil
+	case "hw-early":
+		return SimConfig{
+			Select:   SelAllEarly,
+			RegCache: &RegCacheConfig{Entries: def(regs, 16)},
+		}, nil
+	case "hw-dual":
+		return SimConfig{
+			Select:    SelHWDual,
+			Predictor: &PredictorConfig{Entries: table},
+			RegCache:  &RegCacheConfig{Entries: def(regs, 16)},
+		}, nil
+	}
+	return SimConfig{}, fmt.Errorf("unknown config %q (want %s)", name, ConfigNames)
+}
 
 // Optimization levels (see BuildOptions.Level).
 const (
@@ -385,6 +430,14 @@ func (p *Program) SimulateStream(cfg SimConfig, fuel int64, chunkSize int) (*Met
 	return pipeline.SimulateStream(cfg, p.Machine, fuel, chunkSize)
 }
 
+// SimulateStreamContext is SimulateStream with cooperative cancellation:
+// ctx is checked between trace chunks, so the simulation honors deadlines
+// and cancellation within one chunk of work. An uncancelled run is
+// byte-identical to SimulateStream.
+func (p *Program) SimulateStreamContext(ctx context.Context, cfg SimConfig, fuel int64, chunkSize int) (*Metrics, RunResult, error) {
+	return pipeline.SimulateStreamContext(ctx, cfg, p.Machine, fuel, chunkSize)
+}
+
 // SimulateBatch emulates the program once and replays its trace under
 // every spec in a single streamed pass (see pipeline.BatchReplay): one
 // architectural execution amortized over N configurations, each chunk
@@ -392,6 +445,14 @@ func (p *Program) SimulateStream(cfg SimConfig, fuel int64, chunkSize int) (*Met
 // bit-identical to N independent Simulate calls.
 func (p *Program) SimulateBatch(specs []BatchSpec, fuel int64, chunkSize int) ([]*Metrics, RunResult, error) {
 	return pipeline.BatchReplay(p.Machine, fuel, chunkSize, specs)
+}
+
+// SimulateBatchContext is SimulateBatch with cooperative cancellation: ctx
+// is checked between chunks of the streamed architectural execution, so a
+// batch over a pathological program aborts within one chunk of ctx being
+// cancelled. Uncancelled results are byte-identical to SimulateBatch.
+func (p *Program) SimulateBatchContext(ctx context.Context, specs []BatchSpec, fuel int64, chunkSize int) ([]*Metrics, RunResult, error) {
+	return pipeline.BatchReplayContext(ctx, p.Machine, fuel, chunkSize, specs)
 }
 
 // ObserveOptions configures SimulateObserved. The zero value observes
@@ -419,6 +480,14 @@ type ObserveOptions struct {
 // attached. Tracing costs nothing when o is zero; with a sink attached the
 // timing result is identical — observation never perturbs the model.
 func (p *Program) SimulateObserved(cfg SimConfig, fuel int64, o ObserveOptions) (*Metrics, RunResult, error) {
+	return p.SimulateObservedContext(context.Background(), cfg, fuel, o)
+}
+
+// SimulateObservedContext is SimulateObserved with cooperative
+// cancellation, checked between trace chunks (streaming mode) or every
+// DefaultChunkSize instructions of the trace run (materialized mode). An
+// uncancelled run is byte-identical to SimulateObserved.
+func (p *Program) SimulateObservedContext(ctx context.Context, cfg SimConfig, fuel int64, o ObserveOptions) (*Metrics, RunResult, error) {
 	sim, err := pipeline.New(cfg, p.Machine, o.Flavors)
 	if err != nil {
 		return nil, RunResult{}, err
@@ -430,13 +499,20 @@ func (p *Program) SimulateObserved(cfg SimConfig, fuel int64, o ObserveOptions) 
 		sim.AttachSink(o.Sink)
 	}
 	if o.ChunkSize > 0 {
-		res, err := emu.StreamTrace(p.Machine, fuel, o.ChunkSize, sim.RunChunk)
+		res, err := emu.StreamTraceContext(ctx, p.Machine, fuel, o.ChunkSize, sim.RunChunk)
 		if err != nil && !errors.Is(err, emu.ErrFuel) {
 			return nil, res, err
 		}
 		return sim.Metrics(), res, nil
 	}
-	res, trace, err := emu.RunTrace(p.Machine, fuel, true)
+	// Dry pass sizes the trace columns exactly (emulation is deterministic);
+	// its architectural errors recur identically in the traced pass, but a
+	// ctx cancellation is timing-dependent and must be returned here.
+	dry, derr := emu.RunContext(ctx, p.Machine, fuel)
+	if derr != nil && (errors.Is(derr, context.Canceled) || errors.Is(derr, context.DeadlineExceeded)) {
+		return nil, dry, derr
+	}
+	res, trace, err := emu.RunTraceHintContext(ctx, p.Machine, fuel, dry.DynamicInsts)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, res, err
 	}
@@ -478,6 +554,13 @@ func WriteWorstLoads(w io.Writer, m *Metrics, n int) error {
 // prediction rates.
 func (p *Program) Profile(fuel int64) (*LoadProfile, error) {
 	lp, _, err := profile.Collect(p.Machine, fuel)
+	return lp, err
+}
+
+// ProfileContext is Profile with cooperative cancellation, checked every
+// DefaultChunkSize instructions of the profiling emulation.
+func (p *Program) ProfileContext(ctx context.Context, fuel int64) (*LoadProfile, error) {
+	lp, _, err := profile.CollectContext(ctx, p.Machine, fuel)
 	return lp, err
 }
 

@@ -1,0 +1,139 @@
+// Package chaosinject is the fault-injection layer behind elag-serve's
+// chaos test suite. It is always compiled — there is no build tag to
+// forget — but every injection point collapses to one relaxed atomic
+// load when nothing is armed, so the production hot path pays a branch
+// and nothing else.
+//
+// Faults are armed from a single spec string (the -chaos flag):
+//
+//	panic-every=N     panic at the worker injection point on every Nth
+//	                  job (simulating a crashing simulation kernel)
+//	slow-chunk=DUR    sleep DUR at every chunk boundary (simulating a
+//	                  degraded host; exercises deadline enforcement)
+//	queue-saturate    report the job queue as full at admission
+//	                  (exercises 429 + Retry-After backpressure)
+//
+// Multiple faults are comma-separated: "panic-every=3,slow-chunk=5ms".
+// The zero state injects nothing; Reset restores it (tests only).
+package chaosinject
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Panic is the value thrown by MaybePanic, so recovery code (and tests)
+// can tell injected crashes from real ones.
+type Panic struct {
+	// Site names the injection point that fired (e.g. "worker").
+	Site string
+	// N is the 1-based count of MaybePanic calls at that site so far.
+	N int64
+}
+
+func (p Panic) String() string {
+	return fmt.Sprintf("chaosinject: injected panic at %s (call %d)", p.Site, p.N)
+}
+
+var (
+	armed       atomic.Bool  // fast-path gate: false ⇒ all points are no-ops
+	panicEvery  atomic.Int64 // panic on every Nth MaybePanic call (0 = off)
+	panicCalls  atomic.Int64 // MaybePanic call counter
+	slowChunkNs atomic.Int64 // per-chunk sleep in nanoseconds (0 = off)
+	queueSat    atomic.Bool  // report the queue as full at admission
+)
+
+// Parse arms the faults named by spec (see the package comment for the
+// grammar). An empty spec arms nothing. Parse is not atomic with respect
+// to running injection points; arm faults before serving traffic.
+func Parse(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(field), "=")
+		switch key {
+		case "panic-every":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("chaosinject: panic-every wants a positive count, got %q", val)
+			}
+			panicEvery.Store(n)
+		case "slow-chunk":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("chaosinject: slow-chunk wants a positive duration, got %q", val)
+			}
+			slowChunkNs.Store(int64(d))
+		case "queue-saturate":
+			if hasVal {
+				return fmt.Errorf("chaosinject: queue-saturate takes no value, got %q", val)
+			}
+			queueSat.Store(true)
+		default:
+			return fmt.Errorf("chaosinject: unknown fault %q (want panic-every=N, slow-chunk=DUR, queue-saturate)", key)
+		}
+	}
+	armed.Store(true)
+	return nil
+}
+
+// Enabled reports whether any fault is armed.
+func Enabled() bool { return armed.Load() }
+
+// Reset disarms every fault and zeroes the counters. For tests.
+func Reset() {
+	armed.Store(false)
+	panicEvery.Store(0)
+	panicCalls.Store(0)
+	slowChunkNs.Store(0)
+	queueSat.Store(false)
+}
+
+// MaybePanic panics with a Panic value when panic-every=N is armed and
+// this is the Nth, 2Nth, ... call. Place it where a real fault would
+// surface — the top of a worker's job execution.
+func MaybePanic(site string) {
+	if !armed.Load() {
+		return
+	}
+	n := panicEvery.Load()
+	if n <= 0 {
+		return
+	}
+	if c := panicCalls.Add(1); c%n == 0 {
+		panic(Panic{Site: site, N: c})
+	}
+}
+
+// SlowChunk sleeps the armed slow-chunk duration, returning early (with
+// the context's error) if ctx expires first — so an injected slowdown
+// still honors job deadlines, exactly like a real one. No-op when
+// disarmed; returns nil then.
+func SlowChunk(ctx context.Context) error {
+	if !armed.Load() {
+		return nil
+	}
+	ns := slowChunkNs.Load()
+	if ns <= 0 {
+		return nil
+	}
+	t := time.NewTimer(time.Duration(ns))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// QueueSaturated reports whether admission should pretend the job queue
+// is full regardless of its true depth.
+func QueueSaturated() bool {
+	return armed.Load() && queueSat.Load()
+}

@@ -1,0 +1,103 @@
+package chaosinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() = true before any Parse")
+	}
+	MaybePanic("worker") // must not panic
+	if err := SlowChunk(context.Background()); err != nil {
+		t.Fatalf("SlowChunk disarmed: %v", err)
+	}
+	if QueueSaturated() {
+		t.Fatal("QueueSaturated() = true while disarmed")
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"panic-every", "panic-every=0", "panic-every=x",
+		"slow-chunk=", "slow-chunk=-1ms", "slow-chunk=fast",
+		"queue-saturate=yes", "unknown-fault", "panic-every=2,bogus",
+	} {
+		Reset()
+		if err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestPanicEvery(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Parse("panic-every=3"); err != nil {
+		t.Fatal(err)
+	}
+	panics := 0
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(Panic); !ok {
+						t.Fatalf("recovered %T, want chaosinject.Panic", r)
+					}
+					panics++
+				}
+			}()
+			MaybePanic("worker")
+		}()
+	}
+	if panics != 3 {
+		t.Fatalf("9 calls at panic-every=3: got %d panics, want 3", panics)
+	}
+}
+
+func TestSlowChunkHonorsContext(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Parse("slow-chunk=10s"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := SlowChunk(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("SlowChunk under a 10ms deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("SlowChunk ignored the context, slept %v", d)
+	}
+}
+
+func TestQueueSaturate(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Parse("queue-saturate"); err != nil {
+		t.Fatal(err)
+	}
+	if !QueueSaturated() {
+		t.Fatal("QueueSaturated() = false after arming queue-saturate")
+	}
+}
+
+func TestCombinedSpec(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Parse("panic-every=2, slow-chunk=1ms ,queue-saturate"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() || !QueueSaturated() {
+		t.Fatal("combined spec did not arm every fault")
+	}
+	if err := SlowChunk(context.Background()); err != nil {
+		t.Fatalf("SlowChunk armed, live ctx: %v", err)
+	}
+}

@@ -7,10 +7,12 @@
 package emu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"elag/internal/chaosinject"
 	"elag/internal/isa"
 )
 
@@ -443,6 +445,32 @@ func Run(prog *isa.Program, fuel int64) (Result, error) {
 	return r, err
 }
 
+// RunContext is Run with cooperative cancellation, checked every
+// DefaultChunkSize instructions. An uncancelled run is identical to Run.
+func RunContext(ctx context.Context, prog *isa.Program, fuel int64) (Result, error) {
+	if fuel <= 0 {
+		fuel = 200_000_000
+	}
+	c := New(prog)
+	next := int64(DefaultChunkSize)
+	for !c.Halted() {
+		if n := c.res.DynamicInsts; n >= next {
+			if err := ctx.Err(); err != nil {
+				return c.res, err
+			}
+			next = n + DefaultChunkSize
+		}
+		if c.res.DynamicInsts >= fuel {
+			return c.res,
+				&isa.Fault{Kind: isa.FaultFuel, PC: c.PC, SeqNum: c.res.DynamicInsts}
+		}
+		if err := c.Step(nil); err != nil {
+			return c.res, err
+		}
+	}
+	return c.res, nil
+}
+
 // RunTrace executes prog and, if wantTrace is true, also returns the full
 // dynamic instruction trace for replay by the timing model. The trace
 // columns are sized exactly: a traceless dry run counts the retired
@@ -466,6 +494,36 @@ func RunTraceHint(prog *isa.Program, fuel, hint int64) (Result, *Trace, error) {
 	t := NewTrace(int(hint))
 	res, err := runTrace(prog, fuel, t)
 	return res, t, err
+}
+
+// RunTraceHintContext is RunTraceHint with cooperative cancellation,
+// checked every DefaultChunkSize instructions like StreamTraceContext. An
+// uncancelled run produces a trace byte-identical to RunTraceHint's.
+func RunTraceHintContext(ctx context.Context, prog *isa.Program, fuel, hint int64) (Result, *Trace, error) {
+	t := NewTrace(int(hint))
+	if fuel <= 0 {
+		fuel = 200_000_000
+	}
+	c := New(prog)
+	var te TraceEntry
+	next := int64(DefaultChunkSize)
+	for !c.Halted() {
+		if n := c.res.DynamicInsts; n >= next {
+			if err := ctx.Err(); err != nil {
+				return c.res, t, err
+			}
+			next = n + DefaultChunkSize
+		}
+		if c.res.DynamicInsts >= fuel {
+			return c.res, t,
+				&isa.Fault{Kind: isa.FaultFuel, PC: c.PC, SeqNum: c.res.DynamicInsts}
+		}
+		if err := c.Step(&te); err != nil {
+			return c.res, t, err
+		}
+		t.push(&te)
+	}
+	return c.res, t, nil
 }
 
 // DefaultChunkSize is the streaming chunk size used when a caller passes
@@ -492,11 +550,24 @@ const DefaultChunkSize = 4096
 // the complete prefix trace, whose timing is still valid. An error
 // returned by yield aborts the run and is returned verbatim.
 func StreamTrace(prog *isa.Program, fuel int64, chunkSize int, yield func(*Trace) error) (Result, error) {
+	return StreamTraceContext(context.Background(), prog, fuel, chunkSize, yield)
+}
+
+// StreamTraceContext is StreamTrace with cooperative cancellation: ctx is
+// checked between chunks (never mid-chunk), so a run aborts within one
+// chunk's worth of emulation of ctx being cancelled or its deadline
+// passing, returning the ctx error. An uncancelled run produces results
+// byte-identical to StreamTrace — the check is outside the emulation loop
+// and never perturbs the trace.
+func StreamTraceContext(ctx context.Context, prog *isa.Program, fuel int64, chunkSize int, yield func(*Trace) error) (Result, error) {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
 	if fuel <= 0 {
 		fuel = 200_000_000
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	ring := [2]*Trace{NewTrace(chunkSize), NewTrace(chunkSize)}
 	cur := 0
@@ -504,6 +575,17 @@ func StreamTrace(prog *isa.Program, fuel int64, chunkSize int, yield func(*Trace
 	c := New(prog)
 	var te TraceEntry
 	flush := func() error {
+		// The chunk boundary is the cancellation point: a cancelled run
+		// stops before its next chunk is delivered, so consumers never see
+		// a chunk produced after cancellation. It is also where chaos
+		// testing injects a degraded host (slow-chunk), which must honor
+		// the same deadline a real slowdown would.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := chaosinject.SlowChunk(ctx); err != nil {
+			return err
+		}
 		if t.Len() == 0 {
 			return nil
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"time"
@@ -50,12 +51,15 @@ type CompileBenchDoc struct {
 // end-to-end wall time with its per-pass breakdown. Best-of-N damps
 // scheduler noise without long benchmark runs; the per-pass numbers come
 // from the same (fastest) rep so they sum consistently.
-func (r *Runner) CompileBench(reps int) (*CompileBenchDoc, error) {
+func (r *Runner) CompileBench(ctx context.Context, reps int) (*CompileBenchDoc, error) {
 	if reps <= 0 {
 		reps = 5
 	}
 	doc := &CompileBenchDoc{Schema: CompileBenchSchema, Reps: reps}
 	for _, w := range workload.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r.logf("compilebench %s", w.Name)
 		var best CompileBenchResult
 		for rep := 0; rep < reps; rep++ {

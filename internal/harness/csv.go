@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -91,7 +92,7 @@ func WriteTable4CSV(w io.Writer, rows []Table4Row) error {
 
 // ExportCSV runs every experiment and writes one CSV per artifact into dir
 // via the provided create function (typically wrapping os.Create).
-func (r *Runner) ExportCSV(create func(name string) (io.WriteCloser, error)) error {
+func (r *Runner) ExportCSV(ctx context.Context, create func(name string) (io.WriteCloser, error)) error {
 	write := func(name string, fn func(io.Writer) error) error {
 		f, err := create(name)
 		if err != nil {
@@ -103,33 +104,33 @@ func (r *Runner) ExportCSV(create func(name string) (io.WriteCloser, error)) err
 		}
 		return f.Close()
 	}
-	t2, err := r.Table2()
+	t2, err := r.Table2(ctx)
 	if err != nil {
 		return err
 	}
 	if err := write("table2.csv", func(w io.Writer) error { return WriteTable2CSV(w, t2) }); err != nil {
 		return err
 	}
-	t3, err := r.Table3()
+	t3, err := r.Table3(ctx)
 	if err != nil {
 		return err
 	}
 	if err := write("table3.csv", func(w io.Writer) error { return WriteTable3CSV(w, t3) }); err != nil {
 		return err
 	}
-	t4, err := r.Table4()
+	t4, err := r.Table4(ctx)
 	if err != nil {
 		return err
 	}
 	if err := write("table4.csv", func(w io.Writer) error { return WriteTable4CSV(w, t4) }); err != nil {
 		return err
 	}
-	for name, fn := range map[string]func() (*Figure, error){
+	for name, fn := range map[string]func(context.Context) (*Figure, error){
 		"fig5a.csv": r.Figure5a,
 		"fig5b.csv": r.Figure5b,
 		"fig5c.csv": r.Figure5c,
 	} {
-		fig, err := fn()
+		fig, err := fn(ctx)
 		if err != nil {
 			return err
 		}

@@ -74,7 +74,7 @@ func TestExportCSVWritesEveryArtifact(t *testing.T) {
 	}
 	r := &harness.Runner{Fuel: 120_000}
 	files := map[string]*bytes.Buffer{}
-	err := r.ExportCSV(func(name string) (io.WriteCloser, error) {
+	err := r.ExportCSV(ctx, func(name string) (io.WriteCloser, error) {
 		b := &bytes.Buffer{}
 		files[name] = b
 		return nopCloser{b}, nil

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,11 +66,11 @@ type EmbeddedRow struct {
 }
 
 // Embedded runs the Section 5.4 experiment over the MediaBench suite.
-func (r *Runner) Embedded() ([]EmbeddedRow, error) {
+func (r *Runner) Embedded(ctx context.Context) ([]EmbeddedRow, error) {
 	media := workload.BySuite(workload.Media)
 	rows := make([]EmbeddedRow, len(media))
-	err := r.forEachLab(media, func(i int, l *Lab) error {
-		ms, err := l.SimulateBatch([]pipeline.BatchSpec{
+	err := r.forEachLab(ctx, media, func(ctx context.Context, i int, l *Lab) error {
+		ms, err := l.SimulateBatch(ctx, []pipeline.BatchSpec{
 			{Config: EmbeddedBase()},
 			{Config: EmbeddedCompiler(), Flavors: l.HeurFlavors},
 			{Config: EmbeddedHWDual()},

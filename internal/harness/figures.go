@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,7 +43,7 @@ func (s *seriesDef) spec(l *Lab) pipeline.BatchSpec {
 	return sp
 }
 
-func (r *Runner) figure(title string, suite workload.Suite, series []seriesDef) (*Figure, error) {
+func (r *Runner) figure(ctx context.Context, title string, suite workload.Suite, series []seriesDef) (*Figure, error) {
 	fig := &Figure{Title: title}
 	benches := workload.BySuite(suite)
 	for _, w := range benches {
@@ -59,8 +60,8 @@ func (r *Runner) figure(title string, suite workload.Suite, series []seriesDef) 
 	for i := range grid {
 		grid[i] = make([]float64, len(benches))
 	}
-	err := r.forEachLab(benches, func(bi int, l *Lab) error {
-		base, err := l.BaseCycles()
+	err := r.forEachLab(ctx, benches, func(ctx context.Context, bi int, l *Lab) error {
+		base, err := l.BaseCycles(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: base: %w", l.W.Name, err)
 		}
@@ -68,7 +69,7 @@ func (r *Runner) figure(title string, suite workload.Suite, series []seriesDef) 
 		for i := range series {
 			specs[i] = series[i].spec(l)
 		}
-		ms, err := l.SimulateBatch(specs)
+		ms, err := l.SimulateBatch(ctx, specs)
 		if err != nil {
 			return fmt.Errorf("%s: %w", l.W.Name, err)
 		}
@@ -107,7 +108,7 @@ var Figure5aSizes = []int{8, 16, 32}
 // alone, across table sizes, with and without compiler support. With
 // compiler support only PD-classified loads are allocated entries; without
 // it, every load competes for the table.
-func (r *Runner) Figure5a() (*Figure, error) {
+func (r *Runner) Figure5a(ctx context.Context) (*Figure, error) {
 	var series []seriesDef
 	for _, size := range Figure5aSizes {
 		series = append(series,
@@ -116,7 +117,7 @@ func (r *Runner) Figure5a() (*Figure, error) {
 				flav: (*Lab).heurFlavors},
 		)
 	}
-	return r.figure("Figure 5a: table-based address prediction only (scaled sizes)",
+	return r.figure(ctx, "Figure 5a: table-based address prediction only (scaled sizes)",
 		workload.SPEC, series)
 }
 
@@ -128,7 +129,7 @@ var Figure5bSizes = []int{1, 2, 4}
 
 // Figure5b reproduces Figure 5b: speedup from hardware-only early address
 // calculation across register-cache sizes.
-func (r *Runner) Figure5b() (*Figure, error) {
+func (r *Runner) Figure5b(ctx context.Context) (*Figure, error) {
 	var series []seriesDef
 	for _, n := range Figure5bSizes {
 		series = append(series, seriesDef{
@@ -136,14 +137,14 @@ func (r *Runner) Figure5b() (*Figure, error) {
 			cfg:   HWEarly(n),
 		})
 	}
-	return r.figure("Figure 5b: early address calculation only (scaled sizes)",
+	return r.figure(ctx, "Figure 5b: early address calculation only (scaled sizes)",
 		workload.SPEC, series)
 }
 
 // Figure5c reproduces Figure 5c: the largest hardware-only configurations
 // against the dual-path scheme without compiler support, with compiler
 // heuristics, and with heuristics plus address profiling.
-func (r *Runner) Figure5c() (*Figure, error) {
+func (r *Runner) Figure5c(ctx context.Context) (*Figure, error) {
 	series := []seriesDef{
 		{label: "hw-predict 256", cfg: HWPredict(256)},
 		{label: "hw-early 16", cfg: HWEarly(16)},
@@ -151,7 +152,7 @@ func (r *Runner) Figure5c() (*Figure, error) {
 		{label: "compiler dual", cfg: CompilerDual(), flav: (*Lab).heurFlavors},
 		{label: "compiler dual+profile", cfg: CompilerDual(), flav: (*Lab).reclassFlavors},
 	}
-	return r.figure("Figure 5c: dual-path early address generation", workload.SPEC, series)
+	return r.figure(ctx, "Figure 5c: dual-path early address generation", workload.SPEC, series)
 }
 
 // FormatFigure renders a figure as an aligned text table (benchmarks down,

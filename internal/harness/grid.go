@@ -16,26 +16,33 @@ import (
 // independent of scheduling, the output is bit-identical at every worker
 // count.
 
-// forEachLab builds the lab for each workload and calls fn(i, lab), fanning
-// benchmarks across r.workers() goroutines. fn is called exactly once per
-// benchmark, each invocation on a single goroutine (distinct benchmarks may
-// run concurrently). The first error cancels the remaining benchmarks and
-// is returned.
-func (r *Runner) forEachLab(benches []*workload.Workload, fn func(i int, l *Lab) error) error {
+// forEachLab builds the lab for each workload and calls fn(ctx, i, lab),
+// fanning benchmarks across r.workers() goroutines. fn is called at most
+// once per benchmark, each invocation on a single goroutine (distinct
+// benchmarks may run concurrently). The first error cancels the remaining
+// benchmarks and is returned; cancelling ctx cancels the grid the same way
+// and returns the ctx error. Shutdown is leak-free at every stage: by the
+// time forEachLab returns, every worker goroutine it started has exited —
+// the pool never outlives the call, whether it ends by completion, by
+// first error, or by external cancellation.
+func (r *Runner) forEachLab(ctx context.Context, benches []*workload.Workload, fn func(ctx context.Context, i int, l *Lab) error) error {
 	if r.workers() <= 1 || len(benches) <= 1 {
 		for i, w := range benches {
-			l, err := r.Lab(w)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			l, err := r.Lab(ctx, w)
 			if err != nil {
 				return err
 			}
-			if err := fn(i, l); err != nil {
+			if err := fn(ctx, i, l); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
 		firstErr error
@@ -58,25 +65,47 @@ func (r *Runner) forEachLab(benches []*workload.Workload, fn func(i int, l *Lab)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					continue // drain after cancellation
-				}
-				l, err := r.Lab(benches[i])
-				if err != nil {
-					fail(err)
-					continue
-				}
-				if err := fn(i, l); err != nil {
-					fail(err)
+			for {
+				select {
+				case <-gctx.Done():
+					return
+				case i, ok := <-idx:
+					if !ok {
+						return
+					}
+					if gctx.Err() != nil {
+						continue // raced with cancellation; drain
+					}
+					l, err := r.Lab(gctx, benches[i])
+					if err != nil {
+						fail(err)
+						continue
+					}
+					if err := fn(gctx, i, l); err != nil {
+						fail(err)
+					}
 				}
 			}
 		}()
 	}
+	// The feeder must never block on a pool that stopped consuming: once
+	// gctx is cancelled (first error or external cancel) the send loop
+	// stops, idx closes, and the workers' two exit paths (Done, closed
+	// idx) drain the pool.
+feed:
 	for i := range benches {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-gctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	// External cancellation may land after the last fn returned but before
+	// any call observed it; the grid still reports it.
+	return ctx.Err()
 }

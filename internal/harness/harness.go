@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -138,16 +139,40 @@ type Lab struct {
 	chunk   int   // streaming chunk size (0 = materialized)
 	noBatch bool  // per-cell sequential replay (Runner.NoBatch)
 
-	baseOnce   sync.Once
+	baseMu     sync.Mutex
+	baseDone   bool
 	baseCycles int64
-	baseErr    error
 }
 
 // Lab prepares the lab for one workload, returning a cached one when
 // available. Concurrent callers requesting the same benchmark share one
 // build; distinct benchmarks build independently. The cache keeps at most
 // maxResident labs, evicting least-recently-used ones.
-func (r *Runner) Lab(w *workload.Workload) (*Lab, error) {
+//
+// ctx bounds the build (compile, profile, trace): a cancelled ctx aborts
+// with the ctx error. When the single-flight build a caller was waiting on
+// fails because the *builder's* ctx was cancelled, a waiter whose own ctx
+// is still live retries the build instead of inheriting the cancellation —
+// one caller's deadline never fails another caller's request.
+func (r *Runner) Lab(ctx context.Context, w *workload.Workload) (*Lab, error) {
+	for {
+		l, err := r.labOnce(ctx, w)
+		if err == nil || !isContextErr(err) || ctx.Err() != nil {
+			return l, err
+		}
+		// The build was cancelled under someone else's ctx; ours is live.
+	}
+}
+
+// isContextErr reports whether err is a context cancellation or deadline
+// error (possibly wrapped).
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// labOnce is one single-flight pass over the lab cache: join an in-flight
+// build or become the builder.
+func (r *Runner) labOnce(ctx context.Context, w *workload.Workload) (*Lab, error) {
 	r.labMu.Lock()
 	if r.labs == nil {
 		r.labs = make(map[string]*labEntry)
@@ -164,7 +189,7 @@ func (r *Runner) Lab(w *workload.Workload) (*Lab, error) {
 	r.evictLocked()
 	r.labMu.Unlock()
 
-	e.l, e.err = r.buildLab(w)
+	e.l, e.err = r.buildLab(ctx, w)
 	if e.err != nil {
 		// Do not cache failures: a later retry rebuilds.
 		r.labMu.Lock()
@@ -201,7 +226,7 @@ func (r *Runner) evictLocked() {
 	}
 }
 
-func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
+func (r *Runner) buildLab(ctx context.Context, w *workload.Workload) (*Lab, error) {
 	r.logf("build %s", w.Name)
 	p, err := elag.Build(w.Source, elag.BuildOptions{})
 	if err != nil {
@@ -210,7 +235,7 @@ func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
 	l := &Lab{W: w, Prog: p, Heur: p.Classes,
 		fuel: r.Fuel, chunk: r.ChunkSize, noBatch: r.NoBatch}
 
-	lp, profRes, err := profile.Collect(p.Machine, r.Fuel)
+	lp, profRes, err := profile.CollectContext(ctx, p.Machine, r.Fuel)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, fmt.Errorf("%s: profile: %w", w.Name, err)
 	}
@@ -228,7 +253,7 @@ func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
 	}
 	// The profiler already emulated this program under the same fuel, so
 	// its retired-instruction count sizes the trace columns exactly.
-	res, trace, err := emu.RunTraceHint(p.Machine, r.Fuel, profRes.DynamicInsts)
+	res, trace, err := emu.RunTraceHintContext(ctx, p.Machine, r.Fuel, profRes.DynamicInsts)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, fmt.Errorf("%s: trace: %w", w.Name, err)
 	}
@@ -239,18 +264,19 @@ func (r *Runner) buildLab(w *workload.Workload) (*Lab, error) {
 
 // Simulate replays the cached trace under cfg. flavors selects the load
 // classification (l.HeurFlavors, l.ReclassFlavors, or nil for the
-// program's baked-in flavours).
-func (l *Lab) Simulate(cfg pipeline.Config, flavors isa.FlavorOverlay) (*pipeline.Metrics, error) {
-	return l.SimulateObserved(cfg, flavors, nil, false)
+// program's baked-in flavours). ctx cancels the replay between chunks;
+// an uncancelled replay is byte-identical at every chunk setting.
+func (l *Lab) Simulate(ctx context.Context, cfg pipeline.Config, flavors isa.FlavorOverlay) (*pipeline.Metrics, error) {
+	return l.SimulateObserved(ctx, cfg, flavors, nil, false)
 }
 
 // SimulateObserved replays the cached trace under cfg with observability
 // attached: sink (may be nil) receives the cycle-level event stream, and
 // perPC enables the per-PC load attribution table on the returned Metrics.
 // Observation never changes the timing result.
-func (l *Lab) SimulateObserved(cfg pipeline.Config, flavors isa.FlavorOverlay,
+func (l *Lab) SimulateObserved(ctx context.Context, cfg pipeline.Config, flavors isa.FlavorOverlay,
 	sink pipeline.EventSink, perPC bool) (*pipeline.Metrics, error) {
-	ms, err := l.replayBatch([]pipeline.BatchSpec{{Config: cfg, Flavors: flavors}},
+	ms, err := l.replayBatch(ctx, []pipeline.BatchSpec{{Config: cfg, Flavors: flavors}},
 		func(_ int, sim *pipeline.Sim) {
 			if perPC {
 				sim.EnablePerPC()
@@ -271,11 +297,11 @@ func (l *Lab) SimulateObserved(cfg pipeline.Config, flavors isa.FlavorOverlay,
 // Results are bit-identical to len(specs) Simulate calls. Under
 // Runner.NoBatch each spec gets its own pass instead (same results, the
 // pre-batching wall time).
-func (l *Lab) SimulateBatch(specs []pipeline.BatchSpec) ([]*pipeline.Metrics, error) {
+func (l *Lab) SimulateBatch(ctx context.Context, specs []pipeline.BatchSpec) ([]*pipeline.Metrics, error) {
 	if l.noBatch {
 		ms := make([]*pipeline.Metrics, len(specs))
 		for i, sp := range specs {
-			m, err := l.replayBatch(specs[i:i+1], nil)
+			m, err := l.replayBatch(ctx, specs[i:i+1], nil)
 			if err != nil {
 				return nil, fmt.Errorf("%s: spec %d %v: %w", l.W.Name, i, sp.Config.Select, err)
 			}
@@ -283,7 +309,7 @@ func (l *Lab) SimulateBatch(specs []pipeline.BatchSpec) ([]*pipeline.Metrics, er
 		}
 		return ms, nil
 	}
-	return l.replayBatch(specs, nil)
+	return l.replayBatch(ctx, specs, nil)
 }
 
 // replayBatch is the lab's replay engine: every simulation — single or
@@ -292,7 +318,9 @@ func (l *Lab) SimulateBatch(specs []pipeline.BatchSpec) ([]*pipeline.Metrics, er
 // mode the cached trace is walked in chunk windows with every Sim advanced
 // per window; in streaming mode (Runner.ChunkSize > 0) the architectural
 // execution is re-emulated through recycled chunks and never materialized.
-func (l *Lab) replayBatch(specs []pipeline.BatchSpec, attach func(i int, sim *pipeline.Sim)) ([]*pipeline.Metrics, error) {
+// Cancellation is checked between chunks in both modes, so every job
+// through the lab honors its deadline within one chunk of work.
+func (l *Lab) replayBatch(ctx context.Context, specs []pipeline.BatchSpec, attach func(i int, sim *pipeline.Sim)) ([]*pipeline.Metrics, error) {
 	sims, err := pipeline.NewBatch(l.Prog.Machine, specs)
 	if err != nil {
 		return nil, err
@@ -303,6 +331,9 @@ func (l *Lab) replayBatch(specs []pipeline.BatchSpec, attach func(i int, sim *pi
 		}
 	}
 	run := func(chunk *emu.Trace) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return pipeline.RunChunkBatch(sims, chunk)
 	}
 	if l.Trace != nil {
@@ -314,7 +345,7 @@ func (l *Lab) replayBatch(specs []pipeline.BatchSpec, attach func(i int, sim *pi
 			return nil, err
 		}
 	} else {
-		_, err := emu.StreamTrace(l.Prog.Machine, l.fuel, l.chunk, run)
+		_, err := emu.StreamTraceContext(ctx, l.Prog.Machine, l.fuel, l.chunk, run)
 		if err != nil && !errors.Is(err, emu.ErrFuel) {
 			return nil, err
 		}
@@ -333,26 +364,32 @@ func (l *Lab) reclassFlavors() isa.FlavorOverlay { return l.ReclassFlavors }
 
 // BaseCycles returns (memoizing) the cycle count of the base architecture,
 // the denominator of every speedup in Section 5. Safe for concurrent use;
-// the base simulation runs at most once per lab.
-func (l *Lab) BaseCycles() (int64, error) {
-	l.baseOnce.Do(func() {
-		m, err := l.Simulate(pipeline.PaperBase(), nil)
-		if err != nil {
-			l.baseErr = err
-			return
-		}
-		l.baseCycles = m.Cycles
-	})
-	return l.baseCycles, l.baseErr
-}
-
-// Speedup simulates cfg under flavors and returns baseCycles/cycles.
-func (l *Lab) Speedup(cfg pipeline.Config, flavors isa.FlavorOverlay) (float64, error) {
-	base, err := l.BaseCycles()
+// the base simulation runs at most once per lab. Only success is memoized:
+// a simulation cancelled by ctx returns the ctx error without poisoning
+// the lab, so a later caller (or the same grid re-run) computes the value
+// fresh — cached labs stay byte-identical across cancel-and-retry.
+func (l *Lab) BaseCycles(ctx context.Context) (int64, error) {
+	l.baseMu.Lock()
+	defer l.baseMu.Unlock()
+	if l.baseDone {
+		return l.baseCycles, nil
+	}
+	m, err := l.Simulate(ctx, pipeline.PaperBase(), nil)
 	if err != nil {
 		return 0, err
 	}
-	m, err := l.Simulate(cfg, flavors)
+	l.baseCycles = m.Cycles
+	l.baseDone = true
+	return l.baseCycles, nil
+}
+
+// Speedup simulates cfg under flavors and returns baseCycles/cycles.
+func (l *Lab) Speedup(ctx context.Context, cfg pipeline.Config, flavors isa.FlavorOverlay) (float64, error) {
+	base, err := l.BaseCycles(ctx)
+	if err != nil {
+		return 0, err
+	}
+	m, err := l.Simulate(ctx, cfg, flavors)
 	if err != nil {
 		return 0, err
 	}

@@ -1,11 +1,16 @@
 package harness_test
 
 import (
+	"context"
 	"testing"
 
 	"elag/internal/harness"
 	"elag/internal/workload"
 )
+
+// ctx is the no-deadline context the tests run under; cancellation paths
+// have their own dedicated tests.
+var ctx = context.Background()
 
 // quickRunner bounds per-benchmark work so the experiment tests stay fast;
 // the full-length runs live in the top-level benchmark harness.
@@ -15,7 +20,7 @@ func quickRunner() *harness.Runner {
 
 func TestLabPreparesEverything(t *testing.T) {
 	r := quickRunner()
-	l, err := r.Lab(workload.Get("023.eqntott"))
+	l, err := r.Lab(ctx, workload.Get("023.eqntott"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +33,7 @@ func TestLabPreparesEverything(t *testing.T) {
 	if int64(l.Trace.Len()) != l.EmuRes.DynamicInsts {
 		t.Fatalf("trace length %d != retired %d", l.Trace.Len(), l.EmuRes.DynamicInsts)
 	}
-	base, err := l.BaseCycles()
+	base, err := l.BaseCycles(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +41,7 @@ func TestLabPreparesEverything(t *testing.T) {
 		t.Fatalf("base cycles = %d", base)
 	}
 	// Lab caching: same pointer for the same workload.
-	l2, err := r.Lab(workload.Get("023.eqntott"))
+	l2, err := r.Lab(ctx, workload.Get("023.eqntott"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +52,11 @@ func TestLabPreparesEverything(t *testing.T) {
 
 func TestSpeedupsAtLeastNotAbsurd(t *testing.T) {
 	r := quickRunner()
-	l, err := r.Lab(workload.Get("008.espresso"))
+	l, err := r.Lab(ctx, workload.Get("008.espresso"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := l.Speedup(harness.CompilerDual(), l.HeurFlavors)
+	sp, err := l.Speedup(ctx, harness.CompilerDual(), l.HeurFlavors)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +70,7 @@ func TestTable2Shape(t *testing.T) {
 		t.Skip("runs all 12 SPEC-like benchmarks")
 	}
 	r := quickRunner()
-	rows, err := r.Table2()
+	rows, err := r.Table2(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +111,7 @@ func TestTable3ProfileNeverHurtsMuch(t *testing.T) {
 		t.Skip("long")
 	}
 	r := quickRunner()
-	t3, err := r.Table3()
+	t3, err := r.Table3(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +130,7 @@ func TestFigure5aCompilerHelpsSmallTables(t *testing.T) {
 		t.Skip("long")
 	}
 	r := quickRunner()
-	fig, err := r.Figure5a()
+	fig, err := r.Figure5a(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +161,7 @@ func TestFigure5cOrdering(t *testing.T) {
 		t.Skip("long")
 	}
 	r := quickRunner()
-	fig, err := r.Figure5c()
+	fig, err := r.Figure5c(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +183,7 @@ func TestTable4MediaBench(t *testing.T) {
 		t.Skip("long")
 	}
 	r := quickRunner()
-	rows, err := r.Table4()
+	rows, err := r.Table4(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +206,7 @@ func TestEmbeddedExperiment(t *testing.T) {
 		t.Skip("long")
 	}
 	r := quickRunner()
-	rows, err := r.Embedded()
+	rows, err := r.Embedded(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

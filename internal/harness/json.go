@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 )
@@ -29,28 +30,28 @@ type BenchDocument struct {
 }
 
 // Document runs every experiment and collects the artifacts.
-func (r *Runner) Document() (*BenchDocument, error) {
+func (r *Runner) Document(ctx context.Context) (*BenchDocument, error) {
 	doc := &BenchDocument{Schema: BenchSchema, Fuel: r.Fuel}
 	var err error
-	if doc.Table2, err = r.Table2(); err != nil {
+	if doc.Table2, err = r.Table2(ctx); err != nil {
 		return nil, err
 	}
-	if doc.Table3, err = r.Table3(); err != nil {
+	if doc.Table3, err = r.Table3(ctx); err != nil {
 		return nil, err
 	}
-	if doc.Table4, err = r.Table4(); err != nil {
+	if doc.Table4, err = r.Table4(ctx); err != nil {
 		return nil, err
 	}
-	if doc.Figure5a, err = r.Figure5a(); err != nil {
+	if doc.Figure5a, err = r.Figure5a(ctx); err != nil {
 		return nil, err
 	}
-	if doc.Figure5b, err = r.Figure5b(); err != nil {
+	if doc.Figure5b, err = r.Figure5b(ctx); err != nil {
 		return nil, err
 	}
-	if doc.Figure5c, err = r.Figure5c(); err != nil {
+	if doc.Figure5c, err = r.Figure5c(ctx); err != nil {
 		return nil, err
 	}
-	if doc.Embedded, err = r.Embedded(); err != nil {
+	if doc.Embedded, err = r.Embedded(ctx); err != nil {
 		return nil, err
 	}
 	return doc, nil

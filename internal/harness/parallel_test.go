@@ -14,11 +14,11 @@ import (
 // their canonical JSON encoding.
 func artifactJSON(t *testing.T, r *harness.Runner) []byte {
 	t.Helper()
-	rows, err := r.Table2()
+	rows, err := r.Table2(ctx)
 	if err != nil {
 		t.Fatalf("%+v: table2: %v", r, err)
 	}
-	fig, err := r.Figure5a()
+	fig, err := r.Figure5a(ctx)
 	if err != nil {
 		t.Fatalf("%+v: fig5a: %v", r, err)
 	}
@@ -77,7 +77,7 @@ func TestLabSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			l, err := r.Lab(w)
+			l, err := r.Lab(ctx, w)
 			if err != nil {
 				t.Error(err)
 				return
@@ -100,7 +100,7 @@ func TestLabCacheEviction(t *testing.T) {
 	names := []string{"023.eqntott", "008.espresso", "026.compress"}
 	first := make(map[string]*harness.Lab)
 	for _, name := range names {
-		l, err := r.Lab(workload.Get(name))
+		l, err := r.Lab(ctx, workload.Get(name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,18 +108,18 @@ func TestLabCacheEviction(t *testing.T) {
 	}
 	// The oldest lab was evicted; requesting it again must rebuild (a
 	// fresh instance), and the result must still be usable.
-	l, err := r.Lab(workload.Get(names[0]))
+	l, err := r.Lab(ctx, workload.Get(names[0]))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if l == first[names[0]] {
 		t.Errorf("lab for %s not evicted with MaxResident=2", names[0])
 	}
-	if _, err := l.Simulate(harness.CompilerDual(), l.HeurFlavors); err != nil {
+	if _, err := l.Simulate(ctx, harness.CompilerDual(), l.HeurFlavors); err != nil {
 		t.Fatal(err)
 	}
 	// The most recent lab is still cached.
-	l3, err := r.Lab(workload.Get(names[2]))
+	l3, err := r.Lab(ctx, workload.Get(names[2]))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -94,7 +95,7 @@ func allSpecs(l *Lab) []pipeline.BatchSpec {
 // benchmark the pre-batching way (one emulation per cell) and the batched
 // way (one streamed emulation shared by all cells); their ns/op ratio is
 // the single-pass speedup.
-func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
+func (r *Runner) ReplayBench(ctx context.Context) (*ReplayBenchDoc, error) {
 	benches := workload.BySuite(workload.SPEC)
 	chunk := r.ChunkSize
 	if chunk <= 0 {
@@ -106,7 +107,7 @@ func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
 	buildLabs := func(rr *Runner) ([]*Lab, error) {
 		labs := make([]*Lab, len(benches))
 		for i, w := range benches {
-			l, err := rr.Lab(w)
+			l, err := rr.Lab(ctx, w)
 			if err != nil {
 				return nil, err
 			}
@@ -168,13 +169,13 @@ func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
 		return nil
 	}
 	if err := add("replay-table2", labs, 1, func(l *Lab) error {
-		_, err := l.Simulate(CompilerDual(), l.HeurFlavors)
+		_, err := l.Simulate(ctx, CompilerDual(), l.HeurFlavors)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := add("replay-base", labs, 1, func(l *Lab) error {
-		_, err := l.Simulate(pipeline.PaperBase(), nil)
+		_, err := l.Simulate(ctx, pipeline.PaperBase(), nil)
 		return err
 	}); err != nil {
 		return nil, err
@@ -192,7 +193,7 @@ func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
 	}
 
 	if err := add("stream-table2", slabs, 1, func(l *Lab) error {
-		_, err := l.Simulate(CompilerDual(), l.HeurFlavors)
+		_, err := l.Simulate(ctx, CompilerDual(), l.HeurFlavors)
 		return err
 	}); err != nil {
 		return nil, err
@@ -220,7 +221,7 @@ func (r *Runner) ReplayBench() (*ReplayBenchDoc, error) {
 	if err := add("batch-all", slabs, 5, func(l *Lab) error {
 		// One streamed architectural execution shared by all five
 		// configurations.
-		_, _, err := pipeline.BatchReplay(l.Prog.Machine, r.Fuel, chunk, allSpecs(l))
+		_, _, err := pipeline.BatchReplayContext(ctx, l.Prog.Machine, r.Fuel, chunk, allSpecs(l))
 		return err
 	}); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,10 +43,10 @@ func tableRow(l *Lab, c *core.Classification) Table2Row {
 }
 
 // Table2 reproduces Table 2 over the SPEC-like suite.
-func (r *Runner) Table2() ([]Table2Row, error) {
+func (r *Runner) Table2(ctx context.Context) ([]Table2Row, error) {
 	benches := workload.BySuite(workload.SPEC)
 	rows := make([]Table2Row, len(benches))
-	err := r.forEachLab(benches, func(i int, l *Lab) error {
+	err := r.forEachLab(ctx, benches, func(ctx context.Context, i int, l *Lab) error {
 		rows[i] = tableRow(l, l.Heur)
 		return nil
 	})
@@ -100,11 +101,11 @@ type Table3Row struct {
 
 // Table3 reproduces Table 3: the compiler-directed dual-path configuration
 // (256-entry table, one R_addr) with address-profile reclassification.
-func (r *Runner) Table3() ([]Table3Row, error) {
+func (r *Runner) Table3(ctx context.Context) ([]Table3Row, error) {
 	benches := workload.BySuite(workload.SPEC)
 	rows := make([]Table3Row, len(benches))
-	err := r.forEachLab(benches, func(i int, l *Lab) error {
-		sp, err := l.Speedup(CompilerDual(), l.ReclassFlavors)
+	err := r.forEachLab(ctx, benches, func(ctx context.Context, i int, l *Lab) error {
+		sp, err := l.Speedup(ctx, CompilerDual(), l.ReclassFlavors)
 		if err != nil {
 			return err
 		}
@@ -156,11 +157,11 @@ type Table4Row struct {
 
 // Table4 reproduces Table 4: MediaBench characteristics and speedups under
 // the compiler heuristics (no profiling).
-func (r *Runner) Table4() ([]Table4Row, error) {
+func (r *Runner) Table4(ctx context.Context) ([]Table4Row, error) {
 	benches := workload.BySuite(workload.Media)
 	rows := make([]Table4Row, len(benches))
-	err := r.forEachLab(benches, func(i int, l *Lab) error {
-		sp, err := l.Speedup(CompilerDual(), l.HeurFlavors)
+	err := r.forEachLab(ctx, benches, func(ctx context.Context, i int, l *Lab) error {
+		sp, err := l.Speedup(ctx, CompilerDual(), l.HeurFlavors)
 		if err != nil {
 			return err
 		}

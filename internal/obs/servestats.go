@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ServeStatsSchema versions the elag-serve service-counter document,
+// flushed on graceful drain and served live at /v1/stats.
+const ServeStatsSchema = "elag-serve-stats/v1"
+
+// ServeStatsDoc is the machine-readable lifetime summary of one elag-serve
+// process: admission outcomes, job outcomes, and fault-isolation events.
+// Everything here is a monotonic counter; rates are the reader's job.
+type ServeStatsDoc struct {
+	Schema string `json:"schema"`
+
+	// Admission.
+	JobsAccepted      int64 `json:"jobs_accepted"`
+	RejectedInvalid   int64 `json:"rejected_invalid"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+
+	// Outcomes.
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+
+	// Fault isolation: panics recovered from job execution, and workers
+	// the pool replaced because of them. The two differ only if a panic
+	// escapes outside a job run.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	WorkersReplaced int64 `json:"workers_replaced"`
+}
+
+// WriteServeStatsJSON writes doc as indented JSON, byte-stable for a given
+// document.
+func WriteServeStatsJSON(w io.Writer, doc *ServeStatsDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

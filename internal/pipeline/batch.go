@@ -12,6 +12,7 @@ package pipeline
 // batched metrics are bit-identical to N sequential replays.
 
 import (
+	"context"
 	"errors"
 
 	"elag/internal/emu"
@@ -88,11 +89,20 @@ func batchMetrics(sims []*Sim) []*Metrics {
 // fuel. A fuel-truncated run is still replayed — prefix timing is valid
 // timing — so fuel exhaustion is not an error here.
 func BatchReplay(prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec) ([]*Metrics, emu.Result, error) {
+	return BatchReplayContext(context.Background(), prog, fuel, chunkSize, specs)
+}
+
+// BatchReplayContext is BatchReplay with cooperative cancellation: ctx is
+// checked between chunks of the streamed architectural execution, so a
+// replay over a pathological fuel budget aborts within one chunk of
+// cancellation with the ctx error. Uncancelled results are byte-identical
+// to BatchReplay.
+func BatchReplayContext(ctx context.Context, prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec) ([]*Metrics, emu.Result, error) {
 	sims, err := NewBatch(prog, specs)
 	if err != nil {
 		return nil, emu.Result{}, err
 	}
-	res, err := emu.StreamTrace(prog, fuel, chunkSize, func(chunk *emu.Trace) error {
+	res, err := emu.StreamTraceContext(ctx, prog, fuel, chunkSize, func(chunk *emu.Trace) error {
 		return RunChunkBatch(sims, chunk)
 	})
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
@@ -107,6 +117,13 @@ func BatchReplay(prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec
 // stays cache-hot across all configurations instead of each configuration
 // streaming the whole trace from memory.
 func BatchReplayTrace(prog *isa.Program, trace *emu.Trace, chunkSize int, specs []BatchSpec) ([]*Metrics, error) {
+	return BatchReplayTraceContext(context.Background(), prog, trace, chunkSize, specs)
+}
+
+// BatchReplayTraceContext is BatchReplayTrace with cooperative
+// cancellation, checked between chunk windows of the materialized trace.
+// Uncancelled results are byte-identical to BatchReplayTrace.
+func BatchReplayTraceContext(ctx context.Context, prog *isa.Program, trace *emu.Trace, chunkSize int, specs []BatchSpec) ([]*Metrics, error) {
 	sims, err := NewBatch(prog, specs)
 	if err != nil {
 		return nil, err
@@ -115,6 +132,9 @@ func BatchReplayTrace(prog *isa.Program, trace *emu.Trace, chunkSize int, specs 
 		chunkSize = emu.DefaultChunkSize
 	}
 	err = trace.Chunks(chunkSize, func(chunk *emu.Trace) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return RunChunkBatch(sims, chunk)
 	})
 	if err != nil {
@@ -128,7 +148,13 @@ func BatchReplayTrace(prog *isa.Program, trace *emu.Trace, chunkSize int, specs 
 // metrics are bit-identical to Simulate's; peak trace memory is
 // O(chunkSize) regardless of fuel.
 func SimulateStream(cfg Config, prog *isa.Program, fuel int64, chunkSize int) (*Metrics, emu.Result, error) {
-	ms, res, err := BatchReplay(prog, fuel, chunkSize, []BatchSpec{{Config: cfg}})
+	return SimulateStreamContext(context.Background(), cfg, prog, fuel, chunkSize)
+}
+
+// SimulateStreamContext is SimulateStream with cooperative cancellation
+// (see BatchReplayContext).
+func SimulateStreamContext(ctx context.Context, cfg Config, prog *isa.Program, fuel int64, chunkSize int) (*Metrics, emu.Result, error) {
+	ms, res, err := BatchReplayContext(ctx, prog, fuel, chunkSize, []BatchSpec{{Config: cfg}})
 	if err != nil {
 		return nil, res, err
 	}

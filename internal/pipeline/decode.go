@@ -29,11 +29,11 @@ const (
 
 // instMeta is the per-static-instruction decode cache.
 type instMeta struct {
-	flags  uint8
-	fu     uint8          // functional unit gating issue (fuNone..fuBr)
-	flavor isa.LoadFlavor // overlay-resolved load flavour (loads only)
-	nInt   uint8          // integer source registers in intRegs[:nInt]
-	intRegs [3]isa.Reg
+	flags    uint8
+	fu       uint8          // functional unit gating issue (fuNone..fuBr)
+	flavor   isa.LoadFlavor // overlay-resolved load flavour (loads only)
+	nInt     uint8          // integer source registers in intRegs[:nInt]
+	intRegs  [3]isa.Reg
 	fpA, fpB uint8 // FP source registers + 1 (0 = none)
 	wInt     uint8 // integer destination register + 1 (0 = none)
 	wFP      uint8 // FP destination register + 1 (0 = none)

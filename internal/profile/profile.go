@@ -7,6 +7,8 @@
 package profile
 
 import (
+	"context"
+
 	"elag/internal/addrpred"
 	"elag/internal/core"
 	"elag/internal/emu"
@@ -27,6 +29,14 @@ type LoadProfile struct {
 // Collect emulates prog and profiles every load. fuel bounds the emulated
 // instruction count (<= 0 for the default).
 func Collect(prog *isa.Program, fuel int64) (*LoadProfile, emu.Result, error) {
+	return CollectContext(context.Background(), prog, fuel)
+}
+
+// CollectContext is Collect with cooperative cancellation: ctx is checked
+// every emu.DefaultChunkSize instructions — the same granularity as the
+// streaming trace — so a profiling run over a pathological program aborts
+// promptly with the ctx error. An uncancelled run is identical to Collect.
+func CollectContext(ctx context.Context, prog *isa.Program, fuel int64) (*LoadProfile, emu.Result, error) {
 	p := &LoadProfile{
 		Execs:   make(map[int]int64),
 		Correct: make(map[int]int64),
@@ -37,7 +47,14 @@ func Collect(prog *isa.Program, fuel int64) (*LoadProfile, emu.Result, error) {
 	}
 	c := emu.New(prog)
 	var te emu.TraceEntry
+	next := int64(emu.DefaultChunkSize) // next cancellation checkpoint
 	for !c.Halted() {
+		if n := c.Result().DynamicInsts; n >= next {
+			if err := ctx.Err(); err != nil {
+				return p, c.Result(), err
+			}
+			next = n + emu.DefaultChunkSize
+		}
 		if c.Result().DynamicInsts >= fuel {
 			return p, c.Result(), emu.ErrFuel
 		}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"elag"
+	"elag/internal/harness"
+	"elag/internal/workload"
+)
+
+// CompileResult is the result payload of a compile job: static facts about
+// the built program (no execution happens).
+type CompileResult struct {
+	// MachineInsts is the assembled instruction count.
+	MachineInsts int `json:"machine_insts"`
+	// AsmLines is the length of the generated assembly listing.
+	AsmLines int `json:"asm_lines"`
+	// Pipeline is the pass pipeline that built the program.
+	Pipeline string `json:"pipeline"`
+	// StaticNT/PD/EC are the per-class static load counts from the
+	// compiler's classification.
+	StaticNT int `json:"static_nt"`
+	StaticPD int `json:"static_pd"`
+	StaticEC int `json:"static_ec"`
+}
+
+// SimulateResult is the result payload of a simulate job: the program's
+// architectural output plus one elag-metrics/v1 document per requested
+// configuration, in spec order. The documents are byte-identical to what
+// elag-sim produces for the same program, configuration, and fuel — the
+// job ran the exact same batched-replay entry point.
+type SimulateResult struct {
+	// Output is the architectural result (exit code and output streams),
+	// identical across configurations by construction.
+	Output string `json:"output"`
+	// Metrics has one document per spec.Configs entry, in order.
+	Metrics []*elag.MetricsDoc `json:"metrics"`
+}
+
+// execute runs one admitted job to completion under ctx. It is called on a
+// pool worker; panics are the caller's problem (the pool isolates them).
+// The spec has passed Validate, so input errors here are program-level
+// (build failures, architectural faults), not spec-level.
+func execute(ctx context.Context, spec *JobSpec, gridParallel int) (any, error) {
+	switch spec.Kind {
+	case KindCompile:
+		return executeCompile(spec)
+	case KindSimulate:
+		return executeSimulate(ctx, spec)
+	case KindGrid:
+		return executeGrid(ctx, spec, gridParallel)
+	}
+	// Unreachable after Validate; keep the failure typed anyway.
+	return nil, &SpecError{Field: "kind", Reason: fmt.Sprintf("unknown kind %q", spec.Kind)}
+}
+
+func executeCompile(spec *JobSpec) (any, error) {
+	opts := elag.BuildOptions{}
+	if spec.Opt != "" {
+		lvl, err := elag.ParseOptLevel(spec.Opt)
+		if err != nil {
+			return nil, err
+		}
+		opts.Level = lvl
+	}
+	p, err := elag.Build(spec.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompileResult{
+		MachineInsts: len(p.Machine.Insts),
+		AsmLines:     strings.Count(p.Asm, "\n"),
+		Pipeline:     p.Pipeline,
+	}
+	if p.Classes != nil {
+		res.StaticNT = p.Classes.StaticNT
+		res.StaticPD = p.Classes.StaticPD
+		res.StaticEC = p.Classes.StaticEC
+	}
+	return res, nil
+}
+
+func executeSimulate(ctx context.Context, spec *JobSpec) (any, error) {
+	var p *elag.Program
+	var err error
+	label := "source"
+	if spec.Workload != "" {
+		label = spec.Workload
+		p, err = elag.Build(workload.Get(spec.Workload).Source, elag.BuildOptions{})
+	} else {
+		p, err = elag.Build(spec.Source, elag.BuildOptions{})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	specs := make([]elag.BatchSpec, len(spec.Configs))
+	for i, c := range spec.Configs {
+		cfg, err := elag.NamedConfig(c.Name, c.Table, c.Regs)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = elag.BatchSpec{Config: cfg}
+	}
+	// chunk 0 streams at the default size: the service never materializes
+	// a full trace, so peak memory stays O(chunk) whatever the fuel. A
+	// fuel-truncated run is not an error (prefix timing is valid timing).
+	metrics, runRes, err := p.SimulateBatchContext(ctx, specs, spec.Fuel, spec.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	res := &SimulateResult{Output: runRes.Output()}
+	for i, m := range metrics {
+		res.Metrics = append(res.Metrics, elag.NewMetricsDoc(label, spec.Configs[i].Name, m))
+	}
+	return res, nil
+}
+
+func executeGrid(ctx context.Context, spec *JobSpec, parallel int) (any, error) {
+	r := &harness.Runner{Fuel: spec.Fuel, Parallel: parallel, ChunkSize: spec.Chunk}
+	return r.Document(ctx)
+}

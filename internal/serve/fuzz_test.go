@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzJobSpec drives the job-submission decoder and validator with
+// arbitrary bytes. The contract under fuzz: never panic, and reject every
+// malformed spec with a typed *SpecError — the HTTP layer depends on that
+// type to map failures to 400s.
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		// The documented happy paths.
+		`{"kind":"compile","source":"int main(){return 0;}"}`,
+		`{"kind":"compile","source":"int main(){return 0;}","opt":"O2"}`,
+		`{"schema":"elag-serve/v1","kind":"simulate","source":"int main(){return 0;}",` +
+			`"configs":[{"name":"base"},{"name":"compiler","table":256,"regs":1}],` +
+			`"fuel":100000,"chunk":4096,"deadline_ms":30000}`,
+		`{"kind":"simulate","workload":"023.eqntott","configs":[{"name":"hw-dual"}],"fuel":500000}`,
+		`{"kind":"grid","fuel":250000}`,
+		// Shapes that must be rejected, not crash.
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`"compile"`,
+		`{"kind":123}`,
+		`{"kind":"compile","source":null}`,
+		`{"kind":"simulate","configs":[{}],"fuel":1}`,
+		`{"kind":"simulate","configs":"base","fuel":1}`,
+		`{"kind":"grid","fuel":-5}`,
+		`{"kind":"grid","fuel":1e30}`,
+		`{"kind":"compile","source":"x"}{"kind":"grid"}`,
+		`{"schema":"elag-serve/v2","kind":"grid","fuel":1}`,
+		`{"kind":"simulate","source":"x","workload":"y","configs":[{"name":"base"}],"fuel":1}`,
+		"{\"kind\":\"compile\",\"source\":\" \xff\"}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lim := DefaultLimits()
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := DecodeSpec(strings.NewReader(body))
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("DecodeSpec(%.80q) returned untyped error %T: %v", body, err, err)
+			}
+			return
+		}
+		if err := spec.Validate(lim); err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate(%.80q) returned untyped error %T: %v", body, err, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"elag"
+	"elag/internal/chaosinject"
+)
+
+// Job is one admitted job: its spec, its cancellable context, and its
+// terminal outcome. A Job moves queued → running → {done, failed,
+// canceled}; Done() closes exactly once at the terminal transition.
+type Job struct {
+	// ID is the server-assigned handle ("job-000042").
+	ID string
+	// Spec is the validated submission.
+	Spec *JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  string
+	result any
+	jobErr *JobError
+	done   chan struct{}
+}
+
+func newJob(id string, spec *JobSpec, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		ID: id, Spec: spec,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation: the job's context is cancelled (a running
+// job aborts within one trace chunk) and, if it was still queued, it goes
+// terminal immediately so the worker that later dequeues it skips it.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.jobErr = &JobError{Kind: ErrKindCanceled, Message: "canceled while queued"}
+		close(j.done)
+	}
+}
+
+// start moves a queued job to running, returning false if it already went
+// terminal (cancelled while queued).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// finish records the job's terminal outcome. Idempotent: only the first
+// call wins (a worker dying mid-finish cannot double-close done).
+func (j *Job) finish(result any, jerr *JobError) {
+	j.cancel() // release the deadline timer
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	switch {
+	case jerr == nil:
+		j.state, j.result = StateDone, result
+	case jerr.Kind == ErrKindCanceled:
+		j.state, j.jobErr = StateCanceled, jerr
+	default:
+		j.state, j.jobErr = StateFailed, jerr
+	}
+	close(j.done)
+}
+
+// Status snapshots the job as its wire document.
+func (j *Job) Status() *StatusDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &StatusDoc{
+		Schema: Schema,
+		ID:     j.ID,
+		Kind:   j.Spec.Kind,
+		State:  j.state,
+		Error:  j.jobErr,
+		Result: j.result,
+	}
+}
+
+// classifyErr maps an execution error to its wire-visible JobError.
+func classifyErr(err error) *JobError {
+	var spec *SpecError
+	var fault *elag.Fault
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &JobError{Kind: ErrKindDeadline, Message: "job deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return &JobError{Kind: ErrKindCanceled, Message: "job canceled"}
+	case errors.As(err, &spec):
+		return &JobError{Kind: ErrKindInvalid, Message: spec.Error()}
+	case errors.As(err, &fault):
+		return &JobError{Kind: ErrKindFault, Message: err.Error()}
+	default:
+		return &JobError{Kind: ErrKindInternal, Message: err.Error()}
+	}
+}
+
+// pool runs admitted jobs on a fixed number of workers. Each job executes
+// under a recover barrier: a panicking job goes terminal with a typed
+// JobError carrying the stack, the panicking worker goroutine exits, and
+// the pool starts a replacement — the process never dies for a job, and
+// the worker count never decays.
+type pool struct {
+	jobs         chan *Job
+	gridParallel int
+	wg           sync.WaitGroup
+	stats        *Stats
+}
+
+// newPool starts workers goroutines draining queue. gridParallel is the
+// harness parallelism grid jobs run with (each grid job fans its
+// benchmarks over that many goroutines of its own).
+func newPool(workers, gridParallel int, queue chan *Job, stats *Stats) *pool {
+	p := &pool{jobs: queue, gridParallel: gridParallel, stats: stats}
+	for i := 0; i < workers; i++ {
+		p.startWorker()
+	}
+	return p
+}
+
+// startWorker launches one worker goroutine. The wg.Add happens before the
+// dying worker's wg.Done when called from the panic path, so Wait never
+// observes a transient zero while a replacement is coming up.
+func (p *pool) startWorker() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	var cur *Job
+	defer func() {
+		if r := recover(); r != nil {
+			// The job dies with the evidence; the service does not. The
+			// replacement starts before this goroutine counts itself out
+			// so drain's Wait never sees the pool empty early.
+			if cur != nil {
+				cur.finish(nil, &JobError{
+					Kind:    ErrKindPanic,
+					Message: fmt.Sprint(r),
+					Stack:   string(debug.Stack()),
+				})
+			}
+			p.stats.PanicsRecovered.Add(1)
+			p.stats.WorkersReplaced.Add(1)
+			p.startWorker()
+		}
+		p.wg.Done()
+	}()
+	for j := range p.jobs {
+		cur = j
+		p.runOne(j)
+		cur = nil
+	}
+}
+
+// runOne executes one dequeued job to a terminal state. Runs on the worker
+// goroutine, inside its recover barrier.
+func (p *pool) runOne(j *Job) {
+	if !j.start() {
+		// Cancelled while queued; it went terminal without running.
+		p.stats.JobsCanceled.Add(1)
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		p.fail(j, err)
+		return
+	}
+	// Chaos: an injected worker crash surfaces exactly where a real
+	// simulation-kernel bug would — after dequeue, before results exist.
+	chaosinject.MaybePanic("worker")
+	result, err := execute(j.ctx, j.Spec, p.gridParallel)
+	if err != nil {
+		p.fail(j, err)
+		return
+	}
+	j.finish(result, nil)
+	p.stats.JobsDone.Add(1)
+}
+
+// fail moves j to its terminal failure state and counts it.
+func (p *pool) fail(j *Job, err error) {
+	jerr := classifyErr(err)
+	j.finish(nil, jerr)
+	if jerr.Kind == ErrKindCanceled {
+		p.stats.JobsCanceled.Add(1)
+	} else {
+		p.stats.JobsFailed.Add(1)
+	}
+}
+
+// wait blocks until every worker has exited (the queue must be closed
+// first).
+func (p *pool) wait() { p.wg.Wait() }

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"elag/internal/chaosinject"
+	"elag/internal/obs"
+)
+
+// Extra JobError kinds produced by admission and lookup (the execution
+// kinds live in job.go).
+const (
+	// ErrKindOverload — the job queue is full; retry after backoff.
+	ErrKindOverload = "overload"
+	// ErrKindDraining — the server is shutting down and admits nothing.
+	ErrKindDraining = "draining"
+	// ErrKindNotFound — no such job ID.
+	ErrKindNotFound = "not-found"
+)
+
+// Drain policies (Options.DrainPolicy).
+const (
+	// DrainWait finishes queued and running jobs before exiting.
+	DrainWait = "wait"
+	// DrainCancel cancels queued and running jobs; each aborts within one
+	// trace chunk.
+	DrainCancel = "cancel"
+)
+
+// Options configures a Server. Zero fields take the documented defaults.
+type Options struct {
+	// Workers is the job worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; a full queue rejects submissions
+	// with 429 + Retry-After (default 64).
+	QueueDepth int
+	// GridParallel is the harness parallelism each grid job runs with
+	// (default 1: grid jobs are already whole-suite batches, so the pool,
+	// not the job, is the unit of parallelism).
+	GridParallel int
+	// Limits are the per-job admission budgets (default DefaultLimits).
+	Limits Limits
+	// DrainPolicy picks what Drain does with in-flight jobs: DrainWait
+	// (default) or DrainCancel.
+	DrainPolicy string
+}
+
+// Server is the elag-serve core: a bounded job queue feeding a
+// panic-isolated worker pool, plus the HTTP surface and drain machinery.
+// Create with New, mount Handler, and call Drain exactly once to stop.
+type Server struct {
+	opts Options
+
+	// baseCtx parents every job context; baseStop cancels them all (the
+	// DrainCancel policy and the drain-timeout hammer).
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	// admitMu orders enqueue against queue close: admission holds it
+	// shared around the draining check + send, Drain holds it exclusive
+	// while flipping draining and closing the queue. No send can race the
+	// close.
+	admitMu  sync.RWMutex
+	draining bool
+	queue    chan *Job
+
+	pool *pool
+
+	regMu  sync.Mutex
+	reg    map[string]*Job
+	nextID int64
+
+	stats Stats
+}
+
+// New builds the server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.GridParallel <= 0 {
+		opts.GridParallel = 1
+	}
+	if opts.Limits == (Limits{}) {
+		opts.Limits = DefaultLimits()
+	}
+	if opts.DrainPolicy == "" {
+		opts.DrainPolicy = DrainWait
+	}
+	s := &Server{
+		opts:  opts,
+		queue: make(chan *Job, opts.QueueDepth),
+		reg:   map[string]*Job{},
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	s.pool = newPool(opts.Workers, opts.GridParallel, s.queue, &s.stats)
+	return s
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() *obs.ServeStatsDoc { return s.stats.Doc() }
+
+// Draining reports whether Drain has started (readiness is its inverse).
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// Submit admits spec as a new job: validates it against the budgets,
+// reserves a queue slot, and registers the job. The returned *JobError is
+// nil on success; its Kind distinguishes invalid specs, overload, and
+// draining for the HTTP layer's status mapping.
+func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
+	if err := spec.Validate(s.opts.Limits); err != nil {
+		s.stats.RejectedInvalid.Add(1)
+		return nil, &JobError{Kind: ErrKindInvalid, Message: err.Error()}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, spec.Deadline(s.opts.Limits))
+	s.regMu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.regMu.Unlock()
+	j := newJob(id, spec, ctx, cancel)
+
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		cancel()
+		s.stats.RejectedDraining.Add(1)
+		return nil, &JobError{Kind: ErrKindDraining, Message: "server is draining"}
+	}
+	if chaosinject.QueueSaturated() {
+		cancel()
+		s.stats.RejectedQueueFull.Add(1)
+		return nil, &JobError{Kind: ErrKindOverload, Message: "job queue is full (chaos: queue-saturate)"}
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.stats.RejectedQueueFull.Add(1)
+		return nil, &JobError{Kind: ErrKindOverload,
+			Message: fmt.Sprintf("job queue is full (%d queued)", s.opts.QueueDepth)}
+	}
+	s.regMu.Lock()
+	s.reg[id] = j
+	s.regMu.Unlock()
+	s.stats.JobsAccepted.Add(1)
+	return j, nil
+}
+
+// Lookup returns the job with the given ID, or nil.
+func (s *Server) Lookup(id string) *Job {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	return s.reg[id]
+}
+
+// Drain shuts the server down gracefully: admission stops (readyz goes
+// 503, POST returns 503), the queue is closed, and in-flight jobs either
+// finish (DrainWait) or are cancelled (DrainCancel). If the pool has not
+// emptied after timeout, every remaining job is cancelled regardless of
+// policy — cancellation lands within one trace chunk, so the second wait
+// is bounded. Returns the final counters for the stats flush. Safe to
+// call once; later calls return the counters without re-draining.
+func (s *Server) Drain(timeout time.Duration) *obs.ServeStatsDoc {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		return s.stats.Doc()
+	}
+	s.draining = true
+	close(s.queue)
+	s.admitMu.Unlock()
+
+	if s.opts.DrainPolicy == DrainCancel {
+		s.baseStop()
+	}
+	done := make(chan struct{})
+	go func() { s.pool.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.baseStop()
+		<-done
+	}
+	s.baseStop() // release the base context either way
+	return s.stats.Doc()
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST   /v1/jobs        submit (?wait=1 blocks until terminal; client
+//	                       disconnect cancels the job)
+//	GET    /v1/jobs/{id}   job status document
+//	DELETE /v1/jobs/{id}   cancel
+//	GET    /v1/stats       service counters (elag-serve-stats/v1)
+//	GET    /healthz        liveness: 200 while the process serves at all
+//	GET    /readyz         readiness: 200, or 503 once draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := DecodeSpec(r.Body)
+	if err != nil {
+		s.stats.RejectedInvalid.Add(1)
+		writeError(w, http.StatusBadRequest, &JobError{Kind: ErrKindInvalid, Message: err.Error()})
+		return
+	}
+	j, jerr := s.Submit(spec)
+	if jerr != nil {
+		writeError(w, statusFor(jerr.Kind), jerr)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		// Tie the job to the request: a client that hangs up takes its
+		// job with it (within one trace chunk).
+		stop := context.AfterFunc(r.Context(), j.Cancel)
+		defer stop()
+		<-j.Done()
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.Lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound,
+			&JobError{Kind: ErrKindNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.Lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound,
+			&JobError{Kind: ErrKindNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteServeStatsJSON(w, s.stats.Doc())
+}
+
+// statusFor maps an admission JobError kind to its HTTP status.
+func statusFor(kind string) int {
+	switch kind {
+	case ErrKindInvalid:
+		return http.StatusBadRequest
+	case ErrKindOverload:
+		return http.StatusTooManyRequests
+	case ErrKindDraining:
+		return http.StatusServiceUnavailable
+	case ErrKindNotFound:
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func writeError(w http.ResponseWriter, status int, jerr *JobError) {
+	if status == http.StatusTooManyRequests {
+		// Backpressure contract: a full queue is transient by
+		// construction (workers are draining it); tell clients when to
+		// come back instead of letting them hammer.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, &ErrorDoc{Schema: Schema, Error: jerr})
+}

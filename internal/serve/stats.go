@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"elag/internal/obs"
+)
+
+// Stats holds the service's lifetime counters. All fields are atomics so
+// admission, workers, and the stats endpoint never contend on a lock.
+type Stats struct {
+	JobsAccepted      atomic.Int64
+	RejectedInvalid   atomic.Int64
+	RejectedQueueFull atomic.Int64
+	RejectedDraining  atomic.Int64
+
+	JobsDone     atomic.Int64
+	JobsFailed   atomic.Int64
+	JobsCanceled atomic.Int64
+
+	PanicsRecovered atomic.Int64
+	WorkersReplaced atomic.Int64
+}
+
+// Doc snapshots the counters as the schema-versioned document flushed on
+// drain and served at /v1/stats.
+func (s *Stats) Doc() *obs.ServeStatsDoc {
+	return &obs.ServeStatsDoc{
+		Schema:            obs.ServeStatsSchema,
+		JobsAccepted:      s.JobsAccepted.Load(),
+		RejectedInvalid:   s.RejectedInvalid.Load(),
+		RejectedQueueFull: s.RejectedQueueFull.Load(),
+		RejectedDraining:  s.RejectedDraining.Load(),
+		JobsDone:          s.JobsDone.Load(),
+		JobsFailed:        s.JobsFailed.Load(),
+		JobsCanceled:      s.JobsCanceled.Load(),
+		PanicsRecovered:   s.PanicsRecovered.Load(),
+		WorkersReplaced:   s.WorkersReplaced.Load(),
+	}
+}

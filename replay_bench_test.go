@@ -22,7 +22,7 @@ func replayLabs(b *testing.B) []*harness.Lab {
 	var labs []*harness.Lab
 	for _, w := range workload.BySuite(workload.SPEC) {
 		r := &harness.Runner{Fuel: replayFuel}
-		l, err := r.Lab(w)
+		l, err := r.Lab(ctx, w)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +49,7 @@ func BenchmarkReplayTable2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, l := range labs {
-			if _, err := l.Simulate(harness.CompilerDual(), l.HeurFlavors); err != nil {
+			if _, err := l.Simulate(ctx, harness.CompilerDual(), l.HeurFlavors); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -122,7 +122,7 @@ func BenchmarkReplayBase(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, l := range labs {
-			if _, err := l.Simulate(elag.BaseConfig(), nil); err != nil {
+			if _, err := l.Simulate(ctx, elag.BaseConfig(), nil); err != nil {
 				b.Fatal(err)
 			}
 		}
