@@ -29,6 +29,19 @@
 //	              wall time + per-pass breakdown; "-" for stdout)
 //	-reps N       repetitions per workload for -compilebench, reporting the
 //	              fastest (default 5)
+//
+// Perf-regression gate:
+//
+//	elag-bench -diff old.json new.json
+//
+// compares two bench documents of the same schema (elag-replaybench/v2 or
+// elag-compilebench/v1) entry by entry and exits nonzero when any metric
+// regressed by more than -diff-threshold (default 0.15 = 15%). Throughput
+// metrics are polarity-aware: minst_per_sec going DOWN is the regression.
+// CI runs this against the checked-in BENCH_replay.json / BENCH_compile.json
+// baselines. Replay documents must agree on fuel — per-op costs from
+// different budgets are not comparable, and the diff refuses to pretend
+// they are.
 package main
 
 import (
@@ -53,8 +66,29 @@ func main() {
 	compilePath := flag.String("compilebench", "", `run the compile benchmark, write JSON to this file ("-" = stdout)`)
 	reps := flag.Int("reps", 5, "repetitions per workload for -compilebench (fastest wins)")
 	noBatch := flag.Bool("nobatch", false, "replay each grid cell in its own pass (disables batched replay)")
+	diff := flag.Bool("diff", false, "compare two bench JSON documents: elag-bench -diff old.json new.json")
+	diffThreshold := flag.Float64("diff-threshold", 0.15, "relative regression bound for -diff (0.15 = 15%)")
 	perf := cli.PerfFlags()
 	flag.Parse()
+
+	if *diff {
+		// The diff gate never runs benchmarks: it only reads the two
+		// documents, so it exits before the perf harness spins up.
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "elag-bench: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		rep, err := harness.BenchDiffFiles(flag.Arg(0), flag.Arg(1), *diffThreshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elag-bench: -diff: %v\n", err)
+			os.Exit(2)
+		}
+		if harness.WriteDiffReport(os.Stdout, rep) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	perf.Start("elag-bench")
 	defer perf.Stop()
 	ctx := perf.Context()

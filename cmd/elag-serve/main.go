@@ -8,6 +8,10 @@
 //	elag-serve [flags]
 //
 //	-addr host:port     listen address (default :8723)
+//	-debug-addr host:port  optional second listener exposing net/http/pprof
+//	                    (profiles, heaps, goroutine dumps). Never exposed on
+//	                    the public -addr port: bind it to localhost or an
+//	                    internal interface only.
 //	-workers N          job worker pool size (default GOMAXPROCS)
 //	-queue N            job queue depth; a full queue answers 429 with
 //	                    Retry-After (default 64)
@@ -19,16 +23,19 @@
 //	                    whatever is still running (default 30s)
 //	-drain-policy P     wait (finish in-flight jobs) | cancel (abort them);
 //	                    default wait
-//	-stats file         write the elag-serve-stats/v1 counters here on
+//	-stats file         write the elag-serve-stats/v2 counters here on
 //	                    drain ("-" for stderr)
+//	-log-level L        structured-log level: debug | info | warn | error
+//	                    (default info); logs go to stderr as text
 //	-chaos spec         arm fault injection (tests/drills only), e.g.
 //	                    "panic-every=3,slow-chunk=5ms,queue-saturate"
 //
-// The API is schema-versioned as elag-serve/v1; see DESIGN.md §13 and the
-// README's "Running as a service" section for the endpoint reference and a
-// curl quickstart. SIGTERM/SIGINT starts a graceful drain: /readyz flips
-// to 503, admission stops, in-flight jobs finish or cancel per
-// -drain-policy, and the stats document is flushed.
+// The API is schema-versioned as elag-serve/v1; see DESIGN.md §13-14 and
+// the README's "Running as a service" / "Monitoring" sections for the
+// endpoint reference, the /metrics + /v1/jobs/{id}/events telemetry
+// surfaces, and a curl quickstart. SIGTERM/SIGINT starts a graceful drain:
+// /readyz flips to 503, admission stops, in-flight jobs finish or cancel
+// per -drain-policy, and the stats document is flushed.
 package main
 
 import (
@@ -36,7 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +58,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8723", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional pprof listener (keep off the public network)")
 	workers := flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 0, "job queue depth (0 = default 64)")
 	gridParallel := flag.Int("grid-parallel", 1, "harness parallelism inside each grid job")
@@ -58,8 +68,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain grace before force-cancel")
 	drainPolicy := flag.String("drain-policy", serve.DrainWait, "wait | cancel")
 	statsPath := flag.String("stats", "", `write drain-time service counters to this file ("-" = stderr)`)
+	logLevel := flag.String("log-level", "info", "debug | info | warn | error")
 	chaos := flag.String("chaos", "", "arm chaos fault injection, e.g. panic-every=3,slow-chunk=5ms")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "elag-serve: -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *drainPolicy != serve.DrainWait && *drainPolicy != serve.DrainCancel {
 		fmt.Fprintf(os.Stderr, "elag-serve: -drain-policy %q (want %s or %s)\n",
@@ -71,7 +89,7 @@ func main() {
 		os.Exit(2)
 	}
 	if chaosinject.Enabled() {
-		fmt.Fprintf(os.Stderr, "elag-serve: CHAOS ARMED (%s) — not for production traffic\n", *chaos)
+		log.Warn("CHAOS ARMED — not for production traffic", "spec", *chaos)
 	}
 
 	lim := serve.DefaultLimits()
@@ -90,24 +108,45 @@ func main() {
 		GridParallel: *gridParallel,
 		Limits:       lim,
 		DrainPolicy:  *drainPolicy,
+		Log:          log,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: core.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "elag-serve: listening on %s (workers=%d queue=%d policy=%s)\n",
-			*addr, *workers, *queueDepth, *drainPolicy)
+		log.Info("listening", "addr", *addr, "workers", *workers,
+			"queue", *queueDepth, "policy", *drainPolicy)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	// The debug listener is a second, separate server: pprof handlers are
+	// registered on a fresh mux (never DefaultServeMux, never the public
+	// mux), so profiling and heap dumps are reachable only via -debug-addr.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			log.Info("debug listener up (pprof)", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "elag-serve: %s: draining (policy=%s, grace=%s)\n",
-			sig, *drainPolicy, *drainTimeout)
+		log.Info("signal received; draining", "signal", sig.String(),
+			"policy", *drainPolicy, "grace", *drainTimeout)
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "elag-serve: %v\n", err)
+		log.Error("listener failed", "error", err)
 		os.Exit(1)
 	}
 
@@ -118,7 +157,10 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "elag-serve: shutdown: %v\n", err)
+		log.Error("shutdown", "error", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 
 	if *statsPath != "" {
@@ -126,17 +168,17 @@ func main() {
 		if *statsPath != "-" {
 			f, err := os.Create(*statsPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "elag-serve: stats: %v\n", err)
+				log.Error("stats flush", "error", err)
 				os.Exit(1)
 			}
 			defer f.Close()
 			out = f
 		}
 		if err := obs.WriteServeStatsJSON(out, doc); err != nil {
-			fmt.Fprintf(os.Stderr, "elag-serve: stats: %v\n", err)
+			log.Error("stats flush", "error", err)
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "elag-serve: drained (done=%d failed=%d canceled=%d panics=%d)\n",
-		doc.JobsDone, doc.JobsFailed, doc.JobsCanceled, doc.PanicsRecovered)
+	log.Info("drained", "done", doc.JobsDone, "failed", doc.JobsFailed,
+		"canceled", doc.JobsCanceled, "panics", doc.PanicsRecovered)
 }

@@ -1,0 +1,177 @@
+// elag-top is a terminal dashboard for a running elag-serve: it polls the
+// service's /metrics (Prometheus text) and /v1/stats (elag-serve-stats/v2)
+// endpoints and renders a live table of queue pressure, worker utilization,
+// job outcomes, and simulation throughput. Rates (jobs/s, Minst/s) are
+// derived client-side from successive scrapes — the server only ever
+// exports monotonic counters.
+//
+// Usage:
+//
+//	elag-top [flags]
+//
+//	-addr URL       base URL of the service (default http://localhost:8723)
+//	-interval DUR   scrape interval (default 2s)
+//	-n N            exit after N scrapes (0 = run until interrupted)
+//	-no-clear       append frames instead of redrawing in place (for logs
+//	                and non-ANSI terminals)
+//
+// A scrape failure renders as an error line and the poll continues: a
+// draining or restarting server shows up as a gap, not a crash of the
+// dashboard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"elag/internal/obs"
+	"elag/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8723", "base URL of the elag-serve instance")
+	interval := flag.Duration("interval", 2*time.Second, "scrape interval")
+	count := flag.Int("n", 0, "exit after this many scrapes (0 = until interrupted)")
+	noClear := flag.Bool("no-clear", false, "append frames instead of redrawing in place")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	var prev map[string]float64
+	var prevAt time.Time
+	scrapes := 0
+	for {
+		now := time.Now()
+		cur, stats, err := scrape(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elag-top: %v\n", err)
+		} else {
+			if !*noClear {
+				fmt.Print("\x1b[H\x1b[2J") // home + clear: redraw in place
+			}
+			render(os.Stdout, base, cur, stats, prev, now.Sub(prevAt))
+			prev, prevAt = cur, now
+		}
+		scrapes++
+		if *count > 0 && scrapes >= *count {
+			return
+		}
+		select {
+		case <-time.After(*interval):
+		case <-sigc:
+			return
+		}
+	}
+}
+
+// scrape pulls both telemetry surfaces. The stats document is optional
+// garnish (uptime, chaos state); the metric map is the table's substance.
+func scrape(client *http.Client, base string) (map[string]float64, *obs.ServeStatsDoc, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	m, err := telemetry.ParseProm(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse /metrics: %w", err)
+	}
+
+	var doc obs.ServeStatsDoc
+	sresp, err := client.Get(base + "/v1/stats")
+	if err == nil {
+		defer sresp.Body.Close()
+		if sresp.StatusCode == http.StatusOK {
+			if derr := json.NewDecoder(sresp.Body).Decode(&doc); derr == nil {
+				return m, &doc, nil
+			}
+		}
+	}
+	return m, nil, nil
+}
+
+// rate converts a counter delta between scrapes into a per-second rate;
+// counter resets (server restart) clamp to 0 instead of going negative.
+func rate(cur, prev map[string]float64, key string, dt time.Duration) float64 {
+	if prev == nil || dt <= 0 {
+		return 0
+	}
+	d := cur[key] - prev[key]
+	if d < 0 {
+		return 0
+	}
+	return d / dt.Seconds()
+}
+
+func render(w *os.File, base string, m map[string]float64, stats *obs.ServeStatsDoc, prev map[string]float64, dt time.Duration) {
+	fmt.Fprintf(w, "elag-top  %s  %s\n", base, time.Now().Format("15:04:05"))
+	if stats != nil {
+		chaos := ""
+		if stats.ChaosArmed {
+			chaos = "  CHAOS ARMED: " + stats.Chaos
+		}
+		fmt.Fprintf(w, "uptime %s  schema %s%s\n",
+			(time.Duration(stats.UptimeSeconds * float64(time.Second))).Round(time.Second),
+			stats.Schema, chaos)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "  queue    %3.0f / %-3.0f    workers %2.0f busy / %-2.0f    in-flight %3.0f\n",
+		m["elag_queue_depth"], m["elag_queue_capacity"],
+		m["elag_workers_busy"], m["elag_workers"], m["elag_jobs_in_flight"])
+	fmt.Fprintf(w, "  admitted %-8.0f rejected %-6.0f panics %-4.0f workers replaced %.0f\n",
+		m["elag_jobs_admitted_total"], sumPrefix(m, `elag_jobs_rejected_total{`),
+		m["elag_panics_recovered_total"], m["elag_workers_replaced_total"])
+	fmt.Fprintf(w, "  jobs/s   %-8.2f Minst/s %-8.1f chunks/s %-8.1f cpu %.1fs\n",
+		rate(m, prev, "elag_jobs_admitted_total", dt),
+		rate(m, prev, "elag_insts_total", dt)/1e6,
+		rate(m, prev, "elag_chunks_total", dt),
+		m["elag_process_cpu_seconds_total"])
+	hits, misses := m["elag_lab_cache_hits_total"], m["elag_lab_cache_misses_total"]
+	if hits+misses > 0 {
+		fmt.Fprintf(w, "  lab cache %.0f hit / %.0f miss (%.0f%%)\n", hits, misses, 100*hits/(hits+misses))
+	}
+	fmt.Fprintln(w)
+
+	// Per-(kind, outcome) completion counters, sorted for a stable layout.
+	var rows []string
+	for k := range m {
+		if strings.HasPrefix(k, `elag_jobs_completed_total{`) && m[k] > 0 {
+			rows = append(rows, k)
+		}
+	}
+	sort.Strings(rows)
+	if len(rows) > 0 {
+		fmt.Fprintln(w, "  completed")
+		for _, k := range rows {
+			labels := strings.TrimSuffix(strings.TrimPrefix(k, `elag_jobs_completed_total{`), `}`)
+			fmt.Fprintf(w, "    %-44s %8.0f\n", labels, m[k])
+		}
+	}
+}
+
+// sumPrefix totals every series of one family (e.g. all rejected reasons).
+func sumPrefix(m map[string]float64, prefix string) float64 {
+	var s float64
+	for k, v := range m {
+		if strings.HasPrefix(k, prefix) {
+			s += v
+		}
+	}
+	return s
+}

@@ -455,6 +455,17 @@ func (p *Program) SimulateBatchContext(ctx context.Context, specs []BatchSpec, f
 	return pipeline.BatchReplayContext(ctx, p.Machine, fuel, chunkSize, specs)
 }
 
+// SimulateBatchObservedContext is SimulateBatchContext with a
+// chunk-boundary progress hook: onChunk (may be nil) is called after each
+// replayed chunk with the cumulative entry count and the chunk's size.
+// The hook runs strictly between chunks and never touches simulator
+// state, so results are byte-identical with or without it — it exists for
+// live progress reporting (elag-serve's job event streams), not for
+// measurement.
+func (p *Program) SimulateBatchObservedContext(ctx context.Context, specs []BatchSpec, fuel int64, chunkSize int, onChunk func(done int64, n int)) ([]*Metrics, RunResult, error) {
+	return pipeline.BatchReplayObservedContext(ctx, p.Machine, fuel, chunkSize, specs, onChunk)
+}
+
 // ObserveOptions configures SimulateObserved. The zero value observes
 // nothing (equivalent to Simulate).
 type ObserveOptions struct {

@@ -45,6 +45,7 @@ var (
 	panicCalls  atomic.Int64 // MaybePanic call counter
 	slowChunkNs atomic.Int64 // per-chunk sleep in nanoseconds (0 = off)
 	queueSat    atomic.Bool  // report the queue as full at admission
+	armedSpec   atomic.Value // string: the spec Parse armed ("" = none)
 )
 
 // Parse arms the faults named by spec (see the package comment for the
@@ -79,11 +80,23 @@ func Parse(spec string) error {
 		}
 	}
 	armed.Store(true)
+	armedSpec.Store(spec)
 	return nil
 }
 
 // Enabled reports whether any fault is armed.
 func Enabled() bool { return armed.Load() }
+
+// Spec returns the fault spec Parse armed, or "" when nothing is armed —
+// so operational surfaces (/v1/stats, /metrics) can say WHICH faults a
+// chaos drill is running, not just that one is.
+func Spec() string {
+	if !armed.Load() {
+		return ""
+	}
+	s, _ := armedSpec.Load().(string)
+	return s
+}
 
 // Reset disarms every fault and zeroes the counters. For tests.
 func Reset() {
@@ -92,6 +105,7 @@ func Reset() {
 	panicCalls.Store(0)
 	slowChunkNs.Store(0)
 	queueSat.Store(false)
+	armedSpec.Store("")
 }
 
 // MaybePanic panics with a Panic value when panic-every=N is armed and

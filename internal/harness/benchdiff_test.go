@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func replayDoc(t *testing.T, fuel int64, results ...ReplayBenchResult) []byte {
+	t.Helper()
+	raw, err := json.Marshal(&ReplayBenchDoc{Schema: ReplayBenchSchema, Fuel: fuel, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func compileDoc(t *testing.T, results ...CompileBenchResult) []byte {
+	t.Helper()
+	raw, err := json.Marshal(&CompileBenchDoc{Schema: CompileBenchSchema, Reps: 5, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestBenchDiffReplayCleanAndRegressed(t *testing.T) {
+	base := replayDoc(t, 2_000_000,
+		ReplayBenchResult{Name: "replay-base", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 4096, MInstPerSec: 50, PeakBytes: 1 << 20},
+		ReplayBenchResult{Name: "stream-table2", NsPerOp: 2000, AllocsPerOp: 20, BytesPerOp: 8192, MInstPerSec: 25, PeakBytes: 2 << 20},
+	)
+
+	// Within threshold: +10% ns_per_op passes at 15%.
+	ok := replayDoc(t, 2_000_000,
+		ReplayBenchResult{Name: "replay-base", NsPerOp: 1100, AllocsPerOp: 10, BytesPerOp: 4096, MInstPerSec: 50, PeakBytes: 1 << 20},
+		ReplayBenchResult{Name: "stream-table2", NsPerOp: 2000, AllocsPerOp: 20, BytesPerOp: 8192, MInstPerSec: 25, PeakBytes: 2 << 20},
+	)
+	rep, err := BenchDiff(base, ok, "old", "new", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Regressions()); n != 0 {
+		t.Errorf("clean diff reported %d regressions: %+v", n, rep.Regressions())
+	}
+
+	// Throughput DROP is the regression for minst_per_sec even though the
+	// number got smaller, and a 20% ns_per_op hike trips the 15% gate.
+	bad := replayDoc(t, 2_000_000,
+		ReplayBenchResult{Name: "replay-base", NsPerOp: 1200, AllocsPerOp: 10, BytesPerOp: 4096, MInstPerSec: 50, PeakBytes: 1 << 20},
+		ReplayBenchResult{Name: "stream-table2", NsPerOp: 2000, AllocsPerOp: 20, BytesPerOp: 8192, MInstPerSec: 18, PeakBytes: 2 << 20},
+	)
+	rep, err = BenchDiff(base, bad, "old", "new", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressed entries, got %d: %+v", len(regs), regs)
+	}
+	var sawThroughput bool
+	for _, m := range regs[1].Metrics {
+		if m.Name == "minst_per_sec" && m.Regressed {
+			sawThroughput = true
+		}
+		if m.Name == "ns_per_op" && m.Regressed {
+			t.Errorf("stream-table2 ns_per_op flagged with no change")
+		}
+	}
+	if !sawThroughput {
+		t.Errorf("throughput drop not flagged: %+v", regs[1].Metrics)
+	}
+
+	var sb strings.Builder
+	if n := WriteDiffReport(&sb, rep); n != 2 {
+		t.Errorf("WriteDiffReport returned %d, want 2", n)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("report missing REGRESSED flag:\n%s", sb.String())
+	}
+}
+
+func TestBenchDiffImprovementPasses(t *testing.T) {
+	base := replayDoc(t, 1000, ReplayBenchResult{Name: "a", NsPerOp: 1000, MInstPerSec: 10})
+	// Faster AND higher throughput: large negative deltas must not trip
+	// the gate (the regression direction is one-sided).
+	better := replayDoc(t, 1000, ReplayBenchResult{Name: "a", NsPerOp: 500, MInstPerSec: 40})
+	rep, err := BenchDiff(base, better, "old", "new", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Regressions()); n != 0 {
+		t.Errorf("improvement reported as %d regressions", n)
+	}
+}
+
+func TestBenchDiffMissingEntry(t *testing.T) {
+	base := replayDoc(t, 1000,
+		ReplayBenchResult{Name: "a", NsPerOp: 1},
+		ReplayBenchResult{Name: "b", NsPerOp: 1})
+	cand := replayDoc(t, 1000,
+		ReplayBenchResult{Name: "a", NsPerOp: 1},
+		ReplayBenchResult{Name: "c", NsPerOp: 1})
+	rep, err := BenchDiff(base, cand, "old", "new", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("want 2 structural regressions (b, c), got %+v", regs)
+	}
+	if regs[0].Name != "b" || regs[0].Missing != "candidate" {
+		t.Errorf("missing-from-candidate entry: %+v", regs[0])
+	}
+	if regs[1].Name != "c" || regs[1].Missing != "baseline" {
+		t.Errorf("missing-from-baseline entry: %+v", regs[1])
+	}
+}
+
+func TestBenchDiffFuelMismatch(t *testing.T) {
+	a := replayDoc(t, 2_000_000, ReplayBenchResult{Name: "a"})
+	b := replayDoc(t, 500_000, ReplayBenchResult{Name: "a"})
+	if _, err := BenchDiff(a, b, "old", "new", 0.15); err == nil ||
+		!strings.Contains(err.Error(), "fuel mismatch") {
+		t.Errorf("fuel mismatch not rejected: %v", err)
+	}
+}
+
+func TestBenchDiffSchemaMismatch(t *testing.T) {
+	a := replayDoc(t, 1000, ReplayBenchResult{Name: "a"})
+	b := compileDoc(t, CompileBenchResult{Workload: "a"})
+	if _, err := BenchDiff(a, b, "old", "new", 0.15); err == nil ||
+		!strings.Contains(err.Error(), "schema mismatch") {
+		t.Errorf("schema mismatch not rejected: %v", err)
+	}
+	if _, err := BenchDiff([]byte(`{"no":"schema"}`), a, "old", "new", 0.15); err == nil {
+		t.Error("schemaless document not rejected")
+	}
+}
+
+func TestBenchDiffCompile(t *testing.T) {
+	base := compileDoc(t,
+		CompileBenchResult{Workload: "w1", WallNS: 1_000_000, PassWallNS: 800_000},
+		CompileBenchResult{Workload: "w2", WallNS: 2_000_000, PassWallNS: 1_500_000})
+	cand := compileDoc(t,
+		CompileBenchResult{Workload: "w1", WallNS: 1_050_000, PassWallNS: 820_000},
+		CompileBenchResult{Workload: "w2", WallNS: 3_000_000, PassWallNS: 1_500_000})
+	rep, err := BenchDiff(base, cand, "old", "new", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "w2" {
+		t.Fatalf("want w2 regressed, got %+v", regs)
+	}
+}

@@ -1,0 +1,34 @@
+package harness
+
+import "sync/atomic"
+
+// Counters aggregates the harness's work volume for an external metrics
+// layer (elag-serve's /metrics endpoint). All fields are atomics updated
+// from the replay hot path and the lab cache; a nil *Counters costs one
+// comparison per chunk and nothing else. The counters observe — they
+// never influence scheduling or results — so a grid run is byte-identical
+// with or without them.
+type Counters struct {
+	// LabHits / LabMisses count lab-cache lookups: a hit joins an
+	// existing (possibly still building, single-flight) lab, a miss
+	// builds one.
+	LabHits   atomic.Int64
+	LabMisses atomic.Int64
+
+	// Chunks / Insts count trace chunks and entries that went through the
+	// replay engine of every lab wired to these counters. Each chunk is
+	// counted once however many configurations replay it (batched replay
+	// shares the chunk), so Insts measures streamed architectural
+	// entries — the same unit as a simulate job's fuel.
+	Chunks atomic.Int64
+	Insts  atomic.Int64
+}
+
+// CountChunk records one replayed chunk of n entries. nil-safe.
+func (c *Counters) CountChunk(n int) {
+	if c == nil {
+		return
+	}
+	c.Chunks.Add(1)
+	c.Insts.Add(int64(n))
+}

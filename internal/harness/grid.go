@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"elag/internal/workload"
 )
@@ -26,6 +27,14 @@ import (
 // the pool never outlives the call, whether it ends by completion, by
 // first error, or by external cancellation.
 func (r *Runner) forEachLab(ctx context.Context, benches []*workload.Workload, fn func(ctx context.Context, i int, l *Lab) error) error {
+	// doneN feeds the Progress hook; it counts completed benchmark
+	// columns of THIS forEachLab call (each experiment restarts at 0).
+	var doneN atomic.Int64
+	progress := func(i int) {
+		if r.Progress != nil {
+			r.Progress(benches[i].Name, int(doneN.Add(1)), len(benches))
+		}
+	}
 	if r.workers() <= 1 || len(benches) <= 1 {
 		for i, w := range benches {
 			if err := ctx.Err(); err != nil {
@@ -38,6 +47,7 @@ func (r *Runner) forEachLab(ctx context.Context, benches []*workload.Workload, f
 			if err := fn(ctx, i, l); err != nil {
 				return err
 			}
+			progress(i)
 		}
 		return nil
 	}
@@ -83,7 +93,9 @@ func (r *Runner) forEachLab(ctx context.Context, benches []*workload.Workload, f
 					}
 					if err := fn(gctx, i, l); err != nil {
 						fail(err)
+						continue
 					}
+					progress(i)
 				}
 			}
 		}()

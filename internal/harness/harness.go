@@ -60,6 +60,15 @@ type Runner struct {
 	// Results are bit-identical with batching on or off; the switch exists
 	// for wall-time comparison and the determinism tests.
 	NoBatch bool
+	// Counters, when non-nil, receives work-volume telemetry (lab-cache
+	// hits/misses, replayed chunks and entries). Purely observational:
+	// results are byte-identical with or without it.
+	Counters *Counters
+	// Progress, when non-nil, is called after each benchmark column of a
+	// grid experiment completes, with the benchmark name and the
+	// done/total counts for that experiment. Called from grid worker
+	// goroutines; must be cheap and concurrency-safe.
+	Progress func(bench string, done, total int)
 
 	logMu sync.Mutex
 
@@ -135,9 +144,10 @@ type Lab struct {
 	Trace  *emu.Trace
 	EmuRes emu.Result
 
-	fuel    int64 // runner fuel, for streaming re-emulation
-	chunk   int   // streaming chunk size (0 = materialized)
-	noBatch bool  // per-cell sequential replay (Runner.NoBatch)
+	fuel     int64     // runner fuel, for streaming re-emulation
+	chunk    int       // streaming chunk size (0 = materialized)
+	noBatch  bool      // per-cell sequential replay (Runner.NoBatch)
+	counters *Counters // work telemetry (Runner.Counters; may be nil)
 
 	baseMu     sync.Mutex
 	baseDone   bool
@@ -181,8 +191,14 @@ func (r *Runner) labOnce(ctx context.Context, w *workload.Workload) (*Lab, error
 	if e, ok := r.labs[w.Name]; ok {
 		e.lastUse = r.labSeq
 		r.labMu.Unlock()
+		if r.Counters != nil {
+			r.Counters.LabHits.Add(1)
+		}
 		<-e.ready
 		return e.l, e.err
+	}
+	if r.Counters != nil {
+		r.Counters.LabMisses.Add(1)
 	}
 	e := &labEntry{ready: make(chan struct{}), lastUse: r.labSeq}
 	r.labs[w.Name] = e
@@ -233,7 +249,7 @@ func (r *Runner) buildLab(ctx context.Context, w *workload.Workload) (*Lab, erro
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	l := &Lab{W: w, Prog: p, Heur: p.Classes,
-		fuel: r.Fuel, chunk: r.ChunkSize, noBatch: r.NoBatch}
+		fuel: r.Fuel, chunk: r.ChunkSize, noBatch: r.NoBatch, counters: r.Counters}
 
 	lp, profRes, err := profile.CollectContext(ctx, p.Machine, r.Fuel)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
@@ -334,7 +350,11 @@ func (l *Lab) replayBatch(ctx context.Context, specs []pipeline.BatchSpec, attac
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		return pipeline.RunChunkBatch(sims, chunk)
+		if err := pipeline.RunChunkBatch(sims, chunk); err != nil {
+			return err
+		}
+		l.counters.CountChunk(chunk.Len())
+		return nil
 	}
 	if l.Trace != nil {
 		chunk := l.chunk

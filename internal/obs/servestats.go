@@ -6,14 +6,19 @@ import (
 )
 
 // ServeStatsSchema versions the elag-serve service-counter document,
-// flushed on graceful drain and served live at /v1/stats.
-const ServeStatsSchema = "elag-serve-stats/v1"
+// flushed on graceful drain and served live at /v1/stats. v2 added
+// uptime_seconds, jobs_in_flight, and the chaos-injection state.
+const ServeStatsSchema = "elag-serve-stats/v2"
 
 // ServeStatsDoc is the machine-readable lifetime summary of one elag-serve
 // process: admission outcomes, job outcomes, and fault-isolation events.
-// Everything here is a monotonic counter; rates are the reader's job.
+// The jobs_* and rejected_* fields are monotonic counters; rates are the
+// reader's job.
 type ServeStatsDoc struct {
 	Schema string `json:"schema"`
+
+	// UptimeSeconds is how long the server has been up at snapshot time.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	// Admission.
 	JobsAccepted      int64 `json:"jobs_accepted"`
@@ -21,16 +26,26 @@ type ServeStatsDoc struct {
 	RejectedQueueFull int64 `json:"rejected_queue_full"`
 	RejectedDraining  int64 `json:"rejected_draining"`
 
-	// Outcomes.
+	// Outcomes. JobsInFlight is the instantaneous count of accepted jobs
+	// not yet terminal; the counter algebra jobs_accepted = jobs_done +
+	// jobs_failed + jobs_canceled + jobs_in_flight holds at every
+	// snapshot.
 	JobsDone     int64 `json:"jobs_done"`
 	JobsFailed   int64 `json:"jobs_failed"`
 	JobsCanceled int64 `json:"jobs_canceled"`
+	JobsInFlight int64 `json:"jobs_in_flight"`
 
 	// Fault isolation: panics recovered from job execution, and workers
 	// the pool replaced because of them. The two differ only if a panic
 	// escapes outside a job run.
 	PanicsRecovered int64 `json:"panics_recovered"`
 	WorkersReplaced int64 `json:"workers_replaced"`
+
+	// Chaos injection state: whether the fault layer is armed, and the
+	// spec it was armed with ("" when disarmed). A drill's stats flush
+	// is self-describing — nobody has to remember which faults ran.
+	ChaosArmed bool   `json:"chaos_armed"`
+	Chaos      string `json:"chaos,omitempty"`
 }
 
 // WriteServeStatsJSON writes doc as indented JSON, byte-stable for a given

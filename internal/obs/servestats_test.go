@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The stats document is consumed by shell pipelines (CI greps it, the
+// SIGTERM smoke test diffs it), so its rendering is part of the contract:
+// field order, indentation, and the schema string are all load-bearing.
+func TestServeStatsGolden(t *testing.T) {
+	doc := &ServeStatsDoc{
+		Schema:            ServeStatsSchema,
+		UptimeSeconds:     12.5,
+		JobsAccepted:      9,
+		RejectedInvalid:   1,
+		RejectedQueueFull: 2,
+		RejectedDraining:  3,
+		JobsDone:          5,
+		JobsFailed:        2,
+		JobsCanceled:      1,
+		JobsInFlight:      1,
+		PanicsRecovered:   2,
+		WorkersReplaced:   2,
+		ChaosArmed:        true,
+		Chaos:             "panic-every=3",
+	}
+	var sb strings.Builder
+	if err := WriteServeStatsJSON(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "schema": "elag-serve-stats/v2",
+  "uptime_seconds": 12.5,
+  "jobs_accepted": 9,
+  "rejected_invalid": 1,
+  "rejected_queue_full": 2,
+  "rejected_draining": 3,
+  "jobs_done": 5,
+  "jobs_failed": 2,
+  "jobs_canceled": 1,
+  "jobs_in_flight": 1,
+  "panics_recovered": 2,
+  "workers_replaced": 2,
+  "chaos_armed": true,
+  "chaos": "panic-every=3"
+}
+`
+	if sb.String() != want {
+		t.Errorf("stats rendering drifted:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// With chaos disarmed the spec field disappears entirely (omitempty), and
+// the counter algebra of the example holds: accepted = done + failed +
+// canceled + in-flight.
+func TestServeStatsDisarmedOmitsChaosSpec(t *testing.T) {
+	doc := &ServeStatsDoc{Schema: ServeStatsSchema, JobsAccepted: 4, JobsDone: 4}
+	var sb strings.Builder
+	if err := WriteServeStatsJSON(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `"chaos"`) && !strings.Contains(sb.String(), `"chaos_armed"`) {
+		t.Errorf("chaos spec leaked while disarmed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `"chaos_armed": false`) {
+		t.Errorf("chaos_armed must always render (false included):\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), `"chaos":`) {
+		t.Errorf("empty chaos spec must be omitted:\n%s", sb.String())
+	}
+}

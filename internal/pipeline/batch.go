@@ -98,12 +98,31 @@ func BatchReplay(prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec
 // cancellation with the ctx error. Uncancelled results are byte-identical
 // to BatchReplay.
 func BatchReplayContext(ctx context.Context, prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec) ([]*Metrics, emu.Result, error) {
+	return BatchReplayObservedContext(ctx, prog, fuel, chunkSize, specs, nil)
+}
+
+// BatchReplayObservedContext is BatchReplayContext with a chunk-boundary
+// progress hook: after every chunk has been replayed through all sims,
+// onChunk (may be nil) receives the cumulative replayed-entry count and
+// the size of the chunk just finished. The hook observes — it gets no
+// access to the sims and runs strictly between chunks — so results are
+// byte-identical with or without it, and a nil hook costs one comparison
+// per chunk.
+func BatchReplayObservedContext(ctx context.Context, prog *isa.Program, fuel int64, chunkSize int, specs []BatchSpec, onChunk func(done int64, n int)) ([]*Metrics, emu.Result, error) {
 	sims, err := NewBatch(prog, specs)
 	if err != nil {
 		return nil, emu.Result{}, err
 	}
+	var done int64
 	res, err := emu.StreamTraceContext(ctx, prog, fuel, chunkSize, func(chunk *emu.Trace) error {
-		return RunChunkBatch(sims, chunk)
+		if err := RunChunkBatch(sims, chunk); err != nil {
+			return err
+		}
+		if onChunk != nil {
+			done += int64(chunk.Len())
+			onChunk(done, chunk.Len())
+		}
+		return nil
 	})
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
 		return nil, res, err

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package serve
+
+// processCPUSeconds has no portable source on this platform; the
+// elag_process_cpu_seconds_total series reads 0 rather than going absent,
+// so scrapers keep a stable series set everywhere.
+func processCPUSeconds() float64 { return 0 }

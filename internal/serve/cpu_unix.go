@@ -1,0 +1,19 @@
+//go:build unix
+
+package serve
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUSeconds returns the process's cumulative CPU time (user +
+// system) for the elag_process_cpu_seconds_total counter. Getrusage is a
+// cheap syscall and only runs at scrape time, never on the job hot path.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()).Seconds()
+}

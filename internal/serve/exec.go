@@ -1,12 +1,12 @@
 package serve
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
 	"elag"
 	"elag/internal/harness"
+	"elag/internal/telemetry"
 	"elag/internal/workload"
 )
 
@@ -30,7 +30,8 @@ type CompileResult struct {
 // architectural output plus one elag-metrics/v1 document per requested
 // configuration, in spec order. The documents are byte-identical to what
 // elag-sim produces for the same program, configuration, and fuel — the
-// job ran the exact same batched-replay entry point.
+// job ran the exact same batched-replay entry point, and the progress
+// instrumentation observes strictly between chunks.
 type SimulateResult struct {
 	// Output is the architectural result (exit code and output streams),
 	// identical across configurations by construction.
@@ -39,21 +40,23 @@ type SimulateResult struct {
 	Metrics []*elag.MetricsDoc `json:"metrics"`
 }
 
-// execute runs one admitted job to completion under ctx. It is called on a
-// pool worker; panics are the caller's problem (the pool isolates them).
-// The spec has passed Validate, so input errors here are program-level
-// (build failures, architectural faults), not spec-level.
-func execute(ctx context.Context, spec *JobSpec, gridParallel int) (any, error) {
-	switch spec.Kind {
+// execute runs one admitted job to completion under its context. It is
+// called on a pool worker; panics are the caller's problem (the pool
+// isolates them). The spec has passed Validate, so input errors here are
+// program-level (build failures, architectural faults), not spec-level.
+// work receives chunk/lab-cache telemetry; j.progress receives live
+// frames (free when nobody subscribed).
+func execute(j *Job, gridParallel int, work *harness.Counters) (any, error) {
+	switch j.Spec.Kind {
 	case KindCompile:
-		return executeCompile(spec)
+		return executeCompile(j.Spec)
 	case KindSimulate:
-		return executeSimulate(ctx, spec)
+		return executeSimulate(j, work)
 	case KindGrid:
-		return executeGrid(ctx, spec, gridParallel)
+		return executeGrid(j, gridParallel, work)
 	}
 	// Unreachable after Validate; keep the failure typed anyway.
-	return nil, &SpecError{Field: "kind", Reason: fmt.Sprintf("unknown kind %q", spec.Kind)}
+	return nil, &SpecError{Field: "kind", Reason: fmt.Sprintf("unknown kind %q", j.Spec.Kind)}
 }
 
 func executeCompile(spec *JobSpec) (any, error) {
@@ -82,7 +85,8 @@ func executeCompile(spec *JobSpec) (any, error) {
 	return res, nil
 }
 
-func executeSimulate(ctx context.Context, spec *JobSpec) (any, error) {
+func executeSimulate(j *Job, work *harness.Counters) (any, error) {
+	spec := j.Spec
 	var p *elag.Program
 	var err error
 	label := "source"
@@ -103,10 +107,18 @@ func executeSimulate(ctx context.Context, spec *JobSpec) (any, error) {
 		}
 		specs[i] = elag.BatchSpec{Config: cfg}
 	}
+	// onChunk runs strictly between chunks: it counts work volume and
+	// publishes a progress frame (one atomic load when nobody subscribed),
+	// never touching simulator state — results stay byte-identical with
+	// telemetry on or off.
+	onChunk := func(done int64, n int) {
+		work.CountChunk(n)
+		j.progress.Publish(telemetry.Frame{Type: "chunk", Job: j.ID, Insts: done, Fuel: spec.Fuel})
+	}
 	// chunk 0 streams at the default size: the service never materializes
 	// a full trace, so peak memory stays O(chunk) whatever the fuel. A
 	// fuel-truncated run is not an error (prefix timing is valid timing).
-	metrics, runRes, err := p.SimulateBatchContext(ctx, specs, spec.Fuel, spec.Chunk)
+	metrics, runRes, err := p.SimulateBatchObservedContext(j.ctx, specs, spec.Fuel, spec.Chunk, onChunk)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +129,17 @@ func executeSimulate(ctx context.Context, spec *JobSpec) (any, error) {
 	return res, nil
 }
 
-func executeGrid(ctx context.Context, spec *JobSpec, parallel int) (any, error) {
-	r := &harness.Runner{Fuel: spec.Fuel, Parallel: parallel, ChunkSize: spec.Chunk}
-	return r.Document(ctx)
+func executeGrid(j *Job, parallel int, work *harness.Counters) (any, error) {
+	r := &harness.Runner{
+		Fuel: j.Spec.Fuel, Parallel: parallel, ChunkSize: j.Spec.Chunk,
+		Counters: work,
+		// Each completed benchmark column becomes a frame; done/total
+		// restart per experiment (Document runs several), so a consumer
+		// sees per-experiment sweep progress, not one global bar.
+		Progress: func(bench string, done, total int) {
+			j.progress.Publish(telemetry.Frame{Type: "bench", Job: j.ID,
+				Bench: bench, Done: done, Total: total})
+		},
+	}
+	return r.Document(j.ctx)
 }

@@ -4,16 +4,23 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"elag"
 	"elag/internal/chaosinject"
+	"elag/internal/harness"
+	"elag/internal/telemetry"
 )
 
-// Job is one admitted job: its spec, its cancellable context, and its
-// terminal outcome. A Job moves queued → running → {done, failed,
-// canceled}; Done() closes exactly once at the terminal transition.
+// Job is one admitted job: its spec, its cancellable context, its live
+// progress stream, and its terminal outcome. A Job moves queued → running
+// → {done, failed, canceled}; the terminal transition happens exactly once
+// and settles everything at once — Done() closes, the outcome counters and
+// wall histogram update, the progress stream closes, and the outcome is
+// logged with the job ID.
 type Job struct {
 	// ID is the server-assigned handle ("job-000042").
 	ID string
@@ -23,24 +30,38 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	state  string
-	result any
-	jobErr *JobError
-	done   chan struct{}
+	created  time.Time
+	stats    *Stats
+	log      *slog.Logger
+	progress *telemetry.Progress
+
+	mu      sync.Mutex
+	state   string
+	started time.Time
+	result  any
+	jobErr  *JobError
+	done    chan struct{}
 }
 
-func newJob(id string, spec *JobSpec, ctx context.Context, cancel context.CancelFunc) *Job {
+func newJob(id string, spec *JobSpec, ctx context.Context, cancel context.CancelFunc,
+	stats *Stats, log *slog.Logger) *Job {
 	return &Job{
 		ID: id, Spec: spec,
 		ctx: ctx, cancel: cancel,
-		state: StateQueued,
-		done:  make(chan struct{}),
+		created:  time.Now(),
+		stats:    stats,
+		log:      log.With("job", id, "kind", spec.Kind),
+		progress: telemetry.NewProgress(),
+		state:    StateQueued,
+		done:     make(chan struct{}),
 	}
 }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress is the job's live event stream (GET /v1/jobs/{id}/events).
+func (j *Job) Progress() *telemetry.Progress { return j.progress }
 
 // Cancel requests cancellation: the job's context is cancelled (a running
 // job aborts within one trace chunk) and, if it was still queued, it goes
@@ -52,7 +73,7 @@ func (j *Job) Cancel() {
 	if j.state == StateQueued {
 		j.state = StateCanceled
 		j.jobErr = &JobError{Kind: ErrKindCanceled, Message: "canceled while queued"}
-		close(j.done)
+		j.terminalLocked()
 	}
 }
 
@@ -65,6 +86,10 @@ func (j *Job) start() bool {
 		return false
 	}
 	j.state = StateRunning
+	j.started = time.Now()
+	j.stats.jobStarted(j.started.Sub(j.created))
+	j.progress.Publish(telemetry.Frame{Type: "state", Job: j.ID, State: StateRunning})
+	j.log.Info("job started", "queue_wait", j.started.Sub(j.created))
 	return true
 }
 
@@ -85,7 +110,26 @@ func (j *Job) finish(result any, jerr *JobError) {
 	default:
 		j.state, j.jobErr = StateFailed, jerr
 	}
+	j.terminalLocked()
+}
+
+// terminalLocked settles the terminal transition. Called with j.mu held,
+// exactly once per job, after state moved to a terminal value: it closes
+// done, updates the outcome counter / wall histogram / in-flight gauge in
+// one place (the exactness invariants depend on this being the only
+// counting site), closes the progress stream so event subscribers see EOF
+// and then the terminator frame, and logs the outcome.
+func (j *Job) terminalLocked() {
 	close(j.done)
+	wall := time.Since(j.created)
+	j.stats.jobFinished(j.Spec.Kind, j.state, wall)
+	j.progress.Close()
+	if j.jobErr != nil {
+		j.log.Info("job finished", "state", j.state, "wall", wall,
+			"error_kind", j.jobErr.Kind, "error", j.jobErr.Message)
+		return
+	}
+	j.log.Info("job finished", "state", j.state, "wall", wall)
 }
 
 // Status snapshots the job as its wire document.
@@ -130,13 +174,16 @@ type pool struct {
 	gridParallel int
 	wg           sync.WaitGroup
 	stats        *Stats
+	work         *harness.Counters
+	log          *slog.Logger
 }
 
 // newPool starts workers goroutines draining queue. gridParallel is the
 // harness parallelism grid jobs run with (each grid job fans its
 // benchmarks over that many goroutines of its own).
-func newPool(workers, gridParallel int, queue chan *Job, stats *Stats) *pool {
-	p := &pool{jobs: queue, gridParallel: gridParallel, stats: stats}
+func newPool(workers, gridParallel int, queue chan *Job, stats *Stats,
+	work *harness.Counters, log *slog.Logger) *pool {
+	p := &pool{jobs: queue, gridParallel: gridParallel, stats: stats, work: work, log: log}
 	for i := 0; i < workers; i++ {
 		p.startWorker()
 	}
@@ -164,6 +211,9 @@ func (p *pool) worker() {
 					Message: fmt.Sprint(r),
 					Stack:   string(debug.Stack()),
 				})
+				cur.log.Error("worker panic recovered", "panic", fmt.Sprint(r))
+			} else {
+				p.log.Error("worker panic recovered outside a job", "panic", fmt.Sprint(r))
 			}
 			p.stats.PanicsRecovered.Add(1)
 			p.stats.WorkersReplaced.Add(1)
@@ -179,38 +229,28 @@ func (p *pool) worker() {
 }
 
 // runOne executes one dequeued job to a terminal state. Runs on the worker
-// goroutine, inside its recover barrier.
+// goroutine, inside its recover barrier. Outcome counting happens in the
+// job's terminal transition, not here — a job cancelled while queued was
+// already counted when Cancel moved it terminal.
 func (p *pool) runOne(j *Job) {
 	if !j.start() {
-		// Cancelled while queued; it went terminal without running.
-		p.stats.JobsCanceled.Add(1)
-		return
+		return // went terminal while queued; already accounted there
 	}
+	p.stats.WorkersBusy.Add(1)
+	defer p.stats.WorkersBusy.Add(-1)
 	if err := j.ctx.Err(); err != nil {
-		p.fail(j, err)
+		j.finish(nil, classifyErr(err))
 		return
 	}
 	// Chaos: an injected worker crash surfaces exactly where a real
 	// simulation-kernel bug would — after dequeue, before results exist.
 	chaosinject.MaybePanic("worker")
-	result, err := execute(j.ctx, j.Spec, p.gridParallel)
+	result, err := execute(j, p.gridParallel, p.work)
 	if err != nil {
-		p.fail(j, err)
+		j.finish(nil, classifyErr(err))
 		return
 	}
 	j.finish(result, nil)
-	p.stats.JobsDone.Add(1)
-}
-
-// fail moves j to its terminal failure state and counts it.
-func (p *pool) fail(j *Job, err error) {
-	jerr := classifyErr(err)
-	j.finish(nil, jerr)
-	if jerr.Kind == ErrKindCanceled {
-		p.stats.JobsCanceled.Add(1)
-	} else {
-		p.stats.JobsFailed.Add(1)
-	}
 }
 
 // wait blocks until every worker has exited (the queue must be closed

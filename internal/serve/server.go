@@ -4,13 +4,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"elag/internal/chaosinject"
+	"elag/internal/harness"
 	"elag/internal/obs"
+	"elag/internal/telemetry"
 )
 
 // Extra JobError kinds produced by admission and lookup (the execution
@@ -49,13 +53,18 @@ type Options struct {
 	// DrainPolicy picks what Drain does with in-flight jobs: DrainWait
 	// (default) or DrainCancel.
 	DrainPolicy string
+	// Log receives the structured service log, with job-ID correlation
+	// across admission → pool → exec → drain. nil logs nothing.
+	Log *slog.Logger
 }
 
 // Server is the elag-serve core: a bounded job queue feeding a
 // panic-isolated worker pool, plus the HTTP surface and drain machinery.
 // Create with New, mount Handler, and call Drain exactly once to stop.
 type Server struct {
-	opts Options
+	opts  Options
+	start time.Time
+	log   *slog.Logger
 
 	// baseCtx parents every job context; baseStop cancels them all (the
 	// DrainCancel policy and the drain-timeout hammer).
@@ -76,7 +85,11 @@ type Server struct {
 	reg    map[string]*Job
 	nextID int64
 
-	stats Stats
+	// work aggregates replay-engine volume (chunks, streamed entries,
+	// lab-cache hits/misses) across every job; /metrics reads it at
+	// scrape time.
+	work  harness.Counters
+	stats *Stats
 }
 
 // New builds the server and starts its worker pool.
@@ -96,15 +109,71 @@ func New(opts Options) *Server {
 	if opts.DrainPolicy == "" {
 		opts.DrainPolicy = DrainWait
 	}
+	if opts.Log == nil {
+		// Quiet default: slog with a discarded sink, so call sites never
+		// nil-check (go.mod is go 1.22, predating slog.DiscardHandler).
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		opts:  opts,
+		start: time.Now(),
+		log:   opts.Log,
 		queue: make(chan *Job, opts.QueueDepth),
 		reg:   map[string]*Job{},
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
-	s.pool = newPool(opts.Workers, opts.GridParallel, s.queue, &s.stats)
+	s.stats = newStats(s.start)
+	s.registerServerMetrics()
+	s.pool = newPool(opts.Workers, opts.GridParallel, s.queue, s.stats, &s.work, s.log)
 	return s
 }
+
+// registerServerMetrics adds the scrape-time series whose values live on
+// the server itself (queue, pool shape, uptime, chaos state, work volume,
+// process CPU) to the stats registry. Everything is read at scrape time
+// from its single source of truth, so /metrics never disagrees with the
+// queue or the counters.
+func (s *Server) registerServerMetrics() {
+	reg := s.stats.Registry
+	reg.GaugeFunc("elag_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("elag_queue_depth",
+		"Jobs currently waiting in the queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("elag_queue_capacity",
+		"Configured job queue capacity.",
+		func() float64 { return float64(s.opts.QueueDepth) })
+	reg.GaugeFunc("elag_workers",
+		"Configured worker-pool size.",
+		func() float64 { return float64(s.opts.Workers) })
+	reg.GaugeFunc("elag_chaos_armed",
+		"1 when chaos fault injection is armed (never in production).",
+		func() float64 {
+			if chaosinject.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("elag_lab_cache_hits_total",
+		"Grid lab-cache lookups that joined an existing lab.",
+		func() float64 { return float64(s.work.LabHits.Load()) })
+	reg.CounterFunc("elag_lab_cache_misses_total",
+		"Grid lab-cache lookups that built a new lab.",
+		func() float64 { return float64(s.work.LabMisses.Load()) })
+	reg.CounterFunc("elag_chunks_total",
+		"Trace chunks replayed across all jobs.",
+		func() float64 { return float64(s.work.Chunks.Load()) })
+	reg.CounterFunc("elag_insts_total",
+		"Streamed trace entries replayed across all jobs (rate = replay throughput).",
+		func() float64 { return float64(s.work.Insts.Load()) })
+	reg.CounterFunc("elag_process_cpu_seconds_total",
+		"Cumulative process CPU time (user + system).",
+		processCPUSeconds)
+}
+
+// Metrics exposes the telemetry registry (tests, embedding servers).
+func (s *Server) Metrics() *telemetry.Registry { return s.stats.Registry }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() *obs.ServeStatsDoc { return s.stats.Doc() }
@@ -123,6 +192,7 @@ func (s *Server) Draining() bool {
 func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
 	if err := spec.Validate(s.opts.Limits); err != nil {
 		s.stats.RejectedInvalid.Add(1)
+		s.log.Warn("job rejected", "reason", "invalid", "error", err.Error())
 		return nil, &JobError{Kind: ErrKindInvalid, Message: err.Error()}
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, spec.Deadline(s.opts.Limits))
@@ -130,18 +200,20 @@ func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
 	s.nextID++
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	s.regMu.Unlock()
-	j := newJob(id, spec, ctx, cancel)
+	j := newJob(id, spec, ctx, cancel, s.stats, s.log)
 
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
 	if s.draining {
 		cancel()
 		s.stats.RejectedDraining.Add(1)
+		s.log.Warn("job rejected", "reason", "draining", "kind", spec.Kind)
 		return nil, &JobError{Kind: ErrKindDraining, Message: "server is draining"}
 	}
 	if chaosinject.QueueSaturated() {
 		cancel()
 		s.stats.RejectedQueueFull.Add(1)
+		s.log.Warn("job rejected", "reason", "queue_full", "kind", spec.Kind, "chaos", true)
 		return nil, &JobError{Kind: ErrKindOverload, Message: "job queue is full (chaos: queue-saturate)"}
 	}
 	select {
@@ -149,13 +221,19 @@ func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
 	default:
 		cancel()
 		s.stats.RejectedQueueFull.Add(1)
+		s.log.Warn("job rejected", "reason", "queue_full", "kind", spec.Kind,
+			"queue_depth", s.opts.QueueDepth)
 		return nil, &JobError{Kind: ErrKindOverload,
 			Message: fmt.Sprintf("job queue is full (%d queued)", s.opts.QueueDepth)}
 	}
 	s.regMu.Lock()
 	s.reg[id] = j
 	s.regMu.Unlock()
+	// Admission side of the counter algebra: accepted and in-flight move
+	// together here; the terminal transition settles the other side.
 	s.stats.JobsAccepted.Add(1)
+	s.stats.InFlight.Add(1)
+	j.log.Info("job admitted", "queued", len(s.queue))
 	return j, nil
 }
 
@@ -182,6 +260,8 @@ func (s *Server) Drain(timeout time.Duration) *obs.ServeStatsDoc {
 	s.draining = true
 	close(s.queue)
 	s.admitMu.Unlock()
+	s.log.Info("drain started", "policy", s.opts.DrainPolicy, "timeout", timeout,
+		"in_flight", s.stats.InFlight.Value())
 
 	if s.opts.DrainPolicy == DrainCancel {
 		s.baseStop()
@@ -191,28 +271,37 @@ func (s *Server) Drain(timeout time.Duration) *obs.ServeStatsDoc {
 	select {
 	case <-done:
 	case <-time.After(timeout):
+		s.log.Warn("drain timeout; cancelling remaining jobs")
 		s.baseStop()
 		<-done
 	}
 	s.baseStop() // release the base context either way
-	return s.stats.Doc()
+	doc := s.stats.Doc()
+	s.log.Info("drain complete", "done", doc.JobsDone, "failed", doc.JobsFailed,
+		"canceled", doc.JobsCanceled, "panics", doc.PanicsRecovered)
+	return doc
 }
 
 // Handler returns the service's HTTP surface:
 //
-//	POST   /v1/jobs        submit (?wait=1 blocks until terminal; client
-//	                       disconnect cancels the job)
-//	GET    /v1/jobs/{id}   job status document
-//	DELETE /v1/jobs/{id}   cancel
-//	GET    /v1/stats       service counters (elag-serve-stats/v1)
-//	GET    /healthz        liveness: 200 while the process serves at all
-//	GET    /readyz         readiness: 200, or 503 once draining
+//	POST   /v1/jobs               submit (?wait=1 blocks until terminal;
+//	                              client disconnect cancels the job)
+//	GET    /v1/jobs/{id}          job status document
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream, terminated by a
+//	                              "done" frame (?wait=1 adds heartbeats)
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/stats              service counters (elag-serve-stats/v2)
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               liveness: 200 while the process serves
+//	GET    /readyz                readiness: 200, or 503 once draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -233,6 +322,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := DecodeSpec(r.Body)
 	if err != nil {
 		s.stats.RejectedInvalid.Add(1)
+		s.log.Warn("job rejected", "reason", "invalid", "error", err.Error())
 		writeError(w, http.StatusBadRequest, &JobError{Kind: ErrKindInvalid, Message: err.Error()})
 		return
 	}
@@ -263,6 +353,88 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// defaultHeartbeat paces ?wait=1 event streams when the job is silent.
+const defaultHeartbeat = 10 * time.Second
+
+// handleEvents streams a job's live progress frames as NDJSON: one JSON
+// object per line, flushed per frame, ending with a "done" frame carrying
+// the terminal state. ?wait=1 interleaves heartbeat frames (default every
+// 10s, ?heartbeat=DUR to override) so long-silent jobs are
+// distinguishable from dead connections. Subscribing costs the job
+// nothing until the subscription exists, and a subscriber that arrives
+// after the job finished still gets the terminator. Disconnecting only
+// unsubscribes — it never cancels the job (unlike POST ?wait=1, an
+// events watcher is an observer, not the owner).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.Lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound,
+			&JobError{Kind: ErrKindNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	var hb time.Duration
+	if r.URL.Query().Get("wait") != "" {
+		hb = defaultHeartbeat
+	}
+	if v := r.URL.Query().Get("heartbeat"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest,
+				&JobError{Kind: ErrKindInvalid, Message: fmt.Sprintf("bad heartbeat %q", v)})
+			return
+		}
+		hb = d
+	}
+
+	ch, unsub := j.progress.Subscribe(64)
+	defer unsub()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+
+	var hbc <-chan time.Time
+	if hb > 0 {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		hbc = t.C
+	}
+stream:
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case f, ok := <-ch:
+			if !ok {
+				break stream // job terminal and buffered frames drained
+			}
+			if enc.Encode(f) != nil {
+				return
+			}
+			flush()
+		case <-hbc:
+			if enc.Encode(telemetry.Frame{Type: "heartbeat", Job: j.ID}) != nil {
+				return
+			}
+			flush()
+		}
+	}
+	// Terminator, written from the job's terminal status rather than the
+	// broadcast channel so even late subscribers are guaranteed to see it.
+	st := j.Status()
+	f := telemetry.Frame{Type: "done", Job: j.ID, State: st.State}
+	if st.Error != nil {
+		f.Error = st.Error.Message
+	}
+	_ = enc.Encode(f)
+	flush()
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.Lookup(r.PathValue("id"))
 	if j == nil {
@@ -278,6 +450,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = obs.WriteServeStatsJSON(w, s.stats.Doc())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.stats.Registry.Write(w)
 }
 
 // statusFor maps an admission JobError kind to its HTTP status.

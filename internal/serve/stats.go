@@ -1,25 +1,123 @@
 package serve
 
 import (
-	"sync/atomic"
+	"time"
 
+	"elag/internal/chaosinject"
 	"elag/internal/obs"
+	"elag/internal/telemetry"
 )
 
-// Stats holds the service's lifetime counters. All fields are atomics so
-// admission, workers, and the stats endpoint never contend on a lock.
+// Label vocabularies for the /metrics registry. Fixed at process start:
+// the cardinality policy (DESIGN.md §14) is that every series is declared
+// here, at registration — nothing mints series per job, per PC, or per
+// client. Per-job detail belongs to the progress stream.
+var (
+	jobKinds    = []string{KindCompile, KindSimulate, KindGrid}
+	jobOutcomes = []string{StateDone, StateFailed, StateCanceled}
+)
+
+// Stats holds the service's counters, now backed by the telemetry
+// registry so /metrics and /v1/stats read the same atomics — the two
+// surfaces can never disagree. All instruments are lock-free; admission,
+// workers, and scrapes never contend.
+//
+// The counter algebra is settled at exactly one place per event:
+// admission increments JobsAccepted and InFlight, the job's terminal
+// transition (Job.terminalLocked) increments one completed{kind,outcome}
+// cell, observes the wall histogram, and decrements InFlight. So at any
+// quiescent point:
+//
+//	accepted = done + failed + canceled + in-flight
+//	wall{kind}.count = Σ_outcome completed{kind,outcome}
+//
+// which the invariant tests assert under chaos.
 type Stats struct {
-	JobsAccepted      atomic.Int64
-	RejectedInvalid   atomic.Int64
-	RejectedQueueFull atomic.Int64
-	RejectedDraining  atomic.Int64
+	start    time.Time
+	Registry *telemetry.Registry
 
-	JobsDone     atomic.Int64
-	JobsFailed   atomic.Int64
-	JobsCanceled atomic.Int64
+	JobsAccepted      *telemetry.Counter
+	RejectedInvalid   *telemetry.Counter
+	RejectedQueueFull *telemetry.Counter
+	RejectedDraining  *telemetry.Counter
 
-	PanicsRecovered atomic.Int64
-	WorkersReplaced atomic.Int64
+	PanicsRecovered *telemetry.Counter
+	WorkersReplaced *telemetry.Counter
+
+	InFlight    *telemetry.Gauge
+	WorkersBusy *telemetry.Gauge
+
+	completed map[string]map[string]*telemetry.Counter // kind → outcome
+	wall      map[string]*telemetry.Histogram          // kind
+	queueWait *telemetry.Histogram
+}
+
+// newStats builds the counter set and registers every series.
+func newStats(start time.Time) *Stats {
+	reg := telemetry.NewRegistry()
+	s := &Stats{
+		start:    start,
+		Registry: reg,
+
+		JobsAccepted: reg.Counter("elag_jobs_admitted_total",
+			"Jobs accepted into the queue."),
+		RejectedInvalid: reg.Counter("elag_jobs_rejected_total",
+			"Jobs rejected at admission, by reason.", "reason", "invalid"),
+		RejectedQueueFull: reg.Counter("elag_jobs_rejected_total",
+			"Jobs rejected at admission, by reason.", "reason", "queue_full"),
+		RejectedDraining: reg.Counter("elag_jobs_rejected_total",
+			"Jobs rejected at admission, by reason.", "reason", "draining"),
+
+		PanicsRecovered: reg.Counter("elag_panics_recovered_total",
+			"Job panics recovered by the worker pool."),
+		WorkersReplaced: reg.Counter("elag_workers_replaced_total",
+			"Workers replaced after a recovered panic."),
+
+		InFlight: reg.Gauge("elag_jobs_in_flight",
+			"Accepted jobs not yet in a terminal state."),
+		WorkersBusy: reg.Gauge("elag_workers_busy",
+			"Workers currently executing a job."),
+
+		completed: map[string]map[string]*telemetry.Counter{},
+		wall:      map[string]*telemetry.Histogram{},
+		queueWait: reg.Histogram("elag_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker started them.", nil),
+	}
+	for _, kind := range jobKinds {
+		s.completed[kind] = map[string]*telemetry.Counter{}
+		for _, outcome := range jobOutcomes {
+			s.completed[kind][outcome] = reg.Counter("elag_jobs_completed_total",
+				"Jobs reaching a terminal state, by kind and outcome.",
+				"kind", kind, "outcome", outcome)
+		}
+		s.wall[kind] = reg.Histogram("elag_job_wall_seconds",
+			"Job wall time from admission to terminal state, by kind.",
+			nil, "kind", kind)
+	}
+	return s
+}
+
+// jobStarted records the queued→running transition.
+func (s *Stats) jobStarted(queueWait time.Duration) {
+	s.queueWait.Observe(queueWait.Seconds())
+}
+
+// jobFinished settles one job's terminal accounting. outcome is the
+// terminal state (done/failed/canceled); kind has passed Validate, so the
+// map lookups cannot miss.
+func (s *Stats) jobFinished(kind, outcome string, wall time.Duration) {
+	s.completed[kind][outcome].Inc()
+	s.wall[kind].Observe(wall.Seconds())
+	s.InFlight.Add(-1)
+}
+
+// outcomeTotal sums one outcome across kinds (the /v1/stats aggregates).
+func (s *Stats) outcomeTotal(outcome string) int64 {
+	var n int64
+	for _, kind := range jobKinds {
+		n += s.completed[kind][outcome].Value()
+	}
+	return n
 }
 
 // Doc snapshots the counters as the schema-versioned document flushed on
@@ -27,14 +125,18 @@ type Stats struct {
 func (s *Stats) Doc() *obs.ServeStatsDoc {
 	return &obs.ServeStatsDoc{
 		Schema:            obs.ServeStatsSchema,
-		JobsAccepted:      s.JobsAccepted.Load(),
-		RejectedInvalid:   s.RejectedInvalid.Load(),
-		RejectedQueueFull: s.RejectedQueueFull.Load(),
-		RejectedDraining:  s.RejectedDraining.Load(),
-		JobsDone:          s.JobsDone.Load(),
-		JobsFailed:        s.JobsFailed.Load(),
-		JobsCanceled:      s.JobsCanceled.Load(),
-		PanicsRecovered:   s.PanicsRecovered.Load(),
-		WorkersReplaced:   s.WorkersReplaced.Load(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		JobsAccepted:      s.JobsAccepted.Value(),
+		RejectedInvalid:   s.RejectedInvalid.Value(),
+		RejectedQueueFull: s.RejectedQueueFull.Value(),
+		RejectedDraining:  s.RejectedDraining.Value(),
+		JobsDone:          s.outcomeTotal(StateDone),
+		JobsFailed:        s.outcomeTotal(StateFailed),
+		JobsCanceled:      s.outcomeTotal(StateCanceled),
+		JobsInFlight:      s.InFlight.Value(),
+		PanicsRecovered:   s.PanicsRecovered.Value(),
+		WorkersReplaced:   s.WorkersReplaced.Value(),
+		ChaosArmed:        chaosinject.Enabled(),
+		Chaos:             chaosinject.Spec(),
 	}
 }

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds the declared metric families and renders them in the
+// Prometheus text exposition format (version 0.0.4) with stable ordering:
+// families sorted by name, series within a family sorted by their label
+// signature, one HELP/TYPE pair per family. Registration happens at
+// construction time (server start), reads happen on every scrape; the
+// instruments themselves are lock-free.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+type series struct {
+	labels string // rendered `{k="v",...}` signature, "" for none
+	value  func() string
+	// hist, when non-nil, renders the full bucket/sum/count block instead
+	// of a single sample.
+	hist *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// renderLabels renders alternating key,value pairs as a label signature.
+// Values must not contain quotes, backslashes, or newlines — label values
+// here are fixed enum-like strings declared at registration, never user
+// input (see the cardinality policy in the package comment).
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: labels must be alternating key,value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, existing := range f.series {
+		if existing.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers (and returns) a counter series. labels are alternating
+// key,value pairs fixed for the series' lifetime.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", &series{
+		labels: renderLabels(labels),
+		value:  func() string { return strconv.FormatInt(c.Value(), 10) },
+	})
+	return c
+}
+
+// Gauge registers (and returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", &series{
+		labels: renderLabels(labels),
+		value:  func() string { return strconv.FormatInt(g.Value(), 10) },
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for values that already live elsewhere (queue depth, uptime, chaos
+// state) and must be consistent with their source at every scrape.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.add(name, help, "gauge", &series{
+		labels: renderLabels(labels),
+		value:  func() string { return formatFloat(fn()) },
+	})
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from
+// fn. fn must be monotonic for the rendered series to be honest.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.add(name, help, "counter", &series{
+		labels: renderLabels(labels),
+		value:  func() string { return formatFloat(fn()) },
+	})
+}
+
+// Histogram registers (and returns) a fixed-bucket histogram series.
+// bounds must be sorted ascending; nil uses DurationBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: %s bucket bounds not ascending", name))
+		}
+	}
+	h := newHistogram(bounds)
+	r.add(name, help, "histogram", &series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders every registered family in the text exposition format.
+// Output ordering is fully deterministic for a given registry shape and
+// counter state (golden-tested), so diffs between scrapes are meaningful.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		ser := append([]*series(nil), f.series...)
+		sort.Slice(ser, func(i, j int) bool { return ser[i].labels < ser[j].labels })
+		for _, s := range ser {
+			if s.hist != nil {
+				writeHistogram(bw, f.name, s.labels, s.hist)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, s.value())
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative le-buckets
+// (including +Inf), then _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	// Merge the le label into the series' own label set.
+	leLabel := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabel(formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabel("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+}
+
+// ParseProm parses text-exposition output (the subset Write produces plus
+// ordinary Prometheus exporters) into a map keyed by the full series
+// signature — `name{label="v",...}` exactly as written — with the sample
+// value. Comment and blank lines are skipped. It is the scrape-side half
+// of the format, used by elag-top and the CI/metric-invariant tests.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the series signature
+		// is everything before it (label values may contain spaces, so cut
+		// from the right).
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("telemetry: malformed sample line %q", line)
+		}
+		key := strings.TrimSpace(line[:i])
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: bad value in %q: %v", line, err)
+		}
+		out[key] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,108 @@
+// Package telemetry is the service-side observability layer: a
+// dependency-free Prometheus-text metrics registry (counters, gauges,
+// fixed-bucket histograms) and a per-job progress broadcaster for live
+// NDJSON event streams. It lifts the repository's instrumentation
+// discipline — counters that sum exactly, observation that never perturbs
+// results, zero cost when nothing is watching — from cycle granularity
+// (internal/obs, the pipeline event sink) to the request/queue/worker
+// layer of elag-serve.
+//
+// Design rules:
+//
+//   - All instruments are lock-free atomics: emission sites (admission,
+//     worker pool, the chunk replay loop) never contend on a lock.
+//   - The no-subscriber path of Progress.Publish and every instrument
+//     update is allocation-free — telemetry off is the default and is
+//     free on the hot chunk loop (benchmark-asserted in the tests).
+//   - Cardinality is bounded at registration: every series is declared up
+//     front with a fixed label set (kind, outcome, reason); nothing mints
+//     series per job, per PC, or per client. Per-job detail belongs to
+//     the progress stream, not the registry.
+//
+// DESIGN.md §14 documents the architecture, the metric naming scheme, and
+// the cardinality policy.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// unusable — obtain counters from a Registry so they render.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (must be non-negative for the rendered series to stay
+// monotonic; the type does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 metric (queue depth, busy workers).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations (seconds,
+// by convention). Buckets are cumulative upper bounds; a +Inf bucket is
+// implicit. Observe is lock-free: per-bucket counts, the observation
+// count, and the running sum are all atomics, so concurrent workers never
+// serialize on an observation.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative per bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets are the default latency bounds (seconds) for job wall
+// and queue-wait histograms: 1ms to 2m, roughly logarithmic, matching the
+// service's deadline range (DefaultLimits.MaxDeadline is 2m).
+func DurationBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+}

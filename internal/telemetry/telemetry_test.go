@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text-exposition bytes for a small
+// registry: family ordering (sorted by name), series ordering (sorted by
+// label signature), HELP/TYPE lines, cumulative histogram buckets with
+// +Inf, and _sum/_count. Any format drift breaks downstream scrapers, so
+// this is byte-exact.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("elag_jobs_admitted_total", "Jobs admitted to the queue.")
+	rej := r.Counter("elag_jobs_rejected_total", "Jobs rejected at admission.", "reason", "queue_full")
+	rej2 := r.Counter("elag_jobs_rejected_total", "Jobs rejected at admission.", "reason", "invalid")
+	g := r.Gauge("elag_queue_depth", "Jobs waiting in the queue.")
+	r.GaugeFunc("elag_chaos_armed", "1 when chaos injection is armed.", func() float64 { return 1 })
+	h := r.Histogram("elag_job_wall_seconds", "Job wall time.", []float64{0.1, 1, 10}, "kind", "simulate")
+
+	c.Add(3)
+	rej.Inc()
+	rej2.Add(2)
+	g.Set(7)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.6)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	want := `# HELP elag_chaos_armed 1 when chaos injection is armed.
+# TYPE elag_chaos_armed gauge
+elag_chaos_armed 1
+# HELP elag_job_wall_seconds Job wall time.
+# TYPE elag_job_wall_seconds histogram
+elag_job_wall_seconds_bucket{kind="simulate",le="0.1"} 1
+elag_job_wall_seconds_bucket{kind="simulate",le="1"} 3
+elag_job_wall_seconds_bucket{kind="simulate",le="10"} 3
+elag_job_wall_seconds_bucket{kind="simulate",le="+Inf"} 4
+elag_job_wall_seconds_sum{kind="simulate"} 100.15
+elag_job_wall_seconds_count{kind="simulate"} 4
+# HELP elag_jobs_admitted_total Jobs admitted to the queue.
+# TYPE elag_jobs_admitted_total counter
+elag_jobs_admitted_total 3
+# HELP elag_jobs_rejected_total Jobs rejected at admission.
+# TYPE elag_jobs_rejected_total counter
+elag_jobs_rejected_total{reason="invalid"} 2
+elag_jobs_rejected_total{reason="queue_full"} 1
+# HELP elag_queue_depth Jobs waiting in the queue.
+# TYPE elag_queue_depth gauge
+elag_queue_depth 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "A.", "k", "v")
+	h := r.Histogram("lat_seconds", "L.", []float64{1}, "kind", "grid")
+	c.Add(41)
+	c.Inc()
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	m, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	checks := map[string]float64{
+		`a_total{k="v"}`:                            42,
+		`lat_seconds_bucket{kind="grid",le="1"}`:    1,
+		`lat_seconds_bucket{kind="grid",le="+Inf"}`: 2,
+		`lat_seconds_sum{kind="grid"}`:              2.5,
+		`lat_seconds_count{kind="grid"}`:            2,
+	}
+	for k, want := range checks {
+		if got, ok := m[k]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks that count, sum, and the bucket totals all agree afterwards —
+// the CAS sum loop and the per-bucket atomics must not lose updates.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	const workers, per = 8, 1200 // per divisible by 6 so the sum is exact
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 6))
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), int64(workers*per); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	// sum of 0..5 repeated: 15 per 6 observations
+	if got, want := h.Sum(), float64(workers*per/6*15); got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	var bucketTotal int64
+	for i := range h.counts {
+		bucketTotal += h.counts[i].Load()
+	}
+	if bucketTotal != h.Count() {
+		t.Errorf("bucket total %d != count %d", bucketTotal, h.Count())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate series did not panic")
+		}
+	}()
+	r.Counter("x_total", "X.")
+}
+
+// The instrument update paths sit on the worker hot path; they must not
+// allocate (acceptance criterion: sink-off chunk loop is 0 allocs/op).
+func TestInstrumentAllocs(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	h := newHistogram(DurationBuckets())
+	if n := testing.AllocsPerRun(100, func() { c.Inc(); c.Add(2) }); n != 0 {
+		t.Errorf("Counter: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Set(1); g.Add(-1) }); n != 0 {
+		t.Errorf("Gauge: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(0.42) }); n != 0 {
+		t.Errorf("Histogram: %v allocs/op, want 0", n)
+	}
+}
