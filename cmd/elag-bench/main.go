@@ -20,10 +20,14 @@
 //	-nobatch      replay each grid cell in its own pass instead of batching
 //	              all configurations through one pass (for wall-time A/B;
 //	              artifacts are byte-identical either way)
+//	-nomemo       disable basic-block timing memoization (for wall-time A/B;
+//	              artifacts are byte-identical either way)
+//	-nospecialize disable config-specialized replay kernels (likewise
+//	              byte-identical)
 //	-cpuprofile f write a CPU profile
 //	-memprofile f write a heap profile at exit
 //	-replaybench f  run the trace-replay microbenchmarks and write the
-//	              elag-replaybench/v2 JSON document ("-" for stdout)
+//	              elag-replaybench/v3 JSON document ("-" for stdout)
 //	-compilebench f  compile every workload through the default pipeline and
 //	              write the elag-compilebench/v1 JSON document (per-workload
 //	              wall time + per-pass breakdown; "-" for stdout)
@@ -34,7 +38,7 @@
 //
 //	elag-bench -diff old.json new.json
 //
-// compares two bench documents of the same schema (elag-replaybench/v2 or
+// compares two bench documents of the same schema (elag-replaybench/v3 or
 // elag-compilebench/v1) entry by entry and exits nonzero when any metric
 // regressed by more than -diff-threshold (default 0.15 = 15%). Throughput
 // metrics are polarity-aware: minst_per_sec going DOWN is the regression.
@@ -66,6 +70,8 @@ func main() {
 	compilePath := flag.String("compilebench", "", `run the compile benchmark, write JSON to this file ("-" = stdout)`)
 	reps := flag.Int("reps", 5, "repetitions per workload for -compilebench (fastest wins)")
 	noBatch := flag.Bool("nobatch", false, "replay each grid cell in its own pass (disables batched replay)")
+	noMemo := flag.Bool("nomemo", false, "disable basic-block timing memoization (byte-identical artifacts)")
+	noSpec := flag.Bool("nospecialize", false, "disable config-specialized replay kernels (byte-identical artifacts)")
 	diff := flag.Bool("diff", false, "compare two bench JSON documents: elag-bench -diff old.json new.json")
 	diffThreshold := flag.Float64("diff-threshold", 0.15, "relative regression bound for -diff (0.15 = 15%)")
 	perf := cli.PerfFlags()
@@ -99,7 +105,8 @@ func main() {
 		logw = nil
 	}
 	r := &harness.Runner{Fuel: *fuel, Log: logw, Parallel: perf.Parallel,
-		ChunkSize: perf.Chunk, NoBatch: *noBatch}
+		ChunkSize: perf.Chunk, NoBatch: *noBatch,
+		NoMemo: *noMemo, NoSpecialize: *noSpec}
 
 	if *replayPath != "" {
 		doc, err := r.ReplayBench(ctx)

@@ -18,6 +18,10 @@
 //	               every configuration replays each trace chunk in turn
 //	-chunk N       stream the trace in N-entry chunks (bounded memory;
 //	               the printed tables are identical at every setting)
+//	-nomemo        disable basic-block timing memoization (the printed
+//	               tables are identical either way)
+//	-nospecialize  disable config-specialized replay kernels (likewise
+//	               identical output)
 //	-cpuprofile f  write a CPU profile
 //	-memprofile f  write a heap profile at exit
 package main
@@ -41,6 +45,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print the full metrics summary")
 	pipeview := flag.Int("pipeview", 0, "render the first N instructions' pipeline stages")
 	all := flag.Bool("all", false, "compare every configuration")
+	noMemo := flag.Bool("nomemo", false, "disable basic-block timing memoization (identical output)")
+	noSpec := flag.Bool("nospecialize", false, "disable config-specialized replay kernels (identical output)")
 	perf := cli.PerfFlags()
 	flag.Parse()
 	perf.Start("elag-sim")
@@ -83,6 +89,9 @@ func main() {
 			}
 			specs = append(specs, elag.BatchSpec{Config: c})
 		}
+		for i := range specs {
+			specs[i].NoMemo, specs[i].NoSpecialize = *noMemo, *noSpec
+		}
 		metrics, _, err := p.SimulateBatchContext(ctx, specs, *fuel, perf.Chunk)
 		if err != nil {
 			perf.CheckContext(err)
@@ -103,8 +112,9 @@ func main() {
 		cli.Fatal("elag-sim", err)
 	}
 	// Base and the chosen configuration share one emulation pass.
-	ms, res, err := p.SimulateBatchContext(ctx,
-		[]elag.BatchSpec{{Config: elag.BaseConfig()}, {Config: cfg}}, *fuel, perf.Chunk)
+	ms, res, err := p.SimulateBatchContext(ctx, []elag.BatchSpec{
+		{Config: elag.BaseConfig(), NoMemo: *noMemo, NoSpecialize: *noSpec},
+		{Config: cfg, NoMemo: *noMemo, NoSpecialize: *noSpec}}, *fuel, perf.Chunk)
 	if err != nil {
 		perf.CheckContext(err)
 		cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", *config, err))

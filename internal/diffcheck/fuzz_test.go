@@ -37,6 +37,32 @@ func FuzzOptLevels(f *testing.F) {
 	})
 }
 
+// FuzzReplayMemo feeds generator seeds to the fast-path equivalence
+// checker: whatever program the seed produces must replay identically
+// (modulo the Memo counters) with memoization and kernel specialization
+// on or off, in every combination, under every reference configuration.
+// A seed that trips a divergence is a minimized witness against the block
+// fingerprint, the guard match, or the recording replay.
+func FuzzReplayMemo(f *testing.F) {
+	for seed := int64(1); seed <= 20; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := GenProgram(seed)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		rep, err := CheckMemoEquivalence(p, Options{Fuel: 200_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	})
+}
+
 func FuzzRandomProgram(f *testing.F) {
 	for seed := int64(1); seed <= 20; seed++ {
 		f.Add(seed)

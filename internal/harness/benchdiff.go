@@ -10,7 +10,7 @@ import (
 )
 
 // Perf-regression gate: BenchDiff compares two bench documents — either
-// two elag-replaybench/v2 or two elag-compilebench/v1 files — entry by
+// two elag-replaybench/v3 or two elag-compilebench/v1 files — entry by
 // entry, and reports every metric whose regression exceeds a threshold.
 // CI runs it against the checked-in baselines (BENCH_replay.json,
 // BENCH_compile.json) so a hot-path regression fails the build with the
@@ -133,7 +133,7 @@ func BenchDiffFiles(oldPath, newPath string, threshold float64) (*DiffReport, er
 }
 
 // BenchDiff compares baseline oldRaw against candidate newRaw. Both must
-// carry the same schema (elag-replaybench/v2 or elag-compilebench/v1);
+// carry the same schema (elag-replaybench/v3 or elag-compilebench/v1);
 // replay documents must additionally agree on fuel. threshold <= 0 takes
 // the 0.15 default.
 func BenchDiff(oldRaw, newRaw []byte, oldPath, newPath string, threshold float64) (*DiffReport, error) {
@@ -163,13 +163,16 @@ func BenchDiff(oldRaw, newRaw []byte, oldPath, newPath string, threshold float64
 }
 
 // replayMetrics are the gated metrics of a replay bench entry. MInstPerSec
-// is throughput (higher is better); the rest are costs.
+// is throughput (higher is better); the rest are costs. MemoHitRate is
+// gated too: replay is deterministic, so a hit-rate drop is a memo-policy
+// or fingerprint regression, not machine noise.
 var replayMetrics = []benchMetric{
 	{"ns_per_op", false, func(v any) float64 { return float64(v.(ReplayBenchResult).NsPerOp) }},
 	{"allocs_per_op", false, func(v any) float64 { return float64(v.(ReplayBenchResult).AllocsPerOp) }},
 	{"bytes_per_op", false, func(v any) float64 { return float64(v.(ReplayBenchResult).BytesPerOp) }},
 	{"minst_per_sec", true, func(v any) float64 { return v.(ReplayBenchResult).MInstPerSec }},
 	{"peak_bytes", false, func(v any) float64 { return float64(v.(ReplayBenchResult).PeakBytes) }},
+	{"memo_hit_rate", true, func(v any) float64 { return v.(ReplayBenchResult).MemoHitRate }},
 }
 
 func diffReplay(oldRaw, newRaw []byte, oldPath, newPath string, threshold float64) (*DiffReport, error) {

@@ -1,6 +1,10 @@
 package harness
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"elag/internal/pipeline"
+)
 
 // Counters aggregates the harness's work volume for an external metrics
 // layer (elag-serve's /metrics endpoint). All fields are atomics updated
@@ -22,6 +26,35 @@ type Counters struct {
 	// entries — the same unit as a simulate job's fuel.
 	Chunks atomic.Int64
 	Insts  atomic.Int64
+
+	// MemoHits / MemoMisses / MemoBlockEntries aggregate the block-timing
+	// memoizer's counters across every finished simulation. The invariant
+	// MemoHits + MemoMisses == MemoBlockEntries holds at every scrape:
+	// all three are added from one MemoStats snapshot in one call.
+	MemoHits         atomic.Int64
+	MemoMisses       atomic.Int64
+	MemoBlockEntries atomic.Int64
+	// KernelLevel is the highest replay-kernel variant observed (see
+	// pipeline.Sim.KernelID): 0 generic, 1 specialized dispatch, 2
+	// specialized plus fused direct-mapped cache leaves.
+	KernelLevel atomic.Int64
+}
+
+// CountMemo folds one simulation's memo counters and kernel selection into
+// the aggregate. nil-safe. Called once per finished Sim, off the hot path.
+func (c *Counters) CountMemo(st pipeline.MemoStats) {
+	if c == nil {
+		return
+	}
+	c.MemoHits.Add(st.Hits)
+	c.MemoMisses.Add(st.Misses)
+	c.MemoBlockEntries.Add(st.BlockEntries)
+	for {
+		cur := c.KernelLevel.Load()
+		if int64(st.Kernel) <= cur || c.KernelLevel.CompareAndSwap(cur, int64(st.Kernel)) {
+			return
+		}
+	}
 }
 
 // CountChunk records one replayed chunk of n entries. nil-safe.

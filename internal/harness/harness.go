@@ -60,6 +60,12 @@ type Runner struct {
 	// Results are bit-identical with batching on or off; the switch exists
 	// for wall-time comparison and the determinism tests.
 	NoBatch bool
+	// NoMemo disables basic-block timing memoization in every simulation
+	// this runner starts; NoSpecialize disables the config-specialized
+	// replay kernels. Results are byte-identical at every setting — both
+	// are escape hatches and differential-testing levers.
+	NoMemo       bool
+	NoSpecialize bool
 	// Counters, when non-nil, receives work-volume telemetry (lab-cache
 	// hits/misses, replayed chunks and entries). Purely observational:
 	// results are byte-identical with or without it.
@@ -147,6 +153,8 @@ type Lab struct {
 	fuel     int64     // runner fuel, for streaming re-emulation
 	chunk    int       // streaming chunk size (0 = materialized)
 	noBatch  bool      // per-cell sequential replay (Runner.NoBatch)
+	noMemo   bool      // Runner.NoMemo
+	noSpec   bool      // Runner.NoSpecialize
 	counters *Counters // work telemetry (Runner.Counters; may be nil)
 
 	baseMu     sync.Mutex
@@ -249,7 +257,8 @@ func (r *Runner) buildLab(ctx context.Context, w *workload.Workload) (*Lab, erro
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	l := &Lab{W: w, Prog: p, Heur: p.Classes,
-		fuel: r.Fuel, chunk: r.ChunkSize, noBatch: r.NoBatch, counters: r.Counters}
+		fuel: r.Fuel, chunk: r.ChunkSize, noBatch: r.NoBatch,
+		noMemo: r.NoMemo, noSpec: r.NoSpecialize, counters: r.Counters}
 
 	lp, profRes, err := profile.CollectContext(ctx, p.Machine, r.Fuel)
 	if err != nil && !errors.Is(err, emu.ErrFuel) {
@@ -341,6 +350,10 @@ func (l *Lab) replayBatch(ctx context.Context, specs []pipeline.BatchSpec, attac
 	if err != nil {
 		return nil, err
 	}
+	for _, sim := range sims {
+		sim.SetNoMemo(l.noMemo)
+		sim.SetNoSpecialize(l.noSpec)
+	}
 	if attach != nil {
 		for i, sim := range sims {
 			attach(i, sim)
@@ -373,6 +386,7 @@ func (l *Lab) replayBatch(ctx context.Context, specs []pipeline.BatchSpec, attac
 	ms := make([]*pipeline.Metrics, len(sims))
 	for i, sim := range sims {
 		ms[i] = sim.Metrics()
+		l.counters.CountMemo(ms[i].Memo)
 	}
 	return ms, nil
 }

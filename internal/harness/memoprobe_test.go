@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"elag/internal/workload"
+)
+
+// TestMemoProbe is a diagnostic: per-workload memo hit statistics under the
+// compiler-directed configuration, across both suites. Run with -v to see
+// the table. The expected shape (and the reason the memoizer self-audits
+// off on real workloads): striding load addresses keep exact block states
+// from recurring, so SPEC coverage tops out well below break-even and the
+// Media workloads show essentially zero recurrence.
+func TestMemoProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	r := &Runner{Fuel: 2_000_000}
+	for _, suite := range []workload.Suite{workload.SPEC, workload.Media} {
+		for _, w := range workload.BySuite(suite) {
+			l, err := r.Lab(context.Background(), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := l.Simulate(context.Background(), CompilerDual(), l.HeurFlavors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := m.Memo
+			t.Logf("%-14s insts=%-9d entries=%-7d hits=%-7d cover=%5.1f%% recs=%-6d evict=%-5d bytes=%d",
+				w.Name, m.Insts, st.BlockEntries, st.Hits,
+				100*float64(st.HitInsts)/float64(m.Insts), st.Recordings, st.Evictions, st.PeakBytes)
+		}
+	}
+}

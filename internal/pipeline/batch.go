@@ -21,10 +21,14 @@ import (
 
 // BatchSpec is one configuration cell of a batched replay: a hardware
 // configuration plus the load-flavour overlay to resolve into its decode
-// cache (nil uses the program's baked-in flavours).
+// cache (nil uses the program's baked-in flavours). NoMemo / NoSpecialize
+// disable the replay fast paths for this cell (results are byte-identical
+// either way — see SetNoMemo / SetNoSpecialize).
 type BatchSpec struct {
-	Config  Config
-	Flavors isa.FlavorOverlay
+	Config       Config
+	Flavors      isa.FlavorOverlay
+	NoMemo       bool
+	NoSpecialize bool
 }
 
 // NewBatch constructs one independent Sim per spec over prog. Any
@@ -36,6 +40,8 @@ func NewBatch(prog *isa.Program, specs []BatchSpec) ([]*Sim, error) {
 		if err != nil {
 			return nil, err
 		}
+		sim.SetNoMemo(sp.NoMemo)
+		sim.SetNoSpecialize(sp.NoSpecialize)
 		sims[i] = sim
 	}
 	return sims, nil
@@ -56,18 +62,9 @@ func RunChunkBatch(sims []*Sim, chunk *emu.Trace) error {
 	eas, baseVals := chunk.EA[:n], chunk.BaseVal[:n]
 	takens := chunk.Taken[:n]
 	seq0 := chunk.Seq0
-	var te emu.TraceEntry
 	for _, s := range sims {
-		for i := 0; i < n; i++ {
-			te.PC = int(pcs[i])
-			te.SeqNum = seq0 + int64(i)
-			te.EA = eas[i]
-			te.BaseVal = baseVals[i]
-			te.Taken = takens[i]
-			te.NextPC = int(nextPCs[i])
-			if err := s.StepInst(&te); err != nil {
-				return err
-			}
+		if err := s.runChunkCols(pcs, nextPCs, eas, baseVals, takens, seq0); err != nil {
+			return err
 		}
 	}
 	return nil

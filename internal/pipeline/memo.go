@@ -1,0 +1,856 @@
+package pipeline
+
+// Basic-block timing memoization: the replay fast path of the specialized
+// kernels. A re-entered static block whose *relevant* machine state matches
+// an earlier entry must, by determinism of StepInst, produce the same
+// per-instruction timing shifted by the difference in entry cycle. The
+// memoizer records one interpretation of a block — the entry state it
+// depended on (the guard) and the state/metric deltas it produced (the
+// effects) — and on a later matching entry applies the effects directly,
+// skipping the interpreter.
+//
+// Everything cycle-valued is rebased against B = Sim.nextFetch at block
+// entry. Every comparison StepInst performs is between two quantities each
+// of the form B+k or a state value, so a uniform shift of all cycle state
+// preserves every branch outcome. State that has fallen far enough into the
+// past that no in-block read can distinguish it (a register ready at or
+// before B+1, a store written back before B+2, ...) is clamped to a single
+// equivalence-class sentinel; the clamp thresholds below each cite the
+// tightest read in pipeline.go they must satisfy. Non-cycle state (tags,
+// counters, addresses) is compared exactly. LRU stamps are compared by
+// relative order only (rank), and restored rebased against the current
+// stamp counter, which reproduces exactly the stamps interpretation would
+// have assigned (stamp counters advance deterministically per operation).
+//
+// Correctness bar: all observable outputs — Metrics, per-PC attribution,
+// event streams, artifact JSON — are byte-identical with memoization on or
+// off. Internal dead state (stale fill entries, written-back store slots,
+// unreadably-old stamps, cached-but-never-compared register-cache values)
+// may differ between the two runs; every guard and every read path treats
+// such state as don't-care, consistently.
+
+import (
+	"elag/internal/addrpred"
+	"elag/internal/bpred"
+	"elag/internal/cache"
+	"elag/internal/earlycalc"
+	"elag/internal/isa"
+)
+
+const (
+	// memoMinLen / memoMaxLen bound the instruction count of a memoized
+	// block. Shorter blocks don't amortize the guard; longer ones make the
+	// guard (EA columns, touched sets) too wide to hit.
+	memoMinLen = 4
+	memoMaxLen = 64
+	// memoResHorizon is the guarded resource-window length: per-cycle
+	// resource counts at B+2 .. B+1+memoResHorizon may be guarded; a block
+	// probing a resource beyond that aborts its recording.
+	memoResHorizon = 128
+	// Recording economics: capture is the expensive side of memoization (a
+	// hit is pure profit), so each head must earn its keep. A head records
+	// while hits*2 + memoRecAllowance >= recordings: the allowance funds the
+	// cold start (steady-state hits only flow once a head's recurring entry
+	// states are all captured, which can take tens of recordings), and past
+	// it every recording must be matched by half a hit. Heads that stop
+	// paying fall back to sampling one miss in memoRetryMask+1, so a phase
+	// change can still re-earn recording rights.
+	memoRecAllowance = 16
+	memoROIShift     = 1 // require hits*2 to cover post-allowance recordings
+	memoRetryMask    = 31
+	// Global payoff gate: blocks whose states recur (hot loops) make
+	// memoization a large win, but workloads whose entry states churn make
+	// it a net loss — capture costs far more than a hit saves. The memoizer
+	// therefore audits itself: every memoProbation block entries it compares
+	// instructions replayed by hits against the modeled cost of the
+	// recordings and lookups (in interpreted-instruction equivalents:
+	// memoRecCost per recording, memoEntryCost per lookup) and shuts itself
+	// off for the rest of the Sim's life the first time it is behind.
+	// Workloads that pay keep the fast path; workloads that don't converge
+	// to interpreter speed after one cheap probation window.
+	// During probation — before the first audit passes — recording is
+	// restricted to one variant per head: enough for stable-state loops
+	// (whose single variant hits immediately) to prove themselves, while a
+	// churning workload's probation tax stays near the noise floor. A
+	// passing audit unlocks the full allowance.
+	memoProbation = 256
+	memoRecCost   = 384
+	memoEntryCost = 4
+	// numTracks indexes Sim.tracks: issue, ALU, FP, branch, memory port.
+	numTracks = 5
+	trIssue   = 0
+	trPort    = 4
+)
+
+// DefaultMemoBudget bounds the per-Sim recording store (bytes); least
+// recently hit recordings are evicted past it, and their shells are
+// recycled, so a budget small enough to cycle keeps steady-state capture
+// nearly allocation-free while LRU protects the recordings that pay.
+// Override with SetMemoBudget.
+const DefaultMemoBudget = 16 << 20
+
+// MemoStats reports the block-timing memoizer's behaviour for one Sim.
+type MemoStats struct {
+	// BlockEntries counts memo attempts: block-head entries where the gate
+	// conditions held and a lookup was performed. Hits+Misses==BlockEntries.
+	BlockEntries int64 `json:"block_entries"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	// HitInsts counts instructions replayed via memo application.
+	HitInsts   int64 `json:"hit_insts"`
+	Recordings int64 `json:"recordings"`
+	Evictions  int64 `json:"evictions"`
+	Bytes      int64 `json:"bytes"`
+	PeakBytes  int64 `json:"peak_bytes"`
+	// GuardMisses counts misses where a recording with the block's exact
+	// dynamic content existed but its entry-state guard did not match —
+	// the state-variant (rather than content-variant) miss population.
+	GuardMisses int64 `json:"guard_misses"`
+	// Kernel is the replay kernel variant the Sim selected (see
+	// Sim.KernelID): 0 generic, 1 specialized dispatch, 2 specialized plus
+	// fused direct-mapped cache leaves. Aggregation keeps the maximum.
+	Kernel int `json:"kernel"`
+}
+
+// HitRate returns Hits/BlockEntries.
+func (m MemoStats) HitRate() float64 {
+	if m.BlockEntries == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.BlockEntries)
+}
+
+// Add accumulates other into m (for aggregation across sims).
+func (m *MemoStats) Add(other MemoStats) {
+	m.BlockEntries += other.BlockEntries
+	m.Hits += other.Hits
+	m.Misses += other.Misses
+	m.HitInsts += other.HitInsts
+	m.Recordings += other.Recordings
+	m.Evictions += other.Evictions
+	m.Bytes += other.Bytes
+	m.PeakBytes += other.PeakBytes
+	m.GuardMisses += other.GuardMisses
+	if other.Kernel > m.Kernel {
+		m.Kernel = other.Kernel
+	}
+}
+
+// ---- clamps -----------------------------------------------------------
+//
+// Each clamp maps values indistinguishable by any in-block (or later) read
+// to one sentinel. rel is v-B throughout.
+
+// clampReg: register ready times are read as `t > e` (e >= B+3), as
+// `regReady[Base] > d1` (d1 >= B+1, the tightest), and as `ready <= c`
+// (c >= B+2). Any v <= B+1 compares identically everywhere.
+func clampReg(v, b int64) int64 {
+	if v-b <= 1 {
+		return 1
+	}
+	return v - b
+}
+
+// clampHist: issue-history entries are read as `f < h-2` with f >= B, so
+// any h <= B+2 is uniformly "no back-pressure".
+func clampHist(v, b int64) int64 {
+	if v-b <= 2 {
+		return 2
+	}
+	return v - b
+}
+
+// clampLastIssue: read as `ePipe < lastIssue` with ePipe >= B+3.
+func clampLastIssue(v, b int64) int64 {
+	if v-b <= 3 {
+		return 3
+	}
+	return v - b
+}
+
+// clampICCycle: read as `f == icLastCycle` with f >= B; anything below B
+// can never match.
+func clampICCycle(v, b int64) int64 {
+	if v-b < 0 {
+		return -1
+	}
+	return v - b
+}
+
+// clampICReady: read as `f >= icLastReady` and `icLastReady > f` with
+// f >= B; anything at or below B behaves as "ready long ago".
+func clampICReady(v, b int64) int64 {
+	if v-b <= 0 {
+		return 0
+	}
+	return v - b
+}
+
+// clampStoreMax: read as `storeMaxMem < cycle` with cycle >= B+2.
+func clampStoreMax(v, b int64) int64 {
+	if v-b < 2 {
+		return -1
+	}
+	return v - b
+}
+
+// clampStoreExe: read as `st.exe >= cycle` with cycle >= B+2 (only on live
+// slots).
+func clampStoreExe(v, b int64) int64 {
+	if v-b <= 1 {
+		return -1
+	}
+	return v - b
+}
+
+// clampGroup: groupCycle is read as `f < groupCycle` and `f == groupCycle`
+// with f >= B; any value below B is uniformly stale (and is overwritten
+// with f before groupCount is ever read).
+func clampGroup(v, b int64) int64 {
+	if v-b < 0 {
+		return -1
+	}
+	return v - b
+}
+
+// ---- recording structures --------------------------------------------
+
+type regRel struct {
+	r   uint8
+	rel int64
+}
+
+// resGuard guards one resource track: pre[j] is the logical use count at
+// cycle B+2+j, for j in [0, q-1] (covering every cycle the block probed).
+type resGuard struct {
+	q   int32
+	pre []uint8
+}
+
+type resAdd struct {
+	tr  uint8
+	rel int32
+	add uint8
+}
+
+// storeLive guards one live store-ring slot at entry, identified by its
+// backward offset from the ring head (1 = most recently recorded). The
+// offset pins which relative slots in-block stores overwrite.
+type storeLive struct {
+	back   uint8
+	exeRel int64 // clamped: <= B+1 is dead for every in-block interlock query
+	memRel int64
+	ea     int64
+	width  int64
+}
+
+type storeAdd struct {
+	exeRel, memRel, ea, width int64
+}
+
+type fillOp struct {
+	del     bool
+	block   int64
+	doneRel int64
+}
+
+// fillLive is one in-flight cache fill at block entry: pending for at least
+// one in-block access cycle (done >= B+1), so its presence and completion
+// time are behaviour the guard must pin. Completed entries (done <= B) are
+// dead — any touch removes them and proceeds exactly as if they were absent.
+type fillLive struct {
+	block   int64
+	doneRel int64
+}
+
+// collectLiveFills gathers t's live fills relative to b into buf (sorted by
+// block; blocks are unique in the fill list). Stale entries are skipped:
+// they are behaviourally invisible at every in-block access cycle.
+func collectLiveFills(t *timedCache, b int64, buf []fillLive) []fillLive {
+	for _, f := range t.fills {
+		if f.done-b >= 1 {
+			buf = append(buf, fillLive{block: f.block, doneRel: f.done - b})
+		}
+	}
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].block < buf[j-1].block; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return buf
+}
+
+// setRef names one guarded set whose pre-state snapshot lives in the
+// recording's shared arena (wayPre for caches, tabPre for the predictor
+// table) at [off, off+n). Flat arenas keep a recording to a handful of
+// allocations regardless of how many sets the block touches.
+type setRef struct {
+	set    int64
+	off, n int32
+}
+
+type wayPatch struct {
+	set  int64
+	way  uint8
+	snap cache.WaySnap // LRU holds the stamp-relative value (lru - preStamp)
+}
+
+type tabPatch struct {
+	set  int64
+	way  uint8
+	snap addrpred.EntrySnap // LRU holds the stamp-relative value
+}
+
+type btbGuard struct {
+	idx  int64
+	snap bpred.EntrySnap
+}
+
+type rcPatch struct {
+	idx  uint8
+	snap earlycalc.EntrySnap // LRU holds the stamp-relative value
+}
+
+// metricsDelta is the subset of Metrics StepInst mutates directly (the
+// component stats are deltas on the components themselves; Cycles and the
+// component mirrors are recomputed by Metrics()).
+type metricsDelta struct {
+	insts, loads, stores, branches, mispredicts int64
+	predict, early                              PathStats
+	loadLatSum, zeroCyc, oneCyc                 int64
+}
+
+func captureMetrics(m *Metrics) metricsDelta {
+	return metricsDelta{
+		insts: m.Insts, loads: m.Loads, stores: m.Stores,
+		branches: m.Branches, mispredicts: m.Mispredicts,
+		predict: m.Predict, early: m.Early,
+		loadLatSum: m.LoadLatencySum, zeroCyc: m.ZeroCycleLoads, oneCyc: m.OneCycleLoads,
+	}
+}
+
+func (d *metricsDelta) subFrom(post metricsDelta) metricsDelta {
+	return metricsDelta{
+		insts: post.insts - d.insts, loads: post.loads - d.loads,
+		stores: post.stores - d.stores, branches: post.branches - d.branches,
+		mispredicts: post.mispredicts - d.mispredicts,
+		predict:     subPathStats(post.predict, d.predict),
+		early:       subPathStats(post.early, d.early),
+		loadLatSum:  post.loadLatSum - d.loadLatSum,
+		zeroCyc:     post.zeroCyc - d.zeroCyc, oneCyc: post.oneCyc - d.oneCyc,
+	}
+}
+
+func (d *metricsDelta) addTo(m *Metrics) {
+	m.Insts += d.insts
+	m.Loads += d.loads
+	m.Stores += d.stores
+	m.Branches += d.branches
+	m.Mispredicts += d.mispredicts
+	addPathStats(&m.Predict, d.predict)
+	addPathStats(&m.Early, d.early)
+	m.LoadLatencySum += d.loadLatSum
+	m.ZeroCycleLoads += d.zeroCyc
+	m.OneCycleLoads += d.oneCyc
+}
+
+func subPathStats(a, b PathStats) PathStats {
+	return PathStats{
+		Eligible: a.Eligible - b.Eligible, Speculated: a.Speculated - b.Speculated,
+		Forwarded: a.Forwarded - b.Forwarded, NoPrediction: a.NoPrediction - b.NoPrediction,
+		RegMiss: a.RegMiss - b.RegMiss, RegInterlock: a.RegInterlock - b.RegInterlock,
+		MemInterlock: a.MemInterlock - b.MemInterlock, NoPort: a.NoPort - b.NoPort,
+		CacheMiss: a.CacheMiss - b.CacheMiss, AddrMispredict: a.AddrMispredict - b.AddrMispredict,
+	}
+}
+
+func addPathStats(dst *PathStats, d PathStats) {
+	dst.Eligible += d.Eligible
+	dst.Speculated += d.Speculated
+	dst.Forwarded += d.Forwarded
+	dst.NoPrediction += d.NoPrediction
+	dst.RegMiss += d.RegMiss
+	dst.RegInterlock += d.RegInterlock
+	dst.MemInterlock += d.MemInterlock
+	dst.NoPort += d.NoPort
+	dst.CacheMiss += d.CacheMiss
+	dst.AddrMispredict += d.AddrMispredict
+}
+
+func subCacheStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{Accesses: a.Accesses - b.Accesses, Misses: a.Misses - b.Misses,
+		SpecAccesses: a.SpecAccesses - b.SpecAccesses}
+}
+
+// memoRec is one recorded block: the guard a later entry must satisfy and
+// the effects to apply when it does.
+type memoRec struct {
+	key        uint64
+	bnext      *memoRec // bucket chain
+	prev, next *memoRec // LRU list (prev = toward MRU); next doubles as the free-pool link
+	bytes      int
+
+	headPC int32
+	n      int32
+
+	// Trace columns (guard): the dynamic content must match exactly —
+	// effective addresses select cache sets and store interlocks.
+	pcs     []int32
+	nextPCs []int32
+	eas     []int64
+	takens  []bool
+
+	// Entry guard (all rels against B, clamped per the rules above).
+	groupRel     int64
+	groupCount   int32 // compared only when groupRel == 0
+	lastIssueRel int64
+	icLastBlock  int64
+	icCycleRel   int64
+	icReadyRel   int64
+	storeMaxRel  int64
+	histPre      [frontEndSlots]int64 // logical order from seqIdx
+	intReads     []regRel
+	fpReads      []regRel
+	res          [numTracks]resGuard
+	liveStores   []storeLive
+	icLive       []fillLive // in-flight fills at entry, sorted by block
+	dcLive       []fillLive
+	icSets       []setRef
+	dcSets       []setRef
+	wayPre       []cache.WaySnap // shared snapshot arena for icSets+dcSets
+	tabSets      []setRef
+	tabPre       []addrpred.EntrySnap
+	btbs         []btbGuard
+	rc           []earlycalc.EntrySnap // Value zeroed; LRU by rank
+
+	// Exit effects.
+	exitFetchRel     int64
+	exitGroupRel     int64
+	exitGroupCount   int32
+	exitLastIssueRel int64
+	exitICBlock      int64
+	exitICCycleRel   int64
+	exitICReadyRel   int64
+	blockMaxRel      int64
+	histPost         []int64 // newest min(n,18) issue rels, newest first
+	intWrites        []regRel
+	fpWrites         []regRel
+	resAdds          []resAdd
+	storeAdds        []storeAdd
+	icFills, dcFills []fillOp
+	icPatch, dcPatch []wayPatch
+	icStampDelta     int64
+	dcStampDelta     int64
+	tabPatch         []tabPatch
+	tabStampDelta    int64
+	btbPatch         []btbGuard
+	rcPatchs         []rcPatch
+	rcStampDelta     int64
+
+	dm        metricsDelta
+	dICStats  cache.Stats
+	dDCStats  cache.Stats
+	dTabStats addrpred.Stats
+	dBTBStats bpred.Stats
+	dRCStats  earlycalc.Stats
+}
+
+// sizeOf estimates a recording's resident bytes for the LRU budget.
+func (r *memoRec) sizeOf() int {
+	n := 640 // fixed part, rounded up
+	n += len(r.pcs)*4 + len(r.nextPCs)*4 + len(r.eas)*8 + len(r.takens)
+	n += (len(r.intReads) + len(r.fpReads) + len(r.intWrites) + len(r.fpWrites)) * 16
+	for i := range r.res {
+		n += len(r.res[i].pre) + 8
+	}
+	n += len(r.liveStores) * 40
+	n += len(r.storeAdds) * 32
+	n += len(r.wayPre)*24 + (len(r.icSets)+len(r.dcSets))*16
+	n += len(r.tabPre)*48 + len(r.tabSets)*16
+	n += len(r.btbs)*40 + len(r.btbPatch)*40
+	n += len(r.rc)*32 + len(r.rcPatchs)*40
+	n += len(r.histPost) * 8
+	n += len(r.resAdds) * 8
+	n += (len(r.icFills) + len(r.dcFills)) * 24
+	n += (len(r.icLive) + len(r.dcLive)) * 16
+	n += (len(r.icPatch) + len(r.dcPatch)) * 40
+	n += len(r.tabPatch) * 56
+	return n
+}
+
+// ---- memo store -------------------------------------------------------
+
+type headSlot struct {
+	recs   uint32 // recordings made at this head
+	hits   uint32 // hits earned by this head's recordings
+	misses uint32 // misses seen (drives the fallback sampling)
+}
+
+// blockMemo is the per-Sim recording store: a hash of column-keyed bucket
+// chains with an intrusive LRU ordered by last hit/insert.
+type blockMemo struct {
+	buckets  map[uint64]*memoRec
+	mru, lru *memoRec
+	bytes    int
+	budget   int
+	free     *memoRec   // recycled shells (linked via next); capacity survives eviction
+	heads    []headSlot // indexed by head PC
+	dead     bool       // payoff audit failed: memoization is off for good
+	proven   bool       // an audit has passed: full recording allowance unlocked
+	stats    MemoStats
+}
+
+// audit is the global payoff gate (see memoProbation): called every
+// memoProbation block entries, it kills the memoizer the first time the
+// cumulative cost model says interpretation would have been cheaper.
+func (m *blockMemo) audit() {
+	if m.stats.HitInsts < memoRecCost*m.stats.Recordings+memoEntryCost*m.stats.BlockEntries {
+		m.dead = true
+		// The store will never be consulted again; release it.
+		m.buckets = nil
+		m.mru, m.lru, m.free = nil, nil, nil
+		m.bytes = 0
+		m.stats.Bytes = 0
+		return
+	}
+	m.proven = true
+}
+
+func newBlockMemo(progLen int) *blockMemo {
+	return &blockMemo{
+		buckets: make(map[uint64]*memoRec),
+		budget:  DefaultMemoBudget,
+		heads:   make([]headSlot, progLen),
+	}
+}
+
+func memoHash(pcs, nextPCs []int32, eas []int64, i, L int) uint64 {
+	h := uint64(uint32(pcs[i]))*0x9E3779B97F4A7C15 + uint64(L)
+	for j := i; j < i+L; j++ {
+		h ^= uint64(eas[j])
+		h *= 0x100000001B3
+	}
+	h ^= uint64(uint32(nextPCs[i+L-1]))
+	h *= 0x100000001B3
+	return h
+}
+
+func (m *blockMemo) lruRemove(r *memoRec) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		m.mru = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		m.lru = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+func (m *blockMemo) lruFront(r *memoRec) {
+	r.prev, r.next = nil, m.mru
+	if m.mru != nil {
+		m.mru.prev = r
+	}
+	m.mru = r
+	if m.lru == nil {
+		m.lru = r
+	}
+}
+
+func (m *blockMemo) touch(r *memoRec) {
+	if m.mru == r {
+		return
+	}
+	m.lruRemove(r)
+	m.lruFront(r)
+}
+
+func (m *blockMemo) insert(r *memoRec) {
+	r.bytes = r.sizeOf()
+	r.bnext = m.buckets[r.key]
+	m.buckets[r.key] = r
+	m.lruFront(r)
+	m.bytes += r.bytes
+	m.stats.Recordings++
+	m.stats.Bytes = int64(m.bytes)
+	for m.bytes > m.budget && m.mru != m.lru {
+		m.evict(m.lru)
+	}
+	m.stats.Bytes = int64(m.bytes)
+	if m.stats.Bytes > m.stats.PeakBytes {
+		m.stats.PeakBytes = m.stats.Bytes
+	}
+}
+
+func (m *blockMemo) evict(r *memoRec) {
+	// Unlink from the bucket chain.
+	head := m.buckets[r.key]
+	if head == r {
+		if r.bnext == nil {
+			delete(m.buckets, r.key)
+		} else {
+			m.buckets[r.key] = r.bnext
+		}
+	} else {
+		for p := head; p != nil; p = p.bnext {
+			if p.bnext == r {
+				p.bnext = r.bnext
+				break
+			}
+		}
+	}
+	m.lruRemove(r)
+	m.bytes -= r.bytes
+	m.stats.Evictions++
+	m.release(r)
+}
+
+// newRec returns a recycled recording shell, or a fresh one. Slice fields
+// keep their capacity; the finalizer rebuilds every field with append(f[:0])
+// and assigns every scalar, so no zeroing is needed here beyond the links.
+func (m *blockMemo) newRec() *memoRec {
+	r := m.free
+	if r == nil {
+		return &memoRec{}
+	}
+	m.free = r.next
+	r.next, r.bnext, r.prev = nil, nil, nil
+	return r
+}
+
+// release returns an evicted or never-inserted shell to the pool.
+func (m *blockMemo) release(r *memoRec) {
+	r.bnext, r.prev = nil, nil
+	r.next = m.free
+	m.free = r
+}
+
+// shouldRecord implements the per-head return-on-investment throttle
+// described at memoRecAllowance above.
+func (m *blockMemo) shouldRecord(pc int32) bool {
+	h := &m.heads[pc]
+	h.misses++
+	if !m.proven {
+		if h.recs == 0 {
+			h.recs++
+			return true
+		}
+		return false
+	}
+	if h.hits<<memoROIShift+memoRecAllowance >= h.recs {
+		h.recs++
+		return true
+	}
+	if h.misses&memoRetryMask == 0 {
+		h.recs++
+		return true
+	}
+	return false
+}
+
+func (m *blockMemo) noteHit(r *memoRec) {
+	m.heads[r.headPC].hits++
+}
+
+// ---- recorder ---------------------------------------------------------
+
+// recSet is one touched set during recording: its snapshot lives in the
+// shared arena at [off, off+n).
+type recSet struct {
+	set    int64
+	off, n int32
+}
+
+// memoRecorder is the reusable capture arena for one in-progress block
+// recording. One per Sim, reset per recording; it allocates only when a
+// capacity grows past every prior block's.
+type memoRecorder struct {
+	active  bool
+	aborted bool
+	start   int // chunk index of the block head
+	base    int64
+
+	preRegReady [isa.NumIntRegs]int64
+	preFPReady  [isa.NumFPRegs]int64
+	preHist     [frontEndSlots]int64
+	preSeqIdx   int
+
+	preGroupCycle  int64
+	preGroupCount  int
+	preLastIssue   int64
+	preICLastBlock int64
+	preICLastCycle int64
+	preICLastReady int64
+	preStoreMax    int64
+	preStores      [64]storeRec
+	preStoreHead   int
+	savedMaxDone   int64
+
+	preStampIC, preStampDC, preStampTab, preStampRC int64
+
+	preM        metricsDelta
+	preICStats  cache.Stats
+	preDCStats  cache.Stats
+	preTabStats addrpred.Stats
+	preBTBStats bpred.Stats
+	preRCStats  earlycalc.Stats
+
+	resTouched [numTracks]bool
+	resWin     [numTracks][memoResHorizon]uint8
+	resMaxRel  [numTracks]int64
+
+	icTouched []recSet
+	dcTouched []recSet
+	wayBuf    []cache.WaySnap
+	tabSets   []recSet
+	tabBuf    []addrpred.EntrySnap
+	btbIdx    []int64
+	btbPre    []bpred.EntrySnap
+	rcTouched bool
+	rcPre     []earlycalc.EntrySnap
+
+	icFills []fillOp
+	dcFills []fillOp
+
+	preICLive []fillLive
+	preDCLive []fillLive
+
+	// scratch for finalize-time set diffs and register walk
+	snapScratch []cache.WaySnap
+	tabScratch  []addrpred.EntrySnap
+	rcScratch   []earlycalc.EntrySnap
+	fillScratch []fillLive
+	intW, fpW   [64]bool
+	intR, fpR   [64]bool
+}
+
+// touchCacheSet pre-snapshots the set addr maps to in cache ci, once.
+func (r *memoRecorder) touchCacheSet(ci uint8, c *cache.Cache, addr int64) {
+	if r.aborted {
+		return
+	}
+	set := c.SetIndexOf(addr)
+	touched := &r.icTouched
+	if ci == 1 {
+		touched = &r.dcTouched
+	}
+	for i := range *touched {
+		if (*touched)[i].set == set {
+			return
+		}
+	}
+	off := int32(len(r.wayBuf))
+	r.wayBuf = c.SnapSet(set, r.wayBuf)
+	*touched = append(*touched, recSet{set: set, off: off, n: int32(len(r.wayBuf)) - off})
+}
+
+func (r *memoRecorder) noteFill(ci uint8, op fillOp) {
+	if r.aborted {
+		return
+	}
+	if ci == 0 {
+		r.icFills = append(r.icFills, op)
+	} else {
+		r.dcFills = append(r.dcFills, op)
+	}
+}
+
+// touchTableSet pre-snapshots the predictor set pc maps to, once.
+func (r *memoRecorder) touchTableSet(t *addrpred.Table, pc int) {
+	if r.aborted {
+		return
+	}
+	set := t.SetIndexOf(pc)
+	for i := range r.tabSets {
+		if r.tabSets[i].set == set {
+			return
+		}
+	}
+	off := int32(len(r.tabBuf))
+	r.tabBuf = t.SnapSet(set, r.tabBuf)
+	r.tabSets = append(r.tabSets, recSet{set: set, off: off, n: int32(len(r.tabBuf)) - off})
+}
+
+// touchBTB pre-snapshots the BTB entry pc maps to, once.
+func (r *memoRecorder) touchBTB(b *bpred.BTB, pc int) {
+	if r.aborted {
+		return
+	}
+	idx := b.IndexOf(pc)
+	for _, v := range r.btbIdx {
+		if v == idx {
+			return
+		}
+	}
+	r.btbIdx = append(r.btbIdx, idx)
+	r.btbPre = append(r.btbPre, b.SnapEntry(idx))
+}
+
+// touchRegCache pre-snapshots the whole register cache, once.
+func (r *memoRecorder) touchRegCache(c *earlycalc.Cache) {
+	if r.aborted || r.rcTouched {
+		return
+	}
+	r.rcTouched = true
+	r.rcPre = c.Snap(r.rcPre[:0])
+}
+
+// resPre captures track tr's pre window on first touch. Must run before
+// the first in-block mutation (tryUse) of the track; read-only avail
+// probes before it are harmless.
+func (r *memoRecorder) resPre(s *Sim, tr int) {
+	if r.aborted || r.resTouched[tr] {
+		return
+	}
+	r.resTouched[tr] = true
+	t := s.tracks[tr]
+	for j := 0; j < memoResHorizon; j++ {
+		r.resWin[tr][j] = t.peek(r.base + 2 + int64(j))
+	}
+}
+
+// resNote records the highest cycle the block probed on track tr; a probe
+// past the guarded horizon aborts the recording.
+func (r *memoRecorder) resNote(tr int, cycle int64) {
+	if r.aborted {
+		return
+	}
+	rel := cycle - r.base
+	if rel < 2 || rel > 1+memoResHorizon {
+		r.aborted = true
+		return
+	}
+	if rel > r.resMaxRel[tr] {
+		r.resMaxRel[tr] = rel
+	}
+}
+
+// resTouch is resPre+resNote for single-point reservation sites.
+func (r *memoRecorder) resTouch(s *Sim, tr int, cycle int64) {
+	r.resPre(s, tr)
+	r.resNote(tr, cycle)
+}
+
+func (r *memoRecorder) reset() {
+	r.active = true
+	r.aborted = false
+	r.icTouched = r.icTouched[:0]
+	r.dcTouched = r.dcTouched[:0]
+	r.wayBuf = r.wayBuf[:0]
+	r.tabSets = r.tabSets[:0]
+	r.tabBuf = r.tabBuf[:0]
+	r.btbIdx = r.btbIdx[:0]
+	r.btbPre = r.btbPre[:0]
+	r.rcTouched = false
+	r.icFills = r.icFills[:0]
+	r.dcFills = r.dcFills[:0]
+	r.preICLive = r.preICLive[:0]
+	r.preDCLive = r.preDCLive[:0]
+	for i := range r.resTouched {
+		r.resTouched[i] = false
+		r.resMaxRel[i] = 0
+	}
+}

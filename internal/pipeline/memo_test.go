@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"elag/internal/addrpred"
+	"elag/internal/asm"
+	"elag/internal/earlycalc"
+	"elag/internal/emu"
+	"elag/internal/isa"
+)
+
+// memoTestConfigs covers every speculation path plus the base machine and a
+// set-associative cache (which disables the fused DM kernel but not memo).
+func memoTestConfigs() []Config {
+	return []Config{
+		{},
+		{Select: SelCompiler, Predictor: &addrpred.Config{Entries: 64},
+			RegCache: &earlycalc.Config{Entries: 1}},
+		{Select: SelAllPredict, Predictor: &addrpred.Config{Entries: 16}},
+		{Select: SelAllEarly, RegCache: &earlycalc.Config{Entries: 4}},
+		{Select: SelHWDual, Predictor: &addrpred.Config{Entries: 64},
+			RegCache: &earlycalc.Config{Entries: 4}},
+	}
+}
+
+// normMemo strips the simulator-side memo counters so two Metrics can be
+// compared for machine-visible equality.
+func normMemo(m *Metrics) Metrics {
+	n := *m
+	n.Memo = MemoStats{}
+	return n
+}
+
+// replayModes runs one trace through a fresh Sim per mode and requires every
+// machine-visible metric to be byte-identical to the all-off baseline.
+func replayModes(t *testing.T, cfg Config, p *isa.Program, trace *emu.Trace, chunk int) MemoStats {
+	t.Helper()
+	run := func(noMemo, noSpec bool) *Metrics {
+		s := mustSim(t, cfg, p)
+		s.SetNoMemo(noMemo)
+		s.SetNoSpecialize(noSpec)
+		if chunk <= 0 {
+			m, err := s.Run(trace)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			return m
+		}
+		for off := 0; off < trace.Len(); off += chunk {
+			end := off + chunk
+			if end > trace.Len() {
+				end = trace.Len()
+			}
+			if err := s.RunChunk(trace.Slice(off, end)); err != nil {
+				t.Fatalf("chunk: %v", err)
+			}
+		}
+		return s.Metrics()
+	}
+	base := run(true, true) // plain interpreter, generic dispatch
+	var fastStats MemoStats
+	for _, mode := range []struct {
+		name           string
+		noMemo, noSpec bool
+	}{
+		{"memo+spec", false, false},
+		{"memo-only", false, true},
+		{"spec-only", true, false},
+	} {
+		got := run(mode.noMemo, mode.noSpec)
+		if !mode.noMemo && !mode.noSpec {
+			fastStats = got.Memo
+		}
+		if a, b := normMemo(base), normMemo(got); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s (chunk=%d) diverged from interpreter:\nbase: %+v\ngot:  %+v",
+				mode.name, chunk, a, b)
+		}
+	}
+	return fastStats
+}
+
+// TestMemoEquivalenceRandomPrograms: memoized and specialized replay must be
+// byte-identical to the plain interpreter on random programs across every
+// configuration and several chunkings.
+func TestMemoEquivalenceRandomPrograms(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		src := genProgram(seed)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		_, trace, err := emu.RunTrace(p, 200_000, true)
+		if err != nil {
+			t.Fatalf("seed %d: emulate: %v", seed, err)
+		}
+		for ci, cfg := range memoTestConfigs() {
+			for _, chunk := range []int{0, 257, 4096} {
+				st := replayModes(t, cfg, p, trace, chunk)
+				if testing.Verbose() {
+					t.Logf("seed %d cfg %d chunk %d: entries=%d hits=%d (%.0f%% insts) recs=%d bytes=%d",
+						seed, ci, chunk, st.BlockEntries, st.Hits,
+						100*float64(st.HitInsts)/float64(trace.Len()), st.Recordings, st.Bytes)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoHitsLoopWorkload: a hot loop must actually hit the memoizer —
+// the fast path is pointless if recordings never replay.
+func TestMemoHitsLoopWorkload(t *testing.T) {
+	src := loopOf(5000, `
+		ld8_p r1, r20(0)
+		add r2, r1, r2
+		ld8_e r3, r21(8)
+		st8 r2, r20(64)
+		mul r4, r3, 3
+	`)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := emu.RunTrace(p, 1_000_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Select: SelCompiler, Predictor: &addrpred.Config{Entries: 64},
+		RegCache: &earlycalc.Config{Entries: 4}}
+	st := replayModes(t, cfg, p, trace, 0)
+	if st.Hits == 0 {
+		t.Fatalf("hot loop produced no memo hits: %+v", st)
+	}
+	if got := st.Hits + st.Misses; got != st.BlockEntries {
+		t.Fatalf("counter algebra: hits %d + misses %d != entries %d",
+			st.Hits, st.Misses, st.BlockEntries)
+	}
+	t.Logf("loop: %+v hitRate=%.2f instCover=%.2f", st, st.HitRate(),
+		float64(st.HitInsts)/float64(trace.Len()))
+}
+
+// TestMemoEvictionPressure: a tiny budget must keep evicting recordings and
+// fall through to the interpreter — still byte-identical, Evictions > 0,
+// and the store never exceeds its budget by more than one recording.
+func TestMemoEvictionPressure(t *testing.T) {
+	src := genProgram(7)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := emu.RunTrace(p, 300_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := memoTestConfigs()[4]
+	base := func() *Metrics {
+		s := mustSim(t, cfg, p)
+		s.SetNoMemo(true)
+		m, err := s.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}()
+	s := mustSim(t, cfg, p)
+	s.SetMemoBudget(4 << 10)
+	m, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := normMemo(base), normMemo(m); !reflect.DeepEqual(a, b) {
+		t.Fatalf("eviction pressure diverged:\nbase: %+v\ngot:  %+v", a, b)
+	}
+	if m.Memo.Recordings > 2 && m.Memo.Evictions == 0 {
+		t.Fatalf("tiny budget but no evictions: %+v", m.Memo)
+	}
+	t.Logf("pressure: %+v", m.Memo)
+}
+
+// TestMemoAcrossChunkBoundaries: state carried across RunChunk calls must
+// let recordings made in one chunk hit in later chunks, and tiny chunks
+// (which break blocks unnaturally) must stay byte-identical.
+func TestMemoAcrossChunkBoundaries(t *testing.T) {
+	src := loopOf(2000, `
+		ld8_n r1, r20(0)
+		add r2, r1, r2
+		st8 r2, r21(0)
+	`)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := emu.RunTrace(p, 500_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{31, 64, 1000} {
+		replayModes(t, Config{}, p, trace, chunk)
+	}
+}

@@ -59,6 +59,18 @@ func (r *resTrack) at(cycle int64) *uint8 {
 	return &r.count[i]
 }
 
+// peek returns the logical use count at cycle without normalizing the
+// slot: a stale stamp reads as zero. The block-timing memoizer snapshots
+// and compares resource windows this way, so guarding never perturbs the
+// track state the generic path would see.
+func (r *resTrack) peek(cycle int64) uint8 {
+	i := cycle & (resWindow - 1)
+	if r.stamp[i] != cycle {
+		return 0
+	}
+	return r.count[i]
+}
+
 // avail reports whether capacity remains at cycle.
 func (r *resTrack) avail(cycle int64) bool { return *r.at(cycle) < r.cap }
 
@@ -72,50 +84,129 @@ func (r *resTrack) tryUse(cycle int64) bool {
 	return true
 }
 
+// fillEnt is one outstanding (or stale) cache fill. The set of live fills
+// is tiny — bounded by the handful of misses whose latency window overlaps
+// the current cycle — so a linear slice beats a map on every operation and
+// exposes a monotone high-water mark (maxFillDone) that lets the memoizer
+// prove "no fill in flight" with one comparison.
+type fillEnt struct {
+	block int64
+	done  int64
+}
+
 // timedCache adds miss timing to the tag-store cache model: outstanding
 // fills are tracked so that a second access to an in-flight block waits
 // only for the remaining fill latency (the non-blocking prefetch effect of
 // failed speculative loads).
 type timedCache struct {
 	c          *cache.Cache
-	fills      map[int64]int64 // block id -> cycle the fill completes
+	fills      []fillEnt
 	blockShift uint
+	// maxFillDone is the largest completion cycle ever inserted into
+	// fills. It never decreases; when it is <= the current cycle, every
+	// remaining entry is stale (absent, behaviorally).
+	maxFillDone int64
+	// fast routes the tag-store access through cache.AccessDM; set per
+	// chunk by refreshFastPaths when the cache is direct-mapped and
+	// unobserved.
+	fast bool
+	// rec, when non-nil, is the active block recorder: it pre-snapshots
+	// each touched set and logs fill insertions/removals (see memo.go).
+	rec *memoRecorder
+	ci  uint8 // recorder cache index: 0 = icache, 1 = dcache
 	// onMiss, when non-nil, observes each fresh miss: the cycle it began,
 	// the cycle its fill completes, and whether it was speculative.
 	onMiss func(addr, cycle, done int64, spec bool)
 }
 
-func newTimedCache(c *cache.Cache) *timedCache {
+func newTimedCache(c *cache.Cache, ci uint8) *timedCache {
 	shift := uint(0)
 	for b := c.Config().BlockBytes; b > 1; b >>= 1 {
 		shift++
 	}
-	return &timedCache{c: c, fills: make(map[int64]int64), blockShift: shift}
+	return &timedCache{c: c, blockShift: shift, ci: ci}
+}
+
+// findFill returns the index of block's fill entry, or -1. Blocks are
+// unique in fills: live entries are returned before a second insert can
+// happen, and stale ones are removed (or replaced in place) first.
+func (t *timedCache) findFill(block int64) int {
+	for i := range t.fills {
+		if t.fills[i].block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *timedCache) removeFill(i int) {
+	last := len(t.fills) - 1
+	t.fills[i] = t.fills[last]
+	t.fills = t.fills[:last]
+}
+
+// addFill records a fill completing at done, replacing any existing entry
+// for the block (only a stale one can exist), and sweeps stale entries if
+// the slice has grown past the expected live bound.
+func (t *timedCache) addFill(block, done, cycle int64) {
+	if done > t.maxFillDone {
+		t.maxFillDone = done
+	}
+	if i := t.findFill(block); i >= 0 {
+		t.fills[i].done = done
+		return
+	}
+	t.fills = append(t.fills, fillEnt{block: block, done: done})
+	if len(t.fills) > 64 {
+		for i := 0; i < len(t.fills); {
+			if t.fills[i].done <= cycle {
+				t.removeFill(i)
+			} else {
+				i++
+			}
+		}
+	}
 }
 
 // access performs an access at cycle and returns the cycle at the end of
 // which data is available, plus whether it was a true (same-cycle) hit.
 func (t *timedCache) access(addr, cycle int64, spec, allocate bool) (ready int64, hit bool) {
 	block := addr >> t.blockShift
-	var tagHit bool
-	switch {
-	case spec:
-		tagHit = t.c.SpecAccess(addr)
-	case allocate:
-		tagHit = t.c.Access(addr)
-	default:
-		tagHit = t.c.AccessNoAllocate(addr)
+	if t.rec != nil {
+		t.rec.touchCacheSet(t.ci, t.c, addr)
 	}
-	// The fill map is empty for the overwhelming majority of accesses;
-	// skipping the lookup then keeps the hit path allocation- and
-	// hash-free.
+	var tagHit bool
+	if t.fast {
+		tagHit = t.c.AccessDM(addr, spec, allocate)
+	} else {
+		switch {
+		case spec:
+			tagHit = t.c.SpecAccess(addr)
+		case allocate:
+			tagHit = t.c.Access(addr)
+		default:
+			tagHit = t.c.AccessNoAllocate(addr)
+		}
+	}
+	// The fill list is empty for the overwhelming majority of accesses;
+	// skipping the scan then keeps the hit path allocation-free. When the
+	// newest fill has already completed, every entry is stale — drop them
+	// all in O(1). (Stale entries are behaviorally absent, so no removal
+	// needs to be logged for the recorder: replay reaching the same cycles
+	// treats them identically whether present or purged.)
+	if len(t.fills) > 0 && t.maxFillDone <= cycle {
+		t.fills = t.fills[:0]
+	}
 	if len(t.fills) > 0 {
-		if done, ok := t.fills[block]; ok {
-			if done > cycle {
+		if i := t.findFill(block); i >= 0 {
+			if done := t.fills[i].done; done > cycle {
 				// Fill still in flight from an earlier miss.
 				return done, false
 			}
-			delete(t.fills, block)
+			t.removeFill(i)
+			if t.rec != nil {
+				t.rec.noteFill(t.ci, fillOp{del: true, block: block})
+			}
 		}
 	}
 	if tagHit {
@@ -126,13 +217,9 @@ func (t *timedCache) access(addr, cycle int64, spec, allocate bool) (ready int64
 		t.onMiss(addr, cycle, done, spec)
 	}
 	if allocate || spec {
-		t.fills[block] = done
-		if len(t.fills) > 256 {
-			for b, d := range t.fills {
-				if d <= cycle {
-					delete(t.fills, b)
-				}
-			}
+		t.addFill(block, done, cycle)
+		if t.rec != nil {
+			t.rec.noteFill(t.ci, fillOp{block: block, doneRel: done - t.rec.base})
 		}
 	}
 	return done, false
@@ -195,6 +282,15 @@ type Sim struct {
 	ev       Event         // reusable event buffer passed to the sink
 	obsCycle int64         // approximate cycle for component-observer events
 	attrib   []LoadPCStats // per-PC load attribution, set by EnablePerPC
+
+	// Replay fast path (see memo.go and kernel.go).
+	tracks   [numTracks]*resTrack // issue/alu/fp/br/port resource tracks by index
+	memo     *blockMemo           // block-timing memo store (lazily built)
+	rec      *memoRecorder        // non-nil while recording a block
+	recArena *memoRecorder        // reusable recorder backing storage
+	noMemo   bool                 // escape hatch: disable memoization
+	noSpec   bool                 // escape hatch: disable kernel specialization
+	memoOK   bool                 // refreshed per chunk by refreshFastPaths
 }
 
 // New creates a simulation with the given configuration over prog. flavors
@@ -224,8 +320,8 @@ func New(cfg Config, prog *isa.Program, flavors isa.FlavorOverlay) (*Sim, error)
 		cfg:         cfg,
 		prog:        prog,
 		meta:        buildMeta(prog, &cfg, flavors),
-		ic:          newTimedCache(ic),
-		dc:          newTimedCache(dc),
+		ic:          newTimedCache(ic, 0),
+		dc:          newTimedCache(dc, 1),
 		btb:         btb,
 		icLastBlock: -1,
 		icLastCycle: -1,
@@ -235,6 +331,7 @@ func New(cfg Config, prog *isa.Program, flavors isa.FlavorOverlay) (*Sim, error)
 	s.fpRes.cap = uint8(cfg.FPALUs)
 	s.brRes.cap = uint8(cfg.BranchUnits)
 	s.portRes.cap = uint8(cfg.MemPorts)
+	s.tracks = [numTracks]*resTrack{&s.issueRes, &s.aluRes, &s.fpRes, &s.brRes, &s.portRes}
 	if cfg.Predictor != nil {
 		if s.table, err = addrpred.NewTable(*cfg.Predictor); err != nil {
 			return nil, err
@@ -262,6 +359,10 @@ func (s *Sim) Metrics() *Metrics {
 	s.m.ICacheStats = s.ic.c.Stats()
 	s.m.DCacheStats = s.dc.c.Stats()
 	s.m.BTBStats = s.btb.Stats()
+	if s.memo != nil {
+		s.m.Memo = s.memo.stats
+	}
+	s.m.Memo.Kernel = s.KernelID()
 	s.m.PerPC = s.perPC()
 	return &s.m
 }
@@ -280,14 +381,9 @@ func (s *Sim) Run(trace *emu.Trace) (*Metrics, error) {
 // last chunk. The chunk is not retained — StreamTrace's recycled buffers
 // may be passed directly.
 func (s *Sim) RunChunk(chunk *emu.Trace) error {
-	var te emu.TraceEntry
-	for i, n := 0, chunk.Len(); i < n; i++ {
-		chunk.Fill(i, &te)
-		if err := s.StepInst(&te); err != nil {
-			return err
-		}
-	}
-	return nil
+	n := chunk.Len()
+	return s.runChunkCols(chunk.PC[:n], chunk.NextPC[:n], chunk.EA[:n],
+		chunk.BaseVal[:n], chunk.Taken[:n], chunk.Seq0)
 }
 
 // Simulate is the convenience entry point: emulate prog, then replay its
@@ -392,7 +488,7 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	if md.isLoad() {
 		s.m.Loads++
 		s.obsCycle = d2
-		spec = s.speculate(in, md, te, d1, d2, e)
+		spec = s.speculateFast(in, md, te, d1, d2, e)
 		switch spec.path {
 		case pathPredict:
 			spec.applyTo(&s.m.Predict)
@@ -455,6 +551,12 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 				Cause: StallFU, Cycles: fuStall})
 		}
 	}
+	if s.rec != nil {
+		s.rec.resTouch(s, trIssue, e)
+		if fu != nil {
+			s.rec.resTouch(s, int(md.fu), e)
+		}
+	}
 	s.issueRes.tryUse(e)
 	if fu != nil {
 		fu.tryUse(e)
@@ -501,8 +603,14 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 			effLat = ready - e
 		default:
 			m := e + 1
+			if s.rec != nil {
+				s.rec.resPre(s, trPort)
+			}
 			for !s.portRes.tryUse(m) {
 				m++
+			}
+			if s.rec != nil {
+				s.rec.resNote(trPort, m)
 			}
 			s.obsCycle = m
 			dataEnd, _ := s.dc.access(te.EA, m, false, true)
@@ -526,8 +634,14 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 	case md.isStore():
 		s.m.Stores++
 		m := e + 1
+		if s.rec != nil {
+			s.rec.resPre(s, trPort)
+		}
 		for !s.portRes.tryUse(m) {
 			m++
+		}
+		if s.rec != nil {
+			s.rec.resNote(trPort, m)
 		}
 		s.obsCycle = m
 		s.dc.access(te.EA, m, false, false) // write-through, no allocate
@@ -750,9 +864,43 @@ func (s *Sim) speculate(in *isa.Inst, md *instMeta, te *emu.TraceEntry, d1, d2, 
 	return noSpec
 }
 
+// speculateFast dispatches a load's early-address-generation path on the
+// spath byte resolved into the decode cache at construction, so the hot
+// path carries no per-step Select/flavor/component-nil branches. The
+// semantics of every arm are identical to speculate's; SetNoSpecialize
+// rewrites the spath bytes to spGeneric, which falls through to it.
+func (s *Sim) speculateFast(in *isa.Inst, md *instMeta, te *emu.TraceEntry, d1, d2, e int64) specResult {
+	switch md.spath {
+	case spNone:
+		return noSpec
+	case spPredict:
+		return s.specPredict(in, te, d2, e)
+	case spEarlyDirected:
+		return s.specEarly(in, te, d1, d2, e, true)
+	case spEarly:
+		return s.specEarly(in, te, d1, d2, e, false)
+	case spHWDual:
+		interlocked := in.Mode != isa.AMAbsolute && s.regReady[in.Base] > d1
+		if interlocked {
+			if s.table == nil {
+				return noSpec
+			}
+			return s.specPredict(in, te, d2, e)
+		}
+		if s.regcache == nil {
+			return noSpec
+		}
+		return s.specEarly(in, te, d1, d2, e, false)
+	}
+	return s.speculate(in, md, te, d1, d2, e)
+}
+
 func (s *Sim) updatePredictor(te *emu.TraceEntry, predictPath bool) {
 	if s.table == nil {
 		return
+	}
+	if s.rec != nil {
+		s.rec.touchTableSet(s.table, te.PC)
 	}
 	if predictPath {
 		s.table.Update(te.PC, te.EA)
@@ -769,6 +917,9 @@ func (s *Sim) updatePredictor(te *emu.TraceEntry, predictPath bool) {
 // CA==PA and yields an effective load latency of 1 cycle.
 func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specResult {
 	r := specResult{lat: -1, path: pathPredict, eligible: true}
+	if s.rec != nil {
+		s.rec.touchTableSet(s.table, te.PC)
+	}
 	predAddr, ok := s.table.Probe(te.PC)
 	if !ok {
 		r.fail |= FailNoPrediction
@@ -780,6 +931,9 @@ func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specRes
 	specCycle := d2
 	if e-1 > specCycle {
 		specCycle = e - 1
+	}
+	if s.rec != nil {
+		s.rec.resTouch(s, trPort, specCycle)
 	}
 	if !s.portRes.tryUse(specCycle) {
 		r.fail |= FailNoPort
@@ -854,6 +1008,9 @@ func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindD
 		specCycle = e - 1
 	}
 	if in.Mode == isa.AMRegOffset {
+		if s.rec != nil {
+			s.rec.touchRegCache(s.regcache)
+		}
 		_, hit = s.regcache.Lookup(in.Base)
 		ready := s.regReady[in.Base]
 		// (Re)bind after the lookup: ld_e binds its base register;
@@ -878,6 +1035,9 @@ func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindD
 			r.fail |= FailRegInterlock
 			return r
 		}
+	}
+	if s.rec != nil {
+		s.rec.resTouch(s, trPort, specCycle)
 	}
 	if !s.portRes.tryUse(specCycle) {
 		r.fail |= FailNoPort
@@ -910,6 +1070,9 @@ func (s *Sim) specEarly(in *isa.Inst, te *emu.TraceEntry, d1, d2, e int64, bindD
 
 // resolveBranch trains the BTB and computes the fetch redirect.
 func (s *Sim) resolveBranch(in *isa.Inst, te *emu.TraceEntry, f, d1, e int64) {
+	if s.rec != nil {
+		s.rec.touchBTB(s.btb, te.PC)
+	}
 	switch in.Op {
 	case isa.OpBr:
 		s.m.Branches++

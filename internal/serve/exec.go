@@ -124,6 +124,7 @@ func executeSimulate(j *Job, work *harness.Counters) (any, error) {
 	}
 	res := &SimulateResult{Output: runRes.Output()}
 	for i, m := range metrics {
+		work.CountMemo(m.Memo)
 		res.Metrics = append(res.Metrics, elag.NewMetricsDoc(label, spec.Configs[i].Name, m))
 	}
 	return res, nil

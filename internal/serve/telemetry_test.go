@@ -64,6 +64,10 @@ func TestMetricsEndpointSeriesPresent(t *testing.T) {
 		"elag_lab_cache_misses_total",
 		"elag_chunks_total",
 		"elag_insts_total",
+		"elag_replay_memo_hits_total",
+		"elag_replay_memo_misses_total",
+		"elag_replay_memo_block_entries_total",
+		"elag_replay_kernel_level",
 		"elag_chaos_armed",
 		"elag_process_cpu_seconds_total",
 	}
@@ -161,13 +165,35 @@ func TestMetricsCounterExactness(t *testing.T) {
 		t.Fatalf("canceled job ended %q", got.State)
 	}
 
+	// A workload job big enough to cross the memo payoff audit (every 256
+	// block entries): eqntott strides its EAs, so the audit kills the
+	// memoizer mid-chunk — exactly the path where a block entry could leak
+	// without a matching hit or miss and break the algebra below.
+	resp, raw = postJob(t, ts, &JobSpec{
+		Kind:     KindSimulate,
+		Workload: "023.eqntott",
+		Configs:  []ConfigSpec{{Name: "base"}, {Name: "compiler"}},
+		Fuel:     200_000,
+	}, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("workload job: status %d, body %s", resp.StatusCode, raw)
+	}
+	var wl StatusDoc
+	if err := json.Unmarshal(raw, &wl); err != nil {
+		t.Fatal(err)
+	}
+	if wl.State != StateDone {
+		t.Fatalf("workload job ended %q", wl.State)
+	}
+	wantDone++
+
 	m := scrapeMetrics(t, ts)
 
 	// The algebra: every admitted job is terminal now, so admitted must
 	// equal the completed total and in-flight must be zero.
 	admitted := m["elag_jobs_admitted_total"]
-	if admitted != jobs+1 {
-		t.Errorf("admitted = %v, want %d", admitted, jobs+1)
+	if admitted != jobs+2 {
+		t.Errorf("admitted = %v, want %d", admitted, jobs+2)
 	}
 	if got := completedTotal(m, ""); got != admitted {
 		t.Errorf("completed total %v != admitted %v", got, admitted)
@@ -205,6 +231,21 @@ func TestMetricsCounterExactness(t *testing.T) {
 	if m["elag_insts_total"] <= 0 || m["elag_chunks_total"] <= 0 {
 		t.Errorf("work volume not counted: insts=%v chunks=%v",
 			m["elag_insts_total"], m["elag_chunks_total"])
+	}
+	// Memo counter algebra: hits and misses are folded in from one
+	// MemoStats snapshot per finished Sim, so the identity
+	// hits + misses == block entries must hold exactly at every scrape —
+	// chaos (panicked and canceled sims never reach the fold) included.
+	hits, misses := m["elag_replay_memo_hits_total"], m["elag_replay_memo_misses_total"]
+	if entries := m["elag_replay_memo_block_entries_total"]; hits+misses != entries {
+		t.Errorf("memo algebra broken: hits %v + misses %v != block entries %v",
+			hits, misses, entries)
+	}
+	// The successful simulate jobs ran the default configs with
+	// specialization enabled, so the kernel gauge must report a
+	// specialized variant.
+	if lvl := m["elag_replay_kernel_level"]; lvl < 1 {
+		t.Errorf("kernel level = %v after specialized replays, want >= 1", lvl)
 	}
 
 	// /v1/stats is a projection of the same counters; the two surfaces may
