@@ -24,6 +24,10 @@
 //	              artifacts are byte-identical either way)
 //	-nospecialize disable config-specialized replay kernels (likewise
 //	              byte-identical)
+//	-cache-dir d  reuse per-row grid results from a content-addressed store
+//	              (default $ELAG_CACHE_DIR; the same store elag-serve and
+//	              elag-sim share, so a prior run — any tool's — skips rows)
+//	-nocache      ignore -cache-dir / $ELAG_CACHE_DIR
 //	-cpuprofile f write a CPU profile
 //	-memprofile f write a heap profile at exit
 //	-replaybench f  run the trace-replay microbenchmarks and write the
@@ -33,19 +37,23 @@
 //	              wall time + per-pass breakdown; "-" for stdout)
 //	-reps N       repetitions per workload for -compilebench, reporting the
 //	              fastest (default 5)
+//	-servebench f run each service-path job cold (empty result cache) and
+//	              warm (fully cached) through an in-process elag-serve and
+//	              write the elag-servebench/v1 JSON document ("-" for
+//	              stdout)
 //
 // Perf-regression gate:
 //
 //	elag-bench -diff old.json new.json
 //
-// compares two bench documents of the same schema (elag-replaybench/v3 or
-// elag-compilebench/v1) entry by entry and exits nonzero when any metric
-// regressed by more than -diff-threshold (default 0.15 = 15%). Throughput
-// metrics are polarity-aware: minst_per_sec going DOWN is the regression.
-// CI runs this against the checked-in BENCH_replay.json / BENCH_compile.json
-// baselines. Replay documents must agree on fuel — per-op costs from
-// different budgets are not comparable, and the diff refuses to pretend
-// they are.
+// compares two bench documents of the same schema (elag-replaybench/v3,
+// elag-compilebench/v1, or elag-servebench/v1) entry by entry and exits
+// nonzero when any metric regressed by more than -diff-threshold (default
+// 0.15 = 15%). Throughput metrics are polarity-aware: minst_per_sec going
+// DOWN is the regression. CI runs this against the checked-in
+// BENCH_replay.json / BENCH_compile.json / BENCH_serve.json baselines.
+// Replay and serve documents must agree on fuel — costs from different
+// budgets are not comparable, and the diff refuses to pretend they are.
 package main
 
 import (
@@ -58,6 +66,7 @@ import (
 
 	"elag/cmd/internal/cli"
 	"elag/internal/harness"
+	"elag/internal/serve"
 )
 
 func main() {
@@ -68,6 +77,8 @@ func main() {
 	jsonPath := flag.String("json", "", `write all artifacts as one JSON document to this file ("-" = stdout)`)
 	replayPath := flag.String("replaybench", "", `run the replay microbenchmarks, write JSON to this file ("-" = stdout)`)
 	compilePath := flag.String("compilebench", "", `run the compile benchmark, write JSON to this file ("-" = stdout)`)
+	servePath := flag.String("servebench", "", `run the service-path cache benchmark, write JSON to this file ("-" = stdout)`)
+	cacheOpts := cli.CacheFlags()
 	reps := flag.Int("reps", 5, "repetitions per workload for -compilebench (fastest wins)")
 	noBatch := flag.Bool("nobatch", false, "replay each grid cell in its own pass (disables batched replay)")
 	noMemo := flag.Bool("nomemo", false, "disable basic-block timing memoization (byte-identical artifacts)")
@@ -106,7 +117,30 @@ func main() {
 	}
 	r := &harness.Runner{Fuel: *fuel, Log: logw, Parallel: perf.Parallel,
 		ChunkSize: perf.Chunk, NoBatch: *noBatch,
-		NoMemo: *noMemo, NoSpecialize: *noSpec}
+		NoMemo: *noMemo, NoSpecialize: *noSpec,
+		Artifacts: cacheOpts.Open("elag-bench")}
+
+	if *servePath != "" {
+		// The serve benchmark provisions its own in-memory stores (one
+		// fresh per entry — cold must mean cold), so the Runner above and
+		// -cache-dir do not participate.
+		doc, err := serve.RunServeBench(ctx, *fuel)
+		check("servebench", err)
+		out := os.Stdout
+		if *servePath != "-" {
+			f, err := os.Create(*servePath)
+			if err != nil {
+				check("servebench", fmt.Errorf("create %s: %w", *servePath, err))
+			}
+			out = f
+		}
+		check("servebench", harness.WriteServeBenchJSON(out, doc))
+		if out != os.Stdout {
+			check("servebench", out.Close())
+			fmt.Fprintf(os.Stderr, "serve benchmark written to %s\n", *servePath)
+		}
+		return
+	}
 
 	if *replayPath != "" {
 		doc, err := r.ReplayBench(ctx)

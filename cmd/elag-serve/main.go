@@ -23,12 +23,18 @@
 //	                    whatever is still running (default 30s)
 //	-drain-policy P     wait (finish in-flight jobs) | cancel (abort them);
 //	                    default wait
-//	-stats file         write the elag-serve-stats/v2 counters here on
+//	-stats file         write the elag-serve-stats/v3 counters here on
 //	                    drain ("-" for stderr)
 //	-log-level L        structured-log level: debug | info | warn | error
 //	                    (default info); logs go to stderr as text
 //	-chaos spec         arm fault injection (tests/drills only), e.g.
 //	                    "panic-every=3,slow-chunk=5ms,queue-saturate"
+//	-cache-dir dir      persist the content-addressed result cache here
+//	                    (default $ELAG_CACHE_DIR; empty keeps the cache
+//	                    in-memory only)
+//	-nocache            disable the result cache (every job executes)
+//	-cache-mem N        in-memory cache budget in bytes (default 64MiB)
+//	-cache-disk N       on-disk cache budget in bytes (default 1GiB)
 //
 // The API is schema-versioned as elag-serve/v1; see DESIGN.md §13-14 and
 // the README's "Running as a service" / "Monitoring" sections for the
@@ -51,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"elag/internal/artifact"
 	"elag/internal/chaosinject"
 	"elag/internal/obs"
 	"elag/internal/serve"
@@ -70,6 +77,11 @@ func main() {
 	statsPath := flag.String("stats", "", `write drain-time service counters to this file ("-" = stderr)`)
 	logLevel := flag.String("log-level", "info", "debug | info | warn | error")
 	chaos := flag.String("chaos", "", "arm chaos fault injection, e.g. panic-every=3,slow-chunk=5ms")
+	cacheDir := flag.String("cache-dir", os.Getenv("ELAG_CACHE_DIR"),
+		"persist the result cache here (default $ELAG_CACHE_DIR; empty = in-memory only)")
+	noCache := flag.Bool("nocache", false, "disable the result cache (every job executes)")
+	cacheMem := flag.Int64("cache-mem", 0, "in-memory cache budget in bytes (0 = default 64MiB)")
+	cacheDisk := flag.Int64("cache-disk", 0, "on-disk cache budget in bytes (0 = default 1GiB)")
 	flag.Parse()
 
 	var level slog.Level
@@ -102,12 +114,29 @@ func main() {
 	if *maxSource > 0 {
 		lim.MaxSourceBytes = *maxSource
 	}
+	// The result cache is on by default: in-memory only unless -cache-dir
+	// adds the persistent tier. -nocache turns it off entirely.
+	var store *artifact.Store
+	if !*noCache {
+		var err error
+		store, err = artifact.Open(artifact.Options{
+			Dir: *cacheDir, MemBytes: *cacheMem, DiskBytes: *cacheDisk,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elag-serve: -cache-dir: %v\n", err)
+			os.Exit(2)
+		}
+		if *cacheDir != "" {
+			log.Info("result cache persistent", "dir", *cacheDir)
+		}
+	}
 	core := serve.New(serve.Options{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		GridParallel: *gridParallel,
 		Limits:       lim,
 		DrainPolicy:  *drainPolicy,
+		Cache:        store,
 		Log:          log,
 	})
 

@@ -22,18 +22,26 @@
 //	               tables are identical either way)
 //	-nospecialize  disable config-specialized replay kernels (likewise
 //	               identical output)
+//	-cache-dir d   reuse results from a content-addressed store (default
+//	               $ELAG_CACHE_DIR; the same store elag-serve persists
+//	               with its -cache-dir, so CLI and daemon runs share it)
+//	-nocache       ignore -cache-dir / $ELAG_CACHE_DIR
 //	-cpuprofile f  write a CPU profile
 //	-memprofile f  write a heap profile at exit
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"elag"
 	"elag/cmd/internal/cli"
+	"elag/internal/artifact"
+	"elag/internal/serve"
 )
 
 func main() {
@@ -47,6 +55,7 @@ func main() {
 	all := flag.Bool("all", false, "compare every configuration")
 	noMemo := flag.Bool("nomemo", false, "disable basic-block timing memoization (identical output)")
 	noSpec := flag.Bool("nospecialize", false, "disable config-specialized replay kernels (identical output)")
+	cacheOpts := cli.CacheFlags()
 	perf := cli.PerfFlags()
 	flag.Parse()
 	perf.Start("elag-sim")
@@ -71,31 +80,61 @@ func main() {
 		p.ApplyProfile(lp, 0)
 	}
 
+	// The config list in serve's job vocabulary: base plus either the one
+	// chosen configuration or, under -all, every early-address mode. The
+	// simulation specs AND the cache key both derive from this list, so a
+	// CLI run describes exactly the computation a serve job would.
+	names := []string{*config}
+	if *all {
+		names = []string{"hw-pred", "hw-early", "hw-dual", "compiler"}
+	}
+	cfgSpecs := []serve.ConfigSpec{{Name: "base"}}
+	for _, name := range names {
+		cfgSpecs = append(cfgSpecs, serve.ConfigSpec{Name: name, Table: *table, Regs: *regs})
+	}
+
+	store := cacheOpts.Open("elag-sim")
+	var spec *serve.JobSpec
+	if store != nil && !*useProfile {
+		spec = cacheSpec(flag.Arg(0), cfgSpecs, *fuel, perf.Chunk)
+	}
+
+	metrics, output, hit := cachedResult(store, spec, len(cfgSpecs))
+	if !hit {
+		// One batched pass: the program is emulated exactly once and every
+		// configuration (base included) advances through each trace chunk
+		// while it is cache-hot. Rows print in fixed order and are
+		// bit-identical to independent simulations.
+		specs := make([]elag.BatchSpec, len(cfgSpecs))
+		for i, c := range cfgSpecs {
+			cfg, err := cli.Config(c.Name, c.Table, c.Regs)
+			if err != nil {
+				cli.Fatal("elag-sim", err)
+			}
+			specs[i] = elag.BatchSpec{Config: cfg, NoMemo: *noMemo, NoSpecialize: *noSpec}
+		}
+		ms, res, err := p.SimulateBatchContext(ctx, specs, *fuel, perf.Chunk)
+		if err != nil {
+			perf.CheckContext(err)
+			if *all {
+				cli.Fatal("elag-sim", fmt.Errorf("simulate: %w", err))
+			}
+			cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", *config, err))
+		}
+		metrics, output = ms, res.Output()
+		if spec != nil {
+			// Store the result in the exact document shape elag-serve
+			// caches, so either side's cold run is the other's warm one.
+			if data, err := json.Marshal(serve.NewSimulateResult(spec, output, metrics)); err == nil {
+				store.Put(serve.ResultKey(spec), data)
+			}
+		}
+	}
+
 	if *all {
 		fmt.Printf("program: %s\n", flag.Arg(0))
 		if p.Classes != nil {
 			fmt.Printf("classification: %s\n", p.Classes)
-		}
-		names := []string{"hw-pred", "hw-early", "hw-dual", "compiler"}
-		// One batched pass: the program is emulated exactly once and every
-		// configuration (base included) advances through each trace chunk
-		// while it is cache-hot. Rows print in fixed order and are
-		// bit-identical to five independent simulations.
-		specs := []elag.BatchSpec{{Config: elag.BaseConfig()}}
-		for _, name := range names {
-			c, err := cli.Config(name, *table, *regs)
-			if err != nil {
-				cli.Fatal("elag-sim", err)
-			}
-			specs = append(specs, elag.BatchSpec{Config: c})
-		}
-		for i := range specs {
-			specs[i].NoMemo, specs[i].NoSpecialize = *noMemo, *noSpec
-		}
-		metrics, _, err := p.SimulateBatchContext(ctx, specs, *fuel, perf.Chunk)
-		if err != nil {
-			perf.CheckContext(err)
-			cli.Fatal("elag-sim", fmt.Errorf("simulate: %w", err))
 		}
 		base := metrics[0]
 		fmt.Printf("%-10s %12s %8s %10s %9s\n", "config", "cycles", "IPC", "load-lat", "speedup")
@@ -107,20 +146,12 @@ func main() {
 		}
 		return
 	}
-	cfg, err := cli.Config(*config, *table, *regs)
-	if err != nil {
-		cli.Fatal("elag-sim", err)
-	}
-	// Base and the chosen configuration share one emulation pass.
-	ms, res, err := p.SimulateBatchContext(ctx, []elag.BatchSpec{
-		{Config: elag.BaseConfig(), NoMemo: *noMemo, NoSpecialize: *noSpec},
-		{Config: cfg, NoMemo: *noMemo, NoSpecialize: *noSpec}}, *fuel, perf.Chunk)
-	if err != nil {
-		perf.CheckContext(err)
-		cli.Fatal("elag-sim", fmt.Errorf("simulate %s: %w", *config, err))
-	}
-	base, m := ms[0], ms[1]
+	base, m := metrics[0], metrics[1]
 	if *pipeview > 0 {
+		cfg, err := cli.Config(*config, *table, *regs)
+		if err != nil {
+			cli.Fatal("elag-sim", err)
+		}
 		view, err := p.StageView(cfg, *fuel, *pipeview)
 		if err != nil {
 			cli.Fatal("elag-sim", fmt.Errorf("stage view: %w", err))
@@ -132,7 +163,7 @@ func main() {
 	if p.Classes != nil {
 		fmt.Printf("classification: %s\n", p.Classes)
 	}
-	fmt.Printf("architectural: %s\n", res.Output())
+	fmt.Printf("architectural: %s\n", output)
 	fmt.Printf("%-10s %12s %8s %10s\n", "config", "cycles", "IPC", "load-lat")
 	fmt.Printf("%-10s %12d %8.2f %10.2f\n", "base", base.Cycles, base.IPC(), base.AvgLoadLatency())
 	fmt.Printf("%-10s %12d %8.2f %10.2f   speedup %.3f\n",
@@ -141,4 +172,53 @@ func main() {
 		fmt.Println()
 		fmt.Print(m.Summary())
 	}
+}
+
+// cacheSpec maps the CLI invocation onto serve's job vocabulary, or nil
+// when it has no spec equivalent: assembly and object inputs are outside
+// the vocabulary, and the caller gates out -profile runs (reclassification
+// changes the program in ways the spec cannot name). -nomemo/-nospecialize
+// do not appear because their output is byte-identical (like ResultKey,
+// which excludes them for the same reason).
+func cacheSpec(arg string, configs []serve.ConfigSpec, fuel int64, chunk int) *serve.JobSpec {
+	spec := &serve.JobSpec{Kind: serve.KindSimulate, Configs: configs, Fuel: fuel, Chunk: chunk}
+	if name, ok := strings.CutPrefix(arg, "workload:"); ok {
+		spec.Workload = name
+		return spec
+	}
+	if strings.HasSuffix(arg, ".mc") {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			return nil
+		}
+		spec.Source = string(src)
+		return spec
+	}
+	return nil
+}
+
+// cachedResult answers from the artifact store when a prior run — this
+// tool's or elag-serve's — stored the same computation. A document that
+// fails to decode or has the wrong shape is treated as a miss, never an
+// error: the run below recomputes and overwrites it.
+func cachedResult(store *artifact.Store, spec *serve.JobSpec, nconfigs int) ([]*elag.Metrics, string, bool) {
+	if spec == nil {
+		return nil, "", false
+	}
+	data, ok := store.Get(serve.ResultKey(spec))
+	if !ok {
+		return nil, "", false
+	}
+	var res serve.SimulateResult
+	if err := json.Unmarshal(data, &res); err != nil || len(res.Metrics) != nconfigs {
+		return nil, "", false
+	}
+	ms := make([]*elag.Metrics, nconfigs)
+	for i, d := range res.Metrics {
+		if d == nil || d.Metrics == nil {
+			return nil, "", false
+		}
+		ms[i] = d.Metrics
+	}
+	return ms, res.Output, true
 }

@@ -1,7 +1,8 @@
 // elag-top is a terminal dashboard for a running elag-serve: it polls the
-// service's /metrics (Prometheus text) and /v1/stats (elag-serve-stats/v2)
+// service's /metrics (Prometheus text) and /v1/stats (elag-serve-stats/v3)
 // endpoints and renders a live table of queue pressure, worker utilization,
-// job outcomes, and simulation throughput. Rates (jobs/s, Minst/s) are
+// job outcomes, result-cache effectiveness (hit ratio, coalesced jobs,
+// store size), and simulation throughput. Rates (jobs/s, Minst/s) are
 // derived client-side from successive scrapes — the server only ever
 // exports monotonic counters.
 //
@@ -142,6 +143,20 @@ func render(w *os.File, base string, m map[string]float64, stats *obs.ServeStats
 		rate(m, prev, "elag_insts_total", dt)/1e6,
 		rate(m, prev, "elag_chunks_total", dt),
 		m["elag_process_cpu_seconds_total"])
+	// The result cache renders from the stats document: the byte gauges
+	// have no per-scrape rate semantics, so the JSON snapshot is the
+	// simpler source of truth. All-zero (cache disabled, no traffic)
+	// drops the line.
+	if stats != nil && stats.CacheHits+stats.CacheMisses+stats.CacheCoalesced+
+		stats.CacheMemBytes+stats.CacheDiskBytes > 0 {
+		ratio := 0.0
+		if total := stats.CacheHits + stats.CacheMisses; total > 0 {
+			ratio = 100 * float64(stats.CacheHits) / float64(total)
+		}
+		fmt.Fprintf(w, "  result cache %d hit / %d miss (%.0f%%)  coalesced %d  store %s\n",
+			stats.CacheHits, stats.CacheMisses, ratio, stats.CacheCoalesced,
+			fmtBytes(stats.CacheMemBytes+stats.CacheDiskBytes))
+	}
 	hits, misses := m["elag_lab_cache_hits_total"], m["elag_lab_cache_misses_total"]
 	if hits+misses > 0 {
 		fmt.Fprintf(w, "  lab cache %.0f hit / %.0f miss (%.0f%%)\n", hits, misses, 100*hits/(hits+misses))
@@ -163,6 +178,20 @@ func render(w *os.File, base string, m map[string]float64, stats *obs.ServeStats
 			fmt.Fprintf(w, "    %-44s %8.0f\n", labels, m[k])
 		}
 	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix (4.0KiB, 1.2MiB).
+func fmtBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }
 
 // sumPrefix totals every series of one family (e.g. all rejected reasons).

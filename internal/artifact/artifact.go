@@ -1,0 +1,97 @@
+// Package artifact implements a two-tier content-addressed result store:
+// an in-memory LRU over an optional persistent on-disk layer. Values are
+// the exact result bytes a computation produced; keys are canonical
+// digests of everything the computation depended on (source text, pass
+// spec, configuration, fuel, chunk size, schema version), built with
+// Digest so two independent call sites derive bit-identical keys from
+// the same inputs.
+//
+// The store is a cache, never a source of truth: every read of the disk
+// tier re-verifies the payload hash, and a corrupt or truncated artifact
+// is evicted and reported as a miss — bad bytes are never served, the
+// caller transparently recomputes. Writes are atomic (temp file + rename
+// in the same directory), so a crash mid-write leaves either the old
+// state or the new artifact, never a torn file. Both tiers are
+// size-bounded with LRU eviction.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// Key is a canonical content-address: the SHA-256 of a Digest field
+// sequence. Two keys are equal exactly when every (field, value) pair
+// fed to the digest was identical.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (the on-disk file name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("artifact: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("artifact: bad key %q: want %d bytes, got %d", s, len(k), len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Digest accumulates labelled fields into a canonical key. Every field is
+// written as (len(name), name, len(value), value) with fixed-width
+// length prefixes, so no concatenation of fields is ambiguous —
+// ("ab","c") and ("a","bc") digest differently, as do the same values
+// under different field names. The first field is always the caller's
+// schema string, versioning the whole derivation: bumping the schema
+// invalidates every key derived under it.
+type Digest struct {
+	h hash.Hash
+}
+
+// NewDigest starts a digest under the given key-derivation schema.
+func NewDigest(schema string) *Digest {
+	d := &Digest{h: sha256.New()}
+	return d.Str("schema", schema)
+}
+
+// Str appends a labelled string field.
+func (d *Digest) Str(field, value string) *Digest {
+	d.writeField(field, []byte(value))
+	return d
+}
+
+// Int appends a labelled integer field (fixed-width big-endian, so 1 and
+// "1" digest differently).
+func (d *Digest) Int(field string, v int64) *Digest {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	d.writeField(field, buf[:])
+	return d
+}
+
+func (d *Digest) writeField(field string, value []byte) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(field)))
+	d.h.Write(n[:])
+	d.h.Write([]byte(field))
+	binary.BigEndian.PutUint64(n[:], uint64(len(value)))
+	d.h.Write(n[:])
+	d.h.Write(value)
+}
+
+// Key finalizes the digest. The Digest may keep accumulating fields
+// afterwards (Key snapshots the state), but callers conventionally
+// finalize once.
+func (d *Digest) Key() Key {
+	var k Key
+	d.h.Sum(k[:0])
+	return k
+}

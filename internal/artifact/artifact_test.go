@@ -1,0 +1,294 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestDigestCanonical(t *testing.T) {
+	base := NewDigest("s").Str("a", "b").Int("n", 1).Key()
+	if again := NewDigest("s").Str("a", "b").Int("n", 1).Key(); again != base {
+		t.Fatal("same fields, different keys")
+	}
+	variants := []Key{
+		NewDigest("s2").Str("a", "b").Int("n", 1).Key(),  // schema
+		NewDigest("s").Str("a", "c").Int("n", 1).Key(),   // value
+		NewDigest("s").Str("x", "b").Int("n", 1).Key(),   // field name
+		NewDigest("s").Str("a", "b").Int("n", 2).Key(),   // int value
+		NewDigest("s").Str("a", "b").Str("n", "1").Key(), // int vs string
+		NewDigest("s").Int("n", 1).Str("a", "b").Key(),   // order
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	// Length prefixes make field boundaries unambiguous.
+	if NewDigest("s").Str("ab", "c").Key() == NewDigest("s").Str("a", "bc").Key() {
+		t.Fatal("concatenation ambiguity: (ab,c) == (a,bc)")
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := NewDigest("s").Str("a", "b").Key()
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("round trip: got %v, %v", got, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func key(s string) Key { return NewDigest("test").Str("k", s).Key() }
+
+func TestMemRoundTripAndLRU(t *testing.T) {
+	s, err := Open(Options{MemBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(key("a"), bytes.Repeat([]byte{'a'}, 30))
+	s.Put(key("b"), bytes.Repeat([]byte{'b'}, 30))
+	if d, ok := s.Get(key("a")); !ok || len(d) != 30 || d[0] != 'a' {
+		t.Fatalf("get a: %q %v", d, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	s.Put(key("c"), bytes.Repeat([]byte{'c'}, 30))
+	if _, ok := s.Get(key("b")); ok {
+		t.Fatal("LRU victim b still resident")
+	}
+	if _, ok := s.Get(key("a")); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	st := s.Stats()
+	if st.MemEvictions != 1 || st.MemEntries != 2 || st.MemBytes != 60 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	// An entry larger than the whole budget is not admitted.
+	s.Put(key("big"), make([]byte, 100))
+	if _, ok := s.Get(key("big")); ok {
+		t.Fatal("oversized entry admitted to memory tier")
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("persistent payload")
+	s1.Put(key("p"), want)
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key("p"))
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopen get: %q %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("want one disk hit, got %+v", st)
+	}
+	// The disk hit was promoted: the next read is a memory hit.
+	if _, ok := s2.Get(key("p")); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("want promotion to memory tier, got %+v", st)
+	}
+}
+
+func TestCrossProcessVisibility(t *testing.T) {
+	dir := t.TempDir()
+	writer, _ := Open(Options{Dir: dir})
+	reader, _ := Open(Options{Dir: dir}) // opened before the write: empty index
+	writer.Put(key("x"), []byte("shared"))
+	got, ok := reader.Get(key("x"))
+	if !ok || string(got) != "shared" {
+		t.Fatalf("cross-store read: %q %v", got, ok)
+	}
+}
+
+// artifactFile finds the single on-disk artifact under dir.
+func artifactFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		found = path
+		return nil
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no artifact file under %s (%v)", dir, err)
+	}
+	return found
+}
+
+func TestCorruptArtifactsEvictedNotServed(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(raw []byte) []byte
+	}{
+		{"truncated-header", func(raw []byte) []byte { return raw[:headerSize-1] }},
+		{"truncated-payload", func(raw []byte) []byte { return raw[:len(raw)-3] }},
+		{"bad-magic", func(raw []byte) []byte { raw[0] ^= 0xff; return raw }},
+		{"bit-flip-payload", func(raw []byte) []byte { raw[len(raw)-1] ^= 0x01; return raw }},
+		{"bit-flip-hash", func(raw []byte) []byte { raw[len(diskMagic)] ^= 0x01; return raw }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Put(key("v"), []byte("valuable bytes"))
+			path := artifactFile(t, dir)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh store (cold memory tier) must detect the corruption,
+			// evict the file, and miss — never serve the bad bytes.
+			s2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data, ok := s2.Get(key("v")); ok {
+				t.Fatalf("corrupt artifact served: %q", data)
+			}
+			st := s2.Stats()
+			if st.Corrupt != 1 || st.Misses != 1 {
+				t.Fatalf("want corrupt=1 miss=1, got %+v", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt artifact file not removed")
+			}
+			// Recompute-and-reput round-trips cleanly.
+			s2.Put(key("v"), []byte("valuable bytes"))
+			if data, ok := s2.Get(key("v")); !ok || string(data) != "valuable bytes" {
+				t.Fatalf("recomputed artifact not served: %q %v", data, ok)
+			}
+		})
+	}
+}
+
+func TestDiskEvictionTinyBudget(t *testing.T) {
+	dir := t.TempDir()
+	entry := int64(headerSize + 10)
+	s, err := Open(Options{Dir: dir, DiskBytes: 3 * entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s.Put(key(fmt.Sprintf("e%d", i)), bytes.Repeat([]byte{byte('0' + i)}, 10))
+	}
+	st := s.Stats()
+	if st.DiskEntries != 3 || st.DiskBytes > 3*entry || st.DiskEvictions != 3 {
+		t.Fatalf("disk eviction: %+v", st)
+	}
+	// The survivors are the three most recent, and their files exist.
+	for i := 3; i < 6; i++ {
+		if _, ok := s.Get(key(fmt.Sprintf("e%d", i))); !ok {
+			t.Errorf("recent entry e%d evicted", i)
+		}
+	}
+	// Evicted files are actually gone from disk (fresh store sees misses).
+	s2, _ := Open(Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if _, ok := s2.Get(key(fmt.Sprintf("e%d", i))); ok {
+			t.Errorf("evicted entry e%d still on disk", i)
+		}
+	}
+}
+
+func TestReopenTrimsToBudget(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(Options{Dir: dir})
+	for i := 0; i < 4; i++ {
+		s1.Put(key(fmt.Sprintf("t%d", i)), bytes.Repeat([]byte{'x'}, 10))
+	}
+	entry := int64(headerSize + 10)
+	s2, err := Open(Options{Dir: dir, DiskBytes: 2 * entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskEntries != 2 || st.DiskBytes > 2*entry {
+		t.Fatalf("reopen did not trim: %+v", st)
+	}
+}
+
+func TestTempFilesCleanedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(sub, ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived Open")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Options{Dir: dir})
+	s.Put(key("d"), []byte("doomed"))
+	s.Delete(key("d"))
+	if _, ok := s.Get(key("d")); ok {
+		t.Fatal("deleted key still served")
+	}
+	s2, _ := Open(Options{Dir: dir})
+	if _, ok := s2.Get(key("d")); ok {
+		t.Fatal("deleted key survived on disk")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), MemBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("k%d", i%10))
+				want := bytes.Repeat([]byte{byte(i % 10)}, 32)
+				s.Put(k, want)
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, want) {
+					t.Errorf("goroutine %d: wrong bytes for %s", g, k)
+				}
+				s.Delete(key(fmt.Sprintf("k%d", (i+5)%10)))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

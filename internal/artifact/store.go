@@ -1,0 +1,418 @@
+package artifact
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default tier budgets (Options.MemBytes / Options.DiskBytes).
+const (
+	DefaultMemBytes  = 64 << 20
+	DefaultDiskBytes = 1 << 30
+)
+
+// On-disk artifact layout: an 8-byte magic, the SHA-256 of the payload,
+// then the payload. The hash covers the payload only — the file name is
+// the key, the header hash is the integrity check, and the two are
+// independent (a renamed file fails nothing; a flipped payload bit fails
+// the hash).
+const (
+	diskMagic  = "ELAGART1"
+	headerSize = len(diskMagic) + sha256.Size
+)
+
+// Options configures Open. The zero value is a memory-only store with the
+// default budget.
+type Options struct {
+	// Dir, when non-empty, adds the persistent disk tier rooted there
+	// (created if missing). Artifacts live at Dir/<hex[:2]>/<hex>.
+	Dir string
+	// MemBytes bounds the in-memory tier (payload bytes; default
+	// DefaultMemBytes). Negative disables the memory tier entirely.
+	MemBytes int64
+	// DiskBytes bounds the disk tier (file bytes including headers;
+	// default DefaultDiskBytes). Ignored without Dir.
+	DiskBytes int64
+}
+
+// Stats is a point-in-time snapshot of the store's counters and sizes.
+type Stats struct {
+	MemHits       int64
+	DiskHits      int64
+	Misses        int64
+	Puts          int64
+	MemEvictions  int64
+	DiskEvictions int64
+	// Corrupt counts disk artifacts that failed integrity verification on
+	// read (truncated file, bad magic, payload-hash mismatch). Each was
+	// removed and reported as a miss.
+	Corrupt     int64
+	MemBytes    int64
+	MemEntries  int64
+	DiskBytes   int64
+	DiskEntries int64
+}
+
+// Hits is the total across both tiers.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits }
+
+// Store is the two-tier content-addressed store. Safe for concurrent use.
+// Multiple processes may share one Dir: reads fall through to the
+// filesystem for keys another process wrote, and the atomic write
+// protocol means concurrent writers of the same key race benignly (last
+// rename wins; both wrote identical bytes by construction).
+type Store struct {
+	dir        string
+	memBudget  int64
+	diskBudget int64
+
+	mu       sync.Mutex
+	mem      map[Key]*list.Element
+	lru      *list.List // front = most recent; values are *memEntry
+	memBytes int64
+	seq      int64
+	disk     map[Key]*diskEntry
+	diskSize int64
+
+	memHits   atomic.Int64
+	diskHits  atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	memEvict  atomic.Int64
+	diskEvict atomic.Int64
+	corrupt   atomic.Int64
+}
+
+type memEntry struct {
+	key  Key
+	data []byte
+}
+
+type diskEntry struct {
+	size    int64 // file size including header
+	lastUse int64
+}
+
+// Open builds a store. With Options.Dir set, the directory is created if
+// needed, leftover temp files from a crashed writer are removed, and the
+// existing artifacts are indexed (oversized stores from a previous run
+// are trimmed to the budget, oldest-name first).
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		dir:        opts.Dir,
+		memBudget:  opts.MemBytes,
+		diskBudget: opts.DiskBytes,
+		mem:        map[Key]*list.Element{},
+		lru:        list.New(),
+	}
+	if s.memBudget == 0 {
+		s.memBudget = DefaultMemBytes
+	}
+	if s.diskBudget <= 0 {
+		s.diskBudget = DefaultDiskBytes
+	}
+	if s.dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open store: %w", err)
+	}
+	s.disk = map[Key]*diskEntry{}
+	if err := s.scanDir(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictDiskLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// scanDir indexes the existing disk tier. Keys are indexed in sorted
+// name order so a rebuilt index evicts deterministically; non-artifact
+// files are ignored, stale temp files are deleted.
+func (s *Store) scanDir() error {
+	subs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("artifact: scan store: %w", err)
+	}
+	var keys []Key
+	sizes := map[Key]int64{}
+	for _, sub := range subs {
+		if !sub.IsDir() || len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			if strings.HasPrefix(f.Name(), ".tmp") {
+				os.Remove(filepath.Join(s.dir, sub.Name(), f.Name()))
+				continue
+			}
+			k, err := ParseKey(f.Name())
+			if err != nil || k.String()[:2] != sub.Name() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			keys = append(keys, k)
+			sizes[k] = info.Size()
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		s.seq++
+		s.disk[k] = &diskEntry{size: sizes[k], lastUse: s.seq}
+		s.diskSize += sizes[k]
+	}
+	return nil
+}
+
+func (s *Store) path(key Key) string {
+	hex := key.String()
+	return filepath.Join(s.dir, hex[:2], hex)
+}
+
+// Get returns the artifact for key, or (nil, false). The returned slice
+// is shared with the store's memory tier — callers must treat it as
+// read-only. A disk hit is verified (magic + payload hash) and promoted
+// to the memory tier; a corrupt artifact is deleted, counted, and
+// reported as a miss so the caller recomputes.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	s.mu.Lock()
+	if e, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(e)
+		data := e.Value.(*memEntry).data
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return data, true
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		s.misses.Add(1)
+		return nil, false
+	}
+	// Read the file regardless of the index: another process sharing the
+	// directory may have written this key after we scanned.
+	data, size, err := s.readDisk(key)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.corrupt.Add(1)
+			os.Remove(s.path(key))
+			s.mu.Lock()
+			s.dropDiskLocked(key)
+			s.mu.Unlock()
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	s.mu.Lock()
+	s.noteDiskLocked(key, size)
+	s.addMemLocked(key, data)
+	s.mu.Unlock()
+	return data, true
+}
+
+// readDisk loads and verifies one artifact file, returning the payload
+// and the file size. Any integrity failure is a non-fs.ErrNotExist error.
+func (s *Store) readDisk(key Key) ([]byte, int64, error) {
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < headerSize {
+		return nil, 0, fmt.Errorf("artifact %s: truncated (%d bytes)", key, len(raw))
+	}
+	if string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, 0, fmt.Errorf("artifact %s: bad magic", key)
+	}
+	payload := raw[headerSize:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], raw[len(diskMagic):headerSize]) {
+		return nil, 0, fmt.Errorf("artifact %s: payload hash mismatch", key)
+	}
+	return payload, int64(len(raw)), nil
+}
+
+// Put stores data under key in both tiers, evicting LRU entries past the
+// budgets. The store takes ownership of data (callers must not mutate it
+// afterwards). Disk-tier write failures degrade silently to memory-only
+// caching — a broken cache disk slows the service down, it never fails a
+// job.
+func (s *Store) Put(key Key, data []byte) {
+	s.puts.Add(1)
+	s.mu.Lock()
+	if _, ok := s.mem[key]; !ok {
+		s.addMemLocked(key, data)
+	}
+	onDisk := false
+	if s.disk != nil {
+		_, onDisk = s.disk[key]
+	}
+	s.mu.Unlock()
+	if s.dir == "" || onDisk {
+		return
+	}
+	size := int64(len(data) + headerSize)
+	if size > s.diskBudget {
+		return // would evict the whole tier to hold one artifact
+	}
+	if err := s.writeDisk(key, data); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.noteDiskLocked(key, size)
+	s.evictDiskLocked()
+	s.mu.Unlock()
+}
+
+// writeDisk writes one artifact atomically: temp file in the final
+// directory, fsync-free write, rename over the final name.
+func (s *Store) writeDisk(key Key, data []byte) error {
+	dir := filepath.Dir(s.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	_, werr := f.Write([]byte(diskMagic))
+	if werr == nil {
+		_, werr = f.Write(sum[:])
+	}
+	if werr == nil {
+		_, werr = f.Write(data)
+	}
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(f.Name(), s.path(key))
+	}
+	if werr != nil {
+		os.Remove(f.Name())
+		return werr
+	}
+	return nil
+}
+
+// Delete removes key from both tiers (tests, manual invalidation).
+func (s *Store) Delete(key Key) {
+	s.mu.Lock()
+	if e, ok := s.mem[key]; ok {
+		s.memBytes -= int64(len(e.Value.(*memEntry).data))
+		s.lru.Remove(e)
+		delete(s.mem, key)
+	}
+	s.dropDiskLocked(key)
+	s.mu.Unlock()
+	if s.dir != "" {
+		os.Remove(s.path(key))
+	}
+}
+
+// addMemLocked inserts data into the memory tier and evicts to budget.
+// Entries larger than the whole budget are not admitted (they would only
+// evict everything else and then themselves).
+func (s *Store) addMemLocked(key Key, data []byte) {
+	if s.memBudget < 0 || int64(len(data)) > s.memBudget {
+		return
+	}
+	if _, ok := s.mem[key]; ok {
+		return
+	}
+	s.mem[key] = s.lru.PushFront(&memEntry{key: key, data: data})
+	s.memBytes += int64(len(data))
+	for s.memBytes > s.memBudget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*memEntry)
+		s.lru.Remove(back)
+		delete(s.mem, victim.key)
+		s.memBytes -= int64(len(victim.data))
+		s.memEvict.Add(1)
+	}
+}
+
+// noteDiskLocked records (or refreshes) a disk-tier index entry.
+func (s *Store) noteDiskLocked(key Key, size int64) {
+	if s.disk == nil {
+		return
+	}
+	s.seq++
+	if e, ok := s.disk[key]; ok {
+		s.diskSize += size - e.size
+		e.size, e.lastUse = size, s.seq
+		return
+	}
+	s.disk[key] = &diskEntry{size: size, lastUse: s.seq}
+	s.diskSize += size
+}
+
+func (s *Store) dropDiskLocked(key Key) {
+	if e, ok := s.disk[key]; ok {
+		s.diskSize -= e.size
+		delete(s.disk, key)
+	}
+}
+
+// evictDiskLocked removes least-recently-used disk artifacts until the
+// tier fits its budget. The scan is linear in entry count — artifacts
+// are job results (few, large), not fine-grained objects.
+func (s *Store) evictDiskLocked() {
+	for s.diskSize > s.diskBudget && len(s.disk) > 0 {
+		var victim Key
+		var oldest int64
+		first := true
+		for k, e := range s.disk {
+			if first || e.lastUse < oldest {
+				victim, oldest, first = k, e.lastUse, false
+			}
+		}
+		os.Remove(s.path(victim))
+		s.dropDiskLocked(victim)
+		s.diskEvict.Add(1)
+	}
+}
+
+// Stats snapshots the counters and tier sizes.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		MemHits:       s.memHits.Load(),
+		DiskHits:      s.diskHits.Load(),
+		Misses:        s.misses.Load(),
+		Puts:          s.puts.Load(),
+		MemEvictions:  s.memEvict.Load(),
+		DiskEvictions: s.diskEvict.Load(),
+		Corrupt:       s.corrupt.Load(),
+	}
+	s.mu.Lock()
+	st.MemBytes = s.memBytes
+	st.MemEntries = int64(len(s.mem))
+	st.DiskBytes = s.diskSize
+	st.DiskEntries = int64(len(s.disk))
+	s.mu.Unlock()
+	return st
+}

@@ -9,11 +9,12 @@ import (
 	"sort"
 )
 
-// Perf-regression gate: BenchDiff compares two bench documents — either
-// two elag-replaybench/v3 or two elag-compilebench/v1 files — entry by
-// entry, and reports every metric whose regression exceeds a threshold.
-// CI runs it against the checked-in baselines (BENCH_replay.json,
-// BENCH_compile.json) so a hot-path regression fails the build with the
+// Perf-regression gate: BenchDiff compares two bench documents — two
+// elag-replaybench/v3, elag-compilebench/v1, or elag-servebench/v1
+// files — entry by entry, and reports every metric whose regression
+// exceeds a threshold. CI runs it against the checked-in baselines
+// (BENCH_replay.json, BENCH_compile.json, BENCH_serve.json) so a
+// hot-path regression fails the build with the
 // exact entry and metric named, instead of surfacing weeks later as "the
 // grid got slow".
 //
@@ -157,9 +158,11 @@ func BenchDiff(oldRaw, newRaw []byte, oldPath, newPath string, threshold float64
 		return diffReplay(oldRaw, newRaw, oldPath, newPath, threshold)
 	case CompileBenchSchema:
 		return diffCompile(oldRaw, newRaw, threshold)
+	case ServeBenchSchema:
+		return diffServe(oldRaw, newRaw, oldPath, newPath, threshold)
 	}
-	return nil, fmt.Errorf("unsupported bench schema %q (want %s or %s)",
-		oldSchema, ReplayBenchSchema, CompileBenchSchema)
+	return nil, fmt.Errorf("unsupported bench schema %q (want %s, %s, or %s)",
+		oldSchema, ReplayBenchSchema, CompileBenchSchema, ServeBenchSchema)
 }
 
 // replayMetrics are the gated metrics of a replay bench entry. MInstPerSec
@@ -245,6 +248,62 @@ func diffCompile(oldRaw, newRaw []byte, threshold float64) (*DiffReport, error) 
 	for _, r := range newDoc.Results {
 		if _, ok := oldBy[r.Workload]; !ok {
 			extra = append(extra, DiffEntry{Name: r.Workload, Missing: "baseline"})
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Name < extra[j].Name })
+	rep.Entries = append(rep.Entries, extra...)
+	return rep, nil
+}
+
+// serveMetrics gate the cold service path and the byte-identity bit.
+// Warm wall time and speedup are recorded in the document but not gated
+// relatively: warm ops are microsecond-scale store lookups, where a 15%
+// relative bound is pure noise — CI asserts the absolute >= 20x speedup
+// floor instead. identical is a boolean read as 1/0, so a true -> false
+// flip shows up as an infinite regression.
+var serveMetrics = []benchMetric{
+	{"cold_wall_ns", false, func(v any) float64 { return float64(v.(ServeBenchResult).ColdWallNS) }},
+	{"identical", true, func(v any) float64 {
+		if v.(ServeBenchResult).Identical {
+			return 1
+		}
+		return 0
+	}},
+}
+
+func diffServe(oldRaw, newRaw []byte, oldPath, newPath string, threshold float64) (*DiffReport, error) {
+	var oldDoc, newDoc ServeBenchDoc
+	if err := json.Unmarshal(oldRaw, &oldDoc); err != nil {
+		return nil, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	if err := json.Unmarshal(newRaw, &newDoc); err != nil {
+		return nil, fmt.Errorf("%s: %w", newPath, err)
+	}
+	if oldDoc.Fuel != newDoc.Fuel {
+		return nil, fmt.Errorf("fuel mismatch: %s ran %d, %s ran %d — wall times are not comparable across budgets",
+			oldPath, oldDoc.Fuel, newPath, newDoc.Fuel)
+	}
+	oldBy := map[string]ServeBenchResult{}
+	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := map[string]ServeBenchResult{}
+	for _, r := range newDoc.Results {
+		newBy[r.Name] = r
+	}
+	rep := &DiffReport{Schema: ServeBenchSchema, Threshold: threshold}
+	for _, o := range oldDoc.Results {
+		n, ok := newBy[o.Name]
+		if !ok {
+			rep.Entries = append(rep.Entries, DiffEntry{Name: o.Name, Missing: "candidate"})
+			continue
+		}
+		rep.Entries = append(rep.Entries, diffEntry(o.Name, o, n, serveMetrics, threshold))
+	}
+	var extra []DiffEntry
+	for _, r := range newDoc.Results {
+		if _, ok := oldBy[r.Name]; !ok {
+			extra = append(extra, DiffEntry{Name: r.Name, Missing: "baseline"})
 		}
 	}
 	sort.Slice(extra, func(i, j int) bool { return extra[i].Name < extra[j].Name })

@@ -69,24 +69,26 @@ type EmbeddedRow struct {
 func (r *Runner) Embedded(ctx context.Context) ([]EmbeddedRow, error) {
 	media := workload.BySuite(workload.Media)
 	rows := make([]EmbeddedRow, len(media))
-	err := r.forEachLab(ctx, media, func(ctx context.Context, i int, l *Lab) error {
-		ms, err := l.SimulateBatch(ctx, []pipeline.BatchSpec{
-			{Config: EmbeddedBase()},
-			{Config: EmbeddedCompiler(), Flavors: l.HeurFlavors},
-			{Config: EmbeddedHWDual()},
+	err := r.forEachLabCached(ctx, "embedded", nil, media,
+		func(i int) any { return &rows[i] },
+		func(ctx context.Context, i int, l *Lab) error {
+			ms, err := l.SimulateBatch(ctx, []pipeline.BatchSpec{
+				{Config: EmbeddedBase()},
+				{Config: EmbeddedCompiler(), Flavors: l.HeurFlavors},
+				{Config: EmbeddedHWDual()},
+			})
+			if err != nil {
+				return err
+			}
+			base, cc, hw := ms[0], ms[1], ms[2]
+			rows[i] = EmbeddedRow{
+				Name:            l.W.Name,
+				CompilerSpeedup: float64(base.Cycles) / float64(cc.Cycles),
+				HWDualSpeedup:   float64(base.Cycles) / float64(hw.Cycles),
+			}
+			r.logf("%s done", l.W.Name)
+			return nil
 		})
-		if err != nil {
-			return err
-		}
-		base, cc, hw := ms[0], ms[1], ms[2]
-		rows[i] = EmbeddedRow{
-			Name:            l.W.Name,
-			CompilerSpeedup: float64(base.Cycles) / float64(cc.Cycles),
-			HWDualSpeedup:   float64(base.Cycles) / float64(hw.Cycles),
-		}
-		r.logf("%s done", l.W.Name)
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}

@@ -43,53 +43,65 @@ func (s *seriesDef) spec(l *Lab) pipeline.BatchSpec {
 	return sp
 }
 
-func (r *Runner) figure(ctx context.Context, title string, suite workload.Suite, series []seriesDef) (*Figure, error) {
+// figureColumn is one benchmark's cacheable unit of a figure: its
+// speedups in series order. The row key carries the series labels, so a
+// series change (labels, count, order) misses cleanly.
+type figureColumn struct {
+	Speedups []float64 `json:"speedups"`
+}
+
+func (r *Runner) figure(ctx context.Context, exp, title string, suite workload.Suite, series []seriesDef) (*Figure, error) {
 	fig := &Figure{Title: title}
 	benches := workload.BySuite(suite)
 	for _, w := range benches {
 		fig.Benchmarks = append(fig.Benchmarks, w.Name)
 	}
-	for _, s := range series {
+	labels := make([]string, len(series))
+	for i, s := range series {
 		fig.Series = append(fig.Series, FigureSeries{Label: s.label, Speedups: map[string]float64{}})
+		labels[i] = s.label
 	}
-	// One benchmark's column of cells is a single unit of work: its lab
-	// (and trace) is built once and all series configurations advance
-	// through the trace in a single batched pass. Cells land in slots
-	// indexed by (series, benchmark).
-	grid := make([][]float64, len(series))
-	for i := range grid {
-		grid[i] = make([]float64, len(benches))
-	}
-	err := r.forEachLab(ctx, benches, func(ctx context.Context, bi int, l *Lab) error {
-		base, err := l.BaseCycles(ctx)
-		if err != nil {
-			return fmt.Errorf("%s: base: %w", l.W.Name, err)
-		}
-		specs := make([]pipeline.BatchSpec, len(series))
-		for i := range series {
-			specs[i] = series[i].spec(l)
-		}
-		ms, err := l.SimulateBatch(ctx, specs)
-		if err != nil {
-			return fmt.Errorf("%s: %w", l.W.Name, err)
-		}
-		for i, m := range ms {
-			if m.Cycles == 0 {
-				return fmt.Errorf("%s/%s: zero cycles", series[i].label, l.W.Name)
+	// One benchmark's column of cells is a single unit of work (and of
+	// caching): its lab (and trace) is built once and all series
+	// configurations advance through the trace in a single batched pass.
+	cols := make([]figureColumn, len(benches))
+	err := r.forEachLabCached(ctx, exp, labels, benches,
+		func(i int) any { return &cols[i] },
+		func(ctx context.Context, bi int, l *Lab) error {
+			base, err := l.BaseCycles(ctx)
+			if err != nil {
+				return fmt.Errorf("%s: base: %w", l.W.Name, err)
 			}
-			grid[i][bi] = float64(base) / float64(m.Cycles)
-		}
-		r.logf("%s done", l.W.Name)
-		return nil
-	})
+			specs := make([]pipeline.BatchSpec, len(series))
+			for i := range series {
+				specs[i] = series[i].spec(l)
+			}
+			ms, err := l.SimulateBatch(ctx, specs)
+			if err != nil {
+				return fmt.Errorf("%s: %w", l.W.Name, err)
+			}
+			sp := make([]float64, len(series))
+			for i, m := range ms {
+				if m.Cycles == 0 {
+					return fmt.Errorf("%s/%s: zero cycles", series[i].label, l.W.Name)
+				}
+				sp[i] = float64(base) / float64(m.Cycles)
+			}
+			cols[bi].Speedups = sp
+			r.logf("%s done", l.W.Name)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	// Aggregate in benchmark order, off the worker pool: averages sum in
 	// a fixed order, so they are bit-identical at every worker count.
-	for i := range series {
-		for bi, w := range benches {
-			sp := grid[i][bi]
+	for bi, w := range benches {
+		if len(cols[bi].Speedups) != len(series) {
+			return nil, fmt.Errorf("%s: cached column has %d series, want %d (stale artifact schema?)",
+				w.Name, len(cols[bi].Speedups), len(series))
+		}
+		for i, sp := range cols[bi].Speedups {
 			fig.Series[i].Speedups[w.Name] = sp
 			fig.Series[i].Average += sp / float64(len(benches))
 		}
@@ -117,7 +129,7 @@ func (r *Runner) Figure5a(ctx context.Context) (*Figure, error) {
 				flav: (*Lab).heurFlavors},
 		)
 	}
-	return r.figure(ctx, "Figure 5a: table-based address prediction only (scaled sizes)",
+	return r.figure(ctx, "fig5a", "Figure 5a: table-based address prediction only (scaled sizes)",
 		workload.SPEC, series)
 }
 
@@ -137,7 +149,7 @@ func (r *Runner) Figure5b(ctx context.Context) (*Figure, error) {
 			cfg:   HWEarly(n),
 		})
 	}
-	return r.figure(ctx, "Figure 5b: early address calculation only (scaled sizes)",
+	return r.figure(ctx, "fig5b", "Figure 5b: early address calculation only (scaled sizes)",
 		workload.SPEC, series)
 }
 
@@ -152,7 +164,7 @@ func (r *Runner) Figure5c(ctx context.Context) (*Figure, error) {
 		{label: "compiler dual", cfg: CompilerDual(), flav: (*Lab).heurFlavors},
 		{label: "compiler dual+profile", cfg: CompilerDual(), flav: (*Lab).reclassFlavors},
 	}
-	return r.figure(ctx, "Figure 5c: dual-path early address generation", workload.SPEC, series)
+	return r.figure(ctx, "fig5c", "Figure 5c: dual-path early address generation", workload.SPEC, series)
 }
 
 // FormatFigure renders a figure as an aligned text table (benchmarks down,

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"elag"
+	"elag/internal/artifact"
 	"elag/internal/core"
 	"elag/internal/emu"
 	"elag/internal/isa"
@@ -70,6 +71,14 @@ type Runner struct {
 	// hits/misses, replayed chunks and entries). Purely observational:
 	// results are byte-identical with or without it.
 	Counters *Counters
+	// Artifacts, when non-nil, caches grid experiments at per-benchmark
+	// row granularity through the content-addressed store: a row already
+	// present (same experiment, benchmark source, fuel, chunk — see
+	// rowKey) is decoded instead of simulated, so overlapping grids
+	// recompute only missing rows. Cached rows round-trip through JSON,
+	// which preserves float64 bits exactly — documents built from cached
+	// rows are byte-identical to cold ones.
+	Artifacts *artifact.Store
 	// Progress, when non-nil, is called after each benchmark column of a
 	// grid experiment completes, with the benchmark name and the
 	// done/total counts for that experiment. Called from grid worker

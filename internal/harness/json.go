@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -52,6 +53,40 @@ func (r *Runner) Document(ctx context.Context) (*BenchDocument, error) {
 		return nil, err
 	}
 	if doc.Embedded, err = r.Embedded(ctx); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// DocumentExp runs one named experiment into an otherwise-empty document
+// ("" or "all" runs everything, same as Document). Narrow documents share
+// the full document's per-row artifact cache when Runner.Artifacts is
+// set: running "all" warms every narrower selection and vice versa.
+func (r *Runner) DocumentExp(ctx context.Context, exp string) (*BenchDocument, error) {
+	if exp == "" || exp == "all" {
+		return r.Document(ctx)
+	}
+	doc := &BenchDocument{Schema: BenchSchema, Fuel: r.Fuel}
+	var err error
+	switch exp {
+	case "table2":
+		doc.Table2, err = r.Table2(ctx)
+	case "table3":
+		doc.Table3, err = r.Table3(ctx)
+	case "table4":
+		doc.Table4, err = r.Table4(ctx)
+	case "fig5a":
+		doc.Figure5a, err = r.Figure5a(ctx)
+	case "fig5b":
+		doc.Figure5b, err = r.Figure5b(ctx)
+	case "fig5c":
+		doc.Figure5c, err = r.Figure5c(ctx)
+	case "embedded":
+		doc.Embedded, err = r.Embedded(ctx)
+	default:
+		err = fmt.Errorf("unknown experiment %q", exp)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return doc, nil

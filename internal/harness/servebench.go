@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ServeBenchSchema versions the elag-bench -servebench JSON document
+// (BENCH_serve.json in the repository root); bump on any field-shape
+// change.
+const ServeBenchSchema = "elag-servebench/v1"
+
+// ServeBenchResult is one cold/warm pair through the service path: the
+// same job submitted against an empty artifact store (cold — the full
+// pipeline runs) and again fully cached (warm — admission answers from
+// the store). Identical records whether the two result documents were
+// byte-for-byte equal, which the cache contract requires.
+type ServeBenchResult struct {
+	Name       string `json:"name"`
+	ColdWallNS int64  `json:"cold_wall_ns"`
+	WarmWallNS int64  `json:"warm_wall_ns"`
+	// WarmSpeedup is ColdWallNS / WarmWallNS. It is recorded for the
+	// trajectory but gated absolutely (the >= 20x floor in CI), not
+	// relatively: warm times are microseconds, where relative noise is
+	// meaningless.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	Identical   bool    `json:"identical"`
+}
+
+// ServeBenchDoc is the machine-readable record of result-cache service
+// performance, the repository's tracked evidence that a warm cache
+// answers without recomputation.
+type ServeBenchDoc struct {
+	Schema string `json:"schema"`
+	// Fuel is the per-job dynamic instruction budget of the entries.
+	Fuel    int64              `json:"fuel"`
+	Results []ServeBenchResult `json:"results"`
+}
+
+// WriteServeBenchJSON writes doc as indented JSON.
+func WriteServeBenchJSON(w io.Writer, doc *ServeBenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

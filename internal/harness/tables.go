@@ -46,10 +46,12 @@ func tableRow(l *Lab, c *core.Classification) Table2Row {
 func (r *Runner) Table2(ctx context.Context) ([]Table2Row, error) {
 	benches := workload.BySuite(workload.SPEC)
 	rows := make([]Table2Row, len(benches))
-	err := r.forEachLab(ctx, benches, func(ctx context.Context, i int, l *Lab) error {
-		rows[i] = tableRow(l, l.Heur)
-		return nil
-	})
+	err := r.forEachLabCached(ctx, "table2", nil, benches,
+		func(i int) any { return &rows[i] },
+		func(ctx context.Context, i int, l *Lab) error {
+			rows[i] = tableRow(l, l.Heur)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -104,22 +106,24 @@ type Table3Row struct {
 func (r *Runner) Table3(ctx context.Context) ([]Table3Row, error) {
 	benches := workload.BySuite(workload.SPEC)
 	rows := make([]Table3Row, len(benches))
-	err := r.forEachLab(ctx, benches, func(ctx context.Context, i int, l *Lab) error {
-		sp, err := l.Speedup(ctx, CompilerDual(), l.ReclassFlavors)
-		if err != nil {
-			return err
-		}
-		t := tableRow(l, l.Reclass)
-		rows[i] = Table3Row{
-			Name:     l.W.Name,
-			Speedup:  sp,
-			StaticPD: t.StaticPD,
-			DynPD:    t.DynPD,
-			RateNT:   t.RateNT,
-			RatePD:   t.RatePD,
-		}
-		return nil
-	})
+	err := r.forEachLabCached(ctx, "table3", nil, benches,
+		func(i int) any { return &rows[i] },
+		func(ctx context.Context, i int, l *Lab) error {
+			sp, err := l.Speedup(ctx, CompilerDual(), l.ReclassFlavors)
+			if err != nil {
+				return err
+			}
+			t := tableRow(l, l.Reclass)
+			rows[i] = Table3Row{
+				Name:     l.W.Name,
+				Speedup:  sp,
+				StaticPD: t.StaticPD,
+				DynPD:    t.DynPD,
+				RateNT:   t.RateNT,
+				RatePD:   t.RatePD,
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -160,14 +164,16 @@ type Table4Row struct {
 func (r *Runner) Table4(ctx context.Context) ([]Table4Row, error) {
 	benches := workload.BySuite(workload.Media)
 	rows := make([]Table4Row, len(benches))
-	err := r.forEachLab(ctx, benches, func(ctx context.Context, i int, l *Lab) error {
-		sp, err := l.Speedup(ctx, CompilerDual(), l.HeurFlavors)
-		if err != nil {
-			return err
-		}
-		rows[i] = Table4Row{Table2Row: tableRow(l, l.Heur), Speedup: sp}
-		return nil
-	})
+	err := r.forEachLabCached(ctx, "table4", nil, benches,
+		func(i int) any { return &rows[i] },
+		func(ctx context.Context, i int, l *Lab) error {
+			sp, err := l.Speedup(ctx, CompilerDual(), l.HeurFlavors)
+			if err != nil {
+				return err
+			}
+			rows[i] = Table4Row{Table2Row: tableRow(l, l.Heur), Speedup: sp}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -7,8 +7,9 @@ import (
 
 // ServeStatsSchema versions the elag-serve service-counter document,
 // flushed on graceful drain and served live at /v1/stats. v2 added
-// uptime_seconds, jobs_in_flight, and the chaos-injection state.
-const ServeStatsSchema = "elag-serve-stats/v2"
+// uptime_seconds, jobs_in_flight, and the chaos-injection state; v3 adds
+// the result-cache counters and artifact-store sizes.
+const ServeStatsSchema = "elag-serve-stats/v3"
 
 // ServeStatsDoc is the machine-readable lifetime summary of one elag-serve
 // process: admission outcomes, job outcomes, and fault-isolation events.
@@ -40,6 +41,19 @@ type ServeStatsDoc struct {
 	// escapes outside a job run.
 	PanicsRecovered int64 `json:"panics_recovered"`
 	WorkersReplaced int64 `json:"workers_replaced"`
+
+	// Result cache (zero with caching disabled). Every accepted job takes
+	// exactly one admission path, so jobs_accepted = cache_hits +
+	// cache_misses + cache_coalesced when the cache is on. Evictions and
+	// corruption-evictions sum both store tiers; the byte gauges are
+	// instantaneous resident sizes.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheCorrupt   int64 `json:"cache_corrupt"`
+	CacheMemBytes  int64 `json:"cache_mem_bytes"`
+	CacheDiskBytes int64 `json:"cache_disk_bytes"`
 
 	// Chaos injection state: whether the fault layer is armed, and the
 	// spec it was armed with ("" when disarmed). A drill's stats flush

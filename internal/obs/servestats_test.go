@@ -22,6 +22,13 @@ func TestServeStatsGolden(t *testing.T) {
 		JobsInFlight:      1,
 		PanicsRecovered:   2,
 		WorkersReplaced:   2,
+		CacheHits:         3,
+		CacheMisses:       5,
+		CacheCoalesced:    1,
+		CacheEvictions:    4,
+		CacheCorrupt:      1,
+		CacheMemBytes:     2048,
+		CacheDiskBytes:    4096,
 		ChaosArmed:        true,
 		Chaos:             "panic-every=3",
 	}
@@ -30,7 +37,7 @@ func TestServeStatsGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := `{
-  "schema": "elag-serve-stats/v2",
+  "schema": "elag-serve-stats/v3",
   "uptime_seconds": 12.5,
   "jobs_accepted": 9,
   "rejected_invalid": 1,
@@ -42,6 +49,13 @@ func TestServeStatsGolden(t *testing.T) {
   "jobs_in_flight": 1,
   "panics_recovered": 2,
   "workers_replaced": 2,
+  "cache_hits": 3,
+  "cache_misses": 5,
+  "cache_coalesced": 1,
+  "cache_evictions": 4,
+  "cache_corrupt": 1,
+  "cache_mem_bytes": 2048,
+  "cache_disk_bytes": 4096,
   "chaos_armed": true,
   "chaos": "panic-every=3"
 }

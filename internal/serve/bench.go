@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"elag/internal/artifact"
+	"elag/internal/harness"
+)
+
+// RunServeBench measures the result cache through the full service path:
+// an in-process server with a fresh in-memory artifact store runs each
+// entry's job once cold (empty store — the pipeline executes) and then
+// warm (fully cached — admission answers from the store), recording both
+// wall times and whether the two result documents are byte-identical.
+// The warm measurement is the best of several runs: a cache hit is a
+// store lookup plus a terminal transition, so min, not mean, is the
+// honest cost.
+func RunServeBench(ctx context.Context, fuel int64) (*harness.ServeBenchDoc, error) {
+	doc := &harness.ServeBenchDoc{Schema: harness.ServeBenchSchema, Fuel: fuel}
+	entries := []struct {
+		name string
+		spec *JobSpec
+	}{
+		{"grid-table2", &JobSpec{Kind: KindGrid, Exp: "table2", Fuel: fuel}},
+		{"simulate-eqntott", &JobSpec{
+			Kind:     KindSimulate,
+			Workload: "023.eqntott",
+			Configs: []ConfigSpec{
+				{Name: "base"},
+				{Name: "compiler", Table: 256},
+			},
+			Fuel: fuel,
+		}},
+	}
+	for _, e := range entries {
+		store, err := artifact.Open(artifact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := New(Options{Workers: 2, GridParallel: 2, Cache: store})
+		res, err := benchPair(ctx, s, e.spec)
+		s.Drain(time.Minute)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		res.Name = e.name
+		doc.Results = append(doc.Results, *res)
+	}
+	return doc, nil
+}
+
+// runOnce submits spec and waits for the terminal state, returning the
+// wall time and the marshalled result bytes.
+func runOnce(ctx context.Context, s *Server, spec *JobSpec) (time.Duration, []byte, error) {
+	start := time.Now()
+	j, jerr := s.Submit(spec)
+	if jerr != nil {
+		return 0, nil, jerr
+	}
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+		j.Cancel()
+		<-j.Done()
+		return 0, nil, ctx.Err()
+	}
+	wall := time.Since(start)
+	st := j.Status()
+	if st.State != StateDone {
+		return 0, nil, fmt.Errorf("job ended %s: %v", st.State, st.Error)
+	}
+	data, err := json.Marshal(st.Result)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wall, data, nil
+}
+
+func benchPair(ctx context.Context, s *Server, spec *JobSpec) (*harness.ServeBenchResult, error) {
+	cold, coldBytes, err := runOnce(ctx, s, spec)
+	if err != nil {
+		return nil, err
+	}
+	const warmRuns = 5
+	warm := time.Duration(0)
+	identical := true
+	for i := 0; i < warmRuns; i++ {
+		w, warmBytes, err := runOnce(ctx, s, spec)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(coldBytes, warmBytes) {
+			identical = false
+		}
+		if i == 0 || w < warm {
+			warm = w
+		}
+	}
+	res := &harness.ServeBenchResult{
+		ColdWallNS: cold.Nanoseconds(),
+		WarmWallNS: warm.Nanoseconds(),
+		Identical:  identical,
+	}
+	if warm > 0 {
+		res.WarmSpeedup = float64(cold.Nanoseconds()) / float64(warm.Nanoseconds())
+	}
+	return res, nil
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"elag"
+	"elag/internal/artifact"
 	"elag/internal/harness"
 	"elag/internal/telemetry"
 	"elag/internal/workload"
@@ -46,14 +47,14 @@ type SimulateResult struct {
 // program-level (build failures, architectural faults), not spec-level.
 // work receives chunk/lab-cache telemetry; j.progress receives live
 // frames (free when nobody subscribed).
-func execute(j *Job, gridParallel int, work *harness.Counters) (any, error) {
+func execute(j *Job, gridParallel int, work *harness.Counters, cache *artifact.Store) (any, error) {
 	switch j.Spec.Kind {
 	case KindCompile:
 		return executeCompile(j.Spec)
 	case KindSimulate:
 		return executeSimulate(j, work)
 	case KindGrid:
-		return executeGrid(j, gridParallel, work)
+		return executeGrid(j, gridParallel, work, cache)
 	}
 	// Unreachable after Validate; keep the failure typed anyway.
 	return nil, &SpecError{Field: "kind", Reason: fmt.Sprintf("unknown kind %q", j.Spec.Kind)}
@@ -89,9 +90,7 @@ func executeSimulate(j *Job, work *harness.Counters) (any, error) {
 	spec := j.Spec
 	var p *elag.Program
 	var err error
-	label := "source"
 	if spec.Workload != "" {
-		label = spec.Workload
 		p, err = elag.Build(workload.Get(spec.Workload).Source, elag.BuildOptions{})
 	} else {
 		p, err = elag.Build(spec.Source, elag.BuildOptions{})
@@ -122,18 +121,38 @@ func executeSimulate(j *Job, work *harness.Counters) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SimulateResult{Output: runRes.Output()}
-	for i, m := range metrics {
+	for _, m := range metrics {
 		work.CountMemo(m.Memo)
-		res.Metrics = append(res.Metrics, elag.NewMetricsDoc(label, spec.Configs[i].Name, m))
 	}
-	return res, nil
+	return NewSimulateResult(spec, runRes.Output(), metrics), nil
 }
 
-func executeGrid(j *Job, parallel int, work *harness.Counters) (any, error) {
+// NewSimulateResult assembles the simulate-job result document: the
+// architectural output plus one metrics document per config, labelled
+// the way the service labels them. elag-sim's cache path builds its
+// artifacts through this same constructor, so a CLI-computed result is
+// byte-identical to a server-computed one and the two can share a store.
+func NewSimulateResult(spec *JobSpec, output string, metrics []*elag.Metrics) *SimulateResult {
+	label := "source"
+	if spec.Workload != "" {
+		label = spec.Workload
+	}
+	res := &SimulateResult{Output: output}
+	for i, m := range metrics {
+		res.Metrics = append(res.Metrics, elag.NewMetricsDoc(label, spec.Configs[i].Name, m))
+	}
+	return res
+}
+
+func executeGrid(j *Job, parallel int, work *harness.Counters, cache *artifact.Store) (any, error) {
 	r := &harness.Runner{
 		Fuel: j.Spec.Fuel, Parallel: parallel, ChunkSize: j.Spec.Chunk,
 		Counters: work,
+		// The artifact store gives grid jobs per-row caching: every
+		// (experiment, benchmark) row the runner computes is stored, so a
+		// later grid — same or narrower experiment selection — recomputes
+		// only the rows it is missing.
+		Artifacts: cache,
 		// Each completed benchmark column becomes a frame; done/total
 		// restart per experiment (Document runs several), so a consumer
 		// sees per-experiment sweep progress, not one global bar.
@@ -142,5 +161,5 @@ func executeGrid(j *Job, parallel int, work *harness.Counters) (any, error) {
 				Bench: bench, Done: done, Total: total})
 		},
 	}
-	return r.Document(j.ctx)
+	return r.DocumentExp(j.ctx, j.Spec.Exp)
 }

@@ -58,6 +58,12 @@ type JobSpec struct {
 	// architectural execution in order.
 	Configs []ConfigSpec `json:"configs,omitempty"`
 
+	// Exp narrows a grid job to one experiment (table2, table3, table4,
+	// fig5a, fig5b, fig5c, embedded). Empty or "all" runs the full
+	// document. Narrow grids share the full document's per-row artifact
+	// cache, so an "all" run warms every narrower one and vice versa.
+	Exp string `json:"exp,omitempty"`
+
 	// Fuel bounds the dynamic instruction count. Simulate and grid jobs
 	// must state a budget (admission rejects 0); it must not exceed the
 	// server's -max-fuel.
@@ -230,7 +236,11 @@ func (spec *JobSpec) Validate(lim Limits) error {
 		}
 	case KindGrid:
 		if spec.Source != "" || spec.Workload != "" || len(spec.Configs) != 0 || spec.Opt != "" {
-			return &SpecError{Field: "kind", Reason: "grid jobs run the built-in suite and take only fuel/chunk/deadline"}
+			return &SpecError{Field: "kind", Reason: "grid jobs run the built-in suite and take only exp/fuel/chunk/deadline"}
+		}
+		if !gridExps[spec.Exp] {
+			return &SpecError{Field: "exp",
+				Reason: fmt.Sprintf("unknown experiment %q (want all, table2, table3, table4, fig5a, fig5b, fig5c, or embedded)", spec.Exp)}
 		}
 		if spec.Fuel == 0 {
 			return &SpecError{Field: "fuel", Reason: "grid jobs must state a fuel budget"}
@@ -241,7 +251,18 @@ func (spec *JobSpec) Validate(lim Limits) error {
 		return &SpecError{Field: "kind",
 			Reason: fmt.Sprintf("unknown kind %q (want compile, simulate, or grid)", spec.Kind)}
 	}
+	if spec.Kind != KindGrid && spec.Exp != "" {
+		return &SpecError{Field: "exp", Reason: "only grid jobs select an experiment"}
+	}
 	return nil
+}
+
+// gridExps is the experiment vocabulary of JobSpec.Exp.
+var gridExps = map[string]bool{
+	"": true, "all": true,
+	"table2": true, "table3": true, "table4": true,
+	"fig5a": true, "fig5b": true, "fig5c": true,
+	"embedded": true,
 }
 
 // Deadline returns the job's effective wall-time budget under lim: its own

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"elag"
+	"elag/internal/artifact"
 	"elag/internal/chaosinject"
 	"elag/internal/harness"
 	"elag/internal/telemetry"
@@ -34,6 +35,13 @@ type Job struct {
 	stats    *Stats
 	log      *slog.Logger
 	progress *telemetry.Progress
+
+	// onTerminal, when set, runs inside the terminal transition with j.mu
+	// held, after the counters settle. The single-flight layer installs it
+	// on coalescing leaders (before the job is ever visible to a worker)
+	// to publish the outcome to the artifact store and the followers. It
+	// must not take j.mu again.
+	onTerminal func(j *Job)
 
 	mu      sync.Mutex
 	state   string
@@ -94,12 +102,17 @@ func (j *Job) start() bool {
 }
 
 // finish records the job's terminal outcome. Idempotent: only the first
-// call wins (a worker dying mid-finish cannot double-close done).
+// call wins (a worker dying mid-finish cannot double-close done). The
+// deadline timer is released only after the terminal state is settled:
+// a coalesced follower watches its own context and calls finish on
+// cancellation, so cancelling before the state transition would let that
+// watcher race a concurrent success delivery and mark a successfully
+// delivered job canceled.
 func (j *Job) finish(result any, jerr *JobError) {
-	j.cancel() // release the deadline timer
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		j.mu.Unlock()
+		j.cancel()
 		return
 	}
 	switch {
@@ -111,6 +124,8 @@ func (j *Job) finish(result any, jerr *JobError) {
 		j.state, j.jobErr = StateFailed, jerr
 	}
 	j.terminalLocked()
+	j.mu.Unlock()
+	j.cancel() // release the deadline timer
 }
 
 // terminalLocked settles the terminal transition. Called with j.mu held,
@@ -127,9 +142,12 @@ func (j *Job) terminalLocked() {
 	if j.jobErr != nil {
 		j.log.Info("job finished", "state", j.state, "wall", wall,
 			"error_kind", j.jobErr.Kind, "error", j.jobErr.Message)
-		return
+	} else {
+		j.log.Info("job finished", "state", j.state, "wall", wall)
 	}
-	j.log.Info("job finished", "state", j.state, "wall", wall)
+	if j.onTerminal != nil {
+		j.onTerminal(j)
+	}
 }
 
 // Status snapshots the job as its wire document.
@@ -175,15 +193,17 @@ type pool struct {
 	wg           sync.WaitGroup
 	stats        *Stats
 	work         *harness.Counters
+	cache        *artifact.Store
 	log          *slog.Logger
 }
 
 // newPool starts workers goroutines draining queue. gridParallel is the
 // harness parallelism grid jobs run with (each grid job fans its
-// benchmarks over that many goroutines of its own).
+// benchmarks over that many goroutines of its own). cache (may be nil)
+// is the artifact store grid jobs use for per-row caching.
 func newPool(workers, gridParallel int, queue chan *Job, stats *Stats,
-	work *harness.Counters, log *slog.Logger) *pool {
-	p := &pool{jobs: queue, gridParallel: gridParallel, stats: stats, work: work, log: log}
+	work *harness.Counters, cache *artifact.Store, log *slog.Logger) *pool {
+	p := &pool{jobs: queue, gridParallel: gridParallel, stats: stats, work: work, cache: cache, log: log}
 	for i := 0; i < workers; i++ {
 		p.startWorker()
 	}
@@ -245,7 +265,7 @@ func (p *pool) runOne(j *Job) {
 	// Chaos: an injected worker crash surfaces exactly where a real
 	// simulation-kernel bug would — after dequeue, before results exist.
 	chaosinject.MaybePanic("worker")
-	result, err := execute(j, p.gridParallel, p.work)
+	result, err := execute(j, p.gridParallel, p.work, p.cache)
 	if err != nil {
 		j.finish(nil, classifyErr(err))
 		return

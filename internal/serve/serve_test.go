@@ -617,7 +617,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(sresp.Body).Decode(&doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Schema != "elag-serve-stats/v2" || doc.JobsAccepted != 1 || doc.JobsDone != 1 {
+	if doc.Schema != "elag-serve-stats/v3" || doc.JobsAccepted != 1 || doc.JobsDone != 1 {
 		t.Fatalf("stats doc %+v", doc)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"elag/internal/artifact"
 	"elag/internal/chaosinject"
 	"elag/internal/harness"
 	"elag/internal/obs"
@@ -53,6 +54,12 @@ type Options struct {
 	// DrainPolicy picks what Drain does with in-flight jobs: DrainWait
 	// (default) or DrainCancel.
 	DrainPolicy string
+	// Cache, when non-nil, is the content-addressed result store: jobs
+	// consult it before admission to the worker pool (a hit never costs a
+	// queue slot), identical in-flight jobs coalesce via single-flight,
+	// and grid jobs cache per-row through it. nil disables all caching —
+	// every job executes.
+	Cache *artifact.Store
 	// Log receives the structured service log, with job-ID correlation
 	// across admission → pool → exec → drain. nil logs nothing.
 	Log *slog.Logger
@@ -85,6 +92,14 @@ type Server struct {
 	reg    map[string]*Job
 	nextID int64
 
+	// cache is the artifact store (Options.Cache; nil = caching off).
+	// flight maps a result key to its in-flight computation: the first
+	// miss becomes the leader, identical submissions while it runs become
+	// followers, and the leader's terminal transition settles everyone.
+	cache    *artifact.Store
+	flightMu sync.Mutex
+	flight   map[artifact.Key]*flightEntry
+
 	// work aggregates replay-engine volume (chunks, streamed entries,
 	// lab-cache hits/misses) across every job; /metrics reads it at
 	// scrape time.
@@ -115,16 +130,18 @@ func New(opts Options) *Server {
 		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		opts:  opts,
-		start: time.Now(),
-		log:   opts.Log,
-		queue: make(chan *Job, opts.QueueDepth),
-		reg:   map[string]*Job{},
+		opts:   opts,
+		start:  time.Now(),
+		log:    opts.Log,
+		queue:  make(chan *Job, opts.QueueDepth),
+		reg:    map[string]*Job{},
+		cache:  opts.Cache,
+		flight: map[artifact.Key]*flightEntry{},
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
-	s.stats = newStats(s.start)
+	s.stats = newStats(s.start, s.cache)
 	s.registerServerMetrics()
-	s.pool = newPool(opts.Workers, opts.GridParallel, s.queue, s.stats, &s.work, s.log)
+	s.pool = newPool(opts.Workers, opts.GridParallel, s.queue, s.stats, &s.work, s.cache, s.log)
 	return s
 }
 
@@ -182,6 +199,49 @@ func (s *Server) registerServerMetrics() {
 	reg.CounterFunc("elag_process_cpu_seconds_total",
 		"Cumulative process CPU time (user + system).",
 		processCPUSeconds)
+	if s.cache != nil {
+		s.registerCacheMetrics()
+	}
+}
+
+// registerCacheMetrics adds the artifact-store series. Only registered
+// with a cache attached, so a cacheless server's exposition stays
+// byte-compatible with pre-cache deployments.
+func (s *Server) registerCacheMetrics() {
+	reg := s.stats.Registry
+	st := func(read func(artifact.Stats) int64) func() float64 {
+		return func() float64 { return float64(read(s.cache.Stats())) }
+	}
+	reg.CounterFunc("elag_artifact_hits_total",
+		"Artifact-store hits, by tier.",
+		st(func(x artifact.Stats) int64 { return x.MemHits }), "tier", "mem")
+	reg.CounterFunc("elag_artifact_hits_total",
+		"Artifact-store hits, by tier.",
+		st(func(x artifact.Stats) int64 { return x.DiskHits }), "tier", "disk")
+	reg.CounterFunc("elag_artifact_misses_total",
+		"Artifact-store lookups that found nothing valid.",
+		st(func(x artifact.Stats) int64 { return x.Misses }))
+	reg.CounterFunc("elag_artifact_evictions_total",
+		"Artifacts evicted past the size budgets, by tier.",
+		st(func(x artifact.Stats) int64 { return x.MemEvictions }), "tier", "mem")
+	reg.CounterFunc("elag_artifact_evictions_total",
+		"Artifacts evicted past the size budgets, by tier.",
+		st(func(x artifact.Stats) int64 { return x.DiskEvictions }), "tier", "disk")
+	reg.CounterFunc("elag_artifact_corrupt_total",
+		"On-disk artifacts that failed integrity verification and were evicted.",
+		st(func(x artifact.Stats) int64 { return x.Corrupt }))
+	reg.GaugeFunc("elag_artifact_bytes",
+		"Artifact-store resident size in bytes, by tier.",
+		st(func(x artifact.Stats) int64 { return x.MemBytes }), "tier", "mem")
+	reg.GaugeFunc("elag_artifact_bytes",
+		"Artifact-store resident size in bytes, by tier.",
+		st(func(x artifact.Stats) int64 { return x.DiskBytes }), "tier", "disk")
+	reg.GaugeFunc("elag_artifact_entries",
+		"Artifact-store entry count, by tier.",
+		st(func(x artifact.Stats) int64 { return x.MemEntries }), "tier", "mem")
+	reg.GaugeFunc("elag_artifact_entries",
+		"Artifact-store entry count, by tier.",
+		st(func(x artifact.Stats) int64 { return x.DiskEntries }), "tier", "disk")
 }
 
 // Metrics exposes the telemetry registry (tests, embedding servers).
@@ -201,6 +261,21 @@ func (s *Server) Draining() bool {
 // reserves a queue slot, and registers the job. The returned *JobError is
 // nil on success; its Kind distinguishes invalid specs, overload, and
 // draining for the HTTP layer's status mapping.
+//
+// With a cache attached, admission takes one of three paths, each
+// counted exactly once (accepted = hits + misses + coalesced):
+//
+//   - hit: the artifact store has the result; the job is registered and
+//     goes terminal immediately with the stored bytes, never touching
+//     the queue or a worker.
+//   - coalesced: an identical job is already executing; this one becomes
+//     a follower — own ID, own status, own progress stream (its
+//     subscribers see the synthetic done frame) — settled by the
+//     leader's terminal transition. A follower's own deadline and
+//     cancellation still apply, enforced by a context watcher since no
+//     worker ever owns it.
+//   - miss: the job becomes the single-flight leader and is enqueued
+//     normally.
 func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
 	if err := spec.Validate(s.opts.Limits); err != nil {
 		s.stats.RejectedInvalid.Add(1)
@@ -222,11 +297,65 @@ func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
 		s.log.Warn("job rejected", "reason", "draining", "kind", spec.Kind)
 		return nil, &JobError{Kind: ErrKindDraining, Message: "server is draining"}
 	}
+	var key artifact.Key
+	if s.cache != nil {
+		key = ResultKey(spec)
+		if data, ok := s.cache.Get(key); ok {
+			s.accept(j)
+			s.stats.CacheHits.Add(1)
+			j.log.Info("job served from cache", "bytes", len(data))
+			j.finish(json.RawMessage(data), nil)
+			return j, nil
+		}
+	}
 	if chaosinject.QueueSaturated() {
 		cancel()
 		s.stats.RejectedQueueFull.Add(1)
 		s.log.Warn("job rejected", "reason", "queue_full", "kind", spec.Kind, "chaos", true)
 		return nil, &JobError{Kind: ErrKindOverload, Message: "job queue is full (chaos: queue-saturate)"}
+	}
+	if s.cache != nil {
+		s.flightMu.Lock()
+		if fe, ok := s.flight[key]; ok {
+			fe.followers = append(fe.followers, j)
+			leaderID := fe.leader.ID
+			s.flightMu.Unlock()
+			s.accept(j)
+			s.stats.CacheCoalesced.Add(1)
+			// No worker will ever own this job, so its deadline and
+			// cancellation must settle it directly. finish is idempotent:
+			// if the leader already delivered, this no-ops.
+			context.AfterFunc(j.ctx, func() {
+				j.finish(nil, classifyErr(j.ctx.Err()))
+			})
+			j.log.Info("job coalesced", "leader", leaderID)
+			return j, nil
+		}
+		// Become the leader. The flight entry and terminal hook are
+		// installed before the queue send (a worker may dequeue and finish
+		// the job the instant it is enqueued), and flightMu stays held
+		// across the send so no follower can attach to a leader that then
+		// fails admission.
+		s.flight[key] = &flightEntry{leader: j}
+		j.onTerminal = func(leader *Job) { s.flightDone(key, leader) }
+		select {
+		case s.queue <- j:
+			s.flightMu.Unlock()
+		default:
+			delete(s.flight, key)
+			j.onTerminal = nil
+			s.flightMu.Unlock()
+			cancel()
+			s.stats.RejectedQueueFull.Add(1)
+			s.log.Warn("job rejected", "reason", "queue_full", "kind", spec.Kind,
+				"queue_depth", s.opts.QueueDepth)
+			return nil, &JobError{Kind: ErrKindOverload,
+				Message: fmt.Sprintf("job queue is full (%d queued)", s.opts.QueueDepth)}
+		}
+		s.accept(j)
+		s.stats.CacheMisses.Add(1)
+		j.log.Info("job admitted", "queued", len(s.queue))
+		return j, nil
 	}
 	select {
 	case s.queue <- j:
@@ -238,15 +367,20 @@ func (s *Server) Submit(spec *JobSpec) (*Job, *JobError) {
 		return nil, &JobError{Kind: ErrKindOverload,
 			Message: fmt.Sprintf("job queue is full (%d queued)", s.opts.QueueDepth)}
 	}
-	s.regMu.Lock()
-	s.reg[id] = j
-	s.regMu.Unlock()
-	// Admission side of the counter algebra: accepted and in-flight move
-	// together here; the terminal transition settles the other side.
-	s.stats.JobsAccepted.Add(1)
-	s.stats.InFlight.Add(1)
+	s.accept(j)
 	j.log.Info("job admitted", "queued", len(s.queue))
 	return j, nil
+}
+
+// accept registers an admitted job and settles the admission side of the
+// counter algebra: accepted and in-flight move together here; the
+// terminal transition settles the other side.
+func (s *Server) accept(j *Job) {
+	s.regMu.Lock()
+	s.reg[j.ID] = j
+	s.regMu.Unlock()
+	s.stats.JobsAccepted.Add(1)
+	s.stats.InFlight.Add(1)
 }
 
 // Lookup returns the job with the given ID, or nil.
@@ -302,7 +436,7 @@ func (s *Server) Drain(timeout time.Duration) *obs.ServeStatsDoc {
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream, terminated by a
 //	                              "done" frame (?wait=1 adds heartbeats)
 //	DELETE /v1/jobs/{id}          cancel
-//	GET    /v1/stats              service counters (elag-serve-stats/v2)
+//	GET    /v1/stats              service counters (elag-serve-stats/v3)
 //	GET    /metrics               Prometheus text exposition
 //	GET    /healthz               liveness: 200 while the process serves
 //	GET    /readyz                readiness: 200, or 503 once draining

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"elag/internal/artifact"
 	"elag/internal/chaosinject"
 	"elag/internal/obs"
 	"elag/internal/telemetry"
@@ -44,20 +45,38 @@ type Stats struct {
 	PanicsRecovered *telemetry.Counter
 	WorkersReplaced *telemetry.Counter
 
+	// Result-cache admission outcomes. Every accepted job takes exactly
+	// one of the three paths, so with the cache enabled:
+	//
+	//	accepted = cache_hits + cache_misses + cache_coalesced
+	//
+	// (hits return stored bytes, misses become single-flight leaders and
+	// execute, coalesced jobs follow an in-flight leader). With the cache
+	// disabled all three stay zero.
+	CacheHits      *telemetry.Counter
+	CacheMisses    *telemetry.Counter
+	CacheCoalesced *telemetry.Counter
+
 	InFlight    *telemetry.Gauge
 	WorkersBusy *telemetry.Gauge
+
+	// store backs the artifact-level cells of Doc (sizes, evictions,
+	// corruption); nil when the server runs cacheless.
+	store *artifact.Store
 
 	completed map[string]map[string]*telemetry.Counter // kind → outcome
 	wall      map[string]*telemetry.Histogram          // kind
 	queueWait *telemetry.Histogram
 }
 
-// newStats builds the counter set and registers every series.
-func newStats(start time.Time) *Stats {
+// newStats builds the counter set and registers every series. store (may
+// be nil) is the artifact store whose sizes Doc reports.
+func newStats(start time.Time, store *artifact.Store) *Stats {
 	reg := telemetry.NewRegistry()
 	s := &Stats{
 		start:    start,
 		Registry: reg,
+		store:    store,
 
 		JobsAccepted: reg.Counter("elag_jobs_admitted_total",
 			"Jobs accepted into the queue."),
@@ -72,6 +91,13 @@ func newStats(start time.Time) *Stats {
 			"Job panics recovered by the worker pool."),
 		WorkersReplaced: reg.Counter("elag_workers_replaced_total",
 			"Workers replaced after a recovered panic."),
+
+		CacheHits: reg.Counter("elag_result_cache_hits_total",
+			"Accepted jobs answered from the artifact store without executing."),
+		CacheMisses: reg.Counter("elag_result_cache_misses_total",
+			"Accepted jobs that became single-flight leaders and executed."),
+		CacheCoalesced: reg.Counter("elag_result_cache_coalesced_total",
+			"Accepted jobs coalesced onto an identical in-flight leader."),
 
 		InFlight: reg.Gauge("elag_jobs_in_flight",
 			"Accepted jobs not yet in a terminal state."),
@@ -123,7 +149,7 @@ func (s *Stats) outcomeTotal(outcome string) int64 {
 // Doc snapshots the counters as the schema-versioned document flushed on
 // drain and served at /v1/stats.
 func (s *Stats) Doc() *obs.ServeStatsDoc {
-	return &obs.ServeStatsDoc{
+	doc := &obs.ServeStatsDoc{
 		Schema:            obs.ServeStatsSchema,
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		JobsAccepted:      s.JobsAccepted.Value(),
@@ -136,7 +162,18 @@ func (s *Stats) Doc() *obs.ServeStatsDoc {
 		JobsInFlight:      s.InFlight.Value(),
 		PanicsRecovered:   s.PanicsRecovered.Value(),
 		WorkersReplaced:   s.WorkersReplaced.Value(),
+		CacheHits:         s.CacheHits.Value(),
+		CacheMisses:       s.CacheMisses.Value(),
+		CacheCoalesced:    s.CacheCoalesced.Value(),
 		ChaosArmed:        chaosinject.Enabled(),
 		Chaos:             chaosinject.Spec(),
 	}
+	if s.store != nil {
+		st := s.store.Stats()
+		doc.CacheEvictions = st.MemEvictions + st.DiskEvictions
+		doc.CacheCorrupt = st.Corrupt
+		doc.CacheMemBytes = st.MemBytes
+		doc.CacheDiskBytes = st.DiskBytes
+	}
+	return doc
 }
