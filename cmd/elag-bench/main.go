@@ -5,7 +5,9 @@
 //
 //	elag-bench [flags]
 //
-//	-exp name     table2|table3|table4|fig5a|fig5b|fig5c|embedded|all (default all)
+//	-exp name     table2|table3|table4|fig5a|fig5b|fig5c|embedded|figmech|all
+//	              (default all; figmech — the mechanism-layer extension
+//	              figure — runs only when named explicitly)
 //	-fuel N       per-benchmark dynamic instruction budget (0 = run programs
 //	              to completion, the default used for reported results)
 //	-q            suppress progress logging
@@ -70,7 +72,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table2|table3|table4|fig5a|fig5b|fig5c|embedded|all")
+	exp := flag.String("exp", "all", "table2|table3|table4|fig5a|fig5b|fig5c|embedded|figmech|all")
 	fuel := flag.Int64("fuel", 0, "per-benchmark instruction budget (0 = unlimited)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	csvDir := flag.String("csv", "", "also write CSVs for every artifact into this directory")
@@ -241,6 +243,10 @@ func main() {
 			rows, err := r.Embedded(ctx)
 			check("embedded", err)
 			fmt.Print(harness.FormatEmbedded(rows))
+		case "figmech":
+			fig, err := r.FigureMech(ctx)
+			check("figmech", err)
+			fmt.Print(harness.FormatFigure(fig))
 		default:
 			fmt.Fprintf(os.Stderr, "elag-bench: unknown experiment %q\n", name)
 			os.Exit(2)

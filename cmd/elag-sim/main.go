@@ -9,6 +9,12 @@
 //	-config name   base | compiler | hw-pred | hw-early | hw-dual
 //	-table N       prediction table entries (default 256)
 //	-regs N        early-calculation registers (default 1; 16 for hw modes)
+//	-mech spec     attach a load-acceleration mechanism from the registry
+//	               (kind[:entries[xassoc]], e.g. stride:256 or pcax:256x4);
+//	               assist mechanisms ride on -config base (the default when
+//	               -mech is given)
+//	-help-mechanisms
+//	               list the registered mechanism kinds and exit
 //	-fuel N        dynamic instruction budget (0 = unlimited)
 //	-profile       also apply profile-guided reclassification first
 //	-v             print the full metrics summary (paths, failure terms)
@@ -48,6 +54,8 @@ func main() {
 	config := flag.String("config", "compiler", cli.ConfigNames)
 	table := flag.Int("table", 256, "prediction table entries")
 	regs := flag.Int("regs", 0, "early-calculation registers (0 = mode default)")
+	mechSpec := flag.String("mech", "", "attach a load-acceleration mechanism (kind[:entries[xassoc]], e.g. stride:256); implies -config base")
+	helpMechs := flag.Bool("help-mechanisms", false, "list the registered mechanism kinds and exit")
 	fuel := flag.Int64("fuel", 0, "dynamic instruction budget (0 = unlimited)")
 	useProfile := flag.Bool("profile", false, "apply profile-guided reclassification")
 	verbose := flag.Bool("v", false, "print the full metrics summary")
@@ -58,6 +66,32 @@ func main() {
 	cacheOpts := cli.CacheFlags()
 	perf := cli.PerfFlags()
 	flag.Parse()
+
+	if *helpMechs {
+		fmt.Println("registered load-acceleration mechanisms (-mech kind[:entries[xassoc]]):")
+		for _, kd := range elag.Mechanisms() {
+			fmt.Printf("  %-10s %s\n", kd.Kind, kd.Desc)
+		}
+		return
+	}
+	if *mechSpec != "" {
+		if *all {
+			fmt.Fprintln(os.Stderr, "elag-sim: -mech and -all are mutually exclusive")
+			os.Exit(2)
+		}
+		if _, err := elag.ParseMechSpec(*mechSpec); err != nil {
+			cli.Fatal("elag-sim", err)
+		}
+		// Assist mechanisms are mutually exclusive with the paper
+		// structures, so an unchanged -config default rides on base; an
+		// explicit -config is kept and validated at resolution.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "config" })
+		if !explicit {
+			*config = "base"
+		}
+	}
+
 	perf.Start("elag-sim")
 	defer perf.Stop()
 	ctx := perf.Context()
@@ -90,7 +124,7 @@ func main() {
 	}
 	cfgSpecs := []serve.ConfigSpec{{Name: "base"}}
 	for _, name := range names {
-		cfgSpecs = append(cfgSpecs, serve.ConfigSpec{Name: name, Table: *table, Regs: *regs})
+		cfgSpecs = append(cfgSpecs, serve.ConfigSpec{Name: name, Table: *table, Regs: *regs, Mech: *mechSpec})
 	}
 
 	store := cacheOpts.Open("elag-sim")
@@ -107,7 +141,7 @@ func main() {
 		// bit-identical to independent simulations.
 		specs := make([]elag.BatchSpec, len(cfgSpecs))
 		for i, c := range cfgSpecs {
-			cfg, err := cli.Config(c.Name, c.Table, c.Regs)
+			cfg, err := c.Config()
 			if err != nil {
 				cli.Fatal("elag-sim", err)
 			}
@@ -148,7 +182,7 @@ func main() {
 	}
 	base, m := metrics[0], metrics[1]
 	if *pipeview > 0 {
-		cfg, err := cli.Config(*config, *table, *regs)
+		cfg, err := cfgSpecs[1].Config()
 		if err != nil {
 			cli.Fatal("elag-sim", err)
 		}
@@ -167,7 +201,7 @@ func main() {
 	fmt.Printf("%-10s %12s %8s %10s\n", "config", "cycles", "IPC", "load-lat")
 	fmt.Printf("%-10s %12d %8.2f %10.2f\n", "base", base.Cycles, base.IPC(), base.AvgLoadLatency())
 	fmt.Printf("%-10s %12d %8.2f %10.2f   speedup %.3f\n",
-		*config, m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
+		cfgSpecs[1].Label(), m.Cycles, m.IPC(), m.AvgLoadLatency(), m.SpeedupOver(base))
 	if *verbose {
 		fmt.Println()
 		fmt.Print(m.Summary())

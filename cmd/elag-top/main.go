@@ -2,7 +2,8 @@
 // service's /metrics (Prometheus text) and /v1/stats (elag-serve-stats/v3)
 // endpoints and renders a live table of queue pressure, worker utilization,
 // job outcomes, result-cache effectiveness (hit ratio, coalesced jobs,
-// store size), and simulation throughput. Rates (jobs/s, Minst/s) are
+// store size), simulation throughput, and per-mechanism assist activity
+// (elag_mech_* series). Rates (jobs/s, Minst/s) are
 // derived client-side from successive scrapes — the server only ever
 // exports monotonic counters.
 //
@@ -160,6 +161,23 @@ func render(w *os.File, base string, m map[string]float64, stats *obs.ServeStats
 	hits, misses := m["elag_lab_cache_hits_total"], m["elag_lab_cache_misses_total"]
 	if hits+misses > 0 {
 		fmt.Fprintf(w, "  lab cache %.0f hit / %.0f miss (%.0f%%)\n", hits, misses, 100*hits/(hits+misses))
+	}
+	// Per-mechanism assist counters, one line per kind with traffic: the
+	// pre-declared zero series of an idle kind stays off the screen.
+	var mechs []string
+	for k := range m {
+		if strings.HasPrefix(k, `elag_mech_lookups_total{`) && m[k] > 0 {
+			mechs = append(mechs, k)
+		}
+	}
+	sort.Strings(mechs)
+	for _, k := range mechs {
+		kind := strings.TrimSuffix(strings.TrimPrefix(k, `elag_mech_lookups_total{kind="`), `"}`)
+		lookups := m[k]
+		mhits := m[fmt.Sprintf(`elag_mech_hits_total{kind=%q}`, kind)]
+		trains := m[fmt.Sprintf(`elag_mech_trains_total{kind=%q}`, kind)]
+		fmt.Fprintf(w, "  mech %-8s %.0f hit / %.0f lookup (%.0f%%)  trains %.0f\n",
+			kind, mhits, lookups, 100*mhits/lookups, trains)
 	}
 	fmt.Fprintln(w)
 

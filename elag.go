@@ -46,6 +46,8 @@ import (
 	"elag/internal/ir"
 	"elag/internal/isa"
 	"elag/internal/mcc"
+	"elag/internal/mech"
+	_ "elag/internal/mech/all" // register the assist mechanisms
 	"elag/internal/obs"
 	"elag/internal/opt"
 	"elag/internal/passman"
@@ -83,6 +85,16 @@ type (
 	PredictorConfig = addrpred.Config
 	// RegCacheConfig parameterizes the addressing-register cache.
 	RegCacheConfig = earlycalc.Config
+	// MechSpec identifies a pluggable load-acceleration mechanism by
+	// registry kind plus geometry; its canonical string form is
+	// "kind[:entries[xassoc]]" (see ParseMechSpec and
+	// SimConfig.Mechanisms).
+	MechSpec = mech.Spec
+	// MechStats counts an assist mechanism's behaviour
+	// (Metrics.MechStats).
+	MechStats = mech.Stats
+	// MechDesc is one mechanism-registry row (kind + description).
+	MechDesc = mech.KindDesc
 	// Fault is a typed architectural fault. Every error the emulator or
 	// the trace replayer produces for a misbehaving *program* (as
 	// opposed to a misconfigured simulator) is a *Fault; match kinds
@@ -228,6 +240,29 @@ func NamedConfig(name string, table, regs int) (SimConfig, error) {
 		}, nil
 	}
 	return SimConfig{}, fmt.Errorf("unknown config %q (want %s)", name, ConfigNames)
+}
+
+// ParseMechSpec parses the canonical "kind[:entries[xassoc]]" mechanism
+// spec form (e.g. "stride:256", "pcax:256x4"). Syntax only; the kind and
+// geometry are checked against the registry by ValidateMechSpec (or by
+// simulation construction).
+func ParseMechSpec(s string) (MechSpec, error) { return mech.ParseSpec(s) }
+
+// ValidateMechSpec checks a mechanism spec's kind and geometry against the
+// registry without building an instance.
+func ValidateMechSpec(sp MechSpec) error { return mech.Validate(sp) }
+
+// Mechanisms lists the registered mechanism kinds, sorted, with their
+// one-line descriptions — the -help-mechanisms vocabulary of the CLI
+// tools.
+func Mechanisms() []MechDesc { return mech.Describe() }
+
+// MechConfig returns a configuration that drives every load through the
+// given assist mechanism on the otherwise-base machine. Paper-mechanism
+// specs ("addrpred", "earlycalc") are better combined with a Selection
+// policy via SimConfig.Mechanisms directly.
+func MechConfig(sp MechSpec) SimConfig {
+	return SimConfig{Mechanisms: []MechSpec{sp}}
 }
 
 // Optimization levels (see BuildOptions.Level).

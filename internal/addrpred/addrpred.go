@@ -284,6 +284,32 @@ type EntrySnap struct {
 	E   Entry
 }
 
+// Pack encodes the complete entry state — including the unexported
+// seen/counter fields — into the mechanism-neutral four-word snapshot value
+// used by package mech. Unpack inverts it exactly.
+func (e Entry) Pack() [4]int64 {
+	var stc, seen int64
+	if e.STC {
+		stc = 1
+	}
+	if e.seen {
+		seen = 1
+	}
+	return [4]int64{e.PA, e.ST, int64(e.State)<<1 | stc, int64(e.counter)<<1 | seen}
+}
+
+// UnpackEntry rebuilds an Entry from its Pack encoding.
+func UnpackEntry(v [4]int64) Entry {
+	return Entry{
+		PA:      v[0],
+		ST:      v[1],
+		STC:     v[2]&1 != 0,
+		State:   State(v[2] >> 1),
+		seen:    v[3]&1 != 0,
+		counter: uint8(v[3] >> 1),
+	}
+}
+
 // SetIndexOf returns the set index pc maps to.
 func (t *Table) SetIndexOf(pc int) int64 { return int64(pc) & t.mask }
 

@@ -544,7 +544,33 @@ func checkConfig(prog *isa.Program, nc NamedConfig, trace *emu.Trace,
 	mix := countLoads(prog, trace)
 	hasTable := nc.Config.Predictor != nil
 	hasRC := nc.Config.RegCache != nil
+	hasAssist := false
+	for _, sp := range nc.Config.Mechanisms {
+		// Spec-configured paper mechanisms normalize to the typed fields
+		// inside pipeline.New; mirror that here so steering expectations
+		// see through the registry vocabulary.
+		switch sp.Kind {
+		case "addrpred":
+			hasTable = true
+		case "earlycalc":
+			hasRC = true
+		default:
+			hasAssist = true
+		}
+	}
 	wantP, wantE := int64(-1), int64(-1) // -1: not statically determined
+	if hasAssist {
+		// An assist mechanism drives every load regardless of flavour or
+		// selection policy, and its counters land on the predict path.
+		wantP, wantE = mix.total, 0
+		if p.Eligible != wantP {
+			rep.failf(nc.Name, "steering", "assist path saw %d loads, want %d", p.Eligible, wantP)
+		}
+		if e.Eligible != wantE {
+			rep.failf(nc.Name, "steering", "early path saw %d loads under an assist, want 0", e.Eligible)
+		}
+		return m
+	}
 	switch nc.Config.Select {
 	case pipeline.SelNone:
 		wantP, wantE = 0, 0

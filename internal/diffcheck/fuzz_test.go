@@ -63,6 +63,33 @@ func FuzzReplayMemo(f *testing.F) {
 	})
 }
 
+// FuzzMech feeds generator seeds to the mechanism-layer equivalence
+// checker: whatever program the seed produces must behave identically with
+// the paper mechanisms configured through registry specs or typed fields,
+// and the stride/pcax assist mechanisms must hold every replay invariant
+// (including the memoization fast-path matrix). A tripping seed is a
+// minimized witness against a mechanism's snapshot contract or the assist
+// path's timing accounting.
+func FuzzMech(f *testing.F) {
+	for seed := int64(1); seed <= 20; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := GenProgram(seed)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		rep, err := CheckMechEquivalence(p, Options{Fuel: 200_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	})
+}
+
 func FuzzRandomProgram(f *testing.F) {
 	for seed := int64(1); seed <= 20; seed++ {
 		f.Add(seed)

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 
+	"elag/internal/mech"
 	"elag/internal/pipeline"
 )
 
@@ -38,6 +41,25 @@ type Counters struct {
 	// pipeline.Sim.KernelID): 0 generic, 1 specialized dispatch, 2
 	// specialized plus fused direct-mapped cache leaves.
 	KernelLevel atomic.Int64
+
+	// mechMu guards lazy creation of per-kind rows in mechRows; the rows
+	// themselves are atomics, so folding and scraping never hold the lock
+	// while reading values. Keyed by mechanism kind ("stride", "pcax", …).
+	mechMu   sync.Mutex
+	mechRows map[string]*MechCounts
+}
+
+// MechCounts aggregates one mechanism kind's mech.Stats across every
+// finished simulation that used it. The Stats algebra carries over to the
+// aggregate: Lookups == Hits + Misses and Allocs <= Trains hold at every
+// scrape, because each simulation's snapshot is folded in one CountMech
+// call field-by-field from a self-consistent mech.Stats.
+type MechCounts struct {
+	Lookups atomic.Int64
+	Hits    atomic.Int64
+	Misses  atomic.Int64
+	Trains  atomic.Int64
+	Allocs  atomic.Int64
 }
 
 // CountMemo folds one simulation's memo counters and kernel selection into
@@ -64,4 +86,71 @@ func (c *Counters) CountChunk(n int) {
 	}
 	c.Chunks.Add(1)
 	c.Insts.Add(int64(n))
+}
+
+// CountMech folds one simulation's mechanism counters into the per-kind
+// aggregate. nil-safe, and a no-op for simulations that ran no assist
+// mechanism (empty kind). Called once per finished Sim, off the hot path.
+func (c *Counters) CountMech(kind string, st mech.Stats) {
+	if c == nil || kind == "" {
+		return
+	}
+	row := c.mechRow(kind)
+	row.Lookups.Add(st.Lookups)
+	row.Hits.Add(st.Hits)
+	row.Misses.Add(st.Misses)
+	row.Trains.Add(st.Trains)
+	row.Allocs.Add(st.Allocs)
+}
+
+// mechRow returns the row for kind, creating it on first use.
+func (c *Counters) mechRow(kind string) *MechCounts {
+	c.mechMu.Lock()
+	defer c.mechMu.Unlock()
+	row := c.mechRows[kind]
+	if row == nil {
+		if c.mechRows == nil {
+			c.mechRows = map[string]*MechCounts{}
+		}
+		row = &MechCounts{}
+		c.mechRows[kind] = row
+	}
+	return row
+}
+
+// MechKinds returns the mechanism kinds observed so far, sorted. nil-safe.
+func (c *Counters) MechKinds() []string {
+	if c == nil {
+		return nil
+	}
+	c.mechMu.Lock()
+	defer c.mechMu.Unlock()
+	out := make([]string, 0, len(c.mechRows))
+	for k := range c.mechRows {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MechStats reads one kind's aggregate as a plain mech.Stats snapshot.
+// A kind that has not been observed reads as all zeros, so scrape-time
+// readers registered per registry kind need no existence check. nil-safe.
+func (c *Counters) MechStats(kind string) mech.Stats {
+	if c == nil {
+		return mech.Stats{}
+	}
+	c.mechMu.Lock()
+	row := c.mechRows[kind]
+	c.mechMu.Unlock()
+	if row == nil {
+		return mech.Stats{}
+	}
+	return mech.Stats{
+		Lookups: row.Lookups.Load(),
+		Hits:    row.Hits.Load(),
+		Misses:  row.Misses.Load(),
+		Trains:  row.Trains.Load(),
+		Allocs:  row.Allocs.Load(),
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"elag/internal/isa"
+	"elag/internal/mech"
 	"elag/internal/pipeline"
 	"elag/internal/workload"
 )
@@ -165,6 +166,34 @@ func (r *Runner) Figure5c(ctx context.Context) (*Figure, error) {
 		{label: "compiler dual+profile", cfg: CompilerDual(), flav: (*Lab).reclassFlavors},
 	}
 	return r.figure(ctx, "fig5c", "Figure 5c: dual-path early address generation", workload.SPEC, series)
+}
+
+// MechFigureSpecs are the assist mechanisms FigureMech compares, at their
+// reference geometries. The list is data so a new registry kind becomes a
+// figure column by appending one spec.
+var MechFigureSpecs = []mech.Spec{
+	{Kind: "stride", Entries: 256},
+	{Kind: "pcax", Entries: 256, Assoc: 4},
+}
+
+// FigureMech is the mechanism-layer extension figure: each assist
+// mechanism (one grid column per MechFigureSpecs entry) against the
+// paper's hardware-only predictor and its compiler-directed proposal, all
+// as speedups over the same base architecture. The assist mechanisms need
+// no compiler support — they drive every load — so they bracket how much
+// of the paper's win is the table geometry versus the classification.
+func (r *Runner) FigureMech(ctx context.Context) (*Figure, error) {
+	series := []seriesDef{
+		{label: "hw-predict 256", cfg: HWPredict(256)},
+	}
+	for _, sp := range MechFigureSpecs {
+		series = append(series, seriesDef{label: sp.String(), cfg: Assist(sp)})
+	}
+	series = append(series,
+		seriesDef{label: "compiler dual", cfg: CompilerDual(), flav: (*Lab).heurFlavors})
+	return r.figure(ctx, "figmech",
+		"Figure M: pluggable load-acceleration mechanisms (speedup over base)",
+		workload.SPEC, series)
 }
 
 // FormatFigure renders a figure as an aligned text table (benchmarks down,

@@ -25,6 +25,8 @@ import (
 	"elag/internal/core"
 	"elag/internal/emu"
 	"elag/internal/isa"
+	"elag/internal/mech"
+	_ "elag/internal/mech/all" // register the assist mechanisms
 	"elag/internal/pipeline"
 	"elag/internal/profile"
 	"elag/internal/workload"
@@ -396,6 +398,9 @@ func (l *Lab) replayBatch(ctx context.Context, specs []pipeline.BatchSpec, attac
 	for i, sim := range sims {
 		ms[i] = sim.Metrics()
 		l.counters.CountMemo(ms[i].Memo)
+		if ms[i].MechStats != nil {
+			l.counters.CountMech(ms[i].MechKind, *ms[i].MechStats)
+		}
 	}
 	return ms, nil
 }
@@ -442,18 +447,28 @@ func (l *Lab) Speedup(ctx context.Context, cfg pipeline.Config, flavors isa.Flav
 	return float64(base) / float64(m.Cycles), nil
 }
 
-// Standard hardware configurations of Section 5.
+// Standard hardware configurations of Section 5, expressed through the
+// mechanism registry (internal/mech): pipeline.New normalizes each paper
+// spec to the identical typed configuration, so these produce metrics
+// byte-identical to the pre-registry literals while sharing the spec
+// vocabulary of the CLI flags and the serve job API.
 
 // CompilerDual is the paper's proposal: 256-entry table + 1 R_addr,
 // compiler-selected flavours.
 func CompilerDual() pipeline.Config { return pipeline.PaperCompilerDirected() }
 
+// Assist wraps one registry spec as a configuration: the mechanism drives
+// every load through the assist path, regardless of flavour.
+func Assist(spec mech.Spec) pipeline.Config {
+	return pipeline.Config{Mechanisms: []mech.Spec{spec}}
+}
+
 // HWPredict is hardware-only table prediction with the given table size
 // (Figure 5a without compiler support).
 func HWPredict(entries int) pipeline.Config {
 	return pipeline.Config{
-		Select:    pipeline.SelAllPredict,
-		Predictor: &elag.PredictorConfig{Entries: entries},
+		Select:     pipeline.SelAllPredict,
+		Mechanisms: []mech.Spec{{Kind: "addrpred", Entries: entries}},
 	}
 }
 
@@ -462,8 +477,8 @@ func HWPredict(entries int) pipeline.Config {
 // compiler support").
 func CompilerPredict(entries int) pipeline.Config {
 	return pipeline.Config{
-		Select:    pipeline.SelCompiler,
-		Predictor: &elag.PredictorConfig{Entries: entries},
+		Select:     pipeline.SelCompiler,
+		Mechanisms: []mech.Spec{{Kind: "addrpred", Entries: entries}},
 		// No register cache: ld_e loads behave like normal loads.
 	}
 }
@@ -472,8 +487,8 @@ func CompilerPredict(entries int) pipeline.Config {
 // (Figure 5b).
 func HWEarly(n int) pipeline.Config {
 	return pipeline.Config{
-		Select:   pipeline.SelAllEarly,
-		RegCache: &elag.RegCacheConfig{Entries: n},
+		Select:     pipeline.SelAllEarly,
+		Mechanisms: []mech.Spec{{Kind: "earlycalc", Entries: n}},
 	}
 }
 
@@ -481,8 +496,10 @@ func HWEarly(n int) pipeline.Config {
 // Eickemeyer-Vassiliadis interlock heuristic (Figure 5c "no compiler").
 func HWDual(entries, regs int) pipeline.Config {
 	return pipeline.Config{
-		Select:    pipeline.SelHWDual,
-		Predictor: &elag.PredictorConfig{Entries: entries},
-		RegCache:  &elag.RegCacheConfig{Entries: regs},
+		Select: pipeline.SelHWDual,
+		Mechanisms: []mech.Spec{
+			{Kind: "addrpred", Entries: entries},
+			{Kind: "earlycalc", Entries: regs},
+		},
 	}
 }

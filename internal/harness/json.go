@@ -28,6 +28,11 @@ type BenchDocument struct {
 	Figure5b *Figure       `json:"figure5b"`
 	Figure5c *Figure       `json:"figure5c"`
 	Embedded []EmbeddedRow `json:"embedded"`
+	// FigureMech is the mechanism-layer extension figure. It is produced
+	// only by DocumentExp("figmech") — not by Document — and is omitted
+	// from the JSON when absent, so full-evaluation artifacts remain
+	// byte-identical to pre-mechanism-layer runs.
+	FigureMech *Figure `json:"figuremech,omitempty"`
 }
 
 // Document runs every experiment and collects the artifacts.
@@ -83,6 +88,8 @@ func (r *Runner) DocumentExp(ctx context.Context, exp string) (*BenchDocument, e
 		doc.Figure5c, err = r.Figure5c(ctx)
 	case "embedded":
 		doc.Embedded, err = r.Embedded(ctx)
+	case "figmech":
+		doc.FigureMech, err = r.FigureMech(ctx)
 	default:
 		err = fmt.Errorf("unknown experiment %q", exp)
 	}

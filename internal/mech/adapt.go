@@ -1,0 +1,190 @@
+// adapt.go makes the paper's two mechanisms — the addrpred prediction
+// table and the earlycalc addressing-register cache — the registry's first
+// two implementations. The pipeline still drives both through their
+// concrete types on the replay hot path (the interface indirection is
+// reserved for assist mechanisms; see pipeline.New's spec normalization),
+// so these adapters exist to give the two paper mechanisms full registry
+// citizenship: spec vocabulary, Describe rows, and an interface-complete
+// wrapping for tests and tooling.
+package mech
+
+import (
+	"fmt"
+
+	"elag/internal/addrpred"
+	"elag/internal/earlycalc"
+	"elag/internal/isa"
+)
+
+func init() {
+	Register("addrpred",
+		"PC-indexed stride address-prediction table (paper Fig. 3; ld_p)",
+		newAddrpred, validateAddrpred)
+	Register("earlycalc",
+		"compiler-directed addressing-register cache R_addr (ld_e)",
+		newEarlycalc, validateEarlycalc)
+}
+
+// PredictorConfig maps a spec of kind "addrpred" to the concrete table
+// configuration the pipeline's dedicated ld_p path consumes.
+func PredictorConfig(s Spec) addrpred.Config {
+	return addrpred.Config{Entries: s.Entries, Assoc: s.Assoc}
+}
+
+// RegCacheConfig maps a spec of kind "earlycalc" to the concrete register
+// cache configuration the pipeline's dedicated ld_e path consumes.
+func RegCacheConfig(s Spec) earlycalc.Config {
+	return earlycalc.Config{Entries: s.Entries}
+}
+
+func validateAddrpred(s Spec) error {
+	return PredictorConfig(s).Validate()
+}
+
+func validateEarlycalc(s Spec) error {
+	if s.Assoc != 0 && s.Assoc != s.Entries {
+		return fmt.Errorf("earlycalc: the register cache is fully associative (assoc %d with %d entries)", s.Assoc, s.Entries)
+	}
+	return RegCacheConfig(s).Validate()
+}
+
+// predAdapter wraps addrpred.Table as a Mechanism. Snapshots round-trip the
+// complete Figure-3 entry state via addrpred's Pack/UnpackEntry.
+type predAdapter struct {
+	t  *addrpred.Table
+	st Stats
+	ob func(Event)
+}
+
+func newAddrpred(s Spec) (Mechanism, error) {
+	t, err := addrpred.NewTable(PredictorConfig(s))
+	if err != nil {
+		return nil, err
+	}
+	return &predAdapter{t: t}, nil
+}
+
+func (a *predAdapter) Kind() string { return "addrpred" }
+
+func (a *predAdapter) Lookup(pc int64) (int64, bool) {
+	a.st.Lookups++
+	addr, ok := a.t.Probe(int(pc))
+	if ok {
+		a.st.Hits++
+	} else {
+		a.st.Misses++
+	}
+	if a.ob != nil {
+		a.ob(Event{Op: EvLookup, PC: pc, Addr: addr, Hit: ok})
+	}
+	return addr, ok
+}
+
+func (a *predAdapter) Train(pc, ea int64) {
+	a.st.Trains++
+	pre := a.t.Stats().Allocations
+	a.t.Update(int(pc), ea)
+	alloc := a.t.Stats().Allocations - pre
+	a.st.Allocs += alloc
+	if a.ob != nil {
+		op := EvTrain
+		if alloc > 0 {
+			op = EvAlloc
+		}
+		a.ob(Event{Op: op, PC: pc, Addr: ea})
+	}
+}
+
+func (a *predAdapter) Stats() Stats     { return a.st }
+func (a *predAdapter) AddStats(d Stats) { a.st.Add(d) }
+func (a *predAdapter) Sets() int        { return int(a.t.SetIndexOf(-1) + 1) }
+func (a *predAdapter) Assoc() int       { return a.t.Assoc() }
+func (a *predAdapter) SetIndexOf(pc int64) int {
+	return int(a.t.SetIndexOf(int(pc)))
+}
+func (a *predAdapter) Stamp() int64     { return a.t.Stamp() }
+func (a *predAdapter) AddStamp(d int64) { a.t.AddStamp(d) }
+
+func (a *predAdapter) SnapSet(set int, dst []EntrySnap) []EntrySnap {
+	for _, s := range a.t.SnapSet(int64(set), nil) {
+		dst = append(dst, EntrySnap{Tag: s.Tag, LRU: s.LRU, V: s.E.Pack()})
+	}
+	return dst
+}
+
+func (a *predAdapter) PutEntry(set, way int, s EntrySnap) {
+	a.t.PutEntry(int64(set), way, addrpred.EntrySnap{Tag: s.Tag, LRU: s.LRU, E: addrpred.UnpackEntry(s.V)})
+}
+
+func (a *predAdapter) SetObserver(f func(Event)) { a.ob = f }
+func (a *predAdapter) HasObserver() bool         { return a.ob != nil }
+
+// rcAdapter wraps earlycalc.Cache as a Mechanism. The register cache does
+// not predict through a PC-indexed probe — its pipeline path is the
+// dedicated R_addr machinery — so Lookup always misses and Train is a
+// no-op; the adapter's value is the snapshot/stats/observer surface and
+// registry presence.
+type rcAdapter struct {
+	c  *earlycalc.Cache
+	ob func(Event)
+}
+
+func newEarlycalc(s Spec) (Mechanism, error) {
+	if err := validateEarlycalc(s); err != nil {
+		return nil, err
+	}
+	return &rcAdapter{c: earlycalc.New(RegCacheConfig(s))}, nil
+}
+
+func (a *rcAdapter) Kind() string { return "earlycalc" }
+
+func (a *rcAdapter) Lookup(pc int64) (int64, bool) { return 0, false }
+func (a *rcAdapter) Train(pc, ea int64)            {}
+
+func (a *rcAdapter) Stats() Stats {
+	s := a.c.Stats()
+	return Stats{Lookups: s.Lookups, Hits: s.Hits, Misses: s.Lookups - s.Hits, Trains: s.Binds}
+}
+
+func (a *rcAdapter) AddStats(d Stats) {
+	a.c.AddStats(earlycalc.Stats{Lookups: d.Lookups, Hits: d.Hits, Binds: d.Trains})
+}
+
+func (a *rcAdapter) Sets() int               { return 1 }
+func (a *rcAdapter) Assoc() int              { return a.c.Size() }
+func (a *rcAdapter) SetIndexOf(pc int64) int { return 0 }
+func (a *rcAdapter) Stamp() int64            { return a.c.Stamp() }
+func (a *rcAdapter) AddStamp(d int64)        { a.c.AddStamp(d) }
+
+func (a *rcAdapter) SnapSet(set int, dst []EntrySnap) []EntrySnap {
+	for _, s := range a.c.Snap(nil) {
+		var used, valid int64
+		if s.Used {
+			used = 1
+		}
+		if s.Valid {
+			valid = 1
+		}
+		dst = append(dst, EntrySnap{Tag: int64(s.Reg), LRU: s.LRU, V: [4]int64{s.Value, used, valid, 0}})
+	}
+	return dst
+}
+
+func (a *rcAdapter) PutEntry(set, way int, s EntrySnap) {
+	a.c.PutEntry(way, earlycalc.EntrySnap{
+		Used: s.V[1] != 0, Reg: isa.Reg(s.Tag), Value: s.V[0], Valid: s.V[2] != 0, LRU: s.LRU,
+	})
+}
+
+func (a *rcAdapter) SetObserver(f func(Event)) {
+	a.ob = f
+	if f == nil {
+		a.c.Observer = nil
+		return
+	}
+	a.c.Observer = func(ev earlycalc.Event) {
+		f(Event{Op: EvTrain, PC: int64(ev.Reg), Addr: ev.Value, Hit: ev.Valid})
+	}
+}
+
+func (a *rcAdapter) HasObserver() bool { return a.ob != nil }

@@ -1,0 +1,11 @@
+// Package all links every mechanism implementation into the importer's
+// registry (the database/sql driver idiom): blank-import it from any main
+// package or harness that wants the full mechanism vocabulary available to
+// mech.ParseSpec / mech.New. The two paper mechanisms (addrpred, earlycalc)
+// register from package mech itself and need no import here.
+package all
+
+import (
+	_ "elag/internal/mech/pcax"
+	_ "elag/internal/mech/stride"
+)

@@ -1,0 +1,229 @@
+package mech_test
+
+import (
+	"testing"
+
+	"elag/internal/mech"
+	_ "elag/internal/mech/all"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want mech.Spec
+	}{
+		{"stride", mech.Spec{Kind: "stride"}},
+		{"stride:64", mech.Spec{Kind: "stride", Entries: 64}},
+		{"pcax:256x4", mech.Spec{Kind: "pcax", Entries: 256, Assoc: 4}},
+		{"addrpred:1024", mech.Spec{Kind: "addrpred", Entries: 1024}},
+	}
+	for _, c := range cases {
+		got, err := mech.ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.String() != c.in {
+			t.Errorf("Spec(%+v).String() = %q, want %q", got, got.String(), c.in)
+		}
+	}
+	for _, bad := range []string{"", ":64", "stride:", "stride:0", "stride:64x", "stride:64x0", "stride:abc"} {
+		if _, err := mech.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): want error", bad)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	kinds := mech.Kinds()
+	want := map[string]bool{"addrpred": true, "earlycalc": true, "stride": true, "pcax": true}
+	for _, k := range kinds {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Kinds() = %v, missing %v", kinds, want)
+	}
+	if len(mech.Describe()) != len(kinds) {
+		t.Errorf("Describe() rows (%d) != Kinds() (%d)", len(mech.Describe()), len(kinds))
+	}
+	if _, err := mech.New(mech.Spec{Kind: "no-such"}); err == nil {
+		t.Error("New(unknown kind): want error")
+	}
+	if err := mech.Validate(mech.Spec{Kind: "stride", Entries: 48}); err == nil {
+		t.Error("Validate(stride:48): want power-of-two error")
+	}
+	if err := mech.Validate(mech.Spec{Kind: "pcax", Entries: 64, Assoc: 3}); err == nil {
+		t.Error("Validate(pcax:64x3): want divisibility error")
+	}
+}
+
+// checkAlgebra asserts the Stats contract every mechanism shares.
+func checkAlgebra(t *testing.T, m mech.Mechanism) {
+	t.Helper()
+	s := m.Stats()
+	if s.Lookups != s.Hits+s.Misses {
+		t.Errorf("%s: Lookups (%d) != Hits (%d) + Misses (%d)", m.Kind(), s.Lookups, s.Hits, s.Misses)
+	}
+	if s.Allocs > s.Trains {
+		t.Errorf("%s: Allocs (%d) > Trains (%d)", m.Kind(), s.Allocs, s.Trains)
+	}
+}
+
+func TestStridePredicts(t *testing.T) {
+	m, err := mech.New(mech.Spec{Kind: "stride", Entries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc, base, stride = 17, 1000, 8
+	for i := int64(0); i < 4; i++ {
+		if _, ok := m.Lookup(pc); ok && i < 3 {
+			t.Fatalf("predicted before confidence (train %d)", i)
+		}
+		m.Train(pc, base+i*stride)
+	}
+	addr, ok := m.Lookup(pc)
+	if !ok || addr != base+4*stride {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", addr, ok, base+4*stride)
+	}
+	// A conflicting PC in the same direct-mapped slot evicts.
+	m.Train(pc+64, 5000)
+	if _, ok := m.Lookup(pc); ok {
+		t.Fatal("predicted after conflict eviction")
+	}
+	checkAlgebra(t, m)
+}
+
+func TestPCAXPredicts(t *testing.T) {
+	m, err := mech.New(mech.Spec{Kind: "pcax", Entries: 64, Assoc: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc, base, delta = 33, 2000, 16
+	m.Train(pc, base)
+	if _, ok := m.Lookup(pc); ok {
+		t.Fatal("fresh entry predicted")
+	}
+	m.Train(pc, base+delta)
+	if _, ok := m.Lookup(pc); ok {
+		t.Fatal("one delta predicted")
+	}
+	m.Train(pc, base+2*delta)
+	addr, ok := m.Lookup(pc)
+	if !ok || addr != base+3*delta {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", addr, ok, base+3*delta)
+	}
+	// Associativity: three more PCs in the same set coexist with pc.
+	for i := int64(1); i <= 3; i++ {
+		m.Train(pc+16*i, 9000+i)
+	}
+	if _, ok := m.Lookup(pc); !ok {
+		t.Fatal("entry lost despite free ways")
+	}
+	checkAlgebra(t, m)
+}
+
+// TestSnapshotRoundTrip drives each mechanism, snapshots every set,
+// perturbs it with more training, restores, and checks behaviour and
+// snapshots match the originals — the memo layer's core requirement.
+func TestSnapshotRoundTrip(t *testing.T) {
+	specs := []mech.Spec{
+		{Kind: "stride", Entries: 16},
+		{Kind: "pcax", Entries: 16, Assoc: 4},
+		{Kind: "addrpred", Entries: 16},
+		{Kind: "earlycalc", Entries: 4},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Kind, func(t *testing.T) {
+			m, err := mech.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < 100; i++ {
+				pc := i % 23
+				m.Train(pc, 64*pc+8*i)
+				m.Lookup((i * 7) % 23)
+			}
+			snapAll := func(m mech.Mechanism) [][]mech.EntrySnap {
+				out := make([][]mech.EntrySnap, m.Sets())
+				for s := 0; s < m.Sets(); s++ {
+					out[s] = m.SnapSet(s, nil)
+				}
+				return out
+			}
+			saved := snapAll(m)
+			stamp := m.Stamp()
+			for i := int64(0); i < 50; i++ {
+				m.Train(i%29, 1000+3*i)
+			}
+			for s := range saved {
+				for w, snap := range saved[s] {
+					m.PutEntry(s, w, snap)
+				}
+			}
+			m.AddStamp(stamp - m.Stamp())
+			got := snapAll(m)
+			for s := range saved {
+				if len(got[s]) != len(saved[s]) {
+					t.Fatalf("set %d: %d ways, want %d", s, len(got[s]), len(saved[s]))
+				}
+				for w := range saved[s] {
+					if got[s][w] != saved[s][w] {
+						t.Fatalf("set %d way %d: %+v != %+v", s, w, got[s][w], saved[s][w])
+					}
+				}
+			}
+			if m.Stamp() != stamp {
+				t.Fatalf("stamp %d, want %d", m.Stamp(), stamp)
+			}
+			checkAlgebra(t, m)
+		})
+	}
+}
+
+func TestObserverToggle(t *testing.T) {
+	for _, kind := range []string{"stride", "pcax", "addrpred"} {
+		m, err := mech.New(mech.Spec{Kind: kind, Entries: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.HasObserver() {
+			t.Fatalf("%s: fresh mechanism has observer", kind)
+		}
+		var n int
+		m.SetObserver(func(mech.Event) { n++ })
+		if !m.HasObserver() {
+			t.Fatalf("%s: observer not attached", kind)
+		}
+		m.Train(1, 100)
+		m.Lookup(1)
+		if n == 0 {
+			t.Fatalf("%s: observer saw no events", kind)
+		}
+		m.SetObserver(nil)
+		if m.HasObserver() {
+			t.Fatalf("%s: observer not detached", kind)
+		}
+	}
+}
+
+func TestStatsDeltaReplay(t *testing.T) {
+	m, _ := mech.New(mech.Spec{Kind: "pcax"})
+	for i := int64(0); i < 40; i++ {
+		m.Train(i%5, 8*i)
+		m.Lookup(i % 5)
+	}
+	pre := m.Stats()
+	for i := int64(0); i < 20; i++ {
+		m.Train(i%5, 16*i)
+		m.Lookup(i % 5)
+	}
+	delta := m.Stats().Sub(pre)
+	m.AddStats(delta)
+	want := m.Stats()
+	if want.Lookups != pre.Lookups+2*delta.Lookups {
+		t.Fatalf("AddStats replay mismatch: %+v", want)
+	}
+	checkAlgebra(t, m)
+}

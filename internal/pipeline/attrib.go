@@ -88,7 +88,7 @@ func (s *Sim) recordLoad(in *isa.Inst, md *instMeta, pc int, spec *specResult, e
 	}
 	a.Hist[b]++
 	switch spec.path {
-	case pathPredict:
+	case pathPredict, pathAssist:
 		spec.applyTo(&a.Predict)
 	case pathEarly:
 		spec.applyTo(&a.Early)

@@ -7,6 +7,7 @@ import (
 	"elag/internal/bpred"
 	"elag/internal/cache"
 	"elag/internal/earlycalc"
+	"elag/internal/mech"
 )
 
 // Selection chooses how loads are steered to the early address generation
@@ -93,6 +94,26 @@ type Config struct {
 	// RegCache, when non-nil, instantiates the early-calculation
 	// addressing register cache; Entries=1 is the paper's R_addr.
 	RegCache *earlycalc.Config
+
+	// Mechanisms names load-acceleration mechanisms by registry spec (see
+	// package mech). Specs of the two paper kinds ("addrpred",
+	// "earlycalc") are normalized by New into the Predictor / RegCache
+	// fields above, so the spec vocabulary and the typed pointers are two
+	// spellings of one configuration (setting both is an error). At most
+	// one spec of any other kind may appear: it attaches as the assist
+	// mechanism, which drives every load through the registry interface
+	// and is mutually exclusive with the paper mechanisms.
+	Mechanisms []mech.Spec
+}
+
+// assistSpec returns the configured non-paper mechanism spec, if any.
+func (c *Config) assistSpec() (mech.Spec, bool) {
+	for _, sp := range c.Mechanisms {
+		if sp.Kind != "addrpred" && sp.Kind != "earlycalc" {
+			return sp, true
+		}
+	}
+	return mech.Spec{}, false
 }
 
 // PaperBase returns the base architecture configuration without early
@@ -176,6 +197,32 @@ func (c Config) Validate() error {
 		if err := c.RegCache.Validate(); err != nil {
 			return fmt.Errorf("pipeline: regcache: %w", err)
 		}
+	}
+	var nPred, nRC, nAssist int
+	for _, sp := range c.Mechanisms {
+		if err := mech.Validate(sp); err != nil {
+			return fmt.Errorf("pipeline: mechanism %s: %w", sp, err)
+		}
+		switch sp.Kind {
+		case "addrpred":
+			nPred++
+		case "earlycalc":
+			nRC++
+		default:
+			nAssist++
+		}
+	}
+	if nPred > 1 || (nPred == 1 && c.Predictor != nil) {
+		return fmt.Errorf("pipeline: the prediction table is configured twice (Predictor and an addrpred mechanism spec)")
+	}
+	if nRC > 1 || (nRC == 1 && c.RegCache != nil) {
+		return fmt.Errorf("pipeline: the register cache is configured twice (RegCache and an earlycalc mechanism spec)")
+	}
+	if nAssist > 1 {
+		return fmt.Errorf("pipeline: at most one assist mechanism may be configured (got %d)", nAssist)
+	}
+	if nAssist == 1 && (c.Predictor != nil || c.RegCache != nil || nPred > 0 || nRC > 0) {
+		return fmt.Errorf("pipeline: an assist mechanism is mutually exclusive with the paper mechanisms")
 	}
 	return nil
 }

@@ -39,6 +39,7 @@ const (
 	spEarlyDirected
 	spEarly
 	spHWDual
+	spAssist
 	spGeneric
 )
 
@@ -66,6 +67,12 @@ func (m *instMeta) isFLoad() bool  { return m.flags&mfFLoad != 0 }
 // predictor table / register cache exist are all construction-time
 // constants. Only HWDual steering remains a runtime decision.
 func resolveSPath(cfg *Config, flavor isa.LoadFlavor) uint8 {
+	// An assist mechanism (validated mutually exclusive with the paper
+	// structures) drives every load regardless of flavour or selection
+	// policy: registry mechanisms model flavour-blind hardware baselines.
+	if _, ok := cfg.assistSpec(); ok {
+		return spAssist
+	}
 	hasTable := cfg.Predictor != nil
 	hasRC := cfg.RegCache != nil
 	switch cfg.Select {

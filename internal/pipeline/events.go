@@ -6,6 +6,7 @@ import (
 	"elag/internal/addrpred"
 	"elag/internal/earlycalc"
 	"elag/internal/isa"
+	"elag/internal/mech"
 )
 
 // This file is the cycle-level event layer of the timing model. A Sim with
@@ -106,13 +107,16 @@ const (
 	// EvStall: the instruction spent Cycles bubbles waiting on Cause
 	// before issue.
 	EvStall
+	// EvMech: the assist mechanism performed an operation (MechOp 'L'
+	// lookup, 'T' train, 'A' alloc; Hit for a predicting lookup).
+	EvMech
 )
 
 // String names the event kind.
 func (k EventKind) String() string {
 	names := [...]string{"retire", "spec-launch", "spec-forward", "spec-fail",
 		"reg-bind", "reg-invalidate", "reg-broadcast", "table-transition",
-		"cache-access", "cache-miss", "branch", "stall"}
+		"cache-access", "cache-miss", "branch", "stall", "mech"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -186,6 +190,9 @@ type Event struct {
 	// EvStall.
 	Cause  StallCause
 	Cycles int64
+
+	// EvMech: the assist-mechanism operation ('L', 'T', 'A').
+	MechOp byte
 }
 
 // EventSink receives the event stream of a simulation. Implementations
@@ -213,7 +220,24 @@ func (s *Sim) AttachSink(sink EventSink) {
 		s.dc.onMiss = nil
 		s.ic.onMiss = nil
 		s.btb.Observer = nil
+		if s.assist != nil {
+			s.assist.SetObserver(nil)
+		}
 		return
+	}
+	if s.assist != nil {
+		s.assist.SetObserver(func(ev mech.Event) {
+			op := byte('L')
+			switch ev.Op {
+			case mech.EvTrain:
+				op = 'T'
+			case mech.EvAlloc:
+				op = 'A'
+			}
+			s.ev = Event{Kind: EvMech, Seq: s.m.Insts - 1, PC: int(ev.PC),
+				Cycle: s.obsCycle, Addr: ev.Addr, Hit: ev.Hit, MechOp: op}
+			sink.Event(&s.ev)
+		})
 	}
 	if s.table != nil {
 		s.table.Observer = func(ev addrpred.TableEvent) {

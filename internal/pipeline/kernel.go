@@ -16,6 +16,7 @@ import (
 	"elag/internal/earlycalc"
 	"elag/internal/emu"
 	"elag/internal/isa"
+	"elag/internal/mech"
 )
 
 // refreshFastPaths re-derives the per-chunk fast-path eligibility flags.
@@ -35,7 +36,8 @@ func (s *Sim) refreshFastPaths() {
 		s.ic.onMiss == nil && s.dc.onMiss == nil &&
 		s.btb.Observer == nil &&
 		(s.table == nil || s.table.Observer == nil) &&
-		(s.regcache == nil || s.regcache.Observer == nil)
+		(s.regcache == nil || s.regcache.Observer == nil) &&
+		(s.assist == nil || !s.assist.HasObserver())
 }
 
 // SetNoMemo disables (true) or re-enables (false) basic-block timing
@@ -282,6 +284,9 @@ func (s *Sim) beginRecording(i int) {
 	if s.regcache != nil {
 		r.preStampRC = s.regcache.Stamp()
 	}
+	if s.assist != nil {
+		r.preStampMech = s.assist.Stamp()
+	}
 	r.preM = captureMetrics(&s.m)
 	r.preICStats = s.ic.c.Stats()
 	r.preDCStats = s.dc.c.Stats()
@@ -291,6 +296,9 @@ func (s *Sim) beginRecording(i int) {
 	}
 	if s.regcache != nil {
 		r.preRCStats = s.regcache.Stats()
+	}
+	if s.assist != nil {
+		r.preMechStats = s.assist.Stats()
 	}
 	s.rec = r
 	s.ic.rec = r
@@ -552,6 +560,27 @@ func (s *Sim) finishRecording(pcs, nextPCs []int32, eas []int64, takens []bool, 
 		}
 	}
 
+	rec.mechSets, rec.mechPre, rec.mechPatch = rec.mechSets[:0], rec.mechPre[:0], rec.mechPatch[:0]
+	rec.mechStampDelta = 0
+	rec.dMechStat = mech.Stats{}
+	if s.assist != nil {
+		rec.mechStampDelta = s.assist.Stamp() - r.preStampMech
+		rec.dMechStat = s.assist.Stats().Sub(r.preMechStats)
+		for _, ms := range r.mechSets {
+			pre := r.mechBuf[ms.off : ms.off+ms.n]
+			rec.mechSets = append(rec.mechSets, setRef{set: ms.set, off: int32(len(rec.mechPre)), n: ms.n})
+			rec.mechPre = append(rec.mechPre, pre...)
+			r.mechScratch = s.assist.SnapSet(int(ms.set), r.mechScratch[:0])
+			for w := range r.mechScratch {
+				if r.mechScratch[w] != pre[w] {
+					snap := r.mechScratch[w]
+					snap.LRU -= r.preStampMech
+					rec.mechPatch = append(rec.mechPatch, mechPatch{set: ms.set, way: uint8(w), snap: snap})
+				}
+			}
+		}
+	}
+
 	rec.btbs, rec.btbPatch = rec.btbs[:0], rec.btbPatch[:0]
 	for bi, idx := range r.btbIdx {
 		rec.btbs = append(rec.btbs, btbGuard{idx: idx, snap: r.btbPre[bi]})
@@ -716,6 +745,20 @@ func (s *Sim) guardMatch(r *memoRec) bool {
 			return false
 		}
 	}
+	for i := range r.mechSets {
+		g := &r.mechSets[i]
+		pre := r.mechPre[g.off : g.off+g.n]
+		cur := s.assist.SnapSet(int(g.set), s.recArena.mechScratch[:0])
+		s.recArena.mechScratch = cur
+		for w := range cur {
+			if cur[w].Tag != pre[w].Tag || cur[w].V != pre[w].V {
+				return false
+			}
+		}
+		if !rankEqualMech(pre, cur) {
+			return false
+		}
+	}
 	if !matchSets(s.ic.c, r.icSets, r.wayPre, s.recArena) ||
 		!matchSets(s.dc.c, r.dcSets, r.wayPre, s.recArena) {
 		return false
@@ -785,6 +828,18 @@ func rankEqualTab(pre, cur []addrpred.EntrySnap) bool {
 	return true
 }
 
+func rankEqualMech(pre, cur []mech.EntrySnap) bool {
+	for i := range pre {
+		for j := i + 1; j < len(pre); j++ {
+			if (pre[i].LRU < pre[j].LRU) != (cur[i].LRU < cur[j].LRU) ||
+				(pre[i].LRU == pre[j].LRU) != (cur[i].LRU == cur[j].LRU) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func rankEqualRC(pre, cur []earlycalc.EntrySnap) bool {
 	for i := range pre {
 		for j := i + 1; j < len(pre); j++ {
@@ -814,6 +869,9 @@ func (s *Sim) memoApply(r *memoRec) {
 	if s.regcache != nil {
 		s.regcache.AddStats(r.dRCStats)
 	}
+	if s.assist != nil {
+		s.assist.AddStats(r.dMechStat)
+	}
 	for _, w := range r.intWrites {
 		s.regReady[w.r] = b + w.rel
 	}
@@ -834,7 +892,7 @@ func (s *Sim) memoApply(r *memoRec) {
 		s.issueHist[idx] = b + rel
 	}
 	for _, a := range r.resAdds {
-		*s.tracks[a.tr].at(b+int64(a.rel)) += a.add
+		*s.tracks[a.tr].at(b + int64(a.rel)) += a.add
 	}
 	for _, sa := range r.storeAdds {
 		s.recordStore(b+sa.exeRel, b+sa.memRel, sa.ea, sa.width)
@@ -851,6 +909,15 @@ func (s *Sim) memoApply(r *memoRec) {
 			s.table.PutEntry(p.set, int(p.way), snap)
 		}
 		s.table.AddStamp(r.tabStampDelta)
+	}
+	if s.assist != nil {
+		cur := s.assist.Stamp()
+		for _, p := range r.mechPatch {
+			snap := p.snap
+			snap.LRU += cur
+			s.assist.PutEntry(int(p.set), int(p.way), snap)
+		}
+		s.assist.AddStamp(r.mechStampDelta)
 	}
 	for _, p := range r.btbPatch {
 		s.btb.PutEntry(p.idx, p.snap)

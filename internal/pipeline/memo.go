@@ -35,6 +35,7 @@ import (
 	"elag/internal/cache"
 	"elag/internal/earlycalc"
 	"elag/internal/isa"
+	"elag/internal/mech"
 )
 
 const (
@@ -311,6 +312,12 @@ type rcPatch struct {
 	snap earlycalc.EntrySnap // LRU holds the stamp-relative value
 }
 
+type mechPatch struct {
+	set  int64
+	way  uint8
+	snap mech.EntrySnap // LRU holds the stamp-relative value
+}
+
 // metricsDelta is the subset of Metrics StepInst mutates directly (the
 // component stats are deltas on the components themselves; Cycles and the
 // component mirrors are recomputed by Metrics()).
@@ -420,6 +427,8 @@ type memoRec struct {
 	wayPre       []cache.WaySnap // shared snapshot arena for icSets+dcSets
 	tabSets      []setRef
 	tabPre       []addrpred.EntrySnap
+	mechSets     []setRef
+	mechPre      []mech.EntrySnap
 	btbs         []btbGuard
 	rc           []earlycalc.EntrySnap // Value zeroed; LRU by rank
 
@@ -443,6 +452,8 @@ type memoRec struct {
 	dcStampDelta     int64
 	tabPatch         []tabPatch
 	tabStampDelta    int64
+	mechPatch        []mechPatch
+	mechStampDelta   int64
 	btbPatch         []btbGuard
 	rcPatchs         []rcPatch
 	rcStampDelta     int64
@@ -453,6 +464,7 @@ type memoRec struct {
 	dTabStats addrpred.Stats
 	dBTBStats bpred.Stats
 	dRCStats  earlycalc.Stats
+	dMechStat mech.Stats
 }
 
 // sizeOf estimates a recording's resident bytes for the LRU budget.
@@ -467,6 +479,7 @@ func (r *memoRec) sizeOf() int {
 	n += len(r.storeAdds) * 32
 	n += len(r.wayPre)*24 + (len(r.icSets)+len(r.dcSets))*16
 	n += len(r.tabPre)*48 + len(r.tabSets)*16
+	n += len(r.mechPre)*48 + len(r.mechSets)*16 + len(r.mechPatch)*56
 	n += len(r.btbs)*40 + len(r.btbPatch)*40
 	n += len(r.rc)*32 + len(r.rcPatchs)*40
 	n += len(r.histPost) * 8
@@ -690,13 +703,15 @@ type memoRecorder struct {
 	savedMaxDone   int64
 
 	preStampIC, preStampDC, preStampTab, preStampRC int64
+	preStampMech                                    int64
 
-	preM        metricsDelta
-	preICStats  cache.Stats
-	preDCStats  cache.Stats
-	preTabStats addrpred.Stats
-	preBTBStats bpred.Stats
-	preRCStats  earlycalc.Stats
+	preM         metricsDelta
+	preICStats   cache.Stats
+	preDCStats   cache.Stats
+	preTabStats  addrpred.Stats
+	preBTBStats  bpred.Stats
+	preRCStats   earlycalc.Stats
+	preMechStats mech.Stats
 
 	resTouched [numTracks]bool
 	resWin     [numTracks][memoResHorizon]uint8
@@ -707,6 +722,8 @@ type memoRecorder struct {
 	wayBuf    []cache.WaySnap
 	tabSets   []recSet
 	tabBuf    []addrpred.EntrySnap
+	mechSets  []recSet
+	mechBuf   []mech.EntrySnap
 	btbIdx    []int64
 	btbPre    []bpred.EntrySnap
 	rcTouched bool
@@ -721,6 +738,7 @@ type memoRecorder struct {
 	// scratch for finalize-time set diffs and register walk
 	snapScratch []cache.WaySnap
 	tabScratch  []addrpred.EntrySnap
+	mechScratch []mech.EntrySnap
 	rcScratch   []earlycalc.EntrySnap
 	fillScratch []fillLive
 	intW, fpW   [64]bool
@@ -772,6 +790,22 @@ func (r *memoRecorder) touchTableSet(t *addrpred.Table, pc int) {
 	off := int32(len(r.tabBuf))
 	r.tabBuf = t.SnapSet(set, r.tabBuf)
 	r.tabSets = append(r.tabSets, recSet{set: set, off: off, n: int32(len(r.tabBuf)) - off})
+}
+
+// touchMechSet pre-snapshots the assist-mechanism set pc maps to, once.
+func (r *memoRecorder) touchMechSet(m mech.Mechanism, pc int64) {
+	if r.aborted {
+		return
+	}
+	set := int64(m.SetIndexOf(pc))
+	for i := range r.mechSets {
+		if r.mechSets[i].set == set {
+			return
+		}
+	}
+	off := int32(len(r.mechBuf))
+	r.mechBuf = m.SnapSet(int(set), r.mechBuf)
+	r.mechSets = append(r.mechSets, recSet{set: set, off: off, n: int32(len(r.mechBuf)) - off})
 }
 
 // touchBTB pre-snapshots the BTB entry pc maps to, once.
@@ -842,6 +876,8 @@ func (r *memoRecorder) reset() {
 	r.wayBuf = r.wayBuf[:0]
 	r.tabSets = r.tabSets[:0]
 	r.tabBuf = r.tabBuf[:0]
+	r.mechSets = r.mechSets[:0]
+	r.mechBuf = r.mechBuf[:0]
 	r.btbIdx = r.btbIdx[:0]
 	r.btbPre = r.btbPre[:0]
 	r.rcTouched = false

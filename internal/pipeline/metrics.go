@@ -5,6 +5,7 @@ import (
 	"elag/internal/bpred"
 	"elag/internal/cache"
 	"elag/internal/earlycalc"
+	"elag/internal/mech"
 )
 
 // PathStats counts the behaviour of one early-address-generation path.
@@ -48,6 +49,13 @@ type Metrics struct {
 	BTBStats     bpred.Stats
 	TableStats   addrpred.Stats
 	RegCacheStat earlycalc.Stats
+
+	// MechKind / MechStats describe the assist mechanism when one is
+	// configured. Both are omitted from JSON otherwise, so configurations
+	// without an assist serialize byte-identically to before the
+	// mechanism layer existed.
+	MechKind  string      `json:",omitempty"`
+	MechStats *mech.Stats `json:",omitempty"`
 
 	// Predict and Early describe the two speculation paths.
 	Predict PathStats

@@ -31,6 +31,7 @@ import (
 	"elag/internal/earlycalc"
 	"elag/internal/emu"
 	"elag/internal/isa"
+	"elag/internal/mech"
 )
 
 // frontEndSlots bounds the number of instructions in IF/ID1/ID2 latches;
@@ -241,6 +242,10 @@ type Sim struct {
 	btb      *bpred.BTB
 	table    *addrpred.Table
 	regcache *earlycalc.Cache
+	// assist is the registry-constructed assist mechanism, nil unless the
+	// configuration named a non-paper mechanism spec. It drives every load
+	// through the prediction path's timing (see specAssist).
+	assist mech.Mechanism
 
 	m Metrics
 
@@ -304,6 +309,27 @@ func New(cfg Config, prog *isa.Program, flavors isa.FlavorOverlay) (*Sim, error)
 		return nil, err
 	}
 	cfg.fill()
+	// Normalize mechanism specs before buildMeta reads the config: the two
+	// paper kinds become the typed component configs (Validate guarantees
+	// neither is configured twice), any other kind constructs the assist
+	// mechanism through the registry.
+	var assist mech.Mechanism
+	for _, sp := range cfg.Mechanisms {
+		switch sp.Kind {
+		case "addrpred":
+			pc := mech.PredictorConfig(sp)
+			cfg.Predictor = &pc
+		case "earlycalc":
+			rc := mech.RegCacheConfig(sp)
+			cfg.RegCache = &rc
+		default:
+			m, err := mech.New(sp)
+			if err != nil {
+				return nil, err
+			}
+			assist = m
+		}
+	}
 	ic, err := cache.New(cfg.ICache)
 	if err != nil {
 		return nil, err
@@ -323,6 +349,7 @@ func New(cfg Config, prog *isa.Program, flavors isa.FlavorOverlay) (*Sim, error)
 		ic:          newTimedCache(ic, 0),
 		dc:          newTimedCache(dc, 1),
 		btb:         btb,
+		assist:      assist,
 		icLastBlock: -1,
 		icLastCycle: -1,
 	}
@@ -355,6 +382,11 @@ func (s *Sim) Metrics() *Metrics {
 	}
 	if s.regcache != nil {
 		s.m.RegCacheStat = s.regcache.Stats()
+	}
+	if s.assist != nil {
+		s.m.MechKind = s.assist.Kind()
+		st := s.assist.Stats()
+		s.m.MechStats = &st
 	}
 	s.m.ICacheStats = s.ic.c.Stats()
 	s.m.DCacheStats = s.dc.c.Stats()
@@ -490,7 +522,10 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		s.obsCycle = d2
 		spec = s.speculateFast(in, md, te, d1, d2, e)
 		switch spec.path {
-		case pathPredict:
+		// The assist path accounts into Predict: it has the prediction
+		// path's timing and failure terms, and paper configurations never
+		// attach an assist, so their Predict counters are untouched.
+		case pathPredict, pathAssist:
 			spec.applyTo(&s.m.Predict)
 		case pathEarly:
 			spec.applyTo(&s.m.Early)
@@ -630,6 +665,12 @@ func (s *Sim) StepInst(te *emu.TraceEntry) error {
 		// Train the prediction table in MEM regardless of forwarding.
 		s.obsCycle = e + 1
 		s.updatePredictor(te, spec.path == pathPredict)
+		if s.assist != nil {
+			if s.rec != nil {
+				s.rec.touchMechSet(s.assist, int64(te.PC))
+			}
+			s.assist.Train(int64(te.PC), te.EA)
+		}
 
 	case md.isStore():
 		s.m.Stores++
@@ -736,6 +777,7 @@ const (
 	pathNone pathID = iota
 	pathPredict
 	pathEarly
+	pathAssist
 )
 
 // specResult describes the outcome of early address generation for one
@@ -766,10 +808,14 @@ type specResult struct {
 
 var noSpec = specResult{lat: -1}
 
-// pathByte renders the path for events ('P' predict, 'E' early).
+// pathByte renders the path for events ('P' predict, 'E' early,
+// 'A' assist).
 func (r *specResult) pathByte() byte {
-	if r.path == pathPredict {
+	switch r.path {
+	case pathPredict:
 		return 'P'
+	case pathAssist:
+		return 'A'
 	}
 	return 'E'
 }
@@ -818,6 +864,9 @@ func (r *specResult) applyTo(ps *PathStats) {
 // allocates. The flavour driving SelCompiler comes from the decode cache,
 // where any overlay passed to New has already been resolved.
 func (s *Sim) speculate(in *isa.Inst, md *instMeta, te *emu.TraceEntry, d1, d2, e int64) specResult {
+	if s.assist != nil {
+		return s.specAssist(in, te, d2, e)
+	}
 	switch s.cfg.Select {
 	case SelNone:
 		return noSpec
@@ -879,6 +928,8 @@ func (s *Sim) speculateFast(in *isa.Inst, md *instMeta, te *emu.TraceEntry, d1, 
 		return s.specEarly(in, te, d1, d2, e, true)
 	case spEarly:
 		return s.specEarly(in, te, d1, d2, e, false)
+	case spAssist:
+		return s.specAssist(in, te, d2, e)
 	case spHWDual:
 		interlocked := in.Mode != isa.AMAbsolute && s.regReady[in.Base] > d1
 		if interlocked {
@@ -960,6 +1011,58 @@ func (s *Sim) specPredict(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specRes
 		// missed the cache) still satisfies the load when its data
 		// lands; a memory interlock means the data may be stale and
 		// must be re-fetched.
+		r.dataEnd = ready
+		r.reusable = correct && !milk
+		return r
+	}
+	r.forwarded = true
+	r.lat = 1
+	return r
+}
+
+// specAssist drives a load through the registry assist mechanism with the
+// prediction path's exact timing: ID1 lookup, ID2 speculative access with
+// the predicted address, end-of-EXE verification, and an effective latency
+// of 1 cycle on forward. The mechanism trains in MEM on every load (see
+// StepInst), mirroring the hardware-only predictor's always-update policy.
+func (s *Sim) specAssist(in *isa.Inst, te *emu.TraceEntry, d2, e int64) specResult {
+	r := specResult{lat: -1, path: pathAssist, eligible: true}
+	if s.rec != nil {
+		s.rec.touchMechSet(s.assist, int64(te.PC))
+	}
+	predAddr, ok := s.assist.Lookup(int64(te.PC))
+	if !ok {
+		r.fail |= FailNoPrediction
+		return r
+	}
+	specCycle := d2
+	if e-1 > specCycle {
+		specCycle = e - 1
+	}
+	if s.rec != nil {
+		s.rec.resTouch(s, trPort, specCycle)
+	}
+	if !s.portRes.tryUse(specCycle) {
+		r.fail |= FailNoPort
+		return r
+	}
+	r.speculated = true
+	r.specCycle = specCycle
+	r.specAddr = predAddr
+	ready, hit := s.dc.access(predAddr, specCycle, true, true)
+	correct := predAddr == te.EA
+	milk := s.memInterlock(te.EA, int64(in.Width), specCycle)
+	fwd := hit && ready <= e-1 && correct && !milk
+	if !correct {
+		r.fail |= FailAddrMispredict
+	}
+	if !hit || ready > e-1 {
+		r.fail |= FailCacheMiss
+	}
+	if milk {
+		r.fail |= FailMemInterlock
+	}
+	if !fwd {
 		r.dataEnd = ready
 		r.reusable = correct && !milk
 		return r

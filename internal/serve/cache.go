@@ -49,6 +49,12 @@ func ResultKey(spec *JobSpec) artifact.Key {
 			d.Str("config", c.Name)
 			d.Int("table", int64(c.Table))
 			d.Int("regs", int64(c.Regs))
+			// Gated on non-empty so every pre-mechanism key derivation is
+			// bit-for-bit unchanged: old cached results stay addressable,
+			// and a mechanism-bearing config can never alias a plain one.
+			if c.Mech != "" {
+				d.Str("mech", c.Mech)
+			}
 		}
 		d.Int("fuel", spec.Fuel)
 		d.Int("chunk", int64(spec.Chunk))

@@ -100,7 +100,7 @@ func executeSimulate(j *Job, work *harness.Counters) (any, error) {
 	}
 	specs := make([]elag.BatchSpec, len(spec.Configs))
 	for i, c := range spec.Configs {
-		cfg, err := elag.NamedConfig(c.Name, c.Table, c.Regs)
+		cfg, err := c.Config()
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +123,9 @@ func executeSimulate(j *Job, work *harness.Counters) (any, error) {
 	}
 	for _, m := range metrics {
 		work.CountMemo(m.Memo)
+		if m.MechStats != nil {
+			work.CountMech(m.MechKind, *m.MechStats)
+		}
 	}
 	return NewSimulateResult(spec, runRes.Output(), metrics), nil
 }
@@ -139,7 +142,7 @@ func NewSimulateResult(spec *JobSpec, output string, metrics []*elag.Metrics) *S
 	}
 	res := &SimulateResult{Output: output}
 	for i, m := range metrics {
-		res.Metrics = append(res.Metrics, elag.NewMetricsDoc(label, spec.Configs[i].Name, m))
+		res.Metrics = append(res.Metrics, elag.NewMetricsDoc(label, spec.Configs[i].Label(), m))
 	}
 	return res
 }

@@ -78,11 +78,52 @@ type JobSpec struct {
 }
 
 // ConfigSpec names one simulator configuration (the same vocabulary as the
-// CLI tools' -config/-table/-regs flags; see elag.NamedConfig).
+// CLI tools' -config/-table/-regs/-mech flags; see elag.NamedConfig).
 type ConfigSpec struct {
 	Name  string `json:"name"`
 	Table int    `json:"table,omitempty"`
 	Regs  int    `json:"regs,omitempty"`
+	// Mech, when set, attaches a load-acceleration mechanism from the
+	// registry to the named configuration, in the canonical
+	// "kind[:entries[xassoc]]" form (e.g. "stride:256", "pcax:256x4").
+	// Assist mechanisms are mutually exclusive with the paper structures,
+	// so Mech normally rides on Name "base".
+	Mech string `json:"mech,omitempty"`
+}
+
+// Config resolves the spec to a simulator configuration: the named base
+// vocabulary plus the optional mechanism. The resolved configuration is
+// validated, so a Mech that conflicts with the named hardware (an assist
+// on a configuration that already has a prediction table) is an error
+// here, at admission, not at job execution.
+func (c ConfigSpec) Config() (elag.SimConfig, error) {
+	cfg, err := elag.NamedConfig(c.Name, c.Table, c.Regs)
+	if err != nil {
+		return cfg, err
+	}
+	if c.Mech != "" {
+		sp, err := elag.ParseMechSpec(c.Mech)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Mechanisms = append(cfg.Mechanisms, sp)
+		if err := cfg.Validate(); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// Label is the spec's display name: the config name, qualified by the
+// mechanism when one is attached.
+func (c ConfigSpec) Label() string {
+	if c.Mech == "" {
+		return c.Name
+	}
+	if c.Name == "base" {
+		return c.Mech
+	}
+	return c.Name + "+" + c.Mech
 }
 
 // SpecError reports a malformed or over-budget job spec. It is the typed
@@ -221,7 +262,7 @@ func (spec *JobSpec) Validate(lim Limits) error {
 				Reason: fmt.Sprintf("%d exceeds the %d-configuration budget", len(spec.Configs), lim.MaxConfigs)}
 		}
 		for i, c := range spec.Configs {
-			if _, err := elag.NamedConfig(c.Name, c.Table, c.Regs); err != nil {
+			if _, err := c.Config(); err != nil {
 				return &SpecError{Field: fmt.Sprintf("configs[%d]", i), Reason: err.Error()}
 			}
 			if c.Table < 0 || c.Regs < 0 {
@@ -240,7 +281,7 @@ func (spec *JobSpec) Validate(lim Limits) error {
 		}
 		if !gridExps[spec.Exp] {
 			return &SpecError{Field: "exp",
-				Reason: fmt.Sprintf("unknown experiment %q (want all, table2, table3, table4, fig5a, fig5b, fig5c, or embedded)", spec.Exp)}
+				Reason: fmt.Sprintf("unknown experiment %q (want all, table2, table3, table4, fig5a, fig5b, fig5c, embedded, or figmech)", spec.Exp)}
 		}
 		if spec.Fuel == 0 {
 			return &SpecError{Field: "fuel", Reason: "grid jobs must state a fuel budget"}
@@ -262,7 +303,7 @@ var gridExps = map[string]bool{
 	"": true, "all": true,
 	"table2": true, "table3": true, "table4": true,
 	"fig5a": true, "fig5b": true, "fig5c": true,
-	"embedded": true,
+	"embedded": true, "figmech": true,
 }
 
 // Deadline returns the job's effective wall-time budget under lim: its own

@@ -14,8 +14,13 @@ import (
 	"elag/internal/artifact"
 	"elag/internal/chaosinject"
 	"elag/internal/harness"
+	"elag/internal/mech"
 	"elag/internal/obs"
 	"elag/internal/telemetry"
+
+	// Every mechanism kind must be in the registry before
+	// registerServerMetrics enumerates it for the per-kind series.
+	_ "elag/internal/mech/all"
 )
 
 // Extra JobError kinds produced by admission and lookup (the execution
@@ -196,6 +201,33 @@ func (s *Server) registerServerMetrics() {
 	reg.GaugeFunc("elag_replay_kernel_level",
 		"Highest specialized replay-kernel variant observed: 0 generic, 1 specialized dispatch, 2 fused DM cache leaves.",
 		func() float64 { return float64(s.work.KernelLevel.Load()) })
+	// One series per registered mechanism kind, pre-declared at startup so
+	// the exposition is stable from the first scrape. The values read one
+	// kind's aggregate mech.Stats at scrape time; the Stats algebra
+	// (lookups == hits + misses, allocs <= trains) therefore holds on the
+	// scraped values, and the chaos suite asserts it. Kinds whose specs
+	// normalize to the paper structures (addrpred, earlycalc) account into
+	// the paper counters inside the metrics documents and read zero here.
+	for _, kind := range mech.Kinds() {
+		read := func(get func(mech.Stats) int64) func() float64 {
+			return func() float64 { return float64(get(s.work.MechStats(kind))) }
+		}
+		reg.CounterFunc("elag_mech_lookups_total",
+			"Assist-path mechanism probes, by registry kind.",
+			read(func(x mech.Stats) int64 { return x.Lookups }), "kind", kind)
+		reg.CounterFunc("elag_mech_hits_total",
+			"Mechanism probes that produced a predicted address, by registry kind.",
+			read(func(x mech.Stats) int64 { return x.Hits }), "kind", kind)
+		reg.CounterFunc("elag_mech_misses_total",
+			"Mechanism probes that produced nothing, by registry kind.",
+			read(func(x mech.Stats) int64 { return x.Misses }), "kind", kind)
+		reg.CounterFunc("elag_mech_trains_total",
+			"Retirement-side mechanism updates, by registry kind.",
+			read(func(x mech.Stats) int64 { return x.Trains }), "kind", kind)
+		reg.CounterFunc("elag_mech_allocs_total",
+			"Mechanism entry allocations (a subset of trains), by registry kind.",
+			read(func(x mech.Stats) int64 { return x.Allocs }), "kind", kind)
+	}
 	reg.CounterFunc("elag_process_cpu_seconds_total",
 		"Cumulative process CPU time (user + system).",
 		processCPUSeconds)

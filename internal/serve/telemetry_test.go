@@ -70,6 +70,16 @@ func TestMetricsEndpointSeriesPresent(t *testing.T) {
 		"elag_replay_kernel_level",
 		"elag_chaos_armed",
 		"elag_process_cpu_seconds_total",
+		// One series per registered mechanism kind, pre-declared at
+		// startup like everything else in this list.
+		`elag_mech_lookups_total{kind="stride"}`,
+		`elag_mech_hits_total{kind="stride"}`,
+		`elag_mech_misses_total{kind="stride"}`,
+		`elag_mech_trains_total{kind="stride"}`,
+		`elag_mech_allocs_total{kind="stride"}`,
+		`elag_mech_lookups_total{kind="pcax"}`,
+		`elag_mech_lookups_total{kind="addrpred"}`,
+		`elag_mech_lookups_total{kind="earlycalc"}`,
 	}
 	for _, k := range required {
 		if _, ok := m[k]; !ok {
@@ -187,13 +197,49 @@ func TestMetricsCounterExactness(t *testing.T) {
 	}
 	wantDone++
 
+	// Mechanism-bearing jobs, two under the panic fault and one clean: the
+	// per-kind elag_mech_* aggregates fold only from finished Sims, so a
+	// panicked job must leave them self-consistent — the Stats algebra
+	// below has to survive chaos, never a half-updated row. Distinct fuels
+	// keep the three jobs from sharing a single-flight entry.
+	if err := chaosinject.Parse("panic-every=2"); err != nil {
+		t.Fatal(err)
+	}
+	for i, fuel := range []int64{200_000, 150_000, 100_000} {
+		if i == 2 {
+			chaosinject.Reset() // the last job always completes
+		}
+		resp, raw := postJob(t, ts, &JobSpec{
+			Kind:     KindSimulate,
+			Workload: "023.eqntott",
+			Configs:  []ConfigSpec{{Name: "base"}, {Name: "base", Mech: "stride:64"}},
+			Fuel:     fuel,
+		}, "?wait=1")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mech job %d: status %d, body %s", i, resp.StatusCode, raw)
+		}
+		var doc StatusDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		switch doc.State {
+		case StateDone:
+			wantDone++
+		case StateFailed:
+			wantFailed++
+		default:
+			t.Fatalf("mech job %d ended %q", i, doc.State)
+		}
+	}
+	chaosinject.Reset()
+
 	m := scrapeMetrics(t, ts)
 
 	// The algebra: every admitted job is terminal now, so admitted must
 	// equal the completed total and in-flight must be zero.
 	admitted := m["elag_jobs_admitted_total"]
-	if admitted != jobs+2 {
-		t.Errorf("admitted = %v, want %d", admitted, jobs+2)
+	if admitted != jobs+5 {
+		t.Errorf("admitted = %v, want %d", admitted, jobs+5)
 	}
 	if got := completedTotal(m, ""); got != admitted {
 		t.Errorf("completed total %v != admitted %v", got, admitted)
@@ -241,6 +287,36 @@ func TestMetricsCounterExactness(t *testing.T) {
 		t.Errorf("memo algebra broken: hits %v + misses %v != block entries %v",
 			hits, misses, entries)
 	}
+	// Mechanism counter algebra, per registered kind: lookups must equal
+	// hits + misses and allocs never exceed trains on the SCRAPED values —
+	// the same self-consistency mech.Stats guarantees per Sim, preserved
+	// by the fold and by chaos (a panicked sim contributes nothing, not a
+	// partial row). The stride jobs above ran to completion at least once,
+	// so that kind must show traffic; kinds whose specs normalize to the
+	// paper structures (addrpred, earlycalc) read zero by design.
+	for _, kind := range []string{"addrpred", "earlycalc", "pcax", "stride"} {
+		lk := m[`elag_mech_lookups_total{kind="`+kind+`"}`]
+		mh := m[`elag_mech_hits_total{kind="`+kind+`"}`]
+		mm := m[`elag_mech_misses_total{kind="`+kind+`"}`]
+		tr := m[`elag_mech_trains_total{kind="`+kind+`"}`]
+		al := m[`elag_mech_allocs_total{kind="`+kind+`"}`]
+		if mh+mm != lk {
+			t.Errorf("mech %s algebra broken: hits %v + misses %v != lookups %v", kind, mh, mm, lk)
+		}
+		if al > tr {
+			t.Errorf("mech %s: allocs %v > trains %v", kind, al, tr)
+		}
+	}
+	if lk := m[`elag_mech_lookups_total{kind="stride"}`]; lk <= 0 {
+		t.Errorf("stride lookups = %v after completed stride jobs, want > 0", lk)
+	}
+	if tr := m[`elag_mech_trains_total{kind="stride"}`]; tr <= 0 {
+		t.Errorf("stride trains = %v after completed stride jobs, want > 0", tr)
+	}
+	if lk := m[`elag_mech_lookups_total{kind="pcax"}`]; lk != 0 {
+		t.Errorf("pcax lookups = %v with no pcax jobs, want 0", lk)
+	}
+
 	// The successful simulate jobs ran the default configs with
 	// specialization enabled, so the kernel gauge must report a
 	// specialized variant.
